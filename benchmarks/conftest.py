@@ -1,0 +1,89 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper on scaled-down
+synthetic data, asserts the qualitative claim it supports, writes a
+paper-vs-measured report under ``benchmarks/results/`` and times the
+experiment with pytest-benchmark.
+
+Two modes:
+
+* **fast** (default): reduced sweeps / model subsets so the whole suite
+  finishes in minutes on a laptop CPU.
+* **full**: set ``REPRO_FULL=1`` to run all sweep points and the complete
+  model roster (closer to the paper's tables, considerably slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSettings, fast_mode
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_settings(scenario: str, **overrides) -> ExperimentSettings:
+    """Experiment settings sized for the current bench mode."""
+    if fast_mode():
+        defaults = dict(
+            scenario=scenario,
+            scale=0.6,
+            num_epochs=12,
+            num_eval_negatives=99,
+            embedding_dim=32,
+            batch_size=256,
+        )
+    else:
+        defaults = dict(
+            scenario=scenario,
+            scale=1.0,
+            num_epochs=20,
+            num_eval_negatives=99,
+            embedding_dim=32,
+            batch_size=256,
+        )
+    defaults.update(overrides)
+    return ExperimentSettings(**defaults)
+
+
+def sweep_overlap_ratios():
+    """Overlap ratios exercised by the Tables II–V benches."""
+    if fast_mode():
+        return (0.1, 0.5, 0.9)
+    return (0.001, 0.01, 0.10, 0.50, 0.90)
+
+
+def sweep_models():
+    """Model roster exercised by the Tables II–V benches."""
+    if fast_mode():
+        return ("LR", "PLE", "GA-DTCDR", "PTUPCDR", "NMCDR")
+    return (
+        "LR",
+        "BPR",
+        "NeuMF",
+        "MMoE",
+        "PLE",
+        "CoNet",
+        "MiNet",
+        "GA-DTCDR",
+        "DML",
+        "HeroGraph",
+        "PTUPCDR",
+        "NMCDR",
+    )
+
+
+def write_report(name: str, content: str) -> Path:
+    """Persist a bench's textual report under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

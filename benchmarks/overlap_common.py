@@ -1,0 +1,62 @@
+"""Shared implementation of the Tables II–V overlap-sweep benches."""
+
+from __future__ import annotations
+
+from conftest import bench_settings, run_once, sweep_models, sweep_overlap_ratios, write_report
+
+from repro.experiments import run_overlap_sweep
+from repro.experiments.paper_reference import improvement_reference_row, nmcdr_reference_row
+
+
+def run_overlap_bench(benchmark, scenario: str, report_name: str) -> None:
+    """Run the overlap sweep for one scenario, write the report, assert the claims."""
+    settings = bench_settings(scenario)
+    ratios = sweep_overlap_ratios()
+    models = sweep_models()
+
+    sweep = run_once(
+        benchmark,
+        run_overlap_sweep,
+        scenario,
+        model_names=models,
+        overlap_ratios=ratios,
+        settings=settings,
+    )
+
+    lines = [f"{report_name}: overlap-ratio sweep on {scenario} (measured values are fractions x100 = %)"]
+    for domain_key in ("a", "b"):
+        lines.append("")
+        lines.append(sweep.format_table(domain_key))
+        domain_name = (
+            sweep.per_ratio[0].task_summary["domain_a"]["name"]
+            if domain_key == "a"
+            else sweep.per_ratio[0].task_summary["domain_b"]["name"]
+        )
+        lines.append(
+            f"NMCDR win fraction ({domain_name}): "
+            f"{sweep.nmcdr_win_fraction(domain_key):.2f}  |  "
+            f"mean improvement over best baseline: {sweep.mean_improvement(domain_key):.1f}%"
+        )
+        try:
+            paper_improvements = improvement_reference_row(scenario, domain_name)
+            mean_paper = sum(pair[0] for pair in paper_improvements) / len(paper_improvements)
+            lines.append(f"paper mean NDCG improvement over second-best: {mean_paper:.1f}%")
+        except KeyError:
+            pass
+    write_report(report_name, "\n".join(lines))
+
+    # Headline claim: NMCDR is the strongest model at (almost) every overlap
+    # ratio.  At the reproduction's scale individual points are noisy (the
+    # paper's own margins on the Loan/Fund domains are <2 NDCG points), so the
+    # check aggregates over the whole sweep and both domains rather than
+    # requiring a win at every single point.
+    combined_win_fraction = (sweep.nmcdr_win_fraction("a") + sweep.nmcdr_win_fraction("b")) / 2
+    assert combined_win_fraction >= 0.5, (
+        f"NMCDR should win at least half of all sweep points across both domains "
+        f"(got {combined_win_fraction:.2f})"
+    )
+    # NMCDR beats the best baseline on average in at least one domain and never
+    # collapses in the other (stays within 15% of the best baseline on average).
+    improvements = [sweep.mean_improvement("a"), sweep.mean_improvement("b")]
+    assert max(improvements) > 0.0
+    assert min(improvements) > -15.0

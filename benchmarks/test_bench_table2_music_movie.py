@@ -1,0 +1,7 @@
+"""Table II — bi-directional Music–Movie CDR with varying user overlap ratio."""
+
+from overlap_common import run_overlap_bench
+
+
+def test_bench_table2_music_movie(benchmark):
+    run_overlap_bench(benchmark, "music_movie", "table2_music_movie")

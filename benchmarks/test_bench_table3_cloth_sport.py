@@ -1,0 +1,7 @@
+"""Table III — bi-directional Cloth–Sport CDR with varying user overlap ratio."""
+
+from overlap_common import run_overlap_bench
+
+
+def test_bench_table3_cloth_sport(benchmark):
+    run_overlap_bench(benchmark, "cloth_sport", "table3_cloth_sport")

@@ -1,0 +1,7 @@
+"""Table IV — bi-directional Phone–Elec CDR with varying user overlap ratio."""
+
+from overlap_common import run_overlap_bench
+
+
+def test_bench_table4_phone_elec(benchmark):
+    run_overlap_bench(benchmark, "phone_elec", "table4_phone_elec")

@@ -1,0 +1,7 @@
+"""Table V — bi-directional Loan–Fund (financial) CDR with varying user overlap ratio."""
+
+from overlap_common import run_overlap_bench
+
+
+def test_bench_table5_loan_fund(benchmark):
+    run_overlap_bench(benchmark, "loan_fund", "table5_loan_fund")

@@ -1,0 +1,47 @@
+"""Aggregate benchmark reports and export figure data for external plotting.
+
+Run the benchmark suite first::
+
+    pytest benchmarks/ --benchmark-only
+
+then::
+
+    python examples/export_results_report.py
+
+This collects every per-experiment report from ``benchmarks/results/`` into a
+single markdown document (``benchmarks/results/REPORT.md``) and additionally
+exports one CSV of figure-ready data (the Fig. 4 head/tail-threshold sweep) to
+show how the ``repro.experiments.figures`` helpers are used.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import ExperimentSettings, run_head_threshold_sweep
+from repro.experiments.figures import hyperparameter_sweep_to_csv
+from repro.experiments.report import write_markdown_report
+
+RESULTS_DIR = Path(__file__).parent.parent / "benchmarks" / "results"
+
+
+def main() -> None:
+    report_path = write_markdown_report(RESULTS_DIR, RESULTS_DIR / "REPORT.md")
+    print(f"aggregated markdown report written to {report_path}")
+
+    print("running a small Fig. 4 sweep to demonstrate CSV export ...")
+    sweep = run_head_threshold_sweep(
+        "cloth_sport",
+        thresholds=(3, 7, 11),
+        settings=ExperimentSettings(
+            scenario="cloth_sport", scale=0.3, num_epochs=3, num_eval_negatives=40, embedding_dim=16
+        ),
+    )
+    csv_path = RESULTS_DIR / "fig4_head_tail_threshold.csv"
+    hyperparameter_sweep_to_csv(sweep, csv_path)
+    print(f"figure data written to {csv_path}")
+    print(sweep.format_table())
+
+
+if __name__ == "__main__":
+    main()

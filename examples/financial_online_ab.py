@@ -1,0 +1,42 @@
+"""Financial multi-domain serving simulation (the MYbank-style online A/B test).
+
+Reproduces the spirit of Section III.C: several recommendation models are
+trained offline on logged interactions from partially overlapping financial
+domains ("Loan" and "Fund"), then deployed as competing serving groups in a
+simulated impression stream; the measured conversion rate (CVR) per group and
+domain mirrors Table VIII.
+
+Run with::
+
+    python examples/financial_online_ab.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import OnlineDomainSpec, run_online_ab
+
+
+def main() -> None:
+    groups = ("Control", "PLE", "DML", "NMCDR")
+    domains = (
+        OnlineDomainSpec("Loan", 300, 50, base_cvr=0.105),
+        OnlineDomainSpec("Fund", 200, 40, base_cvr=0.061),
+    )
+    print("Training the serving groups offline and simulating 1500 impressions per domain ...\n")
+    result = run_online_ab(
+        groups=groups,
+        domain_specs=domains,
+        impressions_per_domain=1500,
+        num_epochs=10,
+        embedding_dim=32,
+        seed=11,
+    )
+    print(result.format_table())
+    print()
+    for spec in domains:
+        improvement = result.improvement_over_best_baseline(spec.name)
+        print(f"NMCDR CVR improvement over the best baseline in {spec.name}: {improvement:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: train NMCDR on a synthetic partially-overlapped CDR scenario.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script generates a scaled-down "Cloth–Sport" style scenario, keeps only
+10% of the overlapped users linked across the two domains (the hard setting
+the paper targets), trains NMCDR and a simple single-domain baseline, and
+prints leave-one-out ranking metrics for both domains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import LRModel
+from repro.core import CDRTrainer, NMCDR, NMCDRConfig, TrainerConfig, build_task
+from repro.data import load_scenario, preprocess_scenario
+
+
+def main() -> None:
+    # 1. Data: generate the synthetic scenario and apply the paper's preprocessing.
+    dataset = load_scenario("cloth_sport", scale=0.5, seed=7)
+    dataset = preprocess_scenario(dataset, min_interactions=3)
+    dataset = dataset.with_overlap_ratio(0.10, rng=np.random.default_rng(7))
+    print(dataset)
+    print(f"overlapped users after Ku=10%: {dataset.num_overlapping}\n")
+
+    # 2. Task: leave-one-out splits, training graphs, head/tail partition, overlap alignment.
+    task = build_task(dataset, head_threshold=7)
+    print(task.summary(), "\n")
+
+    # 3. Models: NMCDR and an LR baseline trained by the same joint trainer.
+    trainer_config = TrainerConfig(num_epochs=10, batch_size=256, num_eval_negatives=99, seed=7)
+
+    nmcdr = NMCDR(task, NMCDRConfig(embedding_dim=32, head_threshold=7, seed=7))
+    nmcdr_history = CDRTrainer(nmcdr, task, trainer_config).fit()
+    nmcdr_metrics = CDRTrainer(nmcdr, task, trainer_config).evaluate()
+
+    baseline = LRModel(task, embedding_dim=8, seed=7)
+    CDRTrainer(baseline, task, trainer_config).fit()
+    baseline_metrics = CDRTrainer(baseline, task, trainer_config).evaluate()
+
+    # 4. Results.
+    print(f"NMCDR final training loss: {nmcdr_history.final_loss:.4f}")
+    for key, domain_name in (("a", dataset.domain_a.name), ("b", dataset.domain_b.name)):
+        ours = nmcdr_metrics[key]
+        theirs = baseline_metrics[key]
+        print(
+            f"{domain_name:>6}:  NMCDR  NDCG@10={ours['ndcg@10']:.4f}  HR@10={ours['hr@10']:.4f}"
+            f"   |   LR  NDCG@10={theirs['ndcg@10']:.4f}  HR@10={theirs['hr@10']:.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

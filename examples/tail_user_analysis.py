@@ -1,0 +1,89 @@
+"""Tail-user analysis: do the matching and complementing modules fix under-representation?
+
+Reproduces the argument behind Fig. 5 and the CH2 motivation of the paper:
+
+1. train NMCDR on a partially overlapped scenario;
+2. measure how well the *tail* (data-sparse) user embedding distribution
+   aligns with the *head* (data-rich) distribution after each pipeline stage;
+3. compare per-group ranking quality of the full model against the
+   ``w/o-Inc`` ablation (no complementing module);
+4. print the theoretical stability coefficient of Section II.H.
+
+Run with::
+
+    python examples/tail_user_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import stagewise_alignment
+from repro.core import (
+    CDRTrainer,
+    NMCDRConfig,
+    TrainerConfig,
+    build_task,
+    build_variant,
+    stability_report,
+)
+from repro.data import load_scenario, preprocess_scenario
+from repro.metrics import RankingEvaluator
+
+
+def per_group_ndcg(model, task, domain_key: str) -> dict:
+    """NDCG@10 computed separately over head users and tail users."""
+    split = task.domain(domain_key).split
+    evaluator = RankingEvaluator(split, domain_key, num_negatives=99, rng=np.random.default_rng(0))
+    scores = evaluator.score_matrix(model)
+    partition = task.domain(domain_key).partition
+    head_mask = np.isin(evaluator.users, partition.head_users)
+
+    from repro.metrics import ndcg_at_k
+
+    return {
+        "head": ndcg_at_k(scores[head_mask], 10) if head_mask.any() else float("nan"),
+        "tail": ndcg_at_k(scores[~head_mask], 10) if (~head_mask).any() else float("nan"),
+    }
+
+
+def main() -> None:
+    dataset = preprocess_scenario(load_scenario("cloth_sport", scale=0.5, seed=7), min_interactions=3)
+    dataset = dataset.with_overlap_ratio(0.5, rng=np.random.default_rng(7))
+    task = build_task(dataset, head_threshold=7)
+    trainer_config = TrainerConfig(num_epochs=10, batch_size=256, num_eval_negatives=99, seed=7)
+    base_config = NMCDRConfig(embedding_dim=32, head_threshold=7, seed=7)
+
+    print("Training the full NMCDR model ...")
+    full_model = build_variant("full", task, base_config)
+    CDRTrainer(full_model, task, trainer_config).fit()
+    full_model.prepare_for_evaluation()
+
+    print("Training the w/o-Inc ablation (no complementing module) ...\n")
+    ablated_model = build_variant("w/o-Inc", task, base_config)
+    CDRTrainer(ablated_model, task, trainer_config).fit()
+    ablated_model.prepare_for_evaluation()
+
+    print("Head/tail embedding alignment per stage (lower = tail users better represented):")
+    for score in stagewise_alignment(full_model, "a", rng=np.random.default_rng(0)):
+        print(
+            f"  {score.stage:<8} centroid distance={score.centroid_distance:.4f}  "
+            f"MMD={score.mmd:.4f}"
+        )
+
+    print("\nPer-group NDCG@10 in the Cloth domain:")
+    full_groups = per_group_ndcg(full_model, task, "a")
+    ablated_groups = per_group_ndcg(ablated_model, task, "a")
+    print(f"  full NMCDR : head={full_groups['head']:.4f}  tail={full_groups['tail']:.4f}")
+    print(f"  w/o-Inc    : head={ablated_groups['head']:.4f}  tail={ablated_groups['tail']:.4f}")
+
+    report = stability_report(full_model, "a", rng=np.random.default_rng(0))
+    print(
+        f"\nStability (Sec. II.H): bound coefficient={report.theoretical_bound_coefficient:.4f}, "
+        f"mean empirical deviation={report.mean_empirical_deviation:.5f} "
+        f"under perturbations of norm ~{report.perturbation_norm:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

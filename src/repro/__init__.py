@@ -1,0 +1,21 @@
+"""repro — reproduction of NMCDR (Neural Node Matching for Multi-Target CDR, ICDE 2023).
+
+Layered architecture (bottom to top):
+
+* :mod:`repro.tensor` — numpy autograd engine.
+* :mod:`repro.nn`, :mod:`repro.optim` — neural-network layers and optimisers.
+* :mod:`repro.graph` — user–item / user–user graph substrate.
+* :mod:`repro.data` — synthetic CDR dataset generation, splitting, sampling.
+* :mod:`repro.metrics` — ranking / classification metrics and the evaluation protocol.
+* :mod:`repro.core` — the NMCDR model, trainer, ablation variants, stability analysis.
+* :mod:`repro.baselines` — the eleven comparison models from the paper.
+* :mod:`repro.analysis` — t-SNE, embedding alignment, efficiency accounting.
+* :mod:`repro.experiments` — table/figure-level experiment harness.
+"""
+
+from .logging_utils import ExperimentLogger, Timer
+from .tensor import Tensor, no_grad, set_seed
+
+__version__ = "1.0.0"
+
+__all__ = ["Tensor", "no_grad", "set_seed", "ExperimentLogger", "Timer", "__version__"]

@@ -1,0 +1,33 @@
+"""Analysis utilities: t-SNE, head/tail alignment, efficiency accounting."""
+
+from .efficiency import EfficiencyReport, measure_efficiency
+from .embedding_analysis import (
+    AlignmentScores,
+    head_tail_alignment,
+    stagewise_alignment,
+    tsne_projection,
+)
+from .training_curves import (
+    ConvergenceReport,
+    analyze_history,
+    convergence_epoch,
+    moving_average,
+    relative_improvement,
+)
+from .tsne import pairwise_squared_distances, tsne
+
+__all__ = [
+    "ConvergenceReport",
+    "analyze_history",
+    "convergence_epoch",
+    "moving_average",
+    "relative_improvement",
+    "tsne",
+    "pairwise_squared_distances",
+    "AlignmentScores",
+    "head_tail_alignment",
+    "stagewise_alignment",
+    "tsne_projection",
+    "EfficiencyReport",
+    "measure_efficiency",
+]

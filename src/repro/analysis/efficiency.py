@@ -1,0 +1,100 @@
+"""Model efficiency accounting (Section III.B.6).
+
+The paper compares parameter counts and per-batch training/testing time for
+PLE, MiNet, HeroGraph and NMCDR.  This module measures the same quantities for
+any model trained by :class:`repro.core.CDRTrainer`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.task import CDRTask
+from ..data.dataloader import InteractionDataLoader
+from ..optim import Adam
+
+__all__ = ["EfficiencyReport", "measure_efficiency"]
+
+
+@dataclass
+class EfficiencyReport:
+    """Parameter count and per-batch timings for one model on one task."""
+
+    model_name: str
+    num_parameters: int
+    train_seconds_per_batch: float
+    test_seconds_per_batch: float
+    batch_size: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "model": self.model_name,
+            "parameters": self.num_parameters,
+            "train_s_per_batch": self.train_seconds_per_batch,
+            "test_s_per_batch": self.test_seconds_per_batch,
+            "batch_size": self.batch_size,
+        }
+
+
+def measure_efficiency(
+    model,
+    task: CDRTask,
+    batch_size: int = 256,
+    num_train_batches: int = 5,
+    num_test_batches: int = 5,
+    seed: int = 0,
+) -> EfficiencyReport:
+    """Time forward+backward+update steps and pure scoring batches.
+
+    The model is not meaningfully trained here — the measurement exercises the
+    same code path the trainer uses, on ``num_train_batches`` mini-batches, and
+    then times ``num_test_batches`` scoring calls of ``batch_size`` pairs.
+    """
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    loaders = {
+        key: InteractionDataLoader(
+            task.domain(key).split, batch_size=batch_size, rng=np.random.default_rng(seed + i)
+        )
+        for i, key in enumerate(("a", "b"))
+    }
+
+    # Training timing: one batch per domain per step, matching the trainer.
+    iterator_a = iter(loaders["a"])
+    iterator_b = iter(loaders["b"])
+    train_times = []
+    for _ in range(num_train_batches):
+        batch_a = next(iterator_a, None)
+        batch_b = next(iterator_b, None)
+        if batch_a is None and batch_b is None:
+            break
+        started = time.perf_counter()
+        optimizer.zero_grad()
+        loss = model.compute_batch_loss({"a": batch_a, "b": batch_b})
+        loss.backward()
+        optimizer.step()
+        model.invalidate_cache()
+        train_times.append(time.perf_counter() - started)
+
+    # Scoring timing.
+    model.prepare_for_evaluation()
+    domain = task.domain_a
+    test_times = []
+    for _ in range(num_test_batches):
+        users = rng.integers(0, domain.num_users, size=batch_size)
+        items = rng.integers(0, domain.num_items, size=batch_size)
+        started = time.perf_counter()
+        model.score("a", users, items)
+        test_times.append(time.perf_counter() - started)
+
+    return EfficiencyReport(
+        model_name=getattr(model, "display_name", type(model).__name__),
+        num_parameters=model.num_parameters(),
+        train_seconds_per_batch=float(np.mean(train_times)) if train_times else float("nan"),
+        test_seconds_per_batch=float(np.mean(test_times)) if test_times else float("nan"),
+        batch_size=batch_size,
+    )

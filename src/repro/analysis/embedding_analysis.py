@@ -1,0 +1,148 @@
+"""Quantitative head/tail embedding alignment analysis (Fig. 5).
+
+Fig. 5 of the paper is a qualitative t-SNE plot arguing that the tail-user
+embedding distribution progressively aligns with the head-user distribution as
+the representations move through the NMCDR pipeline.  Without a plotting
+backend we report numeric alignment scores per stage instead:
+
+* normalised centroid distance between the head and tail embedding clouds,
+* a Gaussian-kernel maximum mean discrepancy (MMD) between the two clouds,
+* the ratio of average within-group to between-group distances.
+
+Lower values at later stages = better alignment = the paper's claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.nmcdr import NMCDR, STAGES
+from .tsne import pairwise_squared_distances, tsne
+
+__all__ = ["AlignmentScores", "head_tail_alignment", "stagewise_alignment", "tsne_projection"]
+
+
+@dataclass
+class AlignmentScores:
+    """Alignment statistics between head-user and tail-user embedding clouds."""
+
+    stage: str
+    centroid_distance: float
+    mmd: float
+    between_within_ratio: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "stage": self.stage,
+            "centroid_distance": self.centroid_distance,
+            "mmd": self.mmd,
+            "between_within_ratio": self.between_within_ratio,
+        }
+
+
+def _gaussian_mmd(x: np.ndarray, y: np.ndarray, bandwidth: Optional[float] = None) -> float:
+    """Unbiased-ish Gaussian-kernel MMD² estimate between two samples."""
+    combined = np.vstack([x, y])
+    distances = pairwise_squared_distances(combined)
+    if bandwidth is None:
+        median = np.median(distances[distances > 0]) if np.any(distances > 0) else 1.0
+        bandwidth = max(median, 1e-8)
+    kernel = np.exp(-distances / bandwidth)
+    n, m = x.shape[0], y.shape[0]
+    k_xx = kernel[:n, :n]
+    k_yy = kernel[n:, n:]
+    k_xy = kernel[:n, n:]
+    return float(k_xx.mean() + k_yy.mean() - 2.0 * k_xy.mean())
+
+
+def head_tail_alignment(
+    embeddings: np.ndarray,
+    head_indices: np.ndarray,
+    tail_indices: np.ndarray,
+    stage: str = "",
+) -> AlignmentScores:
+    """Compute alignment scores for one embedding matrix."""
+    head_indices = np.asarray(head_indices, dtype=np.int64)
+    tail_indices = np.asarray(tail_indices, dtype=np.int64)
+    if head_indices.size == 0 or tail_indices.size == 0:
+        raise ValueError("both head and tail groups must be non-empty")
+    head = embeddings[head_indices]
+    tail = embeddings[tail_indices]
+
+    scale = float(np.linalg.norm(embeddings.std(axis=0)) + 1e-12)
+    centroid_distance = float(np.linalg.norm(head.mean(axis=0) - tail.mean(axis=0))) / scale
+
+    mmd = _gaussian_mmd(head, tail)
+
+    within_head = pairwise_squared_distances(head).mean()
+    within_tail = pairwise_squared_distances(tail).mean()
+    between = np.mean(
+        np.sum((head[:, None, :] - tail[None, :, :]) ** 2, axis=-1)
+    )
+    within = (within_head + within_tail) / 2.0
+    ratio = float(between / max(within, 1e-12))
+
+    return AlignmentScores(
+        stage=stage,
+        centroid_distance=centroid_distance,
+        mmd=mmd,
+        between_within_ratio=ratio,
+    )
+
+
+def stagewise_alignment(
+    model: NMCDR,
+    domain_key: str,
+    max_users_per_group: int = 150,
+    rng: Optional[np.random.Generator] = None,
+) -> List[AlignmentScores]:
+    """Alignment scores after the encoder, the matching module and the complementing module.
+
+    Mirrors the three columns of Fig. 5: ``user_g1`` (graph encoder output),
+    ``user_g3`` (after intra-to-inter matching), ``user_g4`` (after
+    complementing).
+    """
+    rng = rng or np.random.default_rng(0)
+    partition = model.task.domain(domain_key).partition
+    head = partition.head_users
+    tail = partition.tail_users
+    if head.size > max_users_per_group:
+        head = rng.choice(head, size=max_users_per_group, replace=False)
+    if tail.size > max_users_per_group:
+        tail = rng.choice(tail, size=max_users_per_group, replace=False)
+
+    representations = model.stage_representations(domain_key)
+    scores = []
+    for stage in ("user_g1", "user_g3", "user_g4"):
+        scores.append(head_tail_alignment(representations[stage], head, tail, stage=stage))
+    return scores
+
+
+def tsne_projection(
+    model: NMCDR,
+    domain_key: str,
+    stage: str = "user_g4",
+    max_users: int = 200,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """2-D t-SNE projection of (a sample of) one stage's user embeddings.
+
+    Returns the projected coordinates together with a boolean head-user mask so
+    callers can reproduce the Fig. 5 scatter colouring.
+    """
+    if stage not in STAGES:
+        raise KeyError(f"unknown stage '{stage}'; known: {STAGES}")
+    rng = rng or np.random.default_rng(0)
+    representations = model.stage_representations(domain_key)[stage]
+    partition = model.task.domain(domain_key).partition
+    num_users = representations.shape[0]
+    if num_users > max_users:
+        chosen = rng.choice(num_users, size=max_users, replace=False)
+    else:
+        chosen = np.arange(num_users)
+    coordinates = tsne(representations[chosen], rng=rng)
+    head_mask = np.isin(chosen, partition.head_users)
+    return {"coordinates": coordinates, "is_head": head_mask, "user_indices": chosen}

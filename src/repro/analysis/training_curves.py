@@ -1,0 +1,97 @@
+"""Training-curve analysis helpers.
+
+The trainer records a loss per epoch and (optionally) validation metrics per
+evaluation round; these helpers summarise those curves: smoothing, convergence
+detection and a compact convergence report used by the examples and by users
+comparing how quickly different models fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.trainer import TrainingHistory
+
+__all__ = ["moving_average", "convergence_epoch", "relative_improvement", "ConvergenceReport", "analyze_history"]
+
+
+def moving_average(values: Sequence[float], window: int = 3) -> List[float]:
+    """Centered-left moving average with a warm-up (first values less smoothed)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    values = list(values)
+    smoothed = []
+    for index in range(len(values)):
+        start = max(0, index - window + 1)
+        smoothed.append(float(np.mean(values[start : index + 1])))
+    return smoothed
+
+
+def convergence_epoch(losses: Sequence[float], tolerance: float = 0.01) -> int:
+    """First epoch after which the relative loss improvement stays below ``tolerance``.
+
+    Returns the last epoch index if the curve never flattens (still improving).
+    """
+    losses = list(losses)
+    if not losses:
+        raise ValueError("losses must be non-empty")
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    for index in range(1, len(losses)):
+        previous, current = losses[index - 1], losses[index]
+        if previous <= 0:
+            continue
+        if (previous - current) / abs(previous) < tolerance:
+            return index
+    return len(losses) - 1
+
+
+def relative_improvement(losses: Sequence[float]) -> float:
+    """Total relative loss reduction from the first to the last epoch."""
+    losses = list(losses)
+    if not losses:
+        raise ValueError("losses must be non-empty")
+    first, last = losses[0], losses[-1]
+    if first == 0:
+        return 0.0
+    return float((first - last) / abs(first))
+
+
+@dataclass
+class ConvergenceReport:
+    """Summary of one training run's loss curve."""
+
+    num_epochs: int
+    initial_loss: float
+    final_loss: float
+    total_relative_improvement: float
+    convergence_epoch: int
+    seconds_per_batch: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_epochs": self.num_epochs,
+            "initial_loss": self.initial_loss,
+            "final_loss": self.final_loss,
+            "total_relative_improvement": self.total_relative_improvement,
+            "convergence_epoch": self.convergence_epoch,
+            "seconds_per_batch": self.seconds_per_batch,
+        }
+
+
+def analyze_history(history: TrainingHistory, tolerance: float = 0.01) -> ConvergenceReport:
+    """Build a :class:`ConvergenceReport` from a trainer's :class:`TrainingHistory`."""
+    losses = history.epoch_losses
+    if not losses:
+        raise ValueError("history contains no epochs")
+    return ConvergenceReport(
+        num_epochs=len(losses),
+        initial_loss=float(losses[0]),
+        final_loss=float(losses[-1]),
+        total_relative_improvement=relative_improvement(losses),
+        convergence_epoch=convergence_epoch(losses, tolerance=tolerance),
+        seconds_per_batch=float(history.train_seconds_per_batch),
+    )

@@ -1,0 +1,107 @@
+"""A compact t-SNE implementation for the Fig. 5 embedding visualisation.
+
+scikit-learn is not available offline, so the classic Barnes-Hut-free t-SNE of
+van der Maaten & Hinton (2008) is implemented directly on numpy: pairwise
+affinities with per-point perplexity calibration, symmetrised P matrix,
+Student-t low-dimensional affinities and gradient descent with momentum and
+early exaggeration.  It is O(n²) and intended for the few hundred user
+embeddings the analysis visualises.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["tsne", "pairwise_squared_distances"]
+
+
+def pairwise_squared_distances(points: np.ndarray) -> np.ndarray:
+    """Dense matrix of squared Euclidean distances."""
+    points = np.asarray(points, dtype=np.float64)
+    squared = np.sum(points ** 2, axis=1)
+    distances = squared[:, None] + squared[None, :] - 2.0 * points @ points.T
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _conditional_probabilities(distances: np.ndarray, perplexity: float, tol: float = 1e-4) -> np.ndarray:
+    """Binary-search per-point precisions so each row's entropy matches ``perplexity``."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        beta_low, beta_high = -np.inf, np.inf
+        beta = 1.0
+        row = np.delete(distances[i], i)
+        for _ in range(50):
+            exponent = np.exp(-row * beta)
+            total = exponent.sum()
+            if total <= 0:
+                prob = np.full_like(row, 1.0 / row.size)
+            else:
+                prob = exponent / total
+            entropy = -np.sum(prob * np.log(np.maximum(prob, 1e-12)))
+            difference = entropy - target_entropy
+            if abs(difference) < tol:
+                break
+            if difference > 0:
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low == -np.inf else (beta + beta_low) / 2.0
+        full_row = np.insert(prob, i, 0.0)
+        probabilities[i] = full_row
+    return probabilities
+
+
+def tsne(
+    points: np.ndarray,
+    num_components: int = 2,
+    perplexity: float = 20.0,
+    learning_rate: float = 100.0,
+    num_iterations: int = 300,
+    early_exaggeration: float = 4.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Project ``points`` to ``num_components`` dimensions with t-SNE."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("tsne expects a 2-D array of shape (n_samples, n_features)")
+    n = points.shape[0]
+    if n < 5:
+        raise ValueError("tsne needs at least 5 samples")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    rng = rng or np.random.default_rng(0)
+
+    distances = pairwise_squared_distances(points)
+    conditional = _conditional_probabilities(distances, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, 1e-12)
+
+    embedding = rng.normal(0.0, 1e-4, size=(n, num_components))
+    update = np.zeros_like(embedding)
+    momentum = 0.5
+
+    for iteration in range(num_iterations):
+        exaggeration = early_exaggeration if iteration < 100 else 1.0
+        target = joint * exaggeration
+
+        low_distances = pairwise_squared_distances(embedding)
+        student = 1.0 / (1.0 + low_distances)
+        np.fill_diagonal(student, 0.0)
+        q = student / np.maximum(student.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+
+        difference = (target - q) * student
+        gradient = 4.0 * (
+            np.diag(difference.sum(axis=1)) - difference
+        ) @ embedding
+
+        momentum = 0.5 if iteration < 100 else 0.8
+        update = momentum * update - learning_rate * gradient
+        embedding = embedding + update
+        embedding = embedding - embedding.mean(axis=0, keepdims=True)
+    return embedding

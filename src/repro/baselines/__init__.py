@@ -1,0 +1,47 @@
+"""Comparison baselines from Section III.A.3 of the paper."""
+
+from .base import BaselineModel
+from .bpr import BPRModel
+from .conet import CoNetModel
+from .dml import DMLModel
+from .gadtcdr import GADTCDRModel
+from .herograph import HeroGraphModel
+from .lr import LRModel
+from .minet import MiNetModel
+from .mmoe import MMoEModel, build_global_user_index
+from .neumf import NeuMFModel
+from .ple import PLEModel
+from .ptupcdr import PTUPCDRModel
+from .registry import (
+    ALL_MODEL_NAMES,
+    BASELINE_NAMES,
+    EXTRA_MODEL_NAMES,
+    MODEL_GROUPS,
+    available_models,
+    build_model,
+)
+from .simple import PopularityModel, RandomModel
+
+__all__ = [
+    "BaselineModel",
+    "LRModel",
+    "BPRModel",
+    "NeuMFModel",
+    "MMoEModel",
+    "PLEModel",
+    "CoNetModel",
+    "MiNetModel",
+    "GADTCDRModel",
+    "DMLModel",
+    "HeroGraphModel",
+    "PTUPCDRModel",
+    "build_global_user_index",
+    "RandomModel",
+    "PopularityModel",
+    "BASELINE_NAMES",
+    "ALL_MODEL_NAMES",
+    "EXTRA_MODEL_NAMES",
+    "MODEL_GROUPS",
+    "available_models",
+    "build_model",
+]

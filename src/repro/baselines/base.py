@@ -1,0 +1,112 @@
+"""Shared infrastructure for the comparison baselines (Section III.A.3).
+
+Every baseline implements a single method, :meth:`BaselineModel.batch_scores`,
+returning interaction probabilities for a batch of (user, item) pairs of one
+domain.  The base class turns that into the trainer protocol used by
+:class:`repro.core.CDRTrainer` (joint BCE loss over both domains, evaluation
+scoring under ``no_grad``), so baselines and NMCDR are trained and evaluated
+by exactly the same loop — the fair-comparison setup of the paper.
+
+Baselines that need a different objective (e.g. BPR's pairwise loss) override
+:meth:`domain_batch_loss`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.dataloader import Batch
+from ..data.negative_sampling import NegativeSampler
+from ..nn import Module, losses
+from ..tensor import Tensor, no_grad
+from ..core.task import CDRTask, DOMAIN_KEYS
+
+__all__ = ["BaselineModel"]
+
+
+class BaselineModel(Module):
+    """Base class adapting a per-batch scorer to the joint CDR trainer protocol."""
+
+    #: human-readable name used in experiment tables; subclasses override.
+    display_name = "Baseline"
+
+    def __init__(self, task: CDRTask, seed: int = 0) -> None:
+        super().__init__()
+        self.task = task
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self._negative_samplers: Dict[str, NegativeSampler] = {}
+
+    # ------------------------------------------------------------------
+    # subclass interface
+    # ------------------------------------------------------------------
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        """Return interaction probabilities (shape ``(n, 1)`` or ``(n,)``)."""
+        raise NotImplementedError
+
+    def extra_losses(self) -> Optional[Tensor]:
+        """Optional model-level regularisation terms added once per step."""
+        return None
+
+    # ------------------------------------------------------------------
+    # trainer protocol
+    # ------------------------------------------------------------------
+    def domain_batch_loss(self, domain_key: str, batch: Batch) -> Tensor:
+        """Pointwise BCE loss for one domain's mini-batch."""
+        predictions = self.batch_scores(domain_key, batch.users, batch.items)
+        return losses.binary_cross_entropy(predictions, batch.labels.reshape(-1, 1))
+
+    def compute_batch_loss(self, batches: Dict[str, Optional[Batch]]) -> Tensor:
+        total: Optional[Tensor] = None
+        for key in DOMAIN_KEYS:
+            batch = batches.get(key)
+            if batch is None or len(batch) == 0:
+                continue
+            loss = self.domain_batch_loss(key, batch)
+            total = loss if total is None else total + loss
+        if total is None:
+            raise ValueError("compute_batch_loss needs at least one non-empty batch")
+        extra = self.extra_losses()
+        if extra is not None:
+            total = total + extra
+        return total
+
+    def prepare_for_evaluation(self) -> None:
+        """Hook called before scoring; default switches to eval mode."""
+        self.eval()
+
+    def invalidate_cache(self) -> None:
+        """Hook called after each optimiser step; default restores train mode."""
+        self.train()
+
+    def score(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        with no_grad():
+            predictions = self.batch_scores(domain_key, users, items)
+        return predictions.data.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def negative_sampler(self, domain_key: str) -> NegativeSampler:
+        """Lazily constructed per-domain negative sampler (pairwise losses)."""
+        if domain_key not in self._negative_samplers:
+            self._negative_samplers[domain_key] = NegativeSampler(
+                self.task.domain(domain_key).split.train_domain(),
+                rng=np.random.default_rng(self.rng.integers(0, 2**32 - 1)),
+            )
+        return self._negative_samplers[domain_key]
+
+    def overlap_partner_lookup(self, domain_key: str) -> np.ndarray:
+        """Array mapping local user index -> partner index in the other domain (-1 if none)."""
+        pairs = self.task.overlap_pairs
+        own_column = 0 if domain_key == "a" else 1
+        other_column = 1 - own_column
+        lookup = -np.ones(self.task.domain(domain_key).num_users, dtype=np.int64)
+        if pairs.size:
+            lookup[pairs[:, own_column]] = pairs[:, other_column]
+        return lookup
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(scenario={self.task.dataset.name!r})"

@@ -1,0 +1,60 @@
+"""BPR baseline (Rendle et al., 2012) — matrix factorisation with pairwise loss.
+
+Scores are inner products of user and item factors; training minimises the
+pairwise Bayesian personalised ranking loss over (positive, sampled negative)
+item pairs rather than the pointwise BCE used by the other models, so the
+base-class loss is overridden.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.task import CDRTask
+from ..data.dataloader import Batch
+from ..nn import Embedding, losses
+from ..tensor import Tensor, ops
+from .base import BaselineModel
+
+__all__ = ["BPRModel"]
+
+
+class BPRModel(BaselineModel):
+    """Single-domain Bayesian personalised ranking matrix factorisation."""
+
+    display_name = "BPR"
+
+    def __init__(self, task: CDRTask, embedding_dim: int = 32, seed: int = 0) -> None:
+        super().__init__(task, seed=seed)
+        rng = np.random.default_rng(seed)
+        self.embedding_dim = int(embedding_dim)
+        for key in ("a", "b"):
+            domain = task.domain(key)
+            self.add_module(
+                f"user_embedding_{key}", Embedding(domain.num_users, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"item_embedding_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
+            )
+
+    def _raw_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        user_vectors = getattr(self, f"user_embedding_{domain_key}")(users)
+        item_vectors = getattr(self, f"item_embedding_{domain_key}")(items)
+        return (user_vectors * item_vectors).sum(axis=1, keepdims=True)
+
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return ops.sigmoid(self._raw_scores(domain_key, users, items))
+
+    def domain_batch_loss(self, domain_key: str, batch: Batch) -> Tensor:
+        """Pairwise BPR loss: positives from the batch, negatives re-sampled."""
+        positive_mask = batch.labels > 0.5
+        users = batch.users[positive_mask]
+        positive_items = batch.items[positive_mask]
+        if users.size == 0:
+            # Fall back to pointwise BCE if this mini-batch has no positives.
+            return super().domain_batch_loss(domain_key, batch)
+        sampler = self.negative_sampler(domain_key)
+        negative_items = sampler.sample_pairs(users, 1).reshape(-1)
+        positive_scores = self._raw_scores(domain_key, users, positive_items)
+        negative_scores = self._raw_scores(domain_key, users, negative_items)
+        return losses.bpr_loss(positive_scores, negative_scores)

@@ -1,0 +1,97 @@
+"""DML baseline (Li & Tuzhilin, 2021) — dual metric learning.
+
+Each domain is a latent-factor model; a *latent orthogonal mapping* ``W``
+relates the two domains' user spaces.  For overlapped users the training loss
+adds dual mapping terms ``||u_a W - u_b||²`` and ``||u_b Wᵀ - u_a||²`` plus an
+orthogonality regulariser ``||W Wᵀ - I||²``, so user relations are preserved
+when transferring across domains.  Scoring in each domain combines the user's
+own factor with the mapped factor of their partner (when one exists).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.task import CDRTask
+from ..nn import Embedding, Linear, losses
+from ..tensor import Tensor, ops
+from .base import BaselineModel
+
+__all__ = ["DMLModel"]
+
+
+class DMLModel(BaselineModel):
+    """Dual metric learning with a shared (approximately orthogonal) mapping."""
+
+    display_name = "DML"
+
+    def __init__(
+        self,
+        task: CDRTask,
+        embedding_dim: int = 32,
+        mapping_weight: float = 0.5,
+        orthogonal_weight: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(task, seed=seed)
+        rng = np.random.default_rng(seed)
+        self.embedding_dim = int(embedding_dim)
+        self.mapping_weight = float(mapping_weight)
+        self.orthogonal_weight = float(orthogonal_weight)
+        self._partner_lookup = {key: self.overlap_partner_lookup(key) for key in ("a", "b")}
+        for key in ("a", "b"):
+            domain = task.domain(key)
+            self.add_module(
+                f"user_embedding_{key}", Embedding(domain.num_users, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"item_embedding_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
+            )
+        # Latent orthogonal mapping from domain A's user space to domain B's.
+        self.mapping = Linear(embedding_dim, embedding_dim, bias=False, rng=rng)
+
+    def _user_representation(self, domain_key: str, users: np.ndarray) -> Tensor:
+        """Own factor plus the mapped partner factor for overlapped users."""
+        users = np.asarray(users, dtype=np.int64)
+        own = getattr(self, f"user_embedding_{domain_key}")(users)
+        other_key = self.task.other_key(domain_key)
+        partners = self._partner_lookup[domain_key][users]
+        has_partner = partners >= 0
+        if not has_partner.any():
+            return own
+        safe_partners = np.where(has_partner, partners, 0)
+        partner = getattr(self, f"user_embedding_{other_key}")(safe_partners)
+        if domain_key == "a":
+            # partner lives in B-space; map back with W^T (orthogonal inverse).
+            mapped = ops.matmul(partner, self.mapping.weight.transpose())
+        else:
+            mapped = self.mapping(partner)
+        mask = Tensor(has_partner.astype(np.float64)[:, None])
+        return own + 0.5 * mapped * mask
+
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        user_vectors = self._user_representation(domain_key, users)
+        item_vectors = getattr(self, f"item_embedding_{domain_key}")(items)
+        scores = (user_vectors * item_vectors).sum(axis=1, keepdims=True)
+        return ops.sigmoid(scores)
+
+    def extra_losses(self) -> Optional[Tensor]:
+        """Dual mapping loss on overlapped users plus the orthogonality penalty."""
+        pairs = self.task.overlap_pairs
+        terms = []
+        if pairs.size:
+            users_a = self.user_embedding_a(pairs[:, 0])
+            users_b = self.user_embedding_b(pairs[:, 1])
+            mapped_a = self.mapping(users_a)
+            mapped_back_b = ops.matmul(users_b, self.mapping.weight.transpose())
+            terms.append(losses.mse_loss(mapped_a, users_b.detach()) * self.mapping_weight)
+            terms.append(losses.mse_loss(mapped_back_b, users_a.detach()) * self.mapping_weight)
+        gram = ops.matmul(self.mapping.weight, self.mapping.weight.transpose())
+        identity = Tensor(np.eye(self.embedding_dim))
+        terms.append(losses.mse_loss(gram, identity) * self.orthogonal_weight)
+        total = terms[0]
+        for term in terms[1:]:
+            total = total + term
+        return total

@@ -1,0 +1,97 @@
+"""GA-DTCDR baseline (Zhu et al., 2020) — graphical & attentional dual-target CDR.
+
+Each domain runs a graph encoder over its user–item interaction graph; for
+overlapped users an element-wise attention network fuses the two domains'
+embeddings of the same person into a single shared representation used in both
+domains.  Non-overlapped users keep their single-domain graph embedding, so
+the model's strength grows with the overlap ratio — matching the trends in
+Tables II–V.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core.encoder import HeterogeneousGraphEncoder
+from ..core.task import CDRTask
+from ..nn import MLP, Embedding, Linear
+from ..tensor import Tensor, ops
+from .base import BaselineModel
+
+__all__ = ["GADTCDRModel"]
+
+
+class GADTCDRModel(BaselineModel):
+    """Per-domain GNN encoders with element-wise attention fusion for overlapped users."""
+
+    display_name = "GA-DTCDR"
+
+    def __init__(
+        self,
+        task: CDRTask,
+        embedding_dim: int = 32,
+        tower_hidden: Sequence[int] = (32,),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(task, seed=seed)
+        rng = np.random.default_rng(seed)
+        self.embedding_dim = int(embedding_dim)
+        self._partner_lookup = {key: self.overlap_partner_lookup(key) for key in ("a", "b")}
+        for key in ("a", "b"):
+            domain = task.domain(key)
+            self.add_module(
+                f"user_embedding_{key}", Embedding(domain.num_users, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"item_embedding_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"encoder_{key}",
+                HeterogeneousGraphEncoder(embedding_dim, embedding_dim, num_layers=1, rng=rng),
+            )
+            # Element-wise attention over [own ; partner] producing a gate per dimension.
+            self.add_module(f"fusion_gate_{key}", Linear(2 * embedding_dim, embedding_dim, rng=rng))
+            self.add_module(
+                f"tower_{key}",
+                MLP([2 * embedding_dim, *tower_hidden, 1], activation="relu", rng=rng),
+            )
+
+    def _encode(self, domain_key: str):
+        domain = self.task.domain(domain_key)
+        users, items = getattr(self, f"encoder_{domain_key}")(
+            domain.train_graph,
+            getattr(self, f"user_embedding_{domain_key}").all(),
+            getattr(self, f"item_embedding_{domain_key}").all(),
+        )
+        return users, items
+
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        other_key = self.task.other_key(domain_key)
+
+        own_users, own_items = self._encode(domain_key)
+        other_users, _ = self._encode(other_key)
+
+        user_vectors = ops.gather_rows(own_users, users)
+        partners = self._partner_lookup[domain_key][users]
+        has_partner = partners >= 0
+        if has_partner.any():
+            safe_partners = np.where(has_partner, partners, 0)
+            partner_vectors = ops.gather_rows(other_users, safe_partners)
+            gate = ops.sigmoid(
+                getattr(self, f"fusion_gate_{domain_key}")(
+                    ops.concat([user_vectors, partner_vectors], axis=1)
+                )
+            )
+            fused = gate * user_vectors + (1.0 - gate) * partner_vectors
+            mask = Tensor(has_partner.astype(np.float64)[:, None])
+            user_vectors = fused * mask + user_vectors * (1.0 - mask)
+
+        item_vectors = ops.gather_rows(own_items, items)
+        logits = getattr(self, f"tower_{domain_key}")(
+            ops.concat([user_vectors, item_vectors], axis=1)
+        )
+        return ops.sigmoid(logits)

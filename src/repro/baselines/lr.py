@@ -1,0 +1,56 @@
+"""LR baseline (Richardson et al., 2007) — generalised linear click model.
+
+The paper describes LR as "a generalized linear approach which stacks several
+multi-layer perceptrons"; following the original citation we keep the model
+linear: the score of a user–item pair is a sigmoid over the sum of a global
+bias, a user bias, an item bias and a linear interaction of small user/item
+embeddings.  This captures popularity and per-user activity — exactly the
+"stable generalisation" behaviour the paper observes for LR — without any
+cross-domain transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.task import CDRTask
+from ..nn import Embedding, Linear, Parameter, init
+from ..tensor import Tensor, ops
+from .base import BaselineModel
+
+__all__ = ["LRModel"]
+
+
+class LRModel(BaselineModel):
+    """Single-domain generalised linear recommender."""
+
+    display_name = "LR"
+
+    def __init__(self, task: CDRTask, embedding_dim: int = 8, seed: int = 0) -> None:
+        super().__init__(task, seed=seed)
+        rng = np.random.default_rng(seed)
+        self.embedding_dim = int(embedding_dim)
+        for key in ("a", "b"):
+            domain = task.domain(key)
+            self.add_module(
+                f"user_embedding_{key}", Embedding(domain.num_users, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"item_embedding_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
+            )
+            self.register_parameter(f"user_bias_{key}", Parameter(init.zeros((domain.num_users, 1))))
+            self.register_parameter(f"item_bias_{key}", Parameter(init.zeros((domain.num_items, 1))))
+            self.add_module(f"linear_{key}", Linear(2 * embedding_dim, 1, rng=rng))
+
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        user_vectors = getattr(self, f"user_embedding_{domain_key}")(users)
+        item_vectors = getattr(self, f"item_embedding_{domain_key}")(items)
+        user_bias = ops.gather_rows(getattr(self, f"user_bias_{domain_key}"), users)
+        item_bias = ops.gather_rows(getattr(self, f"item_bias_{domain_key}"), items)
+        linear = getattr(self, f"linear_{domain_key}")
+        logits = linear(ops.concat([user_vectors, item_vectors], axis=1)) + user_bias + item_bias
+        return ops.sigmoid(logits)

@@ -1,0 +1,110 @@
+"""MiNet baseline (Ouyang et al., 2020) — mixed interest network.
+
+MiNet models three types of user interest for cross-domain CTR prediction:
+
+* **long-term** interest — the user's embedding in the target domain;
+* **short-term target-domain** interest — an aggregate of the user's observed
+  item history in the target domain;
+* **short-term source-domain** interest — an aggregate of the same person's
+  item history in the other domain (zero for non-overlapped users).
+
+The three interest vectors are fused by an interest-level attention and fed,
+together with the candidate item embedding, into a prediction MLP.
+
+Simplification vs. the original: history aggregation uses mean pooling instead
+of item-level attention (interest-level attention is kept); this preserves the
+model's qualitative behaviour — strong when overlapped histories exist, weak
+when they do not — at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.task import CDRTask
+from ..graph.message_passing import spmm
+from ..nn import MLP, Embedding, Linear
+from ..tensor import Tensor, ops
+from .base import BaselineModel
+
+__all__ = ["MiNetModel"]
+
+
+class MiNetModel(BaselineModel):
+    """Three-interest cross-domain CTR model with interest-level attention."""
+
+    display_name = "MiNet"
+
+    def __init__(
+        self,
+        task: CDRTask,
+        embedding_dim: int = 32,
+        tower_hidden: Sequence[int] = (32, 16),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(task, seed=seed)
+        rng = np.random.default_rng(seed)
+        self.embedding_dim = int(embedding_dim)
+        self._partner_lookup = {key: self.overlap_partner_lookup(key) for key in ("a", "b")}
+        self._history_operator: Dict[str, sp.csr_matrix] = {}
+        for key in ("a", "b"):
+            domain = task.domain(key)
+            self.add_module(
+                f"user_embedding_{key}", Embedding(domain.num_users, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"item_embedding_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
+            )
+            self.add_module(f"interest_attention_{key}", Linear(embedding_dim, 1, rng=rng))
+            self.add_module(
+                f"tower_{key}",
+                MLP([4 * embedding_dim, *tower_hidden, 1], activation="relu", rng=rng),
+            )
+            # Row-normalised user x item history operator (training interactions only).
+            self._history_operator[key] = task.domain(key).train_graph.user_aggregation_matrix()
+
+    def _history_interest(self, domain_key: str) -> Tensor:
+        """Mean-pooled history item embedding for every user of a domain."""
+        item_table = getattr(self, f"item_embedding_{domain_key}").all()
+        return spmm(self._history_operator[domain_key], item_table)
+
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        other_key = self.task.other_key(domain_key)
+
+        long_term = getattr(self, f"user_embedding_{domain_key}")(users)
+        target_history = ops.gather_rows(self._history_interest(domain_key), users)
+
+        partners = self._partner_lookup[domain_key][users]
+        has_partner = partners >= 0
+        safe_partners = np.where(has_partner, partners, 0)
+        source_history_all = self._history_interest(other_key)
+        source_history = ops.gather_rows(source_history_all, safe_partners)
+        source_history = source_history * Tensor(has_partner.astype(np.float64)[:, None])
+
+        # Interest-level attention: softmax over the three interest channels.
+        attention_layer = getattr(self, f"interest_attention_{domain_key}")
+        interest_logits = ops.concat(
+            [
+                attention_layer(long_term),
+                attention_layer(target_history),
+                attention_layer(source_history),
+            ],
+            axis=1,
+        )
+        weights = ops.softmax(interest_logits, axis=1)
+        w_long = weights[:, 0:1]
+        w_target = weights[:, 1:2]
+        w_source = weights[:, 2:3]
+
+        item_vectors = getattr(self, f"item_embedding_{domain_key}")(items)
+        features = ops.concat(
+            [long_term * w_long, target_history * w_target, source_history * w_source, item_vectors],
+            axis=1,
+        )
+        logits = getattr(self, f"tower_{domain_key}")(features)
+        return ops.sigmoid(logits)

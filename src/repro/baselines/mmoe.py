@@ -1,0 +1,97 @@
+"""MMoE baseline (Ma et al., 2018) — multi-gate mixture-of-experts.
+
+Treats the two domains as two tasks over a shared input representation.
+Cross-domain knowledge flows through (i) a *shared* user embedding table
+indexed by the global user identity (so overlapped users have one embedding
+visible to both tasks) and (ii) the shared expert networks; each task has its
+own gating network and prediction tower.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.task import CDRTask
+from ..nn import MLP, Embedding, Linear, Module, ModuleList
+from ..tensor import Tensor, ops
+from .base import BaselineModel
+
+__all__ = ["MMoEModel", "build_global_user_index"]
+
+
+def build_global_user_index(task: CDRTask):
+    """Map every global user id appearing in either domain to a dense index.
+
+    Returns ``(num_global_users, index_a, index_b)`` where ``index_a[local]``
+    is the dense global index of that local user in domain A (same for B).
+    Overlapped users map to the same dense index in both domains, which is how
+    the multi-task and several CDR baselines share knowledge across domains.
+    """
+    ids_a = task.domain_a.domain.global_user_ids
+    ids_b = task.domain_b.domain.global_user_ids
+    unique_ids = np.unique(np.concatenate([ids_a, ids_b]))
+    lookup = {int(gid): index for index, gid in enumerate(unique_ids)}
+    index_a = np.asarray([lookup[int(gid)] for gid in ids_a], dtype=np.int64)
+    index_b = np.asarray([lookup[int(gid)] for gid in ids_b], dtype=np.int64)
+    return int(unique_ids.size), index_a, index_b
+
+
+class MMoEModel(BaselineModel):
+    """Multi-gate mixture-of-experts over shared user / per-domain item embeddings."""
+
+    display_name = "MMoE"
+
+    def __init__(
+        self,
+        task: CDRTask,
+        embedding_dim: int = 32,
+        num_experts: int = 3,
+        expert_hidden: Sequence[int] = (32,),
+        tower_hidden: Sequence[int] = (16,),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(task, seed=seed)
+        rng = np.random.default_rng(seed)
+        self.embedding_dim = int(embedding_dim)
+        self.num_experts = int(num_experts)
+
+        num_global, index_a, index_b = build_global_user_index(task)
+        self._global_index = {"a": index_a, "b": index_b}
+        self.shared_user_embedding = Embedding(num_global, embedding_dim, rng=rng)
+        for key in ("a", "b"):
+            domain = task.domain(key)
+            self.add_module(
+                f"item_embedding_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
+            )
+
+        input_dim = 2 * embedding_dim
+        expert_out = int(expert_hidden[-1])
+        self.experts = ModuleList(
+            [
+                MLP([input_dim, *expert_hidden], activation="relu", rng=rng)
+                for _ in range(num_experts)
+            ]
+        )
+        for key in ("a", "b"):
+            self.add_module(f"gate_{key}", Linear(input_dim, num_experts, rng=rng))
+            self.add_module(
+                f"tower_{key}", MLP([expert_out, *tower_hidden, 1], activation="relu", rng=rng)
+            )
+
+    def _input_features(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        global_users = self._global_index[domain_key][np.asarray(users, dtype=np.int64)]
+        user_vectors = self.shared_user_embedding(global_users)
+        item_vectors = getattr(self, f"item_embedding_{domain_key}")(items)
+        return ops.concat([user_vectors, item_vectors], axis=1)
+
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        features = self._input_features(domain_key, users, items)
+        expert_outputs = [expert(features) for expert in self.experts]
+        stacked = ops.stack(expert_outputs, axis=1)  # (batch, experts, hidden)
+        gate = ops.softmax(getattr(self, f"gate_{domain_key}")(features), axis=1)
+        gate = gate.reshape(gate.shape[0], self.num_experts, 1)
+        mixed = (stacked * gate).sum(axis=1)
+        logits = getattr(self, f"tower_{domain_key}")(mixed)
+        return ops.sigmoid(logits)

@@ -1,0 +1,74 @@
+"""NeuMF baseline (He et al., 2017) — neural collaborative filtering.
+
+Combines a generalised matrix factorisation (GMF) branch (element-wise product
+of user/item factors) with an MLP branch over concatenated embeddings; the two
+branch outputs are fused by a final linear layer followed by a sigmoid.
+Single-domain: each domain has independent parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.task import CDRTask
+from ..nn import MLP, Embedding, Linear
+from ..tensor import Tensor, ops
+from .base import BaselineModel
+
+__all__ = ["NeuMFModel"]
+
+
+class NeuMFModel(BaselineModel):
+    """Single-domain neural matrix factorisation."""
+
+    display_name = "NeuMF"
+
+    def __init__(
+        self,
+        task: CDRTask,
+        embedding_dim: int = 32,
+        mlp_hidden: Sequence[int] = (32, 16),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(task, seed=seed)
+        rng = np.random.default_rng(seed)
+        self.embedding_dim = int(embedding_dim)
+        for key in ("a", "b"):
+            domain = task.domain(key)
+            self.add_module(
+                f"gmf_user_{key}", Embedding(domain.num_users, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"gmf_item_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"mlp_user_{key}", Embedding(domain.num_users, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"mlp_item_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"mlp_{key}",
+                MLP([2 * embedding_dim, *mlp_hidden], activation="relu", rng=rng),
+            )
+            fusion_in = embedding_dim + int(mlp_hidden[-1])
+            self.add_module(f"fusion_{key}", Linear(fusion_in, 1, rng=rng))
+
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        gmf = getattr(self, f"gmf_user_{domain_key}")(users) * getattr(
+            self, f"gmf_item_{domain_key}"
+        )(items)
+        mlp_input = ops.concat(
+            [
+                getattr(self, f"mlp_user_{domain_key}")(users),
+                getattr(self, f"mlp_item_{domain_key}")(items),
+            ],
+            axis=1,
+        )
+        mlp_hidden = getattr(self, f"mlp_{domain_key}")(mlp_input)
+        fused = getattr(self, f"fusion_{domain_key}")(ops.concat([gmf, mlp_hidden], axis=1))
+        return ops.sigmoid(fused)

@@ -1,0 +1,100 @@
+"""PTUPCDR baseline (Zhu et al., 2022) — personalized transfer of user preferences.
+
+A meta network, fed with a *characteristic embedding* of the user's interaction
+history in the source domain, generates a personalised bridge that transfers
+the user's source-domain embedding into the target domain.  In the multi-target
+setting the bridge is applied in both directions.  Non-overlapped users have no
+source history and therefore no transferred preference (the bridge contributes
+nothing), but — unlike fully-overlap methods — the per-user *personalised*
+bridge still lets the small set of overlapped users be exploited efficiently,
+which is why PTUPCDR is the strongest baseline at low overlap ratios.
+
+Simplification vs. the original: the meta network generates a per-user
+diagonal affine bridge (scale and shift vectors) instead of a full matrix, and
+the "pre-trained" user/item embeddings are learned jointly with the bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.task import CDRTask
+from ..graph.message_passing import spmm
+from ..nn import MLP, Embedding
+from ..tensor import Tensor, ops
+from .base import BaselineModel
+
+__all__ = ["PTUPCDRModel"]
+
+
+class PTUPCDRModel(BaselineModel):
+    """Meta-network personalised bridges between the two domains' user spaces."""
+
+    display_name = "PTUPCDR"
+
+    def __init__(
+        self,
+        task: CDRTask,
+        embedding_dim: int = 32,
+        meta_hidden: Sequence[int] = (32,),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(task, seed=seed)
+        rng = np.random.default_rng(seed)
+        self.embedding_dim = int(embedding_dim)
+        self._partner_lookup = {key: self.overlap_partner_lookup(key) for key in ("a", "b")}
+        self._history_operator: Dict[str, sp.csr_matrix] = {}
+        for key in ("a", "b"):
+            domain = task.domain(key)
+            self.add_module(
+                f"user_embedding_{key}", Embedding(domain.num_users, embedding_dim, rng=rng)
+            )
+            self.add_module(
+                f"item_embedding_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
+            )
+            # Meta network of the *incoming* bridge: characteristic embedding of
+            # the source (other-domain) history -> diagonal affine bridge params.
+            self.add_module(
+                f"meta_network_{key}",
+                MLP([embedding_dim, *meta_hidden, 2 * embedding_dim], activation="relu", rng=rng),
+            )
+            self._history_operator[key] = task.domain(key).train_graph.user_aggregation_matrix()
+
+    def _characteristic_embedding(self, domain_key: str) -> Tensor:
+        """Per-user characteristic embedding: mean of history item embeddings."""
+        item_table = getattr(self, f"item_embedding_{domain_key}").all()
+        return spmm(self._history_operator[domain_key], item_table)
+
+    def _user_representation(self, domain_key: str, users: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        own = getattr(self, f"user_embedding_{domain_key}")(users)
+        other_key = self.task.other_key(domain_key)
+        partners = self._partner_lookup[domain_key][users]
+        has_partner = partners >= 0
+        if not has_partner.any():
+            return own
+        safe_partners = np.where(has_partner, partners, 0)
+
+        # Characteristic embedding of the partner's history in the source domain.
+        characteristics = ops.gather_rows(
+            self._characteristic_embedding(other_key), safe_partners
+        )
+        bridge = getattr(self, f"meta_network_{domain_key}")(characteristics)
+        scale = ops.tanh(bridge[:, : self.embedding_dim]) + 1.0
+        shift = bridge[:, self.embedding_dim :]
+
+        source_embedding = ops.gather_rows(
+            getattr(self, f"user_embedding_{other_key}").all(), safe_partners
+        )
+        transferred = source_embedding * scale + shift
+        mask = Tensor(has_partner.astype(np.float64)[:, None])
+        return own + transferred * mask
+
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        user_vectors = self._user_representation(domain_key, users)
+        item_vectors = getattr(self, f"item_embedding_{domain_key}")(items)
+        scores = (user_vectors * item_vectors).sum(axis=1, keepdims=True)
+        return ops.sigmoid(scores)

@@ -1,0 +1,113 @@
+"""Registry mapping the paper's baseline names to model factories.
+
+Names follow Section III.A.3: LR, BPR, NeuMF (single-domain); MMoE, PLE
+(multi-task); CoNet, MiNet, GA-DTCDR, DML, HeroGraph, PTUPCDR (cross-domain).
+The registry also builds NMCDR and its ablation variants, so experiment code
+can request any row of the paper's tables by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.config import NMCDRConfig
+from ..core.nmcdr import NMCDR
+from ..core.task import CDRTask
+from ..core.variants import variant_config
+from .bpr import BPRModel
+from .conet import CoNetModel
+from .dml import DMLModel
+from .gadtcdr import GADTCDRModel
+from .herograph import HeroGraphModel
+from .lr import LRModel
+from .minet import MiNetModel
+from .mmoe import MMoEModel
+from .neumf import NeuMFModel
+from .ple import PLEModel
+from .ptupcdr import PTUPCDRModel
+from .simple import PopularityModel, RandomModel
+
+__all__ = [
+    "BASELINE_NAMES",
+    "ALL_MODEL_NAMES",
+    "EXTRA_MODEL_NAMES",
+    "MODEL_GROUPS",
+    "build_model",
+    "available_models",
+]
+
+BASELINE_NAMES = (
+    "LR",
+    "BPR",
+    "NeuMF",
+    "MMoE",
+    "PLE",
+    "CoNet",
+    "MiNet",
+    "GA-DTCDR",
+    "DML",
+    "HeroGraph",
+    "PTUPCDR",
+)
+
+ALL_MODEL_NAMES = BASELINE_NAMES + ("NMCDR",)
+
+#: The grouping used in the result tables of the paper.
+MODEL_GROUPS: Dict[str, List[str]] = {
+    "single_domain": ["LR", "BPR", "NeuMF"],
+    "multi_task": ["MMoE", "PLE"],
+    "cross_domain": ["CoNet", "MiNet", "GA-DTCDR", "DML", "HeroGraph", "PTUPCDR"],
+    "ours": ["NMCDR"],
+}
+
+#: Calibration anchors available through :func:`build_model` but not part of
+#: the paper's tables (and therefore excluded from ``BASELINE_NAMES``).
+EXTRA_MODEL_NAMES = ("Random", "Popularity")
+
+_BASELINE_FACTORIES: Dict[str, Callable] = {
+    "Random": RandomModel,
+    "Popularity": PopularityModel,
+    "LR": LRModel,
+    "BPR": BPRModel,
+    "NeuMF": NeuMFModel,
+    "MMoE": MMoEModel,
+    "PLE": PLEModel,
+    "CoNet": CoNetModel,
+    "MiNet": MiNetModel,
+    "GA-DTCDR": GADTCDRModel,
+    "DML": DMLModel,
+    "HeroGraph": HeroGraphModel,
+    "PTUPCDR": PTUPCDRModel,
+}
+
+
+def available_models() -> List[str]:
+    """All names accepted by :func:`build_model` (baselines, NMCDR, variants)."""
+    return (
+        list(ALL_MODEL_NAMES)
+        + list(EXTRA_MODEL_NAMES)
+        + ["NMCDR/w/o-Igm", "NMCDR/w/o-Cgm", "NMCDR/w/o-Inc", "NMCDR/w/o-Sup"]
+    )
+
+
+def build_model(
+    name: str,
+    task: CDRTask,
+    embedding_dim: int = 32,
+    seed: int = 0,
+    nmcdr_config: Optional[NMCDRConfig] = None,
+):
+    """Instantiate a model by its table name for the given task.
+
+    ``"NMCDR"`` builds the full model; ``"NMCDR/w/o-Igm"`` (and the other three
+    ``w/o-*`` suffixes) build the corresponding Table IX ablation variant.
+    """
+    if name in _BASELINE_FACTORIES:
+        return _BASELINE_FACTORIES[name](task, embedding_dim=embedding_dim, seed=seed)
+    if name == "NMCDR" or name.startswith("NMCDR/"):
+        base = nmcdr_config or NMCDRConfig(embedding_dim=embedding_dim, seed=seed)
+        if name == "NMCDR":
+            return NMCDR(task, base)
+        variant_name = name.split("/", 1)[1]
+        return NMCDR(task, variant_config(variant_name, base))
+    raise KeyError(f"unknown model '{name}'; known: {available_models()}")

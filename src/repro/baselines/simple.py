@@ -1,0 +1,73 @@
+"""Reference scorers that are not in the paper's tables but are useful sanity anchors.
+
+* :class:`RandomModel` — uniform random scores; every ranking metric should sit
+  at its chance level (HR@10 ≈ 10 / #candidates).
+* :class:`PopularityModel` — scores items by their training popularity; the
+  strongest *non-personalised* recommender and the serving policy used for the
+  "Control" group of the online A/B simulation.
+
+Both implement the same trainer/scorer protocol as the real baselines so they
+can be dropped into any experiment for calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.task import CDRTask
+from ..data.dataloader import Batch
+from ..nn import Parameter, init
+from ..tensor import Tensor, ops
+from .base import BaselineModel
+
+__all__ = ["RandomModel", "PopularityModel"]
+
+
+class RandomModel(BaselineModel):
+    """Scores every (user, item) pair with an independent uniform draw."""
+
+    display_name = "Random"
+
+    def __init__(self, task: CDRTask, embedding_dim: int = 0, seed: int = 0) -> None:
+        super().__init__(task, seed=seed)
+        # One dummy parameter so the shared trainer's optimiser has something
+        # to hold; it receives zero gradient and never changes the scores.
+        self.register_parameter("dummy", Parameter(init.zeros((1,))))
+        self._score_rng = np.random.default_rng(seed)
+
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        draws = self._score_rng.random((len(users), 1))
+        return Tensor(draws) + self.dummy * 0.0
+
+    def domain_batch_loss(self, domain_key: str, batch: Batch) -> Tensor:
+        # A constant-ish loss keeps the trainer loop well defined.
+        return (self.dummy * self.dummy).sum() + 0.6931
+
+
+class PopularityModel(BaselineModel):
+    """Ranks items by their global popularity in the training split of each domain."""
+
+    display_name = "Popularity"
+
+    def __init__(self, task: CDRTask, embedding_dim: int = 0, seed: int = 0) -> None:
+        super().__init__(task, seed=seed)
+        self.register_parameter("dummy", Parameter(init.zeros((1,))))
+        self._popularity: Dict[str, np.ndarray] = {}
+        for key in ("a", "b"):
+            split = task.domain(key).split
+            counts = np.bincount(split.train_items, minlength=task.domain(key).num_items)
+            total = max(counts.sum(), 1)
+            self._popularity[key] = counts / total
+
+    def item_popularity(self, domain_key: str) -> np.ndarray:
+        """Normalised training popularity of every item in the domain."""
+        return self._popularity[domain_key]
+
+    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+        scores = self._popularity[domain_key][np.asarray(items, dtype=np.int64)]
+        return Tensor(scores.reshape(-1, 1)) + self.dummy * 0.0
+
+    def domain_batch_loss(self, domain_key: str, batch: Batch) -> Tensor:
+        return (self.dummy * self.dummy).sum() + 0.6931

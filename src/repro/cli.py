@@ -1,0 +1,236 @@
+"""Command-line interface for the reproduction experiments.
+
+Usage::
+
+    python -m repro.cli stats                      # Table I statistics
+    python -m repro.cli overlap  --scenario cloth_sport --ratios 0.1 0.5 0.9
+    python -m repro.cli density  --scenario loan_fund
+    python -m repro.cli ablation --scenario phone_elec
+    python -m repro.cli neighbors --scenario cloth_sport --values 8 32 128
+    python -m repro.cli threshold --scenario cloth_sport --values 3 7 11
+    python -m repro.cli online-ab --impressions 1500
+    python -m repro.cli efficiency
+
+Every subcommand prints a table to stdout and, with ``--output DIR``, writes a
+CSV export next to it.  These are the same code paths the benchmarks use; the
+CLI exists so a downstream user can rerun any experiment without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis import measure_efficiency
+from .baselines import build_model
+from .core import build_task
+from .data import SCENARIO_NAMES, format_statistics_table, load_scenario, scenario_statistics
+from .experiments import (
+    ExperimentSettings,
+    OnlineDomainSpec,
+    run_ablation,
+    run_density_sweep,
+    run_head_threshold_sweep,
+    run_matching_neighbors_sweep,
+    run_online_ab,
+    run_overlap_sweep,
+)
+from .experiments.ablation import ABLATION_MODEL_NAMES
+from .experiments.figures import (
+    density_sweep_to_csv,
+    hyperparameter_sweep_to_csv,
+    overlap_sweep_to_csv,
+)
+from .experiments.runner import prepare_dataset
+
+__all__ = ["build_parser", "main"]
+
+_DEFAULT_MODELS = ("LR", "PLE", "GA-DTCDR", "PTUPCDR", "NMCDR")
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        scenario=args.scenario,
+        scale=args.scale,
+        num_epochs=args.epochs,
+        num_eval_negatives=args.negatives,
+        embedding_dim=args.embedding_dim,
+        seed=args.seed,
+    )
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", default="cloth_sport", choices=SCENARIO_NAMES)
+    parser.add_argument("--scale", type=float, default=0.6, help="dataset scale factor")
+    parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--negatives", type=int, default=99, help="evaluation negatives per positive")
+    parser.add_argument("--embedding-dim", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--models", nargs="+", default=list(_DEFAULT_MODELS))
+    parser.add_argument("--output", type=Path, default=None, help="directory for CSV exports")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description="NMCDR reproduction experiments")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("stats", help="print Table-I style statistics for all scenarios")
+
+    overlap = subparsers.add_parser("overlap", help="overlap-ratio sweep (Tables II-V)")
+    _add_common_arguments(overlap)
+    overlap.add_argument("--ratios", nargs="+", type=float, default=[0.1, 0.5, 0.9])
+
+    density = subparsers.add_parser("density", help="data-density sweep (Table VI)")
+    _add_common_arguments(density)
+    density.add_argument("--ratios", nargs="+", type=float, default=[0.5, 1.0])
+    density.add_argument("--overlap-ratio", type=float, default=0.5)
+
+    ablation = subparsers.add_parser("ablation", help="component ablation (Table IX)")
+    _add_common_arguments(ablation)
+    ablation.add_argument("--overlap-ratio", type=float, default=0.5)
+
+    neighbors = subparsers.add_parser("neighbors", help="matching-neighbour sweep (Fig. 3)")
+    _add_common_arguments(neighbors)
+    neighbors.add_argument("--values", nargs="+", type=int, default=[8, 32, 128])
+
+    threshold = subparsers.add_parser("threshold", help="head/tail threshold sweep (Fig. 4)")
+    _add_common_arguments(threshold)
+    threshold.add_argument("--values", nargs="+", type=int, default=[3, 7, 11])
+
+    online = subparsers.add_parser("online-ab", help="simulated online A/B test (Table VIII)")
+    online.add_argument("--impressions", type=int, default=1500)
+    online.add_argument("--epochs", type=int, default=10)
+    online.add_argument("--embedding-dim", type=int, default=32)
+    online.add_argument("--seed", type=int, default=11)
+    online.add_argument(
+        "--groups", nargs="+", default=["Control", "PLE", "DML", "NMCDR"],
+        help="serving groups to simulate",
+    )
+
+    efficiency = subparsers.add_parser("efficiency", help="parameter/time accounting (Sec. III.B.6)")
+    _add_common_arguments(efficiency)
+
+    return parser
+
+
+def _csv_path(args: argparse.Namespace, name: str) -> Optional[Path]:
+    if getattr(args, "output", None) is None:
+        return None
+    return Path(args.output) / f"{name}.csv"
+
+
+def _command_stats(_: argparse.Namespace) -> str:
+    stats = [scenario_statistics(load_scenario(name, scale=0.6)) for name in SCENARIO_NAMES]
+    return format_statistics_table(stats)
+
+
+def _command_overlap(args: argparse.Namespace) -> str:
+    sweep = run_overlap_sweep(
+        args.scenario,
+        model_names=args.models,
+        overlap_ratios=args.ratios,
+        settings=_settings_from_args(args),
+    )
+    overlap_sweep_to_csv(sweep, _csv_path(args, f"overlap_{args.scenario}"))
+    parts = [sweep.format_table("a"), "", sweep.format_table("b")]
+    for key in ("a", "b"):
+        parts.append(
+            f"domain {key}: NMCDR win fraction {sweep.nmcdr_win_fraction(key):.2f}, "
+            f"mean improvement {sweep.mean_improvement(key):.1f}%"
+        )
+    return "\n".join(parts)
+
+
+def _command_density(args: argparse.Namespace) -> str:
+    sweep = run_density_sweep(
+        args.scenario,
+        model_names=args.models,
+        density_ratios=args.ratios,
+        overlap_ratio=args.overlap_ratio,
+        settings=_settings_from_args(args),
+    )
+    density_sweep_to_csv(sweep, _csv_path(args, f"density_{args.scenario}"))
+    return "\n\n".join([sweep.format_table("a"), sweep.format_table("b")])
+
+
+def _command_ablation(args: argparse.Namespace) -> str:
+    ablation = run_ablation(
+        args.scenario,
+        overlap_ratio=args.overlap_ratio,
+        settings=_settings_from_args(args),
+        model_names=ABLATION_MODEL_NAMES,
+    )
+    return "\n\n".join([ablation.format_table("a"), ablation.format_table("b")])
+
+
+def _command_neighbors(args: argparse.Namespace) -> str:
+    sweep = run_matching_neighbors_sweep(
+        args.scenario, neighbor_counts=args.values, settings=_settings_from_args(args)
+    )
+    hyperparameter_sweep_to_csv(sweep, _csv_path(args, f"fig3_{args.scenario}"))
+    return sweep.format_table()
+
+
+def _command_threshold(args: argparse.Namespace) -> str:
+    sweep = run_head_threshold_sweep(
+        args.scenario, thresholds=args.values, settings=_settings_from_args(args)
+    )
+    hyperparameter_sweep_to_csv(sweep, _csv_path(args, f"fig4_{args.scenario}"))
+    return sweep.format_table()
+
+
+def _command_online_ab(args: argparse.Namespace) -> str:
+    result = run_online_ab(
+        groups=tuple(args.groups),
+        domain_specs=(
+            OnlineDomainSpec("Loan", 300, 50, base_cvr=0.105),
+            OnlineDomainSpec("Fund", 200, 40, base_cvr=0.061),
+        ),
+        impressions_per_domain=args.impressions,
+        num_epochs=args.epochs,
+        embedding_dim=args.embedding_dim,
+        seed=args.seed,
+    )
+    return result.format_table()
+
+
+def _command_efficiency(args: argparse.Namespace) -> str:
+    settings = _settings_from_args(args)
+    settings = ExperimentSettings(**{**settings.__dict__, "overlap_ratio": 0.5})
+    dataset = prepare_dataset(settings)
+    task = build_task(dataset, head_threshold=settings.head_threshold)
+    lines = [f"{'model':<12}{'parameters':>14}{'train s/batch':>16}{'test s/batch':>15}"]
+    for name in args.models:
+        model = build_model(name, task, embedding_dim=settings.embedding_dim, seed=settings.seed)
+        report = measure_efficiency(model, task, batch_size=settings.batch_size)
+        lines.append(
+            f"{name:<12}{report.num_parameters:>14}"
+            f"{report.train_seconds_per_batch:>16.5f}{report.test_seconds_per_batch:>15.5f}"
+        )
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "stats": _command_stats,
+    "overlap": _command_overlap,
+    "density": _command_density,
+    "ablation": _command_ablation,
+    "neighbors": _command_neighbors,
+    "threshold": _command_threshold,
+    "online-ab": _command_online_ab,
+    "efficiency": _command_efficiency,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""Configuration dataclasses for the NMCDR model and the joint CDR trainer.
+
+The defaults follow Section III.A.4 ("Parameter Settings") with sizes scaled
+down for the synthetic CPU-only reproduction: the paper uses an embedding
+dimension of 128, 512 matching neighbours and a batch size of 512 on an A100;
+the reproduction defaults to 32 / 64 / 256 which preserve behaviour at a
+fraction of the cost.  Every value is overridable per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = ["NMCDRConfig", "TrainerConfig"]
+
+
+@dataclass
+class NMCDRConfig:
+    """Hyper-parameters of the NMCDR architecture.
+
+    Attributes
+    ----------
+    embedding_dim:
+        Look-up table dimension ``D`` (Eq. 1).  The paper uses 128.
+    hge_dim, igm_dim, cgm_dim, ref_dim:
+        Transformation dimensions of the heterogeneous graph encoder, intra
+        node matching, inter node matching and node complementing modules
+        (``D_hge``, ``D_igm``, ``D_cgm``, ``D_ref``).  The paper sets all of
+        them equal to ``D``; the same convention is kept here, so leaving them
+        at ``None`` mirrors ``embedding_dim``.
+    num_encoder_layers:
+        Depth of the heterogeneous graph encoder.
+    num_matching_layers:
+        How many stacked intra+inter matching blocks to apply (the paper uses
+        three graph aggregation layers in the matching module).
+    gnn_kernel:
+        ``"vanilla"`` (Eq. 2–4), ``"gcn"`` or ``"gat"``.
+    head_threshold:
+        ``K_head`` of Eq. 5 — users with more interactions are head users.
+    max_matching_neighbors:
+        Matching-neighbour sample size (512 in the paper, Fig. 3).
+    companion_weights:
+        ``w_1 .. w_4`` of Eq. 22 (per-stage companion losses).
+    loss_weights:
+        ``w_5 .. w_8`` of Eq. 24 (companion A, companion B, cls A, cls B).
+    prediction_hidden:
+        Hidden sizes of the stacked prediction MLP (Eq. 20).
+    use_intra_matching / use_inter_matching / use_complementing / use_companion:
+        Ablation switches corresponding to w/o-Igm, w/o-Cgm, w/o-Inc, w/o-Sup.
+    """
+
+    embedding_dim: int = 32
+    hge_dim: Optional[int] = None
+    igm_dim: Optional[int] = None
+    cgm_dim: Optional[int] = None
+    ref_dim: Optional[int] = None
+    num_encoder_layers: int = 1
+    num_matching_layers: int = 1
+    gnn_kernel: str = "vanilla"
+    head_threshold: int = 7
+    max_matching_neighbors: Optional[int] = 64
+    companion_weights: Tuple[float, float, float, float] = (1.0, 1.0, 1.0, 1.0)
+    loss_weights: Tuple[float, float, float, float] = (1.0, 1.0, 1.0, 1.0)
+    prediction_hidden: Tuple[int, ...] = (32,)
+    dropout: float = 0.0
+    use_intra_matching: bool = True
+    use_inter_matching: bool = True
+    use_complementing: bool = True
+    use_companion: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if self.num_encoder_layers < 1:
+            raise ValueError("num_encoder_layers must be >= 1")
+        if self.num_matching_layers < 1:
+            raise ValueError("num_matching_layers must be >= 1")
+        if self.head_threshold < 0:
+            raise ValueError("head_threshold must be non-negative")
+        if len(self.companion_weights) != 4:
+            raise ValueError("companion_weights must have exactly four entries (w1..w4)")
+        if len(self.loss_weights) != 4:
+            raise ValueError("loss_weights must have exactly four entries (w5..w8)")
+
+    # Resolved transformation dimensions --------------------------------
+    @property
+    def resolved_hge_dim(self) -> int:
+        return self.hge_dim or self.embedding_dim
+
+    @property
+    def resolved_igm_dim(self) -> int:
+        return self.igm_dim or self.embedding_dim
+
+    @property
+    def resolved_cgm_dim(self) -> int:
+        return self.cgm_dim or self.embedding_dim
+
+    @property
+    def resolved_ref_dim(self) -> int:
+        return self.ref_dim or self.embedding_dim
+
+    def variant(self, **overrides) -> "NMCDRConfig":
+        """Return a copy with the given fields replaced (ablation helper)."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class TrainerConfig:
+    """Training-loop hyper-parameters shared by NMCDR and every baseline."""
+
+    num_epochs: int = 15
+    batch_size: int = 256
+    learning_rate: float = 5e-3
+    weight_decay: float = 1e-6
+    negatives_per_positive: int = 1
+    grad_clip_norm: Optional[float] = 5.0
+    early_stopping_patience: Optional[int] = None
+    eval_every: int = 0
+    num_eval_negatives: int = 99
+    verbose: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_epochs <= 0:
+            raise ValueError("num_epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.negatives_per_positive <= 0:
+            raise ValueError("negatives_per_positive must be positive")
+
+    def variant(self, **overrides) -> "TrainerConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,110 @@
+"""Inter node matching component (Section II.D.2).
+
+Transfers knowledge across domains on a fully connected cross-domain
+user–user graph.  For every user of domain Z:
+
+* the *self* message (Eq. 12/13, top) comes from the same person's
+  representation in the other domain — only defined for overlapped users,
+  zero otherwise;
+* the *other* message (Eq. 12/13, bottom) aggregates all (sampled)
+  non-overlapped users of the other domain with ``1/|N|`` normalisation,
+  i.e. the transformed mean of that pool;
+* Eq. 15 mixes the user's own state with the self message through the crossed
+  transformation matrices ``W_cross^Z`` / ``W_cross^Z̄``;
+* Eq. 16 gates in the other-user message and Eq. 17 adds the residual.
+
+The component owns the per-domain parameters; :class:`InterNodeMatching`
+operates on one domain at a time and the NMCDR model wires the two domains'
+``CrossMix`` matrices in the crossed pattern required by Eq. 15.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph import MatchingNeighborSampler
+from ..nn import CrossMix, FineGrainedGate, Linear, Module
+from ..tensor import Tensor, ops
+
+__all__ = ["InterNodeMatching"]
+
+
+class InterNodeMatching(Module):
+    """Per-domain parameters and forward pass of the inter node matching step."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_dim != out_dim:
+            raise ValueError(
+                "inter node matching requires in_dim == out_dim for the residual of Eq. 17 "
+                f"(got {in_dim} and {out_dim}); the paper sets D_igm = D_cgm"
+            )
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        # f_self / f_other of Eq. 13.
+        self.self_transform = Linear(in_dim, out_dim, rng=rng)
+        self.other_transform = Linear(in_dim, out_dim, rng=rng)
+        # W_cross^Z of Eq. 15 (this domain's matrix).
+        self.cross = CrossMix(out_dim, rng=rng)
+        # Gate of Eq. 16.
+        self.gate = FineGrainedGate(out_dim, rng=rng)
+
+    def forward(
+        self,
+        user_repr: Tensor,
+        other_user_repr: Tensor,
+        own_overlap_indices: np.ndarray,
+        other_overlap_indices: np.ndarray,
+        other_non_overlap_indices: np.ndarray,
+        other_cross: CrossMix,
+        sampler: Optional[MatchingNeighborSampler] = None,
+    ) -> Tensor:
+        """Return ``u_g3`` for this domain.
+
+        Parameters
+        ----------
+        user_repr:
+            ``u_g2`` of this domain, shape ``(num_users, D)``.
+        other_user_repr:
+            ``u_g2`` of the other domain.
+        own_overlap_indices / other_overlap_indices:
+            Aligned local indices of the overlapped users in this / the other
+            domain (row ``k`` of both arrays refers to the same person).
+        other_non_overlap_indices:
+            Local indices of the other domain's non-overlapped users.
+        other_cross:
+            The other domain's ``W_cross`` (Eq. 15 uses both matrices).
+        """
+        sampler = sampler or MatchingNeighborSampler()
+        num_users = user_repr.shape[0]
+        dim = self.out_dim
+
+        # --- self message (overlapped users only) -----------------------
+        if own_overlap_indices.size:
+            partner_repr = ops.gather_rows(other_user_repr, other_overlap_indices)
+            partner_message = ops.relu(self.self_transform(partner_repr))  # Eq. 14 top
+            scatter = np.zeros((num_users, other_overlap_indices.size))
+            scatter[own_overlap_indices, np.arange(own_overlap_indices.size)] = 1.0
+            self_message = ops.matmul(Tensor(scatter), partner_message)
+        else:
+            self_message = Tensor(np.zeros((num_users, dim)))
+
+        # --- other message (non-overlapped users of the other domain) ---
+        pool = sampler.sample(other_non_overlap_indices)
+        if pool.size:
+            pooled = ops.gather_rows(other_user_repr, pool)
+            other_message = ops.relu(self.other_transform(pooled.mean(axis=0, keepdims=True)))
+            other_broadcast = ops.matmul(Tensor(np.ones((num_users, 1))), other_message)
+        else:
+            other_broadcast = Tensor(np.zeros((num_users, dim)))
+
+        # --- Eq. 15: crossed transformation mixing ----------------------
+        mixed = self.cross(user_repr) + other_cross.complement(self_message)
+
+        # --- Eq. 16: gate in the non-overlapped message ------------------
+        gated = self.gate(mixed, other_broadcast)
+
+        # --- Eq. 17: residual --------------------------------------------
+        return gated + user_repr

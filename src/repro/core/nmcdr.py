@@ -1,0 +1,284 @@
+"""The NMCDR model (Section II): neural node matching for multi-target CDR.
+
+The model is built from the components defined in this package:
+
+* :class:`HeterogeneousGraphEncoder` — per-domain user–item message passing;
+* :class:`IntraNodeMatching` — within-domain head/tail user matching;
+* :class:`InterNodeMatching` — cross-domain matching for overlapped and
+  non-overlapped users;
+* :class:`IntraNodeComplementing` — user-to-item virtual links correcting
+  under-represented (tail) users;
+* :class:`PredictionHead` — shared scoring MLP, also used by the companion
+  objectives of every stage.
+
+One forward pass produces the staged user representations ``u_g0 .. u_g4`` for
+*both* domains simultaneously (the inter matching step couples them), which is
+also what lets the joint trainer optimise both domains' losses from a single
+graph traversal (Eq. 24).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.dataloader import Batch
+from ..graph import MatchingNeighborSampler
+from ..nn import Embedding, Module, ModuleList, losses
+from ..tensor import Tensor, no_grad, ops
+from .complementing import IntraNodeComplementing
+from .config import NMCDRConfig
+from .encoder import HeterogeneousGraphEncoder
+from .inter_matching import InterNodeMatching
+from .intra_matching import IntraNodeMatching
+from .prediction import PredictionHead
+from .task import CDRTask, DOMAIN_KEYS
+
+__all__ = ["NMCDR", "DomainRepresentations"]
+
+#: Stage names in pipeline order; ``user_g4`` feeds the final prediction loss.
+STAGES = ("user_g0", "user_g1", "user_g2", "user_g3", "user_g4")
+
+
+class DomainRepresentations(dict):
+    """Per-domain staged representations produced by one forward pass.
+
+    Keys: ``user_g0`` (look-up), ``user_g1`` (graph encoder), ``user_g2``
+    (intra matching), ``user_g3`` (inter matching), ``user_g4``
+    (complementing) and ``items`` (item representations used for scoring).
+    """
+
+
+class _DomainParameters(Module):
+    """All learnable parameters owned by a single domain."""
+
+    def __init__(self, num_users: int, num_items: int, config: NMCDRConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        dim = config.embedding_dim
+        self.user_embedding = Embedding(num_users, dim, rng=rng)
+        self.item_embedding = Embedding(num_items, dim, rng=rng)
+        self.encoder = HeterogeneousGraphEncoder(
+            dim,
+            config.resolved_hge_dim,
+            num_layers=config.num_encoder_layers,
+            kernel=config.gnn_kernel,
+            rng=rng,
+        )
+        self.intra_layers = ModuleList(
+            [
+                IntraNodeMatching(config.resolved_hge_dim, config.resolved_igm_dim, rng=rng)
+                for _ in range(config.num_matching_layers)
+            ]
+        )
+        self.inter_layers = ModuleList(
+            [
+                InterNodeMatching(config.resolved_igm_dim, config.resolved_cgm_dim, rng=rng)
+                for _ in range(config.num_matching_layers)
+            ]
+        )
+        self.complementing = IntraNodeComplementing(
+            config.resolved_cgm_dim, config.resolved_ref_dim, rng=rng
+        )
+        self.prediction = PredictionHead(
+            config.resolved_ref_dim,
+            config.resolved_hge_dim,
+            hidden_sizes=config.prediction_hidden,
+            dropout=config.dropout,
+            rng=rng,
+        )
+
+
+class NMCDR(Module):
+    """Neural node matching model for a two-domain CDR task."""
+
+    def __init__(self, task: CDRTask, config: Optional[NMCDRConfig] = None) -> None:
+        super().__init__()
+        self.task = task
+        self.config = config or NMCDRConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.domain_a_params = _DomainParameters(
+            task.domain_a.num_users, task.domain_a.num_items, self.config, rng
+        )
+        self.domain_b_params = _DomainParameters(
+            task.domain_b.num_users, task.domain_b.num_items, self.config, rng
+        )
+        self._sampler = MatchingNeighborSampler(
+            self.config.max_matching_neighbors, rng=np.random.default_rng(self.config.seed + 1)
+        )
+        self._cache: Optional[Dict[str, Dict[str, np.ndarray]]] = None
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _params(self, key: str) -> _DomainParameters:
+        if key == "a":
+            return self.domain_a_params
+        if key == "b":
+            return self.domain_b_params
+        raise KeyError(f"unknown domain key '{key}'")
+
+    # ------------------------------------------------------------------
+    # forward pipeline
+    # ------------------------------------------------------------------
+    def forward_representations(self) -> Dict[str, DomainRepresentations]:
+        """Run the full pipeline for both domains and return staged representations."""
+        config = self.config
+        reps: Dict[str, DomainRepresentations] = {}
+
+        # Stage 0/1: look-up + heterogeneous graph encoder, per domain.
+        encoded_users: Dict[str, Tensor] = {}
+        encoded_items: Dict[str, Tensor] = {}
+        for key in DOMAIN_KEYS:
+            params = self._params(key)
+            domain_task = self.task.domain(key)
+            user_g0 = params.user_embedding.all()
+            item_g0 = params.item_embedding.all()
+            user_g1, item_g1 = params.encoder(domain_task.train_graph, user_g0, item_g0)
+            reps[key] = DomainRepresentations(user_g0=user_g0, user_g1=user_g1, items=item_g1)
+            encoded_users[key] = user_g1
+            encoded_items[key] = item_g1
+
+        # Stage 2/3: stacked intra + inter matching blocks (coupled across domains).
+        current: Dict[str, Tensor] = dict(encoded_users)
+        intra_out: Dict[str, Tensor] = dict(encoded_users)
+        inter_out: Dict[str, Tensor] = dict(encoded_users)
+        for layer_index in range(config.num_matching_layers):
+            # intra matching within each domain
+            if config.use_intra_matching:
+                for key in DOMAIN_KEYS:
+                    params = self._params(key)
+                    domain_task = self.task.domain(key)
+                    current[key] = params.intra_layers[layer_index](
+                        current[key], domain_task.partition, self._sampler
+                    )
+            intra_out = dict(current)
+
+            # inter matching across domains (computed from the same input state)
+            if config.use_inter_matching:
+                pairs = self.task.overlap_pairs
+                updated: Dict[str, Tensor] = {}
+                for key in DOMAIN_KEYS:
+                    other = self.task.other_key(key)
+                    own_overlap = pairs[:, 0] if key == "a" else pairs[:, 1]
+                    other_overlap = pairs[:, 1] if key == "a" else pairs[:, 0]
+                    updated[key] = self._params(key).inter_layers[layer_index](
+                        current[key],
+                        current[other],
+                        own_overlap,
+                        other_overlap,
+                        self.task.non_overlap_indices(other),
+                        self._params(other).inter_layers[layer_index].cross,
+                        self._sampler,
+                    )
+                current = updated
+            inter_out = dict(current)
+
+        for key in DOMAIN_KEYS:
+            reps[key]["user_g2"] = intra_out[key]
+            reps[key]["user_g3"] = inter_out[key]
+
+        # Stage 4: intra node complementing.
+        for key in DOMAIN_KEYS:
+            params = self._params(key)
+            domain_task = self.task.domain(key)
+            if config.use_complementing:
+                reps[key]["user_g4"] = params.complementing(
+                    domain_task.train_graph, reps[key]["user_g3"], reps[key]["items"]
+                )
+            else:
+                reps[key]["user_g4"] = reps[key]["user_g3"]
+        return reps
+
+    # ------------------------------------------------------------------
+    # training loss
+    # ------------------------------------------------------------------
+    def compute_batch_loss(self, batches: Dict[str, Optional[Batch]]) -> Tensor:
+        """Total loss of Eq. 24 for the given per-domain mini-batches.
+
+        ``batches`` maps domain keys to :class:`Batch` objects (``None`` skips
+        a domain).  One full forward pass serves both domains.
+        """
+        reps = self.forward_representations()
+        w_co_a, w_co_b, w_cls_a, w_cls_b = self.config.loss_weights
+        total: Optional[Tensor] = None
+
+        for key, companion_weight, cls_weight in (
+            ("a", w_co_a, w_cls_a),
+            ("b", w_co_b, w_cls_b),
+        ):
+            batch = batches.get(key)
+            if batch is None or len(batch) == 0:
+                continue
+            domain_loss = self._domain_loss(key, reps[key], batch, companion_weight, cls_weight)
+            total = domain_loss if total is None else total + domain_loss
+
+        if total is None:
+            raise ValueError("compute_batch_loss needs at least one non-empty batch")
+        return total
+
+    def _domain_loss(
+        self,
+        key: str,
+        reps: DomainRepresentations,
+        batch: Batch,
+        companion_weight: float,
+        cls_weight: float,
+    ) -> Tensor:
+        params = self._params(key)
+        labels = batch.labels.reshape(-1, 1)
+        item_rows = ops.gather_rows(reps["items"], batch.items)
+
+        # Final prediction loss (Eq. 23) on u_g4.
+        final_user_rows = ops.gather_rows(reps["user_g4"], batch.users)
+        final_pred = params.prediction(final_user_rows, item_rows)
+        loss = losses.binary_cross_entropy(final_pred, labels) * cls_weight
+
+        # Companion objectives (Eq. 22) on u_g0 .. u_g3 through the shared head.
+        if self.config.use_companion:
+            companion: Optional[Tensor] = None
+            for stage, stage_weight in zip(STAGES[:4], self.config.companion_weights):
+                user_rows = ops.gather_rows(reps[stage], batch.users)
+                prediction = params.prediction(user_rows, item_rows)
+                term = losses.binary_cross_entropy(prediction, labels) * stage_weight
+                companion = term if companion is None else companion + term
+            loss = loss + companion * companion_weight
+        return loss
+
+    # ------------------------------------------------------------------
+    # evaluation interface
+    # ------------------------------------------------------------------
+    def prepare_for_evaluation(self) -> None:
+        """Run one forward pass and cache representations for scoring."""
+        self.eval()
+        with no_grad():
+            reps = self.forward_representations()
+        self._cache = {
+            key: {name: tensor.data.copy() for name, tensor in reps[key].items()}
+            for key in DOMAIN_KEYS
+        }
+        self.train()
+
+    def score(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Affinity scores from the cached representations (Eq. 20)."""
+        if self._cache is None:
+            self.prepare_for_evaluation()
+        cache = self._cache[domain_key]
+        params = self._params(domain_key)
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        with no_grad():
+            user_rows = Tensor(cache["user_g4"][users])
+            item_rows = Tensor(cache["items"][items])
+            probabilities = params.prediction(user_rows, item_rows)
+        return probabilities.data.ravel()
+
+    def stage_representations(self, domain_key: str) -> Dict[str, np.ndarray]:
+        """Cached per-stage user representations (used by the Fig. 5 analysis)."""
+        if self._cache is None:
+            self.prepare_for_evaluation()
+        return dict(self._cache[domain_key])
+
+    def invalidate_cache(self) -> None:
+        """Drop cached representations (called by the trainer after each update)."""
+        self._cache = None

@@ -1,0 +1,185 @@
+"""Model stability analysis (Section II.H).
+
+The paper derives an upper bound (Eq. 31) on how much a prediction can change
+under a perturbation of one user's input embedding:
+
+    ||z_{u,v} - z_{u',v}||_2  <=  C_sf * C_sp^2 * ||W3||_2 *
+        ( ||W2_a||_2 ||W1_a||_2 + (sum_{v_j in N_u} 1/n_j) / (N - 1)
+          * ||W2_n||_2 ||W1_n||_2 ) * ||x_u - x'_u||_2
+
+with ``C_sf`` and ``C_sp`` the Lipschitz constants of softmax and softplus.
+This module computes that theoretical bound from a trained model's weights and
+measures the *empirical* prediction deviation under random perturbations, so
+the bound can be checked and compared across model variants (e.g. shared vs
+separate head/tail transformation matrices — the design choice the analysis
+motivates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from .nmcdr import NMCDR
+from .task import CDRTask
+
+__all__ = [
+    "StabilityReport",
+    "spectral_norm",
+    "theoretical_stability_bound",
+    "empirical_prediction_deviation",
+    "stability_report",
+]
+
+#: Lipschitz constant of softmax (w.r.t. the 2-norm) — at most 1.
+SOFTMAX_LIPSCHITZ = 1.0
+#: Lipschitz constant of softplus — its derivative is a sigmoid, bounded by 1.
+SOFTPLUS_LIPSCHITZ = 1.0
+
+
+def spectral_norm(matrix: np.ndarray) -> float:
+    """Largest singular value (the 2-norm used throughout Eq. 28–31)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim == 1:
+        return float(np.linalg.norm(matrix))
+    return float(np.linalg.norm(matrix, 2))
+
+
+@dataclass
+class StabilityReport:
+    """Theoretical bound and empirical deviation statistics for one domain."""
+
+    domain_key: str
+    theoretical_bound_coefficient: float
+    perturbation_norm: float
+    mean_empirical_deviation: float
+    max_empirical_deviation: float
+    bound_satisfied: bool
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "domain": self.domain_key,
+            "bound_coefficient": self.theoretical_bound_coefficient,
+            "perturbation_norm": self.perturbation_norm,
+            "mean_deviation": self.mean_empirical_deviation,
+            "max_deviation": self.max_empirical_deviation,
+            "bound_satisfied": float(self.bound_satisfied),
+        }
+
+
+def theoretical_stability_bound(model: NMCDR, domain_key: str) -> float:
+    """Compute the Eq. 31 coefficient from the model's weight matrices.
+
+    The compressed three-layer view of Section II.H maps onto the model as
+    follows: ``W1`` — the heterogeneous graph encoder transformations, ``W2``
+    — the (head/tail averaged) intra matching transformations, ``W3`` — the
+    first prediction-layer weight.  The neighbourhood sum term is evaluated on
+    the training graph of the requested domain.
+    """
+    params = model._params(domain_key)
+    graph = model.task.domain(domain_key).train_graph
+
+    encoder_layer = params.encoder.layers[0]
+    w1_self = spectral_norm(encoder_layer.user_transform.weight.data)
+    w1_neighbor = spectral_norm(encoder_layer.item_transform.weight.data)
+
+    intra_layer = params.intra_layers[0]
+    w2_head = spectral_norm(intra_layer.head_transform.weight.data)
+    w2_tail = spectral_norm(intra_layer.tail_transform.weight.data)
+    # The compressed model of Sec. II.H uses a single pair (W2_a, W2_n); the
+    # actual model splits the neighbour matrix per user group, so we take the
+    # worst (largest) group norm for a conservative bound.
+    w2_self = max(w2_head, w2_tail)
+    w2_neighbor = max(w2_head, w2_tail)
+
+    w3 = spectral_norm(params.prediction.mlp.linears[0].weight.data)
+
+    item_degrees = graph.item_degrees()
+    inv_item_degrees = np.divide(
+        1.0, item_degrees, out=np.zeros_like(item_degrees), where=item_degrees > 0
+    )
+    # Average over users of sum_{v_j in N_u} 1/n_j  (Eq. 31 is per user; we
+    # report the mean so the coefficient summarises the whole domain).
+    per_user_sum = np.zeros(graph.num_users)
+    np.add.at(per_user_sum, graph.user_indices, inv_item_degrees[graph.item_indices])
+    total_nodes = graph.num_users + graph.num_items
+    neighbor_term = float(per_user_sum.mean()) / max(total_nodes - 1, 1)
+
+    coefficient = (
+        SOFTMAX_LIPSCHITZ
+        * SOFTPLUS_LIPSCHITZ ** 2
+        * w3
+        * (w2_self * w1_self + neighbor_term * w2_neighbor * w1_neighbor)
+    )
+    return float(coefficient)
+
+
+def empirical_prediction_deviation(
+    model: NMCDR,
+    domain_key: str,
+    perturbation_scale: float = 0.05,
+    num_users: int = 32,
+    num_items: int = 16,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Measure how much scores move when user embeddings are perturbed.
+
+    Randomly perturbs ``num_users`` users' input embeddings by Gaussian noise
+    of the given scale, recomputes the cached representations and reports the
+    mean/maximum score deviation over ``num_items`` random items per user.
+    """
+    rng = rng or np.random.default_rng(0)
+    params = model._params(domain_key)
+    domain_task = model.task.domain(domain_key)
+
+    users = rng.choice(domain_task.num_users, size=min(num_users, domain_task.num_users), replace=False)
+    items = rng.choice(domain_task.num_items, size=min(num_items, domain_task.num_items), replace=False)
+    pair_users = np.repeat(users, items.size)
+    pair_items = np.tile(items, users.size)
+
+    model.prepare_for_evaluation()
+    baseline_scores = model.score(domain_key, pair_users, pair_items)
+
+    original = params.user_embedding.weight.data.copy()
+    noise = rng.normal(0.0, perturbation_scale, size=(users.size, original.shape[1]))
+    try:
+        params.user_embedding.weight.data[users] = original[users] + noise
+        model.invalidate_cache()
+        model.prepare_for_evaluation()
+        perturbed_scores = model.score(domain_key, pair_users, pair_items)
+    finally:
+        params.user_embedding.weight.data = original
+        model.invalidate_cache()
+
+    deviations = np.abs(perturbed_scores - baseline_scores)
+    perturbation_norms = np.linalg.norm(noise, axis=1)
+    return {
+        "mean_deviation": float(deviations.mean()),
+        "max_deviation": float(deviations.max()),
+        "mean_perturbation_norm": float(perturbation_norms.mean()),
+    }
+
+
+def stability_report(
+    model: NMCDR,
+    domain_key: str,
+    perturbation_scale: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+) -> StabilityReport:
+    """Bundle the theoretical coefficient and the empirical measurement."""
+    coefficient = theoretical_stability_bound(model, domain_key)
+    empirical = empirical_prediction_deviation(
+        model, domain_key, perturbation_scale=perturbation_scale, rng=rng
+    )
+    bound_value = coefficient * empirical["mean_perturbation_norm"]
+    return StabilityReport(
+        domain_key=domain_key,
+        theoretical_bound_coefficient=coefficient,
+        perturbation_norm=empirical["mean_perturbation_norm"],
+        mean_empirical_deviation=empirical["mean_deviation"],
+        max_empirical_deviation=empirical["max_deviation"],
+        bound_satisfied=bool(empirical["max_deviation"] <= max(bound_value, 1e-12) * 10.0),
+    )

@@ -1,0 +1,134 @@
+"""Task bundle: everything a CDR model needs to train and evaluate on a scenario.
+
+``CDRTask`` packages the leave-one-out splits, training interaction graphs,
+head/tail partitions and overlap alignment of the two domains, so the NMCDR
+model and every baseline consume exactly the same training signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..data.schema import CDRDataset, DomainData
+from ..data.split import DomainSplit, leave_one_out_split
+from ..graph import HeadTailPartition, InteractionGraph
+
+__all__ = ["DomainTask", "CDRTask", "build_task", "DOMAIN_KEYS"]
+
+DOMAIN_KEYS = ("a", "b")
+
+
+@dataclass
+class DomainTask:
+    """Per-domain view of a CDR task."""
+
+    key: str
+    domain: DomainData
+    split: DomainSplit
+    train_graph: InteractionGraph
+    partition: HeadTailPartition
+
+    @property
+    def num_users(self) -> int:
+        return self.domain.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.domain.num_items
+
+
+@dataclass
+class CDRTask:
+    """A two-domain CDR training/evaluation task."""
+
+    dataset: CDRDataset
+    domain_a: DomainTask
+    domain_b: DomainTask
+    overlap_pairs: np.ndarray
+
+    def domain(self, key: str) -> DomainTask:
+        if key == "a":
+            return self.domain_a
+        if key == "b":
+            return self.domain_b
+        raise KeyError(f"unknown domain key '{key}'; expected 'a' or 'b'")
+
+    def other_key(self, key: str) -> str:
+        if key == "a":
+            return "b"
+        if key == "b":
+            return "a"
+        raise KeyError(f"unknown domain key '{key}'")
+
+    @property
+    def num_overlapping(self) -> int:
+        return int(self.overlap_pairs.shape[0])
+
+    def overlap_indices(self, key: str) -> np.ndarray:
+        """Local indices of overlapped users in the requested domain."""
+        column = 0 if key == "a" else 1
+        return self.overlap_pairs[:, column]
+
+    def non_overlap_indices(self, key: str) -> np.ndarray:
+        """Local indices of non-overlapped users in the requested domain."""
+        domain = self.domain(key)
+        mask = np.ones(domain.num_users, dtype=bool)
+        mask[self.overlap_indices(key)] = False
+        return np.where(mask)[0]
+
+    def summary(self) -> Dict:
+        return {
+            "scenario": self.dataset.name,
+            "overlap": self.num_overlapping,
+            "domain_a": {
+                "name": self.domain_a.domain.name,
+                "users": self.domain_a.num_users,
+                "items": self.domain_a.num_items,
+                "train_interactions": self.domain_a.split.num_train,
+                "eval_users": self.domain_a.split.num_eval_users,
+            },
+            "domain_b": {
+                "name": self.domain_b.domain.name,
+                "users": self.domain_b.num_users,
+                "items": self.domain_b.num_items,
+                "train_interactions": self.domain_b.split.num_train,
+                "eval_users": self.domain_b.split.num_eval_users,
+            },
+        }
+
+
+def build_task(dataset: CDRDataset, head_threshold: int = 7) -> CDRTask:
+    """Split both domains, build the training graphs and align the overlap.
+
+    The training graph of each domain is built from *training* interactions
+    only so the held-out validation/test positives never participate in
+    message passing.
+    """
+    split_a = leave_one_out_split(dataset.domain_a)
+    split_b = leave_one_out_split(dataset.domain_b)
+    graph_a = split_a.train_domain().interaction_graph()
+    graph_b = split_b.train_domain().interaction_graph()
+
+    domain_a = DomainTask(
+        key="a",
+        domain=dataset.domain_a,
+        split=split_a,
+        train_graph=graph_a,
+        partition=HeadTailPartition(graph_a.user_degrees(), head_threshold),
+    )
+    domain_b = DomainTask(
+        key="b",
+        domain=dataset.domain_b,
+        split=split_b,
+        train_graph=graph_b,
+        partition=HeadTailPartition(graph_b.user_degrees(), head_threshold),
+    )
+    return CDRTask(
+        dataset=dataset,
+        domain_a=domain_a,
+        domain_b=domain_b,
+        overlap_pairs=dataset.overlap_pairs(),
+    )

@@ -1,0 +1,156 @@
+"""Joint two-domain training loop shared by NMCDR and all baselines.
+
+Any model implementing the small protocol below can be trained:
+
+* ``parameters()`` — trainable parameters (provided by :class:`repro.nn.Module`);
+* ``compute_batch_loss(batches)`` — scalar loss :class:`Tensor` for a dict of
+  per-domain :class:`~repro.data.Batch` objects;
+* ``prepare_for_evaluation()`` / ``invalidate_cache()`` — representation cache
+  management around parameter updates;
+* ``score(domain_key, users, items)`` — the :class:`repro.metrics.Scorer`
+  interface used by the ranking evaluator.
+
+The trainer draws one mini-batch per domain per step (the multi-target
+setting: both domains are optimised simultaneously, Eq. 24) and optionally
+evaluates on the validation split for early stopping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import zip_longest
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.dataloader import InteractionDataLoader
+from ..metrics.evaluator import RankingEvaluator
+from ..optim import Adam, clip_grad_norm
+from .config import TrainerConfig
+from .task import CDRTask, DOMAIN_KEYS
+
+__all__ = ["TrainingHistory", "CDRTrainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records collected during :meth:`CDRTrainer.fit`."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    validation_metrics: List[Dict[str, Dict[str, float]]] = field(default_factory=list)
+    best_epoch: int = -1
+    best_validation_score: float = -np.inf
+    train_seconds_per_batch: float = 0.0
+    num_batches: int = 0
+    best_state: Optional[Dict[str, np.ndarray]] = None
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class CDRTrainer:
+    """Joint trainer for one two-domain CDR task."""
+
+    def __init__(self, model, task: CDRTask, config: Optional[TrainerConfig] = None) -> None:
+        self.model = model
+        self.task = task
+        self.config = config or TrainerConfig()
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+        )
+        rng = np.random.default_rng(self.config.seed)
+        self._loaders = {
+            key: InteractionDataLoader(
+                task.domain(key).split,
+                batch_size=self.config.batch_size,
+                negatives_per_positive=self.config.negatives_per_positive,
+                rng=np.random.default_rng(rng.integers(0, 2**32 - 1)),
+            )
+            for key in DOMAIN_KEYS
+        }
+        self._valid_evaluators: Optional[Dict[str, RankingEvaluator]] = None
+        self._eval_rng_seed = int(rng.integers(0, 2**32 - 1))
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self) -> TrainingHistory:
+        """Train for ``num_epochs`` epochs and return the training history."""
+        history = TrainingHistory()
+        patience = self.config.early_stopping_patience
+        epochs_without_improvement = 0
+        total_batch_time = 0.0
+        total_batches = 0
+
+        for epoch in range(self.config.num_epochs):
+            epoch_loss = 0.0
+            epoch_batches = 0
+            for batch_a, batch_b in zip_longest(self._loaders["a"], self._loaders["b"]):
+                batches = {"a": batch_a, "b": batch_b}
+                started = time.perf_counter()
+                self.optimizer.zero_grad()
+                loss = self.model.compute_batch_loss(batches)
+                loss.backward()
+                if self.config.grad_clip_norm is not None:
+                    clip_grad_norm(self.model.parameters(), self.config.grad_clip_norm)
+                self.optimizer.step()
+                self.model.invalidate_cache()
+                total_batch_time += time.perf_counter() - started
+                total_batches += 1
+                epoch_loss += loss.item()
+                epoch_batches += 1
+            history.epoch_losses.append(epoch_loss / max(epoch_batches, 1))
+
+            if self.config.verbose:
+                print(
+                    f"[{type(self.model).__name__}] epoch {epoch + 1}/{self.config.num_epochs} "
+                    f"loss={history.epoch_losses[-1]:.4f}"
+                )
+
+            if self.config.eval_every and (epoch + 1) % self.config.eval_every == 0:
+                metrics = self.evaluate(subset="valid")
+                history.validation_metrics.append(metrics)
+                score = float(
+                    np.mean([metrics[key]["ndcg@10"] for key in DOMAIN_KEYS if key in metrics])
+                )
+                if score > history.best_validation_score:
+                    history.best_validation_score = score
+                    history.best_epoch = epoch
+                    history.best_state = self.model.state_dict()
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if patience is not None and epochs_without_improvement >= patience:
+                        break
+
+        if history.best_state is not None:
+            self.model.load_state_dict(history.best_state)
+            self.model.invalidate_cache()
+        history.train_seconds_per_batch = total_batch_time / max(total_batches, 1)
+        history.num_batches = total_batches
+        return history
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, subset: str = "test") -> Dict[str, Dict[str, float]]:
+        """Evaluate both domains with the 1 + N ranking protocol."""
+        self.model.prepare_for_evaluation()
+        results: Dict[str, Dict[str, float]] = {}
+        for key in DOMAIN_KEYS:
+            split = self.task.domain(key).split
+            if split.num_eval_users == 0:
+                continue
+            evaluator = RankingEvaluator(
+                split,
+                key,
+                num_negatives=self.config.num_eval_negatives,
+                subset=subset,
+                rng=np.random.default_rng(self._eval_rng_seed),
+            )
+            results[key] = evaluator.evaluate(self.model)
+        return results

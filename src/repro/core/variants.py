@@ -1,0 +1,40 @@
+"""Ablation variants of NMCDR (Table IX of the paper).
+
+* ``w/o-Igm`` — intra node matching removed.
+* ``w/o-Cgm`` — inter node matching removed.
+* ``w/o-Inc`` — intra node complementing removed.
+* ``w/o-Sup`` — companion supervision signals removed (final losses only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .config import NMCDRConfig
+from .nmcdr import NMCDR
+from .task import CDRTask
+
+__all__ = ["VARIANT_NAMES", "variant_config", "build_variant"]
+
+VARIANT_NAMES = ("full", "w/o-Igm", "w/o-Cgm", "w/o-Inc", "w/o-Sup")
+
+_VARIANT_OVERRIDES: Dict[str, Dict[str, bool]] = {
+    "full": {},
+    "w/o-Igm": {"use_intra_matching": False},
+    "w/o-Cgm": {"use_inter_matching": False},
+    "w/o-Inc": {"use_complementing": False},
+    "w/o-Sup": {"use_companion": False},
+}
+
+
+def variant_config(name: str, base: Optional[NMCDRConfig] = None) -> NMCDRConfig:
+    """Return the configuration of the named ablation variant."""
+    base = base or NMCDRConfig()
+    if name not in _VARIANT_OVERRIDES:
+        raise KeyError(f"unknown variant '{name}'; known: {VARIANT_NAMES}")
+    return base.variant(**_VARIANT_OVERRIDES[name])
+
+
+def build_variant(name: str, task: CDRTask, base: Optional[NMCDRConfig] = None) -> NMCDR:
+    """Instantiate the named ablation variant for a task."""
+    return NMCDR(task, variant_config(name, base))

@@ -1,0 +1,95 @@
+"""Persistence for generated CDR datasets.
+
+Synthetic scenarios are cheap to regenerate, but persisting them is useful for
+(a) sharing the exact data behind a reported number and (b) wiring externally
+preprocessed interaction logs into the pipeline.  Datasets are stored as a
+single ``.npz`` archive holding both domains' arrays plus a small JSON blob of
+names and metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .schema import CDRDataset, DomainData
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def _domain_arrays(prefix: str, domain: DomainData) -> dict:
+    return {
+        f"{prefix}_users": domain.users,
+        f"{prefix}_items": domain.items,
+        f"{prefix}_timestamps": domain.timestamps,
+        f"{prefix}_global_user_ids": domain.global_user_ids,
+    }
+
+
+def save_dataset(dataset: CDRDataset, path: Union[str, Path]) -> Path:
+    """Serialise ``dataset`` to ``path`` (``.npz`` appended if missing).
+
+    Only the interaction data and identifying metadata are stored; generator
+    internals kept in ``dataset.metadata`` (latent factors, specs) are not
+    persisted because they are not needed to train or evaluate models.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "domain_a": {
+            "name": dataset.domain_a.name,
+            "num_users": dataset.domain_a.num_users,
+            "num_items": dataset.domain_a.num_items,
+        },
+        "domain_b": {
+            "name": dataset.domain_b.name,
+            "num_users": dataset.domain_b.num_users,
+            "num_items": dataset.domain_b.num_items,
+        },
+    }
+    arrays = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+    }
+    arrays.update(_domain_arrays("a", dataset.domain_a))
+    arrays.update(_domain_arrays("b", dataset.domain_b))
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_dataset(path: Union[str, Path]) -> CDRDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    if not path.exists():
+        raise FileNotFoundError(f"dataset file not found: {path}")
+
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {header.get('format_version')}"
+            )
+        domains = {}
+        for prefix in ("a", "b"):
+            info = header[f"domain_{prefix}"]
+            domains[prefix] = DomainData(
+                name=info["name"],
+                num_users=int(info["num_users"]),
+                num_items=int(info["num_items"]),
+                users=archive[f"{prefix}_users"],
+                items=archive[f"{prefix}_items"],
+                timestamps=archive[f"{prefix}_timestamps"],
+                global_user_ids=archive[f"{prefix}_global_user_ids"],
+            )
+    return CDRDataset(header["name"], domains["a"], domains["b"])

@@ -1,0 +1,112 @@
+"""Negative sampling for training and for the 1-plus-199 ranking protocol.
+
+The paper fixes "the negative sampling number ... as 1 for training and 199
+for validation and test".  Negatives are always items the user has *not*
+interacted with in the full log of that domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from .schema import DomainData
+from .split import DomainSplit
+
+__all__ = ["NegativeSampler", "build_ranking_candidates"]
+
+
+class NegativeSampler:
+    """Sample negative items uniformly from each user's non-interacted items."""
+
+    def __init__(self, domain: DomainData, rng: Optional[np.random.Generator] = None) -> None:
+        self.num_items = domain.num_items
+        self._rng = rng or np.random.default_rng(0)
+        self._interacted: Dict[int, Set[int]] = {}
+        for user, item in zip(domain.users, domain.items):
+            self._interacted.setdefault(int(user), set()).add(int(item))
+
+    def interacted(self, user: int) -> Set[int]:
+        """Items the user has interacted with anywhere in the log."""
+        return self._interacted.get(int(user), set())
+
+    def sample_for_user(self, user: int, count: int) -> np.ndarray:
+        """Sample ``count`` negatives for ``user`` (without replacement when possible)."""
+        seen = self._interacted.get(int(user), set())
+        available = self.num_items - len(seen)
+        if available <= 0:
+            raise ValueError(f"user {user} has interacted with every item; cannot sample negatives")
+        if count <= 0:
+            raise ValueError("count must be positive")
+
+        if available <= count:
+            # Degenerate small-catalogue case: return all unseen items (may be < count).
+            negatives = np.array(
+                [item for item in range(self.num_items) if item not in seen], dtype=np.int64
+            )
+            return negatives
+
+        negatives = set()
+        # Rejection sampling is fast because catalogues are much larger than
+        # per-user histories in every scenario we generate.
+        while len(negatives) < count:
+            draws = self._rng.integers(0, self.num_items, size=2 * (count - len(negatives)))
+            for item in draws:
+                item = int(item)
+                if item not in seen and item not in negatives:
+                    negatives.add(item)
+                    if len(negatives) == count:
+                        break
+        return np.asarray(sorted(negatives), dtype=np.int64)
+
+    def sample_pairs(
+        self,
+        users: np.ndarray,
+        negatives_per_positive: int = 1,
+    ) -> np.ndarray:
+        """Sample one batch of training negatives, one row per (positive, k) pair."""
+        users = np.asarray(users, dtype=np.int64)
+        out = np.empty((users.shape[0], negatives_per_positive), dtype=np.int64)
+        for row, user in enumerate(users):
+            out[row] = self.sample_for_user(int(user), negatives_per_positive)
+        return out
+
+
+def build_ranking_candidates(
+    split: DomainSplit,
+    num_negatives: int = 199,
+    rng: Optional[np.random.Generator] = None,
+    subset: str = "test",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the 1-positive + ``num_negatives``-negative candidate lists.
+
+    Returns
+    -------
+    users:
+        Array of shape ``(n_eval_users,)``.
+    candidates:
+        Array of shape ``(n_eval_users, 1 + num_negatives)`` whose first column
+        is the ground-truth positive item.
+    """
+    if subset not in {"test", "valid"}:
+        raise ValueError("subset must be 'test' or 'valid'")
+    users = split.test_users if subset == "test" else split.valid_users
+    positives = split.test_items if subset == "test" else split.valid_items
+
+    sampler = NegativeSampler(split.domain, rng=rng)
+    if users.size:
+        # The scaled-down synthetic catalogues may be smaller than the paper's
+        # 199 negatives; clamp to what every evaluated user can actually
+        # supply so the candidate matrix stays rectangular and duplicate-free.
+        max_seen = max(len(sampler.interacted(int(user))) for user in users)
+        available = split.domain.num_items - max_seen - 1
+        num_negatives = max(1, min(num_negatives, available))
+
+    candidate_rows = []
+    for user, positive in zip(users, positives):
+        negatives = sampler.sample_for_user(int(user), num_negatives)
+        candidate_rows.append(np.concatenate([[positive], negatives[:num_negatives]]))
+    if not candidate_rows:
+        return np.zeros(0, dtype=np.int64), np.zeros((0, num_negatives + 1), dtype=np.int64)
+    return np.asarray(users, dtype=np.int64), np.asarray(candidate_rows, dtype=np.int64)

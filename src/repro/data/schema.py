@@ -1,0 +1,239 @@
+"""Dataset schema for partially overlapped multi-target CDR scenarios.
+
+A :class:`DomainData` holds one domain's interaction log plus the *global*
+identity of each local user, which is what makes cross-domain overlap
+explicit: two local users in different domains refer to the same person iff
+they share a global user id (Section II.A: ``U_O = U^Z ∩ U^Z̄``).
+
+A :class:`CDRDataset` bundles the two domains and exposes the overlap
+structure, the ``Ku`` overlap-ratio manipulation and the ``Ds`` density
+manipulation used throughout the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..graph import InteractionGraph
+
+__all__ = ["DomainData", "CDRDataset"]
+
+
+@dataclass
+class DomainData:
+    """Interaction log of a single domain.
+
+    Attributes
+    ----------
+    name:
+        Human-readable domain name (e.g. ``"Music"``).
+    num_users, num_items:
+        Node counts; local indices are ``0 .. num_users-1`` / ``0 .. num_items-1``.
+    users, items, timestamps:
+        Parallel arrays of observed interactions.
+    global_user_ids:
+        Array of shape ``(num_users,)`` mapping each local user to a global
+        identity shared across domains.
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    users: np.ndarray
+    items: np.ndarray
+    timestamps: np.ndarray
+    global_user_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.users = np.asarray(self.users, dtype=np.int64)
+        self.items = np.asarray(self.items, dtype=np.int64)
+        self.timestamps = np.asarray(self.timestamps, dtype=np.float64)
+        self.global_user_ids = np.asarray(self.global_user_ids, dtype=np.int64)
+        if not (self.users.shape == self.items.shape == self.timestamps.shape):
+            raise ValueError("users, items and timestamps must be parallel arrays")
+        if self.global_user_ids.shape[0] != self.num_users:
+            raise ValueError("global_user_ids must have one entry per local user")
+        if self.users.size:
+            if self.users.max() >= self.num_users or self.users.min() < 0:
+                raise ValueError(f"domain '{self.name}': user index out of range")
+            if self.items.max() >= self.num_items or self.items.min() < 0:
+                raise ValueError(f"domain '{self.name}': item index out of range")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_interactions(self) -> int:
+        return int(self.users.shape[0])
+
+    @property
+    def density(self) -> float:
+        """Observed fraction of the user×item matrix (Table I "Density")."""
+        return self.num_interactions / float(self.num_users * self.num_items)
+
+    @property
+    def average_interactions_per_item(self) -> float:
+        """Ratings divided by item count — the quantity discussed in Sec. III.B.4(ii)."""
+        return self.num_interactions / float(self.num_items)
+
+    def user_degrees(self) -> np.ndarray:
+        return np.bincount(self.users, minlength=self.num_users)
+
+    def item_degrees(self) -> np.ndarray:
+        return np.bincount(self.items, minlength=self.num_items)
+
+    def interaction_graph(self) -> InteractionGraph:
+        """Build the bipartite :class:`InteractionGraph` of this domain."""
+        return InteractionGraph(self.num_users, self.num_items, self.users, self.items)
+
+    def copy(self) -> "DomainData":
+        return DomainData(
+            name=self.name,
+            num_users=self.num_users,
+            num_items=self.num_items,
+            users=self.users.copy(),
+            items=self.items.copy(),
+            timestamps=self.timestamps.copy(),
+            global_user_ids=self.global_user_ids.copy(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DomainData(name={self.name!r}, users={self.num_users}, items={self.num_items}, "
+            f"ratings={self.num_interactions}, density={self.density:.5f})"
+        )
+
+
+@dataclass
+class CDRDataset:
+    """A pair of domains forming one multi-target CDR scenario."""
+
+    name: str
+    domain_a: DomainData
+    domain_b: DomainData
+    metadata: Dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # overlap structure
+    # ------------------------------------------------------------------
+    def overlap_pairs(self) -> np.ndarray:
+        """Return an ``(n_overlap, 2)`` array of (local idx in A, local idx in B).
+
+        Pairs are matched through the global user ids; a global id appearing
+        in both domains denotes the same person.
+        """
+        ids_a = self.domain_a.global_user_ids
+        ids_b = self.domain_b.global_user_ids
+        lookup_b = {int(gid): idx for idx, gid in enumerate(ids_b)}
+        pairs = [
+            (idx_a, lookup_b[int(gid)])
+            for idx_a, gid in enumerate(ids_a)
+            if int(gid) in lookup_b
+        ]
+        if not pairs:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.asarray(pairs, dtype=np.int64)
+
+    @property
+    def num_overlapping(self) -> int:
+        """Table I "#Overlapping"."""
+        return int(self.overlap_pairs().shape[0])
+
+    def overlapping_users(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Local indices of overlapped users in each domain."""
+        pairs = self.overlap_pairs()
+        return pairs[:, 0], pairs[:, 1]
+
+    def non_overlapping_users(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Local indices of non-overlapped users in each domain (``U_non``)."""
+        pairs = self.overlap_pairs()
+        mask_a = np.ones(self.domain_a.num_users, dtype=bool)
+        mask_b = np.ones(self.domain_b.num_users, dtype=bool)
+        mask_a[pairs[:, 0]] = False
+        mask_b[pairs[:, 1]] = False
+        return np.where(mask_a)[0], np.where(mask_b)[0]
+
+    # ------------------------------------------------------------------
+    # Ku / Ds manipulations (Sections III.A.2 and III.B.5)
+    # ------------------------------------------------------------------
+    def with_overlap_ratio(self, ratio: float, rng: Optional[np.random.Generator] = None) -> "CDRDataset":
+        """Keep only ``ratio`` of the overlapped users linked across domains.
+
+        The remaining formerly-overlapped users in domain B are assigned fresh
+        global ids, i.e. the model can no longer tell they are the same people
+        — exactly the ``Ku`` manipulation of Section III.A.2.
+        """
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError(f"overlap ratio must be in [0, 1], got {ratio}")
+        rng = rng or np.random.default_rng(0)
+        pairs = self.overlap_pairs()
+        keep_count = int(round(ratio * pairs.shape[0]))
+        order = rng.permutation(pairs.shape[0])
+        dropped = pairs[order[keep_count:]]
+
+        new_b = self.domain_b.copy()
+        next_gid = int(
+            max(
+                self.domain_a.global_user_ids.max(initial=0),
+                self.domain_b.global_user_ids.max(initial=0),
+            )
+        ) + 1
+        for offset, idx_b in enumerate(dropped[:, 1]):
+            new_b.global_user_ids[idx_b] = next_gid + offset
+
+        metadata = dict(self.metadata)
+        metadata["overlap_ratio"] = ratio
+        return CDRDataset(self.name, self.domain_a.copy(), new_b, metadata)
+
+    def with_density(self, ratio: float, min_interactions: int = 3, rng: Optional[np.random.Generator] = None) -> "CDRDataset":
+        """Downsample both domains' interactions to ``ratio`` of their volume.
+
+        Every user keeps at least ``min_interactions`` interactions so the
+        leave-one-out protocol remains well defined (the paper's preprocessing
+        removes users with fewer than 5 interactions anyway).
+        """
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"density ratio must be in (0, 1], got {ratio}")
+        rng = rng or np.random.default_rng(0)
+        new_a = _downsample_domain(self.domain_a, ratio, min_interactions, rng)
+        new_b = _downsample_domain(self.domain_b, ratio, min_interactions, rng)
+        metadata = dict(self.metadata)
+        metadata["density_ratio"] = ratio
+        return CDRDataset(self.name, new_a, new_b, metadata)
+
+    def domains(self) -> Tuple[DomainData, DomainData]:
+        return self.domain_a, self.domain_b
+
+    def __repr__(self) -> str:
+        return (
+            f"CDRDataset(name={self.name!r}, overlap={self.num_overlapping}, "
+            f"A={self.domain_a!r}, B={self.domain_b!r})"
+        )
+
+
+def _downsample_domain(
+    domain: DomainData,
+    ratio: float,
+    min_interactions: int,
+    rng: np.random.Generator,
+) -> DomainData:
+    """Keep roughly ``ratio`` of each user's interactions (at least ``min_interactions``)."""
+    keep_mask = np.zeros(domain.num_interactions, dtype=bool)
+    for user in range(domain.num_users):
+        positions = np.where(domain.users == user)[0]
+        if positions.size == 0:
+            continue
+        target = max(min_interactions, int(round(ratio * positions.size)))
+        target = min(target, positions.size)
+        chosen = rng.choice(positions, size=target, replace=False)
+        keep_mask[chosen] = True
+    return DomainData(
+        name=domain.name,
+        num_users=domain.num_users,
+        num_items=domain.num_items,
+        users=domain.users[keep_mask],
+        items=domain.items[keep_mask],
+        timestamps=domain.timestamps[keep_mask],
+        global_user_ids=domain.global_user_ids.copy(),
+    )

@@ -1,0 +1,64 @@
+"""Dataset statistics in the style of Table I of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .schema import CDRDataset, DomainData
+
+__all__ = ["DomainStatistics", "scenario_statistics", "format_statistics_table"]
+
+
+@dataclass
+class DomainStatistics:
+    """The Table-I columns for one domain."""
+
+    name: str
+    users: int
+    items: int
+    ratings: int
+    density: float
+    average_interactions_per_item: float
+
+    @classmethod
+    def from_domain(cls, domain: DomainData) -> "DomainStatistics":
+        return cls(
+            name=domain.name,
+            users=domain.num_users,
+            items=domain.num_items,
+            ratings=domain.num_interactions,
+            density=domain.density,
+            average_interactions_per_item=domain.average_interactions_per_item,
+        )
+
+
+def scenario_statistics(dataset: CDRDataset) -> Dict:
+    """Compute Table-I style statistics for one CDR scenario."""
+    return {
+        "scenario": dataset.name,
+        "overlapping": dataset.num_overlapping,
+        "domains": [
+            DomainStatistics.from_domain(dataset.domain_a),
+            DomainStatistics.from_domain(dataset.domain_b),
+        ],
+    }
+
+
+def format_statistics_table(stats_list: List[Dict]) -> str:
+    """Render statistics for several scenarios as an aligned text table."""
+    header = (
+        f"{'Scenario':<14}{'Domain':<10}{'Users':>8}{'Items':>8}{'Ratings':>10}"
+        f"{'#Overlap':>10}{'Density':>10}{'Avg/item':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for stats in stats_list:
+        for index, domain in enumerate(stats["domains"]):
+            overlap = str(stats["overlapping"]) if index == 0 else ""
+            scenario = stats["scenario"] if index == 0 else ""
+            lines.append(
+                f"{scenario:<14}{domain.name:<10}{domain.users:>8}{domain.items:>8}"
+                f"{domain.ratings:>10}{overlap:>10}{domain.density:>10.4%}"
+                f"{domain.average_interactions_per_item:>10.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from . import figures, paper_reference, report
+from .ablation import ABLATION_MODEL_NAMES, AblationResult, run_ablation
+from .density_sweep import DEFAULT_DENSITY_MODELS, DensitySweepResult, run_density_sweep
+from .hyperparams import (
+    HyperparameterSweepResult,
+    run_head_threshold_sweep,
+    run_matching_neighbors_sweep,
+)
+from .online_ab import (
+    DEFAULT_AB_GROUPS,
+    OnlineABResult,
+    OnlineDomainSpec,
+    OnlineWorld,
+    build_online_world,
+    run_online_ab,
+)
+from .overlap_sweep import DEFAULT_SWEEP_MODELS, OverlapSweepResult, run_overlap_sweep
+from .reporting import (
+    format_comparison_table,
+    format_key_values,
+    format_metric_rows,
+    format_overlap_table,
+)
+from .runner import (
+    ExperimentSettings,
+    ModelResult,
+    ScenarioResult,
+    fast_mode,
+    prepare_dataset,
+    run_scenario,
+)
+
+__all__ = [
+    "paper_reference",
+    "figures",
+    "report",
+    "ExperimentSettings",
+    "ModelResult",
+    "ScenarioResult",
+    "run_scenario",
+    "prepare_dataset",
+    "fast_mode",
+    "OverlapSweepResult",
+    "run_overlap_sweep",
+    "DEFAULT_SWEEP_MODELS",
+    "DensitySweepResult",
+    "run_density_sweep",
+    "DEFAULT_DENSITY_MODELS",
+    "AblationResult",
+    "run_ablation",
+    "ABLATION_MODEL_NAMES",
+    "HyperparameterSweepResult",
+    "run_matching_neighbors_sweep",
+    "run_head_threshold_sweep",
+    "OnlineABResult",
+    "OnlineDomainSpec",
+    "OnlineWorld",
+    "build_online_world",
+    "run_online_ab",
+    "DEFAULT_AB_GROUPS",
+    "format_overlap_table",
+    "format_comparison_table",
+    "format_metric_rows",
+    "format_key_values",
+]

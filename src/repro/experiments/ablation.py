@@ -1,0 +1,89 @@
+"""Ablation study — Table IX of the paper.
+
+Trains the full NMCDR model and its four ablation variants (w/o-Igm, w/o-Cgm,
+w/o-Inc, w/o-Sup) on one scenario at a fixed overlap ratio (50% in the paper)
+and compares per-domain NDCG@10 / HR@10.  The paper's qualitative findings:
+
+* removing any component hurts;
+* the inter node matching component (Cgm) contributes the most;
+* the companion supervision (Sup) contributes slightly more than Igm and Inc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..core.variants import VARIANT_NAMES
+from .paper_reference import TABLE9_ABLATION
+from .reporting import format_metric_rows
+from .runner import ExperimentSettings, ScenarioResult, run_scenario
+
+__all__ = ["AblationResult", "run_ablation", "ABLATION_MODEL_NAMES"]
+
+#: Registry names of the ablation variants (order matches Table IX columns).
+ABLATION_MODEL_NAMES = ("NMCDR/w/o-Igm", "NMCDR/w/o-Cgm", "NMCDR/w/o-Inc", "NMCDR/w/o-Sup", "NMCDR")
+
+
+@dataclass
+class AblationResult:
+    """Measured ablation metrics for one scenario."""
+
+    scenario: str
+    scenario_result: ScenarioResult
+
+    def variant_metric(self, variant: str, domain_key: str, metric: str = "ndcg@10") -> float:
+        return self.scenario_result.results[variant].metric(domain_key, metric)
+
+    def full_beats_variant(self, variant: str, domain_key: str, metric: str = "ndcg@10") -> bool:
+        return self.variant_metric("NMCDR", domain_key, metric) >= self.variant_metric(
+            variant, domain_key, metric
+        )
+
+    def component_contributions(self, domain_key: str, metric: str = "ndcg@10") -> Dict[str, float]:
+        """Drop in the metric when each component is removed (larger = more important)."""
+        full = self.variant_metric("NMCDR", domain_key, metric)
+        return {
+            variant: full - self.variant_metric(variant, domain_key, metric)
+            for variant in self.scenario_result.results
+            if variant != "NMCDR"
+        }
+
+    def format_table(self, domain_key: str) -> str:
+        domain_name = (
+            self.scenario_result.task_summary["domain_a"]["name"]
+            if domain_key == "a"
+            else self.scenario_result.task_summary["domain_b"]["name"]
+        )
+        rows = {
+            variant: {
+                "ndcg@10": self.variant_metric(variant, domain_key, "ndcg@10"),
+                "hr@10": self.variant_metric(variant, domain_key, "hr@10"),
+            }
+            for variant in ABLATION_MODEL_NAMES
+            if variant in self.scenario_result.results
+        }
+        title = f"Ablation on {self.scenario} — {domain_name} (measured)"
+        table = format_metric_rows(rows, title=title)
+        if domain_name in TABLE9_ABLATION:
+            paper_rows = {
+                f"paper {variant}": {"ndcg@10": values[0], "hr@10": values[1]}
+                for variant, values in TABLE9_ABLATION[domain_name].items()
+            }
+            table += "\n" + format_metric_rows(paper_rows, title="(paper values, %)")
+        return table
+
+
+def run_ablation(
+    scenario: str,
+    overlap_ratio: float = 0.5,
+    settings: Optional[ExperimentSettings] = None,
+    model_names: Sequence[str] = ABLATION_MODEL_NAMES,
+) -> AblationResult:
+    """Run the Table IX ablation for one scenario."""
+    base = settings or ExperimentSettings(scenario=scenario)
+    point_settings = replace(base, scenario=scenario, overlap_ratio=overlap_ratio)
+    return AblationResult(
+        scenario=scenario,
+        scenario_result=run_scenario(point_settings, model_names),
+    )

@@ -1,0 +1,92 @@
+"""Data-density sweep — Table VI of the paper.
+
+Interactions of both domains are sub-sampled to ``Ds`` of their volume and the
+models are retrained at each density.  The paper's qualitative claims:
+
+* every model degrades as the data gets sparser;
+* NMCDR stays the best model at every density;
+* NMCDR's relative improvement shrinks as the data gets extremely sparse
+  (representation learning becomes hard for every model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .paper_reference import DENSITY_RATIOS
+from .runner import ExperimentSettings, ScenarioResult, run_scenario
+
+__all__ = ["DensitySweepResult", "run_density_sweep", "DEFAULT_DENSITY_MODELS"]
+
+DEFAULT_DENSITY_MODELS = ("LR", "GA-DTCDR", "PTUPCDR", "NMCDR")
+
+
+@dataclass
+class DensitySweepResult:
+    """Results of one density sweep on one scenario."""
+
+    scenario: str
+    density_ratios: List[float]
+    model_names: List[str]
+    per_ratio: List[ScenarioResult] = field(default_factory=list)
+
+    def series(self, model_name: str, domain_key: str) -> List[Tuple[float, float]]:
+        return [
+            (
+                result.results[model_name].metric(domain_key, "ndcg@10"),
+                result.results[model_name].metric(domain_key, "hr@10"),
+            )
+            for result in self.per_ratio
+        ]
+
+    def nmcdr_win_fraction(self, domain_key: str, metric: str = "ndcg@10") -> float:
+        wins = sum(
+            1 for result in self.per_ratio if result.best_model(domain_key, metric) == "NMCDR"
+        )
+        return wins / max(len(self.per_ratio), 1)
+
+    def degradation_with_sparsity(self, model_name: str, domain_key: str) -> bool:
+        """Whether the densest setting outperforms the sparsest one."""
+        series = self.series(model_name, domain_key)
+        return series[-1][0] >= series[0][0]
+
+    def format_table(self, domain_key: str) -> str:
+        domain_name = (
+            self.per_ratio[0].task_summary["domain_a"]["name"]
+            if domain_key == "a"
+            else self.per_ratio[0].task_summary["domain_b"]["name"]
+        )
+        header = f"{'Model':<16}" + "".join(
+            f"{f'Ds={ratio:.0%}':>18}" for ratio in self.density_ratios
+        )
+        lines = [f"{self.scenario} — {domain_name} (NDCG@10 / HR@10, %)", header, "-" * len(header)]
+        for name in self.model_names:
+            cells = "".join(
+                f"{f'{ndcg * 100:6.2f}/{hr * 100:6.2f}':>18}"
+                for ndcg, hr in self.series(name, domain_key)
+            )
+            lines.append(f"{name:<16}{cells}")
+        return "\n".join(lines)
+
+
+def run_density_sweep(
+    scenario: str,
+    model_names: Sequence[str] = DEFAULT_DENSITY_MODELS,
+    density_ratios: Sequence[float] = DENSITY_RATIOS,
+    overlap_ratio: float = 0.5,
+    settings: Optional[ExperimentSettings] = None,
+) -> DensitySweepResult:
+    """Run the Table VI experiment for one scenario."""
+    base = settings or ExperimentSettings(scenario=scenario)
+    sweep = DensitySweepResult(
+        scenario=scenario,
+        density_ratios=list(density_ratios),
+        model_names=list(model_names),
+    )
+    for ratio in density_ratios:
+        point_settings = replace(
+            base, scenario=scenario, density_ratio=float(ratio), overlap_ratio=overlap_ratio
+        )
+        sweep.per_ratio.append(run_scenario(point_settings, model_names))
+    return sweep

@@ -1,0 +1,115 @@
+"""Export experiment results as plain CSV so figures can be drawn elsewhere.
+
+No plotting backend ships with the offline environment, so each figure-shaped
+result (overlap sweeps, hyper-parameter sensitivity, embedding projections) is
+exported as a small CSV file that any external tool can plot.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .density_sweep import DensitySweepResult
+from .hyperparams import HyperparameterSweepResult
+from .overlap_sweep import OverlapSweepResult
+
+__all__ = [
+    "overlap_sweep_to_csv",
+    "density_sweep_to_csv",
+    "hyperparameter_sweep_to_csv",
+    "projection_to_csv",
+    "write_csv",
+]
+
+
+def write_csv(content: str, path: Optional[Union[str, Path]]) -> Optional[Path]:
+    """Write CSV ``content`` to ``path`` (created if needed); returns the path."""
+    if path is None:
+        return None
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path
+
+
+def overlap_sweep_to_csv(sweep: OverlapSweepResult, path: Optional[Union[str, Path]] = None) -> str:
+    """CSV with one row per (model, domain, overlap ratio)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["scenario", "model", "domain", "overlap_ratio", "ndcg@10", "hr@10"])
+    for model_name in sweep.model_names:
+        for domain_key in ("a", "b"):
+            for ratio, (ndcg, hr) in zip(sweep.overlap_ratios, sweep.series(model_name, domain_key)):
+                writer.writerow([sweep.scenario, model_name, domain_key, ratio, f"{ndcg:.6f}", f"{hr:.6f}"])
+    content = buffer.getvalue()
+    write_csv(content, path)
+    return content
+
+
+def density_sweep_to_csv(sweep: DensitySweepResult, path: Optional[Union[str, Path]] = None) -> str:
+    """CSV with one row per (model, domain, density ratio)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["scenario", "model", "domain", "density_ratio", "ndcg@10", "hr@10"])
+    for model_name in sweep.model_names:
+        for domain_key in ("a", "b"):
+            for ratio, (ndcg, hr) in zip(sweep.density_ratios, sweep.series(model_name, domain_key)):
+                writer.writerow([sweep.scenario, model_name, domain_key, ratio, f"{ndcg:.6f}", f"{hr:.6f}"])
+    content = buffer.getvalue()
+    write_csv(content, path)
+    return content
+
+
+def hyperparameter_sweep_to_csv(
+    sweep: HyperparameterSweepResult, path: Optional[Union[str, Path]] = None
+) -> str:
+    """CSV with one row per swept value (Fig. 3 / Fig. 4 series)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "scenario",
+        sweep.parameter_name,
+        "ndcg@10_domain_a",
+        "ndcg@10_domain_b",
+        "hr@10_domain_a",
+        "hr@10_domain_b",
+        "ndcg@10_avg",
+    ])
+    ndcg_a = sweep.series("a", "ndcg@10")
+    ndcg_b = sweep.series("b", "ndcg@10")
+    hr_a = sweep.series("a", "hr@10")
+    hr_b = sweep.series("b", "hr@10")
+    averaged = sweep.average_series("ndcg@10")
+    for index, value in enumerate(sweep.parameter_values):
+        writer.writerow(
+            [
+                sweep.scenario,
+                value,
+                f"{ndcg_a[index]:.6f}",
+                f"{ndcg_b[index]:.6f}",
+                f"{hr_a[index]:.6f}",
+                f"{hr_b[index]:.6f}",
+                f"{averaged[index]:.6f}",
+            ]
+        )
+    content = buffer.getvalue()
+    write_csv(content, path)
+    return content
+
+
+def projection_to_csv(projection: Dict[str, np.ndarray], path: Optional[Union[str, Path]] = None) -> str:
+    """CSV of a t-SNE projection (Fig. 5): user index, x, y, head flag."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["user_index", "x", "y", "is_head"])
+    coordinates = projection["coordinates"]
+    for user, (x, y), is_head in zip(projection["user_indices"], coordinates, projection["is_head"]):
+        writer.writerow([int(user), f"{x:.6f}", f"{y:.6f}", int(bool(is_head))])
+    content = buffer.getvalue()
+    write_csv(content, path)
+    return content

@@ -1,0 +1,113 @@
+"""Hyper-parameter sensitivity sweeps — Figures 3 and 4 of the paper.
+
+* Fig. 3: number of matching neighbours sampled by the fully connected
+  matching graphs (128 → 1024 in the paper; scaled down here).
+* Fig. 4: head/tail discrimination threshold ``K_head``.
+
+Each sweep trains NMCDR only (the baselines do not have these knobs) and
+reports the per-domain NDCG@10 / HR@10 series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import CDRTrainer, NMCDR, build_task
+from .runner import ExperimentSettings, prepare_dataset
+
+__all__ = [
+    "HyperparameterSweepResult",
+    "run_matching_neighbors_sweep",
+    "run_head_threshold_sweep",
+]
+
+
+@dataclass
+class HyperparameterSweepResult:
+    """Metric series over one swept hyper-parameter."""
+
+    scenario: str
+    parameter_name: str
+    parameter_values: List[float]
+    metrics: List[Dict[str, Dict[str, float]]] = field(default_factory=list)
+
+    def series(self, domain_key: str, metric: str = "ndcg@10") -> List[float]:
+        return [point.get(domain_key, {}).get(metric, float("nan")) for point in self.metrics]
+
+    def average_series(self, metric: str = "ndcg@10") -> List[float]:
+        """Average of the two domains per sweep point (what Fig. 3/4 plot)."""
+        series_a = self.series("a", metric)
+        series_b = self.series("b", metric)
+        return [(a + b) / 2.0 for a, b in zip(series_a, series_b)]
+
+    def best_value(self, metric: str = "ndcg@10") -> float:
+        averaged = self.average_series(metric)
+        best_index = max(range(len(averaged)), key=lambda index: averaged[index])
+        return self.parameter_values[best_index]
+
+    def relative_spread(self, metric: str = "ndcg@10") -> float:
+        """(max - min) / max of the averaged series — small = robust (Fig. 4 claim)."""
+        averaged = self.average_series(metric)
+        top = max(averaged)
+        if top <= 0:
+            return float("nan")
+        return (top - min(averaged)) / top
+
+    def format_table(self) -> str:
+        header = f"{self.parameter_name:<24}" + "".join(
+            f"{value:>12g}" for value in self.parameter_values
+        )
+        lines = [f"{self.scenario}: NMCDR sensitivity to {self.parameter_name}", header, "-" * len(header)]
+        for metric in ("ndcg@10", "hr@10"):
+            cells = "".join(f"{value:>12.4f}" for value in self.average_series(metric))
+            lines.append(f"{('avg ' + metric):<24}{cells}")
+        return "\n".join(lines)
+
+
+def _run_single_nmcdr(settings: ExperimentSettings, nmcdr_overrides: Dict) -> Dict[str, Dict[str, float]]:
+    dataset = prepare_dataset(settings)
+    task = build_task(dataset, head_threshold=nmcdr_overrides.get("head_threshold", settings.head_threshold))
+    config = settings.nmcdr_config().variant(**nmcdr_overrides)
+    model = NMCDR(task, config)
+    trainer = CDRTrainer(model, task, settings.trainer_config())
+    trainer.fit()
+    return trainer.evaluate(subset="test")
+
+
+def run_matching_neighbors_sweep(
+    scenario: str,
+    neighbor_counts: Sequence[int] = (8, 32, 64, 128),
+    overlap_ratio: float = 0.5,
+    settings: Optional[ExperimentSettings] = None,
+) -> HyperparameterSweepResult:
+    """Fig. 3: sweep the matching-neighbour sample size."""
+    base = settings or ExperimentSettings(scenario=scenario)
+    base = replace(base, scenario=scenario, overlap_ratio=overlap_ratio)
+    result = HyperparameterSweepResult(
+        scenario=scenario,
+        parameter_name="matching_neighbors",
+        parameter_values=[float(count) for count in neighbor_counts],
+    )
+    for count in neighbor_counts:
+        result.metrics.append(_run_single_nmcdr(base, {"max_matching_neighbors": int(count)}))
+    return result
+
+
+def run_head_threshold_sweep(
+    scenario: str,
+    thresholds: Sequence[int] = (3, 5, 7, 9, 11),
+    overlap_ratio: float = 0.5,
+    settings: Optional[ExperimentSettings] = None,
+) -> HyperparameterSweepResult:
+    """Fig. 4: sweep the head/tail user discrimination threshold ``K_head``."""
+    base = settings or ExperimentSettings(scenario=scenario)
+    base = replace(base, scenario=scenario, overlap_ratio=overlap_ratio)
+    result = HyperparameterSweepResult(
+        scenario=scenario,
+        parameter_name="head_threshold",
+        parameter_values=[float(threshold) for threshold in thresholds],
+    )
+    for threshold in thresholds:
+        result.metrics.append(_run_single_nmcdr(base, {"head_threshold": int(threshold)}))
+    return result

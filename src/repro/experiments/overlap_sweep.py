@@ -1,0 +1,105 @@
+"""Overlap-ratio sweep — Tables II, III, IV and V of the paper.
+
+For one scenario, train the requested models at several user-overlap ratios
+``Ku`` and collect NDCG@10 / HR@10 per domain.  The qualitative claims checked
+against the paper:
+
+* NMCDR achieves the best metrics at every overlap ratio;
+* every model (including NMCDR) degrades as the overlap ratio shrinks;
+* NMCDR's margin is largest in the sparse-item scenarios (Cloth–Sport,
+  Phone–Elec) and smallest for Loan–Fund's Loan domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .paper_reference import OVERLAP_RATIOS, nmcdr_reference_row
+from .reporting import format_overlap_table
+from .runner import ExperimentSettings, ScenarioResult, run_scenario
+
+__all__ = ["OverlapSweepResult", "run_overlap_sweep", "DEFAULT_SWEEP_MODELS"]
+
+#: Representative subset used in fast mode (one per baseline family + ours).
+DEFAULT_SWEEP_MODELS = ("LR", "PLE", "GA-DTCDR", "PTUPCDR", "NMCDR")
+
+
+@dataclass
+class OverlapSweepResult:
+    """Results of one overlap-ratio sweep on one scenario."""
+
+    scenario: str
+    overlap_ratios: List[float]
+    model_names: List[str]
+    per_ratio: List[ScenarioResult] = field(default_factory=list)
+
+    def series(self, model_name: str, domain_key: str) -> List[Tuple[float, float]]:
+        """(NDCG@10, HR@10) of one model across the sweep."""
+        return [
+            (
+                result.results[model_name].metric(domain_key, "ndcg@10"),
+                result.results[model_name].metric(domain_key, "hr@10"),
+            )
+            for result in self.per_ratio
+        ]
+
+    def nmcdr_win_fraction(self, domain_key: str, metric: str = "ndcg@10") -> float:
+        """Fraction of sweep points where NMCDR is the best model."""
+        wins = sum(
+            1 for result in self.per_ratio if result.best_model(domain_key, metric) == "NMCDR"
+        )
+        return wins / max(len(self.per_ratio), 1)
+
+    def mean_improvement(self, domain_key: str, metric: str = "ndcg@10") -> float:
+        """Average relative improvement of NMCDR over the best baseline (%)."""
+        values = [
+            result.improvement_over_best_baseline(domain_key, metric)
+            for result in self.per_ratio
+        ]
+        finite = [value for value in values if value == value and value != float("inf")]
+        return sum(finite) / max(len(finite), 1)
+
+    def monotone_degradation(self, model_name: str, domain_key: str) -> bool:
+        """Whether the model's NDCG at the largest Ku beats the smallest Ku."""
+        series = self.series(model_name, domain_key)
+        return series[-1][0] >= series[0][0]
+
+    def format_table(self, domain_key: str) -> str:
+        domain_name = (
+            self.per_ratio[0].task_summary["domain_a"]["name"]
+            if domain_key == "a"
+            else self.per_ratio[0].task_summary["domain_b"]["name"]
+        )
+        measured = {
+            name: [(ndcg * 100.0, hr * 100.0) for ndcg, hr in self.series(name, domain_key)]
+            for name in self.model_names
+        }
+        try:
+            paper = nmcdr_reference_row(self.scenario, domain_name)
+            if len(paper) != len(self.overlap_ratios):
+                paper = None
+        except KeyError:
+            paper = None
+        return format_overlap_table(
+            self.scenario, domain_name, self.overlap_ratios, measured, paper_nmcdr=paper
+        )
+
+
+def run_overlap_sweep(
+    scenario: str,
+    model_names: Sequence[str] = DEFAULT_SWEEP_MODELS,
+    overlap_ratios: Sequence[float] = OVERLAP_RATIOS,
+    settings: Optional[ExperimentSettings] = None,
+) -> OverlapSweepResult:
+    """Run the Tables II–V experiment for one scenario."""
+    base = settings or ExperimentSettings(scenario=scenario)
+    sweep = OverlapSweepResult(
+        scenario=scenario,
+        overlap_ratios=list(overlap_ratios),
+        model_names=list(model_names),
+    )
+    for ratio in overlap_ratios:
+        point_settings = replace(base, scenario=scenario, overlap_ratio=float(ratio))
+        sweep.per_ratio.append(run_scenario(point_settings, model_names))
+    return sweep

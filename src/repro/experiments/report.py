@@ -1,0 +1,71 @@
+"""Aggregate the per-experiment bench reports into a single document.
+
+Each benchmark writes a plain-text report under ``benchmarks/results/``; this
+module stitches them into one markdown file (one section per experiment, in
+paper order) so the complete paper-vs-measured picture can be read or shared
+as a single artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["REPORT_ORDER", "collect_reports", "build_markdown_report", "write_markdown_report"]
+
+#: Display order and titles of the known experiment reports.
+REPORT_ORDER = (
+    ("table1_statistics", "Table I — dataset statistics"),
+    ("table2_music_movie", "Table II — Music–Movie overlap sweep"),
+    ("table3_cloth_sport", "Table III — Cloth–Sport overlap sweep"),
+    ("table4_phone_elec", "Table IV — Phone–Elec overlap sweep"),
+    ("table5_loan_fund", "Table V — Loan–Fund overlap sweep"),
+    ("table6_density", "Table VI — data-density sweep"),
+    ("table8_online_ab", "Tables VII/VIII — online A/B simulation"),
+    ("table9_ablation", "Table IX — component ablation"),
+    ("fig3_matching_neighbors", "Fig. 3 — matching-neighbour sensitivity"),
+    ("fig4_head_tail_threshold", "Fig. 4 — head/tail threshold sensitivity"),
+    ("fig5_embedding_alignment", "Fig. 5 — embedding alignment"),
+    ("efficiency", "Sec. III.B.6 — model efficiency"),
+    ("stability", "Sec. II.H — stability analysis"),
+    ("design_ablations", "Extra — design-choice ablations"),
+)
+
+
+def collect_reports(results_dir: Union[str, Path]) -> Dict[str, str]:
+    """Read every ``*.txt`` report in ``results_dir`` keyed by its stem."""
+    results_dir = Path(results_dir)
+    if not results_dir.exists():
+        return {}
+    return {path.stem: path.read_text().rstrip() for path in sorted(results_dir.glob("*.txt"))}
+
+
+def build_markdown_report(results_dir: Union[str, Path], title: str = "NMCDR reproduction results") -> str:
+    """Build one markdown document from all available bench reports."""
+    reports = collect_reports(results_dir)
+    lines: List[str] = [f"# {title}", ""]
+    if not reports:
+        lines.append("_No bench reports found; run `pytest benchmarks/ --benchmark-only` first._")
+        return "\n".join(lines)
+
+    known = {name for name, _ in REPORT_ORDER}
+    for name, heading in REPORT_ORDER:
+        if name not in reports:
+            continue
+        lines.extend([f"## {heading}", "", "```", reports[name], "```", ""])
+    # Include any extra reports that are not in the canonical list.
+    for name in sorted(set(reports) - known):
+        lines.extend([f"## {name}", "", "```", reports[name], "```", ""])
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    results_dir: Union[str, Path],
+    output_path: Union[str, Path],
+    title: str = "NMCDR reproduction results",
+) -> Path:
+    """Write the aggregated markdown report to ``output_path`` and return the path."""
+    output_path = Path(output_path)
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    output_path.write_text(build_markdown_report(results_dir, title=title) + "\n")
+    return output_path

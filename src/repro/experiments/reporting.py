@@ -1,0 +1,93 @@
+"""Table formatting for the experiment harness.
+
+Formats measured results in the same shape as the paper's tables and, where
+reference values are transcribed in :mod:`repro.experiments.paper_reference`,
+prints a paper-vs-measured comparison so bench output can be pasted directly
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "format_overlap_table",
+    "format_comparison_table",
+    "format_metric_rows",
+    "format_key_values",
+]
+
+
+def format_metric_rows(
+    rows: Dict[str, Dict[str, float]],
+    metrics: Sequence[str] = ("ndcg@10", "hr@10"),
+    title: str = "",
+) -> str:
+    """Render ``{row_name: {metric: value}}`` as an aligned text table."""
+    header = f"{'Model':<16}" + "".join(f"{metric:>12}" for metric in metrics)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, "-" * len(header)])
+    for name, values in rows.items():
+        cells = "".join(f"{values.get(metric, float('nan')):>12.4f}" for metric in metrics)
+        lines.append(f"{name:<16}{cells}")
+    return "\n".join(lines)
+
+
+def format_overlap_table(
+    scenario: str,
+    domain_name: str,
+    overlap_ratios: Sequence[float],
+    measured: Dict[str, List[Tuple[float, float]]],
+    paper_nmcdr: Optional[List[Tuple[float, float]]] = None,
+    metric_names: Tuple[str, str] = ("NDCG@10", "HR@10"),
+) -> str:
+    """Render one half (one domain) of a Table II–V style overlap sweep.
+
+    ``measured`` maps a model name to one (ndcg, hr) pair per overlap ratio.
+    """
+    ratio_header = "".join(f"{f'Ku={ratio:.1%}':>20}" for ratio in overlap_ratios)
+    lines = [
+        f"{scenario} — {domain_name} domain ({metric_names[0]} / {metric_names[1]}, %)",
+        f"{'Model':<16}{ratio_header}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for model_name, pairs in measured.items():
+        cells = "".join(f"{f'{ndcg:6.2f}/{hr:6.2f}':>20}" for ndcg, hr in pairs)
+        lines.append(f"{model_name:<16}{cells}")
+    if paper_nmcdr is not None:
+        cells = "".join(f"{f'{ndcg:6.2f}/{hr:6.2f}':>20}" for ndcg, hr in paper_nmcdr)
+        lines.append(f"{'paper NMCDR':<16}{cells}")
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    title: str,
+    paper: Dict[str, float],
+    measured: Dict[str, float],
+    unit: str = "",
+) -> str:
+    """Two-column paper-vs-measured comparison for scalar quantities."""
+    keys = list(dict.fromkeys(list(paper.keys()) + list(measured.keys())))
+    header = f"{'Quantity':<28}{'paper':>14}{'measured':>14}"
+    lines = [title, header, "-" * len(header)]
+    for key in keys:
+        paper_value = paper.get(key, float("nan"))
+        measured_value = measured.get(key, float("nan"))
+        lines.append(f"{key:<28}{paper_value:>14.4f}{measured_value:>14.4f}")
+    if unit:
+        lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def format_key_values(title: str, values: Dict[str, float]) -> str:
+    """Simple aligned key/value block."""
+    lines = [title]
+    width = max((len(key) for key in values), default=0) + 2
+    for key, value in values.items():
+        if isinstance(value, float):
+            lines.append(f"  {key:<{width}}{value:.6f}")
+        else:
+            lines.append(f"  {key:<{width}}{value}")
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Graph substrate: interaction graphs, GNN kernels, matching-neighbour sampling."""
+
+from .bipartite import InteractionGraph
+from .homogeneous import HeadTailPartition, MatchingNeighborSampler
+from .kernels import GATConv, GCNConv, VanillaGNNConv, kernel_by_name
+from .message_passing import segment_mean, spmm
+
+__all__ = [
+    "InteractionGraph",
+    "HeadTailPartition",
+    "MatchingNeighborSampler",
+    "VanillaGNNConv",
+    "GCNConv",
+    "GATConv",
+    "kernel_by_name",
+    "spmm",
+    "segment_mean",
+]

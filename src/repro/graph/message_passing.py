@@ -1,0 +1,64 @@
+"""Sparse message-passing primitives bridging scipy sparse matrices and autograd.
+
+The adjacency structure of the interaction graph is fixed data (no gradient is
+required through it), so propagation reduces to multiplying a constant sparse
+operator by a dense differentiable feature matrix.  ``spmm`` wires that product
+into the autograd graph with the correct transpose rule for the backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tensor import Tensor, as_tensor
+
+__all__ = ["spmm", "segment_mean"]
+
+
+def spmm(matrix: sp.spmatrix, features: Tensor) -> Tensor:
+    """Differentiable ``sparse @ dense`` product.
+
+    Parameters
+    ----------
+    matrix:
+        Constant scipy sparse operator of shape ``(M, N)``.
+    features:
+        Dense :class:`Tensor` of shape ``(N, D)`` requiring gradients.
+    """
+    features = as_tensor(features)
+    matrix = matrix.tocsr()
+    if matrix.shape[1] != features.shape[0]:
+        raise ValueError(
+            f"spmm shape mismatch: operator {matrix.shape} vs features {features.shape}"
+        )
+    out_data = matrix @ features.data
+
+    def backward(grad: np.ndarray) -> None:
+        features._accumulate(matrix.T @ np.asarray(grad))
+
+    return Tensor._build(out_data, (features,), backward, "spmm")
+
+
+def segment_mean(features: Tensor, segment_indices: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of feature rows grouped by ``segment_indices``.
+
+    Used to aggregate messages per destination node when an explicit sparse
+    operator is inconvenient (e.g. attention-weighted neighbourhoods).
+    Rows belonging to empty segments are zero.
+    """
+    segment_indices = np.asarray(segment_indices, dtype=np.int64)
+    if segment_indices.shape[0] != features.shape[0]:
+        raise ValueError("segment_indices must have one entry per feature row")
+    counts = np.bincount(segment_indices, minlength=num_segments).astype(np.float64)
+    weights = np.divide(1.0, counts, out=np.zeros_like(counts), where=counts > 0)
+    operator = sp.coo_matrix(
+        (
+            weights[segment_indices],
+            (segment_indices, np.arange(segment_indices.shape[0])),
+        ),
+        shape=(num_segments, segment_indices.shape[0]),
+    ).tocsr()
+    return spmm(operator, features)

@@ -1,0 +1,97 @@
+"""Lightweight experiment logging and timing utilities.
+
+The experiment harness is deliberately free of heavyweight dependencies; these
+helpers provide the minimum a long-running sweep needs: section-scoped timing,
+throttled progress lines and a structured record that can be dumped to JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["Timer", "ExperimentLogger"]
+
+
+class Timer:
+    """Accumulate wall-clock time per named section."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        """Context manager timing one section occurrence."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds spent in ``name``."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of times ``name`` was entered."""
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per occurrence of ``name`` (0 if never entered)."""
+        count = self._counts.get(name, 0)
+        return self._totals.get(name, 0.0) / count if count else 0.0
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-section totals, counts and means."""
+        return {
+            name: {"total": self.total(name), "count": self.count(name), "mean": self.mean(name)}
+            for name in self._totals
+        }
+
+
+class ExperimentLogger:
+    """Collect structured experiment records and optionally echo them to stdout."""
+
+    def __init__(self, name: str, verbose: bool = False) -> None:
+        self.name = name
+        self.verbose = bool(verbose)
+        self.records: List[Dict] = []
+        self.timer = Timer()
+        self._started = time.time()
+
+    def log(self, event: str, **fields) -> Dict:
+        """Append one record; returns it for convenience."""
+        record = {"event": event, "elapsed_s": round(time.time() - self._started, 3), **fields}
+        self.records.append(record)
+        if self.verbose:
+            printable = ", ".join(f"{key}={value}" for key, value in fields.items())
+            print(f"[{self.name}] {event}: {printable}")
+        return record
+
+    def log_metrics(self, model_name: str, metrics: Dict[str, Dict[str, float]]) -> Dict:
+        """Convenience wrapper flattening a per-domain metrics dict."""
+        flat = {
+            f"{domain}/{metric}": value
+            for domain, per_domain in metrics.items()
+            for metric, value in per_domain.items()
+        }
+        return self.log("metrics", model=model_name, **flat)
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialise all records (and timer summary) to JSON; optionally write to ``path``."""
+        payload = json.dumps(
+            {"experiment": self.name, "records": self.records, "timings": self.timer.summary()},
+            indent=2,
+            default=float,
+        )
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(payload)
+        return payload

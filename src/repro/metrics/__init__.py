@@ -1,0 +1,33 @@
+"""Evaluation metrics and the leave-one-out ranking protocol."""
+
+from .beyond_accuracy import (
+    average_popularity_lift,
+    beyond_accuracy_report,
+    catalog_coverage,
+    gini_concentration,
+    intra_list_overlap,
+    top_k_from_scores,
+)
+from .classification import auc, conversion_rate, log_loss
+from .evaluator import RankingEvaluator, Scorer, evaluate_split
+from .ranking import hit_rate_at_k, mrr, ndcg_at_k, rank_of_positive, ranking_report
+
+__all__ = [
+    "auc",
+    "log_loss",
+    "conversion_rate",
+    "catalog_coverage",
+    "gini_concentration",
+    "average_popularity_lift",
+    "intra_list_overlap",
+    "beyond_accuracy_report",
+    "top_k_from_scores",
+    "rank_of_positive",
+    "hit_rate_at_k",
+    "ndcg_at_k",
+    "mrr",
+    "ranking_report",
+    "Scorer",
+    "RankingEvaluator",
+    "evaluate_split",
+]

@@ -1,0 +1,130 @@
+"""Beyond-accuracy recommendation metrics: coverage, concentration and novelty.
+
+The paper evaluates ranking accuracy only (HR/NDCG), but a production CDR
+system — the setting of the MYbank deployment in Sec. III.C — also cares about
+how much of the catalogue the model actually recommends and how concentrated
+its recommendations are on popular items.  These metrics are used by the
+tail-user analysis example and are available to any downstream user.
+
+All functions operate on a matrix of recommended item ids of shape
+``(num_users, k)`` (the top-k lists) plus, where needed, item popularity counts
+from the training data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "catalog_coverage",
+    "gini_concentration",
+    "average_popularity_lift",
+    "intra_list_overlap",
+    "beyond_accuracy_report",
+    "top_k_from_scores",
+]
+
+
+def top_k_from_scores(scores: np.ndarray, candidates: np.ndarray, k: int = 10) -> np.ndarray:
+    """Select the top-``k`` candidate item ids per row from a score matrix.
+
+    ``scores`` and ``candidates`` have identical shape ``(num_users,
+    num_candidates)``; the returned matrix has shape ``(num_users, k)``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if scores.shape != candidates.shape:
+        raise ValueError("scores and candidates must have the same shape")
+    if k <= 0 or k > scores.shape[1]:
+        raise ValueError(f"k must be in [1, {scores.shape[1]}], got {k}")
+    order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+    return np.take_along_axis(candidates, order, axis=1)
+
+
+def catalog_coverage(recommendations: np.ndarray, num_items: int) -> float:
+    """Fraction of the catalogue that appears in at least one top-k list."""
+    recommendations = np.asarray(recommendations, dtype=np.int64)
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    unique = np.unique(recommendations)
+    return float(unique.size) / float(num_items)
+
+
+def gini_concentration(recommendations: np.ndarray, num_items: int) -> float:
+    """Gini coefficient of how recommendations are distributed over items.
+
+    0 = perfectly even exposure across the catalogue, 1 = all recommendations
+    concentrated on a single item.
+    """
+    recommendations = np.asarray(recommendations, dtype=np.int64)
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    counts = np.bincount(recommendations.reshape(-1), minlength=num_items).astype(np.float64)
+    if counts.sum() == 0:
+        return 0.0
+    sorted_counts = np.sort(counts)
+    n = sorted_counts.size
+    cumulative = np.cumsum(sorted_counts)
+    # standard Gini formula on the exposure distribution
+    gini = (n + 1 - 2.0 * np.sum(cumulative) / cumulative[-1]) / n
+    return float(max(0.0, min(1.0, gini)))
+
+
+def average_popularity_lift(
+    recommendations: np.ndarray, item_popularity: np.ndarray
+) -> float:
+    """Mean training popularity of recommended items divided by the catalogue mean.
+
+    Values well above 1 indicate a popularity-biased recommender; values near 1
+    indicate recommendations spread proportionally to a uniform catalogue.
+    """
+    recommendations = np.asarray(recommendations, dtype=np.int64)
+    item_popularity = np.asarray(item_popularity, dtype=np.float64)
+    if item_popularity.ndim != 1:
+        raise ValueError("item_popularity must be a 1-D array of per-item counts")
+    catalogue_mean = item_popularity.mean()
+    if catalogue_mean == 0:
+        return float("nan")
+    recommended_mean = item_popularity[recommendations.reshape(-1)].mean()
+    return float(recommended_mean / catalogue_mean)
+
+
+def intra_list_overlap(recommendations: np.ndarray) -> float:
+    """Average pairwise Jaccard overlap between different users' top-k lists.
+
+    High overlap means every user receives nearly the same list (no
+    personalisation); low overlap means lists are diverse across users.
+    Computed over at most 200 randomly ordered users to stay cheap.
+    """
+    recommendations = np.asarray(recommendations, dtype=np.int64)
+    num_users = recommendations.shape[0]
+    if num_users < 2:
+        return 0.0
+    limit = min(num_users, 200)
+    lists = [set(row.tolist()) for row in recommendations[:limit]]
+    overlaps = []
+    for i in range(len(lists)):
+        for j in range(i + 1, len(lists)):
+            union = len(lists[i] | lists[j])
+            if union == 0:
+                continue
+            overlaps.append(len(lists[i] & lists[j]) / union)
+    return float(np.mean(overlaps)) if overlaps else 0.0
+
+
+def beyond_accuracy_report(
+    recommendations: np.ndarray,
+    num_items: int,
+    item_popularity: Optional[np.ndarray] = None,
+) -> Dict[str, float]:
+    """Bundle of the beyond-accuracy metrics for one recommender's top-k lists."""
+    report = {
+        "catalog_coverage": catalog_coverage(recommendations, num_items),
+        "gini_concentration": gini_concentration(recommendations, num_items),
+        "intra_list_overlap": intra_list_overlap(recommendations),
+    }
+    if item_popularity is not None:
+        report["popularity_lift"] = average_popularity_lift(recommendations, item_popularity)
+    return report

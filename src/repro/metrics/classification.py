@@ -1,0 +1,57 @@
+"""Binary classification metrics: AUC, log-loss and the CVR used in Sec. III.C."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["auc", "log_loss", "conversion_rate"]
+
+_EPS = 1e-12
+
+
+def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum formulation.
+
+    Handles ties by averaging ranks; returns 0.5 when only one class is
+    present (undefined case).
+    """
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    positives = labels > 0.5
+    n_pos = int(positives.sum())
+    n_neg = int(labels.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, labels.size + 1)
+    # average ranks over ties
+    sorted_scores = scores[order]
+    unique, start_index, counts = np.unique(sorted_scores, return_index=True, return_counts=True)
+    for start, count in zip(start_index, counts):
+        if count > 1:
+            tie_positions = order[start : start + count]
+            ranks[tie_positions] = ranks[tie_positions].mean()
+    pos_rank_sum = ranks[positives].sum()
+    return float((pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def log_loss(labels: np.ndarray, probabilities: np.ndarray) -> float:
+    """Average binary cross-entropy of predicted probabilities."""
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    probabilities = np.clip(np.asarray(probabilities, dtype=np.float64).ravel(), _EPS, 1 - _EPS)
+    if labels.shape != probabilities.shape:
+        raise ValueError("labels and probabilities must have the same shape")
+    return float(
+        -np.mean(labels * np.log(probabilities) + (1 - labels) * np.log(1 - probabilities))
+    )
+
+
+def conversion_rate(conversions: np.ndarray, impressions: int) -> float:
+    """CVR: conversions divided by impressions (the online A/B metric)."""
+    if impressions <= 0:
+        raise ValueError("impressions must be positive")
+    total = float(np.asarray(conversions, dtype=np.float64).sum())
+    return total / float(impressions)

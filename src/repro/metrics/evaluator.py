@@ -1,0 +1,92 @@
+"""The 1-positive + 199-negative leave-one-out evaluation protocol.
+
+Any model exposing ``score(domain_key, users, items) -> np.ndarray`` can be
+evaluated; ``domain_key`` is ``"a"`` or ``"b"`` selecting the domain of a CDR
+scenario (single-domain baselines simply ignore the other domain).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..data.negative_sampling import build_ranking_candidates
+from ..data.split import DomainSplit
+from .ranking import ranking_report
+
+__all__ = ["Scorer", "RankingEvaluator", "evaluate_split"]
+
+
+class Scorer(Protocol):
+    """Minimal scoring interface every recommender in this repo implements."""
+
+    def score(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Return an affinity score per (user, item) pair, higher is better."""
+        ...
+
+
+class RankingEvaluator:
+    """Pre-samples ranking candidates once and evaluates any number of models.
+
+    Sharing the candidate lists across models removes sampling noise from the
+    model comparison (all models rank exactly the same 200 candidates per
+    user), which is the fair-comparison setup the paper describes.
+    """
+
+    def __init__(
+        self,
+        split: DomainSplit,
+        domain_key: str,
+        num_negatives: int = 199,
+        ks: Sequence[int] = (5, 10),
+        subset: str = "test",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if domain_key not in {"a", "b"}:
+            raise ValueError("domain_key must be 'a' or 'b'")
+        self.domain_key = domain_key
+        self.ks = tuple(ks)
+        self.users, self.candidates = build_ranking_candidates(
+            split, num_negatives=num_negatives, rng=rng, subset=subset
+        )
+
+    @property
+    def num_eval_users(self) -> int:
+        return int(self.users.shape[0])
+
+    def score_matrix(self, model: Scorer, batch_size: int = 4096) -> np.ndarray:
+        """Score every candidate; returns ``(num_eval_users, num_candidates)``."""
+        if self.num_eval_users == 0:
+            return np.zeros((0, self.candidates.shape[1]))
+        n_users, n_candidates = self.candidates.shape
+        flat_users = np.repeat(self.users, n_candidates)
+        flat_items = self.candidates.reshape(-1)
+        scores = np.empty(flat_users.shape[0], dtype=np.float64)
+        for start in range(0, flat_users.shape[0], batch_size):
+            stop = start + batch_size
+            scores[start:stop] = np.asarray(
+                model.score(self.domain_key, flat_users[start:stop], flat_items[start:stop])
+            ).ravel()
+        return scores.reshape(n_users, n_candidates)
+
+    def evaluate(self, model: Scorer) -> Dict[str, float]:
+        """Return HR@K / NDCG@K / MRR for ``model`` on the held-out positives."""
+        scores = self.score_matrix(model)
+        return ranking_report(scores, ks=self.ks)
+
+
+def evaluate_split(
+    model: Scorer,
+    split: DomainSplit,
+    domain_key: str,
+    num_negatives: int = 199,
+    ks: Sequence[int] = (5, 10),
+    subset: str = "test",
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """One-shot convenience wrapper around :class:`RankingEvaluator`."""
+    evaluator = RankingEvaluator(
+        split, domain_key, num_negatives=num_negatives, ks=ks, subset=subset, rng=rng
+    )
+    return evaluator.evaluate(model)

@@ -1,0 +1,66 @@
+"""Top-N ranking metrics: HR@K, NDCG@K and MRR.
+
+The evaluation protocol (Sec. III.A.2) ranks one ground-truth positive among
+199 sampled negatives; the metrics below operate on the resulting score
+matrices where **column 0 is always the positive item**.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["rank_of_positive", "hit_rate_at_k", "ndcg_at_k", "mrr", "ranking_report"]
+
+
+def rank_of_positive(scores: np.ndarray) -> np.ndarray:
+    """Return the 1-based rank of column 0 within each row of ``scores``.
+
+    Ties are broken pessimistically (a tie counts as being ranked below),
+    which avoids inflating metrics for constant scorers.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2 or scores.shape[1] < 2:
+        raise ValueError("scores must be a 2-D matrix with at least two candidates")
+    positive = scores[:, :1]
+    better = (scores[:, 1:] >= positive).sum(axis=1)
+    return better + 1
+
+
+def hit_rate_at_k(scores: np.ndarray, k: int = 10) -> float:
+    """HR@K: fraction of rows whose positive lands in the top ``k``."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    ranks = rank_of_positive(scores)
+    if ranks.size == 0:
+        return 0.0
+    return float(np.mean(ranks <= k))
+
+
+def ndcg_at_k(scores: np.ndarray, k: int = 10) -> float:
+    """NDCG@K with a single relevant item per row: ``1 / log2(1 + rank)`` if hit."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    ranks = rank_of_positive(scores)
+    if ranks.size == 0:
+        return 0.0
+    gains = np.where(ranks <= k, 1.0 / np.log2(ranks + 1.0), 0.0)
+    return float(np.mean(gains))
+
+
+def mrr(scores: np.ndarray) -> float:
+    """Mean reciprocal rank of the positive item."""
+    ranks = rank_of_positive(scores)
+    if ranks.size == 0:
+        return 0.0
+    return float(np.mean(1.0 / ranks))
+
+
+def ranking_report(scores: np.ndarray, ks: Sequence[int] = (5, 10)) -> Dict[str, float]:
+    """Convenience bundle of the metrics the paper reports (HR@10 / NDCG@10)."""
+    report: Dict[str, float] = {"mrr": mrr(scores)}
+    for k in ks:
+        report[f"hr@{k}"] = hit_rate_at_k(scores, k)
+        report[f"ndcg@{k}"] = ndcg_at_k(scores, k)
+    return report

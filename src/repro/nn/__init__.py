@@ -1,0 +1,42 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`."""
+
+from . import init, losses
+from .gating import CrossMix, FineGrainedGate
+from .serialization import Checkpoint, load_module, save_module
+from .layers import (
+    Dropout,
+    Embedding,
+    Identity,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    activation_by_name,
+)
+from .mlp import MLP
+from .module import Module, ModuleList, Parameter, Sequential
+
+__all__ = [
+    "init",
+    "losses",
+    "Module",
+    "ModuleList",
+    "Sequential",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softplus",
+    "Identity",
+    "activation_by_name",
+    "MLP",
+    "FineGrainedGate",
+    "CrossMix",
+    "save_module",
+    "load_module",
+    "Checkpoint",
+]

@@ -1,0 +1,68 @@
+"""Fine-grained gating fusion used by both node-matching components.
+
+Equations 10 and 16 of the paper share the same structure: two message
+vectors are fused through a sigmoid gate computed from both inputs, followed
+by a tanh non-linearity::
+
+    H   = sigmoid(a W_a + b_a  +  b W_b + b_b)
+    out = tanh((1 - H) * a + H * b)
+
+The intra node matching component instantiates it with (head message, tail
+message); the inter node matching component with (overlapped-fused state,
+non-overlapped message).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .layers import Linear
+from .module import Module
+
+__all__ = ["FineGrainedGate", "CrossMix"]
+
+
+class FineGrainedGate(Module):
+    """Gated fusion of two equally-shaped message tensors (Eq. 10 / Eq. 16)."""
+
+    def __init__(self, dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("gate dimension must be positive")
+        self.dim = int(dim)
+        self.first_proj = Linear(dim, dim, rng=rng)
+        self.second_proj = Linear(dim, dim, rng=rng)
+
+    def forward(self, first: Tensor, second: Tensor) -> Tensor:
+        gate = ops.sigmoid(self.first_proj(first) + self.second_proj(second))
+        mixed = (1.0 - gate) * first + gate * second
+        return ops.tanh(mixed)
+
+    def gate_values(self, first: Tensor, second: Tensor) -> Tensor:
+        """Expose the raw gate activations (useful for analysis / tests)."""
+        return ops.sigmoid(self.first_proj(first) + self.second_proj(second))
+
+
+class CrossMix(Module):
+    """Cross-domain mixing of Eq. 15.
+
+    ``u_g3* = u_g2 W_cross^Z + u_self (1 - W_cross^Zbar)`` — a pair of square
+    transformation matrices shared between the two domains, one per domain.
+    The module owns a single matrix; the NMCDR model holds one per domain and
+    wires them in the crossed pattern of Eq. 15.
+    """
+
+    def __init__(self, dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.dim = int(dim)
+        self.transform = Linear(dim, dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.transform(x)
+
+    def complement(self, x: Tensor) -> Tensor:
+        """Apply ``x (I - W)`` — the ``(1 - W_cross)`` factor of Eq. 15."""
+        return x - self.transform(x)

@@ -1,0 +1,105 @@
+"""Parameter initialisation schemes.
+
+The paper does not specify initialisation beyond standard practice; we follow
+the PyTorch defaults for the corresponding layer types (Xavier/Glorot for
+linear transformations, scaled normal for embeddings, zeros for biases).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tensor import get_rng
+
+__all__ = [
+    "zeros",
+    "ones",
+    "normal",
+    "uniform",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "embedding_normal",
+]
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (gains)."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def normal(
+    shape: Tuple[int, ...],
+    std: float = 0.01,
+    mean: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Gaussian initialisation with the given mean and standard deviation."""
+    return get_rng(rng).normal(mean, std, size=shape)
+
+
+def uniform(
+    shape: Tuple[int, ...],
+    low: float = -0.05,
+    high: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Uniform initialisation in ``[low, high)``."""
+    return get_rng(rng).uniform(low, high, size=shape)
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 2:
+        fan = int(shape[0]) if shape else 1
+        return fan, fan
+    fan_in, fan_out = int(shape[0]), int(shape[1])
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return fan_in * receptive, fan_out * receptive
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    gain: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Glorot uniform initialisation, the default for linear layers."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return get_rng(rng).uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(
+    shape: Tuple[int, ...],
+    gain: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Glorot normal initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return get_rng(rng).normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """He uniform initialisation, suited to ReLU stacks."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return get_rng(rng).uniform(-bound, bound, size=shape)
+
+
+def embedding_normal(
+    shape: Tuple[int, ...],
+    std: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Scaled-normal initialisation used for the user/item look-up tables (Eq. 1)."""
+    return get_rng(rng).normal(0.0, std, size=shape)

@@ -1,0 +1,176 @@
+"""Core layers: linear transformations, embeddings, dropout and activations."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from ..tensor.random import get_rng
+from . import init
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softplus",
+    "Identity",
+    "activation_by_name",
+]
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``.
+
+    Weight layout is ``(in_features, out_features)`` so model code reads like
+    the paper's equations (row vectors times matrices, e.g. Eq. 3, 8, 13).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear requires strictly positive feature sizes")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng))
+        self.bias: Optional[Parameter]
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class Embedding(Module):
+    """Dense look-up table, the ``E^Z`` matrix of Eq. 1.
+
+    ``forward`` gathers the rows indexed by an integer array; the backward
+    pass scatter-adds gradients for repeated indices.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        std: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding requires strictly positive sizes")
+        self.num_embeddings = int(num_embeddings)
+        self.embedding_dim = int(embedding_dim)
+        self.weight = Parameter(init.embedding_normal((num_embeddings, embedding_dim), std=std, rng=rng))
+
+    def forward(self, indices: Union[np.ndarray, Sequence[int]]) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min() if indices.size else None}, "
+                f"max={indices.max() if indices.size else None}"
+            )
+        return ops.gather_rows(self.weight, indices)
+
+    def all(self) -> Tensor:
+        """Return the whole table as a differentiable tensor."""
+        return self.weight
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, p: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = get_rng(self._rng).random(x.shape) < keep
+        return ops.dropout_mask_apply(x, mask, 1.0 / keep)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+
+class Softplus(Module):
+    """Smooth ReLU approximation used in the stability analysis (Sec. II.H)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.softplus(x)
+
+
+class Identity(Module):
+    """Pass-through module, handy for optional components."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+_ACTIVATIONS: dict = {
+    "relu": ReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "softplus": Softplus,
+    "identity": Identity,
+    "none": Identity,
+}
+
+
+def activation_by_name(name: str) -> Module:
+    """Instantiate an activation module from its lowercase name."""
+    key = name.lower()
+    if key not in _ACTIVATIONS:
+        raise KeyError(f"unknown activation '{name}'; known: {sorted(_ACTIVATIONS)}")
+    return _ACTIVATIONS[key]()

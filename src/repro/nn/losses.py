@@ -1,0 +1,88 @@
+"""Loss functions used across the reproduction.
+
+Binary cross-entropy (Eq. 21) is the workhorse for both the companion
+objectives (Eq. 22) and the final prediction losses (Eq. 23).  The BPR
+pairwise loss is required by the BPR baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..tensor import Tensor, as_tensor, ops
+
+__all__ = [
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "bpr_loss",
+    "mse_loss",
+    "l2_regularization",
+]
+
+_EPS = 1e-7
+
+
+def binary_cross_entropy(
+    predictions: Tensor,
+    targets: Union[Tensor, np.ndarray],
+    weight: Optional[float] = None,
+    reduction: str = "mean",
+) -> Tensor:
+    """BCE of Eq. 21 on probabilities already passed through a sigmoid."""
+    predictions = as_tensor(predictions)
+    targets = as_tensor(targets)
+    clipped = ops.clip(predictions, _EPS, 1.0 - _EPS)
+    loss = -(targets * ops.log(clipped) + (1.0 - targets) * ops.log(1.0 - clipped))
+    if weight is not None:
+        loss = loss * float(weight)
+    return _reduce(loss, reduction)
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor,
+    targets: Union[Tensor, np.ndarray],
+    reduction: str = "mean",
+) -> Tensor:
+    """Numerically stable BCE taking raw logits."""
+    logits = as_tensor(logits)
+    targets = as_tensor(targets)
+    # log(1 + exp(-|x|)) + max(x, 0) - x * y
+    loss = ops.softplus(-1.0 * logits) + logits * (1.0 - targets)
+    return _reduce(loss, reduction)
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor, reduction: str = "mean") -> Tensor:
+    """Bayesian personalised ranking loss: ``-log sigmoid(pos - neg)``."""
+    diff = as_tensor(positive_scores) - as_tensor(negative_scores)
+    loss = ops.softplus(-1.0 * diff)
+    return _reduce(loss, reduction)
+
+
+def mse_loss(predictions: Tensor, targets: Union[Tensor, np.ndarray], reduction: str = "mean") -> Tensor:
+    """Mean squared error, used by DML's metric-learning regulariser."""
+    diff = as_tensor(predictions) - as_tensor(targets)
+    loss = diff * diff
+    return _reduce(loss, reduction)
+
+
+def l2_regularization(parameters, coefficient: float) -> Tensor:
+    """Sum of squared parameter norms scaled by ``coefficient``."""
+    total: Optional[Tensor] = None
+    for parameter in parameters:
+        term = (parameter * parameter).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * float(coefficient)
+
+
+def _reduce(loss: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction '{reduction}'")

@@ -1,0 +1,70 @@
+"""Multi-layer perceptron used by prediction heads and several baselines."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..tensor import Tensor
+from .layers import Dropout, Linear, activation_by_name
+from .module import Module, ModuleList
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """A stack of ``Linear -> activation -> dropout`` blocks.
+
+    The prediction layer of Eq. 20 is ``MLP([2 * D, D, 1], activation="relu",
+    output_activation=None)`` followed by a sigmoid applied in the loss /
+    prediction code.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes including input and output, e.g. ``[256, 128, 1]``.
+    activation:
+        Name of the hidden activation (``"relu"`` by default).
+    output_activation:
+        Optional activation applied after the final linear layer.
+    dropout:
+        Dropout probability applied after each hidden activation.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: str = "relu",
+        output_activation: Optional[str] = None,
+        dropout: float = 0.0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        sizes = [int(s) for s in layer_sizes]
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        self.layer_sizes = sizes
+        self.linears = ModuleList(
+            [Linear(sizes[i], sizes[i + 1], bias=bias, rng=rng) for i in range(len(sizes) - 1)]
+        )
+        self.hidden_activation = activation_by_name(activation)
+        self.output_activation = (
+            activation_by_name(output_activation) if output_activation else None
+        )
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.linears) - 1
+        for index, linear in enumerate(self.linears):
+            x = linear(x)
+            if index < last:
+                x = self.hidden_activation(x)
+                x = self.dropout(x)
+        if self.output_activation is not None:
+            x = self.output_activation(x)
+        return x
+
+    def __repr__(self) -> str:
+        return f"MLP(layer_sizes={self.layer_sizes})"

@@ -1,0 +1,77 @@
+"""Model checkpointing: save/load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module", "Checkpoint"]
+
+
+def save_module(module: Module, path: Union[str, Path], metadata: Optional[Dict] = None) -> Path:
+    """Write ``module.state_dict()`` (plus optional JSON metadata) to ``path``."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    state = module.state_dict()
+    arrays = {f"param::{name}": value for name, value in state.items()}
+    header = json.dumps(metadata or {})
+    arrays["metadata"] = np.frombuffer(header.encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_module(module: Module, path: Union[str, Path], strict: bool = True) -> Dict:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    Returns the metadata dictionary stored alongside the parameters.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+
+    with np.load(path) as archive:
+        metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8") or "{}")
+        state = {
+            key[len("param::"):]: archive[key]
+            for key in archive.files
+            if key.startswith("param::")
+        }
+    module.load_state_dict(state, strict=strict)
+    return metadata
+
+
+class Checkpoint:
+    """Track the best model state seen so far according to a scalar score."""
+
+    def __init__(self, path: Union[str, Path], higher_is_better: bool = True) -> None:
+        self.path = Path(path)
+        self.higher_is_better = bool(higher_is_better)
+        self.best_score: Optional[float] = None
+
+    def update(self, module: Module, score: float, metadata: Optional[Dict] = None) -> bool:
+        """Persist the module if ``score`` improves on the best seen; returns whether it did."""
+        improved = (
+            self.best_score is None
+            or (self.higher_is_better and score > self.best_score)
+            or (not self.higher_is_better and score < self.best_score)
+        )
+        if improved:
+            self.best_score = float(score)
+            payload = dict(metadata or {})
+            payload["score"] = float(score)
+            save_module(module, self.path, payload)
+        return improved
+
+    def restore(self, module: Module) -> Dict:
+        """Load the best checkpoint back into ``module``."""
+        return load_module(module, self.path)

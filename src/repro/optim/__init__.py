@@ -1,0 +1,16 @@
+"""Optimisers and learning-rate schedulers."""
+
+from .adam import Adam
+from .optimizer import Optimizer, clip_grad_norm
+from .scheduler import ExponentialLR, LRScheduler, StepLR
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "clip_grad_norm",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+]

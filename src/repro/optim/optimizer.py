@@ -1,0 +1,75 @@
+"""Optimiser base class with weight decay and gradient clipping support."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and shared bookkeeping.
+
+    Parameters
+    ----------
+    parameters:
+        Iterable of :class:`repro.nn.Parameter` to update.
+    lr:
+        Learning rate.
+    weight_decay:
+        L2 penalty added to gradients before each update (decoupled weight
+        decay is not needed for the experiments in the paper).
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update; subclasses implement :meth:`_update`."""
+        self.step_count += 1
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            self._update(index, parameter, grad)
+
+    def _update(self, index: int, parameter: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping, mirroring PyTorch behaviour.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    if not parameters:
+        return 0.0
+    total = float(np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in parameters)))
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for parameter in parameters:
+            parameter.grad = parameter.grad * scale
+    return total

@@ -1,0 +1,35 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """Vanilla SGD; ``momentum > 0`` enables the classical heavy-ball update."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr=lr, weight_decay=weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, index: int, parameter: Parameter, grad: np.ndarray) -> None:
+        if self.momentum:
+            self._velocity[index] = self.momentum * self._velocity[index] + grad
+            grad = self._velocity[index]
+        parameter.data = parameter.data - self.lr * grad

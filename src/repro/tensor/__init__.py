@@ -1,0 +1,23 @@
+"""Numpy-backed automatic differentiation substrate.
+
+Public surface:
+
+* :class:`Tensor` — array with reverse-mode autograd.
+* :mod:`repro.tensor.ops` — differentiable functional operations.
+* :func:`set_seed` / :func:`get_rng` / :func:`spawn_rng` — seeded RNG helpers.
+"""
+
+from . import ops
+from .random import get_rng, set_seed, spawn_rng
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "set_seed",
+    "get_rng",
+    "spawn_rng",
+]

@@ -1,0 +1,477 @@
+"""Differentiable operations for :class:`repro.tensor.Tensor`.
+
+Each function computes the forward result with numpy and registers a backward
+closure that accumulates gradients into its operands.  Only the operations the
+reproduction actually needs are implemented; the set covers everything used by
+the heterogeneous graph encoder, the node-matching components, the
+complementing attention and every baseline model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import ArrayLike, Tensor, as_tensor
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "pow",
+    "matmul",
+    "exp",
+    "log",
+    "sqrt",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softplus",
+    "softmax",
+    "log_softmax",
+    "sum",
+    "mean",
+    "max",
+    "reshape",
+    "transpose",
+    "concat",
+    "stack",
+    "getitem",
+    "gather_rows",
+    "scatter_add_rows",
+    "clip",
+    "where",
+    "maximum",
+    "dropout_mask_apply",
+]
+
+_EPS = 1e-12
+
+
+# ----------------------------------------------------------------------
+# elementwise arithmetic
+# ----------------------------------------------------------------------
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad)
+        b._accumulate(grad)
+
+    return Tensor._build(out_data, (a, b), backward, "add")
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad)
+        b._accumulate(-grad)
+
+    return Tensor._build(out_data, (a, b), backward, "sub")
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * b.data)
+        b._accumulate(grad * a.data)
+
+    return Tensor._build(out_data, (a, b), backward, "mul")
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad / b.data)
+        b._accumulate(-grad * a.data / (b.data ** 2))
+
+    return Tensor._build(out_data, (a, b), backward, "div")
+
+
+def neg(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = -a.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(-grad)
+
+    return Tensor._build(out_data, (a,), backward, "neg")
+
+
+def pow(a: ArrayLike, exponent: float) -> Tensor:  # noqa: A001 - mirrors Tensor.__pow__
+    a = as_tensor(a)
+    exponent = float(exponent)
+    out_data = a.data ** exponent
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * exponent * (a.data ** (exponent - 1.0)))
+
+    return Tensor._build(out_data, (a,), backward, "pow")
+
+
+# ----------------------------------------------------------------------
+# linear algebra
+# ----------------------------------------------------------------------
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a_data, b_data = a.data, b.data
+        if a_data.ndim == 1 and b_data.ndim == 1:
+            # inner product -> scalar gradient
+            a._accumulate(grad * b_data)
+            b._accumulate(grad * a_data)
+            return
+        if a_data.ndim == 1:
+            a._accumulate(grad @ b_data.T)
+            b._accumulate(np.outer(a_data, grad))
+            return
+        if b_data.ndim == 1:
+            a._accumulate(np.outer(grad, b_data))
+            b._accumulate(a_data.T @ grad)
+            return
+        a._accumulate(grad @ np.swapaxes(b_data, -1, -2))
+        b._accumulate(np.swapaxes(a_data, -1, -2) @ grad)
+
+    return Tensor._build(out_data, (a, b), backward, "matmul")
+
+
+# ----------------------------------------------------------------------
+# unary nonlinearities
+# ----------------------------------------------------------------------
+def exp(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * out_data)
+
+    return Tensor._build(out_data, (a,), backward, "exp")
+
+
+def log(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.log(np.maximum(a.data, _EPS))
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad / np.maximum(a.data, _EPS))
+
+    return Tensor._build(out_data, (a,), backward, "log")
+
+
+def sqrt(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.sqrt(np.maximum(a.data, 0.0))
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * 0.5 / np.maximum(out_data, _EPS))
+
+    return Tensor._build(out_data, (a,), backward, "sqrt")
+
+
+def relu(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    out_data = a.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * mask)
+
+    return Tensor._build(out_data, (a,), backward, "relu")
+
+
+def leaky_relu(a: ArrayLike, negative_slope: float = 0.01) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    out_data = np.where(mask, a.data, negative_slope * a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * np.where(mask, 1.0, negative_slope))
+
+    return Tensor._build(out_data, (a,), backward, "leaky_relu")
+
+
+def sigmoid(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    # numerically stable sigmoid
+    out_data = np.where(
+        a.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(a.data, -60.0, 60.0))),
+        np.exp(np.clip(a.data, -60.0, 60.0)) / (1.0 + np.exp(np.clip(a.data, -60.0, 60.0))),
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._build(out_data, (a,), backward, "sigmoid")
+
+
+def tanh(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * (1.0 - out_data ** 2))
+
+    return Tensor._build(out_data, (a,), backward, "tanh")
+
+
+def softplus(a: ArrayLike) -> Tensor:
+    a = as_tensor(a)
+    x = a.data
+    out_data = np.where(x > 30.0, x, np.log1p(np.exp(np.minimum(x, 30.0))))
+
+    def backward(grad: np.ndarray) -> None:
+        sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        a._accumulate(grad * sig)
+
+    return Tensor._build(out_data, (a,), backward, "softplus")
+
+
+def softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        # dL/dx = s * (g - sum(g * s))
+        dot = np.sum(grad * out_data, axis=axis, keepdims=True)
+        a._accumulate(out_data * (grad - dot))
+
+    return Tensor._build(out_data, (a,), backward, "softmax")
+
+
+def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_sum
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._build(out_data, (a,), backward, "log_softmax")
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+def sum(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad, dtype=np.float64)
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.data.ndim for ax in axes):
+                g = np.expand_dims(g, ax)
+        a._accumulate(np.broadcast_to(g, a.data.shape))
+
+    return Tensor._build(out_data, (a,), backward, "sum")
+
+
+def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = 1
+        for ax in axes:
+            count *= a.data.shape[ax]
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad, dtype=np.float64) / count
+        if axis is not None and not keepdims:
+            axes_ = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.data.ndim for ax in axes_):
+                g = np.expand_dims(g, ax)
+        a._accumulate(np.broadcast_to(g, a.data.shape))
+
+    return Tensor._build(out_data, (a,), backward, "mean")
+
+
+def max(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    a = as_tensor(a)
+    out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad, dtype=np.float64)
+        expanded = out_data
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.data.ndim for ax in axes):
+                g = np.expand_dims(g, ax)
+                expanded = np.expand_dims(expanded, ax)
+        mask = (a.data == expanded).astype(np.float64)
+        # split gradient equally among ties to keep the op well defined
+        mask_sum = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        a._accumulate(np.broadcast_to(g, a.data.shape) * mask / np.maximum(mask_sum, 1.0))
+
+    return Tensor._build(out_data, (a,), backward, "max")
+
+
+# ----------------------------------------------------------------------
+# shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(np.asarray(grad).reshape(a.data.shape))
+
+    return Tensor._build(out_data, (a,), backward, "reshape")
+
+
+def transpose(a: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.transpose(a.data, axes)
+
+    def backward(grad: np.ndarray) -> None:
+        if axes is None:
+            a._accumulate(np.transpose(grad))
+        else:
+            inverse = np.argsort(axes)
+            a._accumulate(np.transpose(grad, inverse))
+
+    return Tensor._build(out_data, (a,), backward, "transpose")
+
+
+def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._build(out_data, tuple(tensors), backward, "concat")
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        slices = np.moveaxis(grad, axis, 0)
+        for tensor, piece in zip(tensors, slices):
+            tensor._accumulate(piece)
+
+    return Tensor._build(out_data, tuple(tensors), backward, "stack")
+
+
+def getitem(a: ArrayLike, index) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        a._accumulate(full)
+
+    return Tensor._build(out_data, (a,), backward, "getitem")
+
+
+def gather_rows(a: ArrayLike, indices: np.ndarray) -> Tensor:
+    """Select rows ``a[indices]`` with a scatter-add backward pass.
+
+    This is the embedding-lookup primitive: repeated indices accumulate
+    gradient contributions, exactly like ``torch.nn.Embedding``.
+    """
+    a = as_tensor(a)
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = a.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(a.data)
+        np.add.at(full, indices, grad)
+        a._accumulate(full)
+
+    return Tensor._build(out_data, (a,), backward, "gather_rows")
+
+
+def scatter_add_rows(base: ArrayLike, indices: np.ndarray, updates: ArrayLike) -> Tensor:
+    """Return ``base`` with ``updates`` scatter-added at ``indices`` along axis 0."""
+    base, updates = as_tensor(base), as_tensor(updates)
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = base.data.copy()
+    np.add.at(out_data, indices, updates.data)
+
+    def backward(grad: np.ndarray) -> None:
+        base._accumulate(grad)
+        updates._accumulate(np.asarray(grad)[indices])
+
+    return Tensor._build(out_data, (base, updates), backward, "scatter_add_rows")
+
+
+# ----------------------------------------------------------------------
+# misc
+# ----------------------------------------------------------------------
+def clip(a: ArrayLike, low: float, high: float) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.clip(a.data, low, high)
+    mask = (a.data >= low) & (a.data <= high)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * mask)
+
+    return Tensor._build(out_data, (a,), backward, "clip")
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    condition = np.asarray(condition, dtype=bool)
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * condition)
+        b._accumulate(grad * (~condition))
+
+    return Tensor._build(out_data, (a, b), backward, "where")
+
+
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+    mask = a.data >= b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * mask)
+        b._accumulate(grad * (~mask))
+
+    return Tensor._build(out_data, (a, b), backward, "maximum")
+
+
+def dropout_mask_apply(a: ArrayLike, mask: np.ndarray, scale: float) -> Tensor:
+    """Apply a pre-sampled dropout mask with inverted-dropout scaling."""
+    a = as_tensor(a)
+    mask = np.asarray(mask, dtype=np.float64)
+    out_data = a.data * mask * scale
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(grad * mask * scale)
+
+    return Tensor._build(out_data, (a,), backward, "dropout")

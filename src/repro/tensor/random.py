@@ -1,0 +1,38 @@
+"""Seeded random-number utilities shared across the library.
+
+Every stochastic component (parameter initialisation, negative sampling,
+dataset synthesis, dropout) draws from an explicitly passed
+``numpy.random.Generator`` or from the module-level default generator managed
+here, so that experiments and tests are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["set_seed", "get_rng", "spawn_rng"]
+
+_DEFAULT_SEED = 0
+_default_rng = np.random.default_rng(_DEFAULT_SEED)
+
+
+def set_seed(seed: int) -> None:
+    """Reset the library-wide default random generator."""
+    global _default_rng
+    _default_rng = np.random.default_rng(int(seed))
+
+
+def get_rng(rng: Optional[np.random.Generator] = None) -> np.random.Generator:
+    """Return ``rng`` if given, otherwise the library default generator."""
+    if rng is not None:
+        return rng
+    return _default_rng
+
+
+def spawn_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """Create an independent generator, optionally from an explicit seed."""
+    if seed is not None:
+        return np.random.default_rng(int(seed))
+    return np.random.default_rng(_default_rng.integers(0, 2**63 - 1))

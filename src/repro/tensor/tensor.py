@@ -1,0 +1,364 @@
+"""Reverse-mode automatic differentiation on top of numpy arrays.
+
+The paper's reference implementation relies on PyTorch.  In this offline
+reproduction the whole neural substrate is rebuilt from scratch: ``Tensor``
+wraps a numpy array, records the operations applied to it and can
+back-propagate gradients through the resulting computation graph.
+
+The design intentionally mirrors a very small subset of the PyTorch tensor
+API (``backward``, ``grad``, ``detach``, operator overloading, ``reshape`` …)
+so that model code in :mod:`repro.nn`, :mod:`repro.core` and
+:mod:`repro.baselines` reads the way the paper's equations are written.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (evaluation mode).
+
+    Mirrors ``torch.no_grad``: inside the block newly created tensors do not
+    track history, which keeps inference cheap and memory-flat.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether newly created tensors will record history."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
+
+    When an operand of shape ``shape`` was broadcast up to the shape of
+    ``grad`` during the forward pass, the chain rule requires summing the
+    incoming gradient over every broadcast axis.
+    """
+    grad = np.asarray(grad, dtype=np.float64)
+    if grad.shape == shape:
+        return grad
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a ``numpy.ndarray``.  Stored as ``float64``
+        because the experiments run on small synthetic datasets where numeric
+        robustness matters more than memory footprint.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` when
+        :meth:`backward` is called on a downstream scalar.
+    """
+
+    __array_priority__ = 100  # numpy defers binary operators to Tensor
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _op: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = tuple(_parents)
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but severed from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a detached deep copy."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # graph construction helpers (used by repro.tensor.ops)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        """Create a graph node for the result of an operation.
+
+        ``backward`` receives the gradient flowing into the new node and is
+        responsible for calling :meth:`_accumulate` on each parent.
+        """
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        child = Tensor(
+            data,
+            requires_grad=requires,
+            _parents=tuple(parents) if requires else (),
+            _op=op,
+        )
+        if requires:
+            child._backward = backward
+        return child
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` (matching shape after unbroadcast) into ``self.grad``."""
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate through the computation graph rooted at ``self``.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to ``self``.  If
+            omitted, ``self`` must be a scalar and the gradient defaults to
+            one, matching PyTorch semantics.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar tensor, "
+                    f"got shape {self.data.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        self._accumulate(grad)
+        for node in reversed(self._topological_order()):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Iterative post-order traversal of the graph rooted at ``self``."""
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    # ------------------------------------------------------------------
+    # arithmetic operators
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.add(self, other)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.add(other, self)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.mul(self, other)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.mul(other, self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self) -> "Tensor":
+        from . import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from . import ops
+
+        return ops.pow(self, exponent)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        from . import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index) -> "Tensor":
+        from . import ops
+
+        return ops.getitem(self, index)
+
+    # ------------------------------------------------------------------
+    # shape manipulation / reductions / activations (delegate to ops)
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        from . import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        from . import ops
+
+        return ops.transpose(self, axes)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def exp(self) -> "Tensor":
+        from . import ops
+
+        return ops.exp(self)
+
+    def log(self) -> "Tensor":
+        from . import ops
+
+        return ops.log(self)
+
+    def sqrt(self) -> "Tensor":
+        from . import ops
+
+        return ops.sqrt(self)
+
+    def relu(self) -> "Tensor":
+        from . import ops
+
+        return ops.relu(self)
+
+    def sigmoid(self) -> "Tensor":
+        from . import ops
+
+        return ops.sigmoid(self)
+
+    def tanh(self) -> "Tensor":
+        from . import ops
+
+        return ops.tanh(self)
+
+    def softplus(self) -> "Tensor":
+        from . import ops
+
+        return ops.softplus(self)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        from . import ops
+
+        return ops.clip(self, low, high)
+
+
+def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` into a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)

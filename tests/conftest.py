@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+The heavier fixtures (a small synthetic scenario, its task bundle and a
+briefly trained NMCDR model) are session-scoped so the many tests that need
+them do not pay the setup cost repeatedly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CDRTrainer, NMCDR, NMCDRConfig, TrainerConfig, build_task
+from repro.data import load_scenario, preprocess_scenario
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small preprocessed Cloth–Sport style scenario."""
+    dataset = load_scenario("cloth_sport", scale=0.3, seed=3)
+    return preprocess_scenario(dataset, min_interactions=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_task(tiny_dataset):
+    """Task bundle (splits, graphs, overlap) built from the tiny dataset."""
+    return build_task(tiny_dataset, head_threshold=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_nmcdr_config():
+    return NMCDRConfig(embedding_dim=16, max_matching_neighbors=32, head_threshold=5, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_nmcdr(tiny_task, tiny_nmcdr_config):
+    """An NMCDR model trained for a couple of epochs on the tiny task."""
+    model = NMCDR(tiny_task, tiny_nmcdr_config)
+    trainer = CDRTrainer(
+        model,
+        tiny_task,
+        TrainerConfig(num_epochs=2, batch_size=256, num_eval_negatives=30, seed=0),
+    )
+    trainer.fit()
+    model.prepare_for_evaluation()
+    return model
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator for individual tests."""
+    return np.random.default_rng(12345)

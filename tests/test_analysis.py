@@ -1,0 +1,114 @@
+"""Tests for the analysis utilities: t-SNE, alignment scores, efficiency."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    head_tail_alignment,
+    measure_efficiency,
+    pairwise_squared_distances,
+    stagewise_alignment,
+    tsne,
+    tsne_projection,
+)
+
+
+class TestPairwiseDistances:
+    def test_matches_direct_computation(self, rng):
+        points = rng.normal(size=(10, 4))
+        distances = pairwise_squared_distances(points)
+        direct = np.array(
+            [[np.sum((a - b) ** 2) for b in points] for a in points]
+        )
+        assert np.allclose(distances, direct, atol=1e-8)
+
+    def test_diagonal_zero_and_symmetry(self, rng):
+        distances = pairwise_squared_distances(rng.normal(size=(8, 3)))
+        assert np.allclose(np.diag(distances), 0.0)
+        assert np.allclose(distances, distances.T)
+
+
+class TestTSNE:
+    def test_output_shape(self, rng):
+        points = rng.normal(size=(30, 10))
+        embedding = tsne(points, num_iterations=50, rng=rng)
+        assert embedding.shape == (30, 2)
+        assert np.all(np.isfinite(embedding))
+
+    def test_separates_well_separated_clusters(self, rng):
+        cluster_a = rng.normal(size=(20, 5))
+        cluster_b = rng.normal(size=(20, 5)) + 25.0
+        embedding = tsne(np.vstack([cluster_a, cluster_b]), num_iterations=200, rng=rng)
+        centroid_a = embedding[:20].mean(axis=0)
+        centroid_b = embedding[20:].mean(axis=0)
+        within = np.mean(np.linalg.norm(embedding[:20] - centroid_a, axis=1))
+        between = np.linalg.norm(centroid_a - centroid_b)
+        assert between > within
+
+    def test_too_few_samples(self, rng):
+        with pytest.raises(ValueError):
+            tsne(rng.normal(size=(3, 4)))
+
+    def test_wrong_dimensionality(self, rng):
+        with pytest.raises(ValueError):
+            tsne(rng.normal(size=(10,)))
+
+
+class TestAlignment:
+    def test_identical_distributions_have_low_scores(self, rng):
+        embeddings = rng.normal(size=(60, 8))
+        scores = head_tail_alignment(embeddings, np.arange(30), np.arange(30, 60), stage="x")
+        assert scores.centroid_distance < 0.5
+        assert scores.mmd < 0.1
+
+    def test_shifted_distributions_have_higher_scores(self, rng):
+        aligned = rng.normal(size=(60, 8))
+        shifted = aligned.copy()
+        shifted[30:] += 5.0
+        low = head_tail_alignment(aligned, np.arange(30), np.arange(30, 60))
+        high = head_tail_alignment(shifted, np.arange(30), np.arange(30, 60))
+        assert high.centroid_distance > low.centroid_distance
+        assert high.mmd > low.mmd
+
+    def test_empty_group_rejected(self, rng):
+        with pytest.raises(ValueError):
+            head_tail_alignment(rng.normal(size=(10, 4)), np.arange(10), np.array([]))
+
+    def test_stagewise_alignment_on_trained_model(self, trained_nmcdr):
+        scores = stagewise_alignment(trained_nmcdr, "a", rng=np.random.default_rng(0))
+        assert [score.stage for score in scores] == ["user_g1", "user_g3", "user_g4"]
+        for score in scores:
+            assert np.isfinite(score.mmd)
+            assert np.isfinite(score.centroid_distance)
+
+    def test_tsne_projection_output(self, trained_nmcdr):
+        projection = tsne_projection(
+            trained_nmcdr, "a", stage="user_g4", max_users=40, rng=np.random.default_rng(0)
+        )
+        assert projection["coordinates"].shape[1] == 2
+        assert projection["coordinates"].shape[0] == projection["is_head"].shape[0]
+
+    def test_tsne_projection_unknown_stage(self, trained_nmcdr):
+        with pytest.raises(KeyError):
+            tsne_projection(trained_nmcdr, "a", stage="user_g9")
+
+
+class TestEfficiency:
+    def test_measure_efficiency_fields(self, tiny_task):
+        from repro.baselines import LRModel
+
+        model = LRModel(tiny_task, embedding_dim=8)
+        report = measure_efficiency(model, tiny_task, batch_size=64, num_train_batches=2, num_test_batches=2)
+        assert report.num_parameters == model.num_parameters()
+        assert report.train_seconds_per_batch > 0
+        assert report.test_seconds_per_batch > 0
+        assert report.model_name == "LR"
+        assert "parameters" in report.as_dict()
+
+    def test_nmcdr_efficiency(self, tiny_task, tiny_nmcdr_config):
+        from repro.core import NMCDR
+
+        model = NMCDR(tiny_task, tiny_nmcdr_config)
+        report = measure_efficiency(model, tiny_task, batch_size=64, num_train_batches=2, num_test_batches=2)
+        assert report.num_parameters > 0
+        assert np.isfinite(report.train_seconds_per_batch)

@@ -1,0 +1,188 @@
+"""Tests for the eleven comparison baselines and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_MODEL_NAMES,
+    BASELINE_NAMES,
+    MODEL_GROUPS,
+    BPRModel,
+    CoNetModel,
+    DMLModel,
+    GADTCDRModel,
+    HeroGraphModel,
+    LRModel,
+    MiNetModel,
+    MMoEModel,
+    NeuMFModel,
+    PLEModel,
+    PTUPCDRModel,
+    available_models,
+    build_global_user_index,
+    build_model,
+)
+from repro.core import CDRTrainer, NMCDR, TrainerConfig
+from repro.data.dataloader import Batch
+
+ALL_BASELINE_CLASSES = [
+    LRModel,
+    BPRModel,
+    NeuMFModel,
+    MMoEModel,
+    PLEModel,
+    CoNetModel,
+    MiNetModel,
+    GADTCDRModel,
+    DMLModel,
+    HeroGraphModel,
+    PTUPCDRModel,
+]
+
+
+def small_batch(label_pattern=(1.0, 0.0, 1.0, 0.0)):
+    return Batch(
+        users=np.array([0, 1, 2, 3]),
+        items=np.array([0, 1, 2, 3]),
+        labels=np.array(label_pattern),
+    )
+
+
+class TestAllBaselinesShared:
+    @pytest.mark.parametrize("model_class", ALL_BASELINE_CLASSES)
+    def test_scores_are_probabilities(self, model_class, tiny_task):
+        model = model_class(tiny_task, embedding_dim=8, seed=0)
+        users = np.array([0, 1, 2, 3, 4])
+        items = np.array([0, 1, 2, 3, 4])
+        for key in ("a", "b"):
+            scores = model.score(key, users, items)
+            assert scores.shape == (5,)
+            assert np.all((scores >= 0) & (scores <= 1))
+
+    @pytest.mark.parametrize("model_class", ALL_BASELINE_CLASSES)
+    def test_loss_is_finite_and_differentiable(self, model_class, tiny_task):
+        model = model_class(tiny_task, embedding_dim=8, seed=0)
+        loss = model.compute_batch_loss({"a": small_batch(), "b": small_batch()})
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert any(p.grad is not None and np.any(p.grad != 0) for p in model.parameters())
+
+    @pytest.mark.parametrize("model_class", ALL_BASELINE_CLASSES)
+    def test_has_display_name(self, model_class, tiny_task):
+        model = model_class(tiny_task, embedding_dim=8)
+        assert model.display_name in BASELINE_NAMES
+
+    def test_empty_batches_rejected(self, tiny_task):
+        model = LRModel(tiny_task, embedding_dim=8)
+        with pytest.raises(ValueError):
+            model.compute_batch_loss({"a": None, "b": None})
+
+    def test_single_domain_batch_accepted(self, tiny_task):
+        model = NeuMFModel(tiny_task, embedding_dim=8)
+        loss = model.compute_batch_loss({"a": small_batch(), "b": None})
+        assert np.isfinite(loss.item())
+
+
+class TestSpecificBehaviours:
+    def test_bpr_uses_pairwise_loss(self, tiny_task):
+        model = BPRModel(tiny_task, embedding_dim=8, seed=0)
+        batch_all_negative = small_batch(label_pattern=(0.0, 0.0, 0.0, 0.0))
+        # falls back to pointwise BCE without positives and must stay finite
+        loss = model.domain_batch_loss("a", batch_all_negative)
+        assert np.isfinite(loss.item())
+        pairwise = model.domain_batch_loss("a", small_batch())
+        assert np.isfinite(pairwise.item())
+
+    def test_dml_extra_losses_present(self, tiny_task):
+        model = DMLModel(tiny_task, embedding_dim=8, seed=0)
+        extra = model.extra_losses()
+        assert extra is not None and np.isfinite(extra.item())
+
+    def test_dml_orthogonality_term_decreases_when_identity(self, tiny_task):
+        model = DMLModel(tiny_task, embedding_dim=8, seed=0)
+        base = model.extra_losses().item()
+        model.mapping.weight.data = np.eye(8)
+        after = model.extra_losses().item()
+        assert after < base
+
+    def test_global_user_index_alignment(self, tiny_task):
+        num_global, index_a, index_b = build_global_user_index(tiny_task)
+        pairs = tiny_task.overlap_pairs
+        assert np.array_equal(index_a[pairs[:, 0]], index_b[pairs[:, 1]])
+        assert num_global == len(set(index_a.tolist()) | set(index_b.tolist()))
+
+    def test_conet_cross_connection_uses_partner(self, tiny_task):
+        model = CoNetModel(tiny_task, embedding_dim=8, seed=0)
+        pairs = tiny_task.overlap_pairs
+        assert pairs.size > 0
+        overlapped_user = int(pairs[0, 0])
+        partner = int(pairs[0, 1])
+        items = np.array([0])
+        before = model.score("a", np.array([overlapped_user]), items)
+        model.user_embedding_b.weight.data[partner] += 5.0
+        after = model.score("a", np.array([overlapped_user]), items)
+        assert not np.allclose(before, after)
+
+    def test_conet_non_overlapped_unaffected_by_other_domain(self, tiny_task):
+        model = CoNetModel(tiny_task, embedding_dim=8, seed=0)
+        non_overlapped = int(tiny_task.non_overlap_indices("a")[0])
+        items = np.array([0])
+        before = model.score("a", np.array([non_overlapped]), items)
+        model.user_embedding_b.weight.data += 1.0
+        after = model.score("a", np.array([non_overlapped]), items)
+        assert np.allclose(before, after)
+
+    def test_ptupcdr_transfer_depends_on_source_history(self, tiny_task):
+        model = PTUPCDRModel(tiny_task, embedding_dim=8, seed=0)
+        pairs = tiny_task.overlap_pairs
+        overlapped_user = int(pairs[0, 0])
+        before = model.score("a", np.array([overlapped_user]), np.array([0]))
+        model.item_embedding_b.weight.data += 2.0
+        after = model.score("a", np.array([overlapped_user]), np.array([0]))
+        assert not np.allclose(before, after)
+
+    def test_herograph_global_graph_size(self, tiny_task):
+        model = HeroGraphModel(tiny_task, embedding_dim=8, seed=0)
+        expected_items = tiny_task.domain_a.num_items + tiny_task.domain_b.num_items
+        assert model._global_graph.num_items == expected_items
+        assert model._global_graph.num_users == model._num_global_users
+
+    def test_minet_interest_attention_normalised(self, tiny_task, rng):
+        model = MiNetModel(tiny_task, embedding_dim=8, seed=0)
+        users = np.array([0, 1])
+        items = np.array([0, 1])
+        scores = model.score("a", users, items)
+        assert scores.shape == (2,)
+
+
+class TestRegistry:
+    def test_all_names_buildable(self, tiny_task):
+        for name in ALL_MODEL_NAMES:
+            model = build_model(name, tiny_task, embedding_dim=8, seed=0)
+            assert model is not None
+
+    def test_nmcdr_and_variants(self, tiny_task):
+        model = build_model("NMCDR", tiny_task, embedding_dim=8)
+        assert isinstance(model, NMCDR)
+        variant = build_model("NMCDR/w/o-Cgm", tiny_task, embedding_dim=8)
+        assert isinstance(variant, NMCDR)
+        assert not variant.config.use_inter_matching
+
+    def test_unknown_model(self, tiny_task):
+        with pytest.raises(KeyError):
+            build_model("DeepFM", tiny_task)
+
+    def test_groups_cover_all_names(self):
+        grouped = [name for names in MODEL_GROUPS.values() for name in names]
+        assert set(grouped) == set(ALL_MODEL_NAMES)
+        assert set(available_models()) >= set(ALL_MODEL_NAMES)
+
+    def test_baseline_trains_with_shared_trainer(self, tiny_task):
+        model = build_model("GA-DTCDR", tiny_task, embedding_dim=8, seed=0)
+        trainer = CDRTrainer(
+            model, tiny_task, TrainerConfig(num_epochs=2, batch_size=512, num_eval_negatives=15)
+        )
+        history = trainer.fit()
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+        metrics = trainer.evaluate()
+        assert 0.0 <= metrics["a"]["hr@10"] <= 1.0

@@ -1,0 +1,145 @@
+"""Tests for the beyond-accuracy metrics and training-curve analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_history,
+    convergence_epoch,
+    moving_average,
+    relative_improvement,
+)
+from repro.core.trainer import TrainingHistory
+from repro.metrics import (
+    average_popularity_lift,
+    beyond_accuracy_report,
+    catalog_coverage,
+    gini_concentration,
+    intra_list_overlap,
+    top_k_from_scores,
+)
+
+
+class TestTopK:
+    def test_selects_highest_scoring_candidates(self):
+        scores = np.array([[0.1, 0.9, 0.5], [0.7, 0.2, 0.3]])
+        candidates = np.array([[10, 11, 12], [20, 21, 22]])
+        top = top_k_from_scores(scores, candidates, k=2)
+        assert top[0].tolist() == [11, 12]
+        assert top[1].tolist() == [20, 22]
+
+    def test_validation(self):
+        scores = np.ones((2, 3))
+        candidates = np.ones((2, 3), dtype=int)
+        with pytest.raises(ValueError):
+            top_k_from_scores(scores, candidates, k=0)
+        with pytest.raises(ValueError):
+            top_k_from_scores(scores, candidates, k=4)
+        with pytest.raises(ValueError):
+            top_k_from_scores(scores, np.ones((3, 3), dtype=int), k=1)
+
+
+class TestCoverageAndConcentration:
+    def test_full_coverage(self):
+        recommendations = np.array([[0, 1], [2, 3]])
+        assert catalog_coverage(recommendations, num_items=4) == 1.0
+
+    def test_partial_coverage(self):
+        recommendations = np.array([[0, 0], [0, 1]])
+        assert catalog_coverage(recommendations, num_items=4) == pytest.approx(0.5)
+
+    def test_gini_extremes(self):
+        concentrated = np.zeros((10, 5), dtype=int)  # always item 0
+        assert gini_concentration(concentrated, num_items=50) > 0.9
+        even = np.arange(50).reshape(10, 5)
+        assert gini_concentration(even, num_items=50) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_monotonicity(self):
+        even = np.arange(20).reshape(4, 5)
+        skewed = np.zeros((4, 5), dtype=int)
+        skewed[0] = np.arange(5)
+        assert gini_concentration(skewed, 20) > gini_concentration(even, 20)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            catalog_coverage(np.array([[0]]), num_items=0)
+        with pytest.raises(ValueError):
+            gini_concentration(np.array([[0]]), num_items=0)
+
+
+class TestPopularityAndOverlap:
+    def test_popularity_lift(self):
+        popularity = np.array([100.0, 1.0, 1.0, 1.0])
+        popular_recs = np.zeros((5, 2), dtype=int)
+        niche_recs = np.full((5, 2), 3, dtype=int)
+        assert average_popularity_lift(popular_recs, popularity) > 1.0
+        assert average_popularity_lift(niche_recs, popularity) < 1.0
+
+    def test_intra_list_overlap_bounds(self):
+        identical = np.tile(np.arange(5), (10, 1))
+        disjoint = np.arange(50).reshape(10, 5)
+        assert intra_list_overlap(identical) == pytest.approx(1.0)
+        assert intra_list_overlap(disjoint) == pytest.approx(0.0)
+        assert intra_list_overlap(identical[:1]) == 0.0
+
+    def test_report_keys(self):
+        recommendations = np.array([[0, 1], [1, 2]])
+        report = beyond_accuracy_report(recommendations, num_items=5, item_popularity=np.ones(5))
+        assert {"catalog_coverage", "gini_concentration", "intra_list_overlap", "popularity_lift"} == set(
+            report
+        )
+
+    def test_report_on_real_model(self, trained_nmcdr, tiny_task):
+        from repro.metrics import RankingEvaluator
+
+        evaluator = RankingEvaluator(
+            tiny_task.domain_a.split, "a", num_negatives=20, rng=np.random.default_rng(0)
+        )
+        scores = evaluator.score_matrix(trained_nmcdr)
+        top = top_k_from_scores(scores, evaluator.candidates, k=5)
+        report = beyond_accuracy_report(top, num_items=tiny_task.domain_a.num_items)
+        assert 0.0 < report["catalog_coverage"] <= 1.0
+        assert 0.0 <= report["gini_concentration"] <= 1.0
+
+
+class TestTrainingCurves:
+    def test_moving_average(self):
+        smoothed = moving_average([4.0, 2.0, 0.0], window=2)
+        assert smoothed == [4.0, 3.0, 1.0]
+        with pytest.raises(ValueError):
+            moving_average([1.0], window=0)
+
+    def test_convergence_epoch(self):
+        losses = [10.0, 5.0, 4.9, 4.89, 4.888]
+        assert convergence_epoch(losses, tolerance=0.05) == 2
+        assert convergence_epoch([5.0, 4.0, 3.0], tolerance=0.0001) == 2
+        with pytest.raises(ValueError):
+            convergence_epoch([])
+
+    def test_relative_improvement(self):
+        assert relative_improvement([2.0, 1.0]) == pytest.approx(0.5)
+        assert relative_improvement([0.0, 0.0]) == 0.0
+
+    def test_analyze_history(self):
+        history = TrainingHistory(epoch_losses=[3.0, 2.0, 1.5], train_seconds_per_batch=0.01)
+        report = analyze_history(history, tolerance=0.1)
+        assert report.num_epochs == 3
+        assert report.initial_loss == 3.0
+        assert report.final_loss == 1.5
+        assert report.total_relative_improvement == pytest.approx(0.5)
+        assert "convergence_epoch" in report.as_dict()
+
+    def test_analyze_empty_history(self):
+        with pytest.raises(ValueError):
+            analyze_history(TrainingHistory())
+
+    def test_analyze_real_training_run(self, tiny_task, tiny_nmcdr_config):
+        from repro.core import CDRTrainer, NMCDR, TrainerConfig
+
+        model = NMCDR(tiny_task, tiny_nmcdr_config)
+        history = CDRTrainer(
+            model, tiny_task, TrainerConfig(num_epochs=3, num_eval_negatives=10)
+        ).fit()
+        report = analyze_history(history)
+        assert report.total_relative_improvement > 0
+        assert 0 <= report.convergence_epoch < report.num_epochs

@@ -1,0 +1,145 @@
+"""Tests for the CLI, the CSV figure exports and the Random/Popularity anchors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PopularityModel, RandomModel, build_model
+from repro.cli import build_parser, main
+from repro.core import CDRTrainer, TrainerConfig
+from repro.experiments import (
+    ExperimentSettings,
+    run_head_threshold_sweep,
+    run_overlap_sweep,
+)
+from repro.experiments.figures import (
+    hyperparameter_sweep_to_csv,
+    overlap_sweep_to_csv,
+    projection_to_csv,
+)
+from repro.metrics import RankingEvaluator
+
+TINY = ExperimentSettings(
+    scenario="cloth_sport",
+    scale=0.25,
+    num_epochs=1,
+    num_eval_negatives=15,
+    embedding_dim=8,
+)
+
+
+class TestSimpleBaselines:
+    def test_random_model_is_at_chance(self, tiny_task):
+        model = RandomModel(tiny_task, seed=0)
+        evaluator = RankingEvaluator(
+            tiny_task.domain_a.split, "a", num_negatives=30, rng=np.random.default_rng(0)
+        )
+        report = evaluator.evaluate(model)
+        expected = 10.0 / evaluator.candidates.shape[1]
+        assert report["hr@10"] == pytest.approx(expected, abs=0.12)
+
+    def test_popularity_model_beats_random(self, tiny_task):
+        popularity = PopularityModel(tiny_task, seed=0)
+        random_model = RandomModel(tiny_task, seed=0)
+        evaluator = RankingEvaluator(
+            tiny_task.domain_a.split, "a", num_negatives=30, rng=np.random.default_rng(1)
+        )
+        assert (
+            evaluator.evaluate(popularity)["ndcg@10"]
+            >= evaluator.evaluate(random_model)["ndcg@10"]
+        )
+
+    def test_popularity_scores_match_training_counts(self, tiny_task):
+        model = PopularityModel(tiny_task, seed=0)
+        popularity = model.item_popularity("a")
+        most_popular = int(np.argmax(popularity))
+        least_popular = int(np.argmin(popularity))
+        scores = model.score("a", np.array([0, 0]), np.array([most_popular, least_popular]))
+        assert scores[0] >= scores[1]
+
+    def test_simple_models_trainable_without_error(self, tiny_task):
+        for name in ("Random", "Popularity"):
+            model = build_model(name, tiny_task, embedding_dim=8)
+            trainer = CDRTrainer(
+                model, tiny_task, TrainerConfig(num_epochs=1, num_eval_negatives=10)
+            )
+            history = trainer.fit()
+            assert np.isfinite(history.final_loss)
+
+
+class TestFigureExports:
+    def test_overlap_csv(self, tmp_path):
+        sweep = run_overlap_sweep(
+            "cloth_sport", model_names=("LR",), overlap_ratios=(0.5,), settings=TINY
+        )
+        content = overlap_sweep_to_csv(sweep, tmp_path / "overlap.csv")
+        assert (tmp_path / "overlap.csv").exists()
+        lines = content.strip().splitlines()
+        assert lines[0].startswith("scenario,model,domain")
+        assert len(lines) == 1 + 1 * 2 * 1  # header + models * domains * ratios
+
+    def test_hyperparameter_csv(self, tmp_path):
+        sweep = run_head_threshold_sweep("cloth_sport", thresholds=(5,), settings=TINY)
+        content = hyperparameter_sweep_to_csv(sweep, tmp_path / "fig4.csv")
+        assert "head_threshold" in content.splitlines()[0]
+        assert len(content.strip().splitlines()) == 2
+
+    def test_projection_csv(self):
+        projection = {
+            "coordinates": np.array([[0.0, 1.0], [2.0, 3.0]]),
+            "is_head": np.array([True, False]),
+            "user_indices": np.array([4, 7]),
+        }
+        content = projection_to_csv(projection)
+        lines = content.strip().splitlines()
+        assert lines[0] == "user_index,x,y,is_head"
+        assert lines[1].startswith("4,")
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["overlap", "--scenario", "loan_fund", "--ratios", "0.5"])
+        assert args.command == "overlap"
+        assert args.scenario == "loan_fund"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["unknown-command"])
+
+    def test_stats_command(self, capsys):
+        assert main(["stats"]) == 0
+        captured = capsys.readouterr()
+        assert "music_movie" in captured.out
+        assert "Loan" in captured.out
+
+    def test_overlap_command_with_output(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "overlap",
+                "--scenario", "cloth_sport",
+                "--scale", "0.25",
+                "--epochs", "1",
+                "--negatives", "15",
+                "--embedding-dim", "8",
+                "--models", "LR", "NMCDR",
+                "--ratios", "0.5",
+                "--output", str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "NMCDR win fraction" in captured.out
+        assert (tmp_path / "overlap_cloth_sport.csv").exists()
+
+    def test_threshold_command(self, capsys):
+        exit_code = main(
+            [
+                "threshold",
+                "--scenario", "cloth_sport",
+                "--scale", "0.25",
+                "--epochs", "1",
+                "--negatives", "15",
+                "--embedding-dim", "8",
+                "--values", "5",
+            ]
+        )
+        assert exit_code == 0
+        assert "head_threshold" in capsys.readouterr().out

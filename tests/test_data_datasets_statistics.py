@@ -1,0 +1,78 @@
+"""Tests for the scenario registry and Table-I style statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SCENARIO_NAMES,
+    format_statistics_table,
+    load_all_scenarios,
+    load_scenario,
+    paper_table1_reference,
+    scenario_spec,
+    scenario_statistics,
+)
+
+
+class TestRegistry:
+    def test_all_scenarios_load(self):
+        for name in SCENARIO_NAMES:
+            dataset = load_scenario(name, scale=0.2)
+            assert dataset.domain_a.num_interactions > 0
+            assert dataset.domain_b.num_interactions > 0
+            assert dataset.num_overlapping > 0
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            load_scenario("books_games")
+        with pytest.raises(KeyError):
+            paper_table1_reference("books_games")
+
+    def test_scale_changes_size(self):
+        small = load_scenario("music_movie", scale=0.2)
+        large = load_scenario("music_movie", scale=0.5)
+        assert large.domain_a.num_users > small.domain_a.num_users
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scenario_spec("music_movie", scale=0.0)
+
+    def test_seed_determinism(self):
+        first = load_scenario("phone_elec", scale=0.2, seed=9)
+        second = load_scenario("phone_elec", scale=0.2, seed=9)
+        assert np.array_equal(first.domain_a.users, second.domain_a.users)
+
+    def test_load_all(self):
+        datasets = load_all_scenarios(scale=0.15)
+        assert len(datasets) == 4
+
+    def test_relative_shape_matches_paper(self):
+        """Loan–Fund should have far more interactions per item than the Amazon pairs."""
+        loan_fund = load_scenario("loan_fund", scale=0.4)
+        cloth_sport = load_scenario("cloth_sport", scale=0.4)
+        assert (
+            loan_fund.domain_a.average_interactions_per_item
+            > 2 * cloth_sport.domain_a.average_interactions_per_item
+        )
+
+    def test_paper_reference_structure(self):
+        reference = paper_table1_reference("music_movie")
+        assert reference["overlapping"] == 15081
+        assert reference["domains"][0]["name"] == "Music"
+
+
+class TestStatistics:
+    def test_scenario_statistics_fields(self):
+        dataset = load_scenario("cloth_sport", scale=0.2)
+        stats = scenario_statistics(dataset)
+        assert stats["scenario"] == "cloth_sport"
+        assert stats["overlapping"] == dataset.num_overlapping
+        assert stats["domains"][0].users == dataset.domain_a.num_users
+        assert stats["domains"][1].ratings == dataset.domain_b.num_interactions
+
+    def test_format_statistics_table(self):
+        dataset = load_scenario("cloth_sport", scale=0.2)
+        table = format_statistics_table([scenario_statistics(dataset)])
+        assert "Cloth" in table and "Sport" in table
+        assert "cloth_sport" in table
+        assert str(dataset.num_overlapping) in table

@@ -1,0 +1,206 @@
+"""Tests for the dataset schema, the synthetic generator and preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CDRDataset,
+    DomainData,
+    DomainSpec,
+    ScenarioSpec,
+    compact_items,
+    filter_min_interactions,
+    generate_scenario,
+    preprocess_scenario,
+)
+
+
+def make_domain(name="D", num_users=4, num_items=3, users=(0, 0, 1, 2), items=(0, 1, 1, 2), gids=None):
+    users = np.asarray(users)
+    items = np.asarray(items)
+    gids = np.arange(num_users) if gids is None else np.asarray(gids)
+    return DomainData(
+        name=name,
+        num_users=num_users,
+        num_items=num_items,
+        users=users,
+        items=items,
+        timestamps=np.arange(users.size, dtype=float),
+        global_user_ids=gids,
+    )
+
+
+class TestDomainData:
+    def test_basic_properties(self):
+        domain = make_domain()
+        assert domain.num_interactions == 4
+        assert domain.density == pytest.approx(4 / 12)
+        assert domain.average_interactions_per_item == pytest.approx(4 / 3)
+        assert np.array_equal(domain.user_degrees(), [2, 1, 1, 0])
+        assert np.array_equal(domain.item_degrees(), [1, 2, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_domain(users=(0, 9), items=(0, 1))
+        with pytest.raises(ValueError):
+            make_domain(items=(0, 9), users=(0, 1))
+        with pytest.raises(ValueError):
+            DomainData("X", 2, 2, np.array([0]), np.array([0, 1]), np.zeros(1), np.arange(2))
+        with pytest.raises(ValueError):
+            make_domain(gids=np.arange(3))
+
+    def test_interaction_graph_roundtrip(self):
+        domain = make_domain()
+        graph = domain.interaction_graph()
+        assert graph.num_edges == domain.num_interactions
+
+    def test_copy_is_independent(self):
+        domain = make_domain()
+        clone = domain.copy()
+        clone.users[0] = 3
+        assert domain.users[0] == 0
+
+
+class TestCDRDataset:
+    def _dataset(self):
+        domain_a = make_domain("A", gids=np.array([100, 101, 102, 103]))
+        domain_b = make_domain("B", gids=np.array([102, 103, 104, 105]))
+        return CDRDataset("toy", domain_a, domain_b)
+
+    def test_overlap_pairs(self):
+        dataset = self._dataset()
+        pairs = dataset.overlap_pairs()
+        assert dataset.num_overlapping == 2
+        # gid 102 is local 2 in A and local 0 in B; gid 103 is 3 in A and 1 in B.
+        assert {tuple(pair) for pair in pairs.tolist()} == {(2, 0), (3, 1)}
+
+    def test_non_overlapping_users(self):
+        dataset = self._dataset()
+        non_a, non_b = dataset.non_overlapping_users()
+        assert set(non_a) == {0, 1}
+        assert set(non_b) == {2, 3}
+
+    def test_with_overlap_ratio_zero_and_one(self):
+        dataset = self._dataset()
+        assert dataset.with_overlap_ratio(1.0).num_overlapping == 2
+        assert dataset.with_overlap_ratio(0.0).num_overlapping == 0
+
+    def test_with_overlap_ratio_does_not_mutate_original(self):
+        dataset = self._dataset()
+        dataset.with_overlap_ratio(0.0)
+        assert dataset.num_overlapping == 2
+
+    def test_with_overlap_ratio_validation(self):
+        with pytest.raises(ValueError):
+            self._dataset().with_overlap_ratio(1.5)
+
+    def test_with_density_reduces_interactions(self):
+        scenario = generate_scenario(
+            ScenarioSpec(
+                "tiny",
+                DomainSpec("A", 40, 30, mean_interactions_per_user=8),
+                DomainSpec("B", 40, 30, mean_interactions_per_user=8),
+                num_overlap=10,
+                seed=1,
+            )
+        )
+        sparser = scenario.with_density(0.5)
+        assert sparser.domain_a.num_interactions < scenario.domain_a.num_interactions
+        # every user keeps at least the minimum needed for leave-one-out
+        assert sparser.domain_a.user_degrees().min() >= 3
+
+    def test_with_density_validation(self):
+        with pytest.raises(ValueError):
+            self._dataset().with_density(0.0)
+
+
+class TestSyntheticGenerator:
+    def test_scenario_shapes_and_overlap(self):
+        spec = ScenarioSpec(
+            "gen",
+            DomainSpec("A", 60, 40, mean_interactions_per_user=7),
+            DomainSpec("B", 50, 35, mean_interactions_per_user=7),
+            num_overlap=20,
+            seed=3,
+        )
+        dataset = generate_scenario(spec)
+        assert dataset.domain_a.num_users == 60
+        assert dataset.domain_b.num_users == 50
+        assert dataset.num_overlapping == 20
+
+    def test_minimum_interactions_respected(self):
+        spec = ScenarioSpec(
+            "gen",
+            DomainSpec("A", 50, 40, mean_interactions_per_user=6, min_interactions_per_user=5),
+            DomainSpec("B", 50, 40, mean_interactions_per_user=6, min_interactions_per_user=5),
+            num_overlap=5,
+            seed=0,
+        )
+        dataset = generate_scenario(spec)
+        assert dataset.domain_a.user_degrees().min() >= 5
+
+    def test_long_tail_activity(self):
+        spec = ScenarioSpec(
+            "gen",
+            DomainSpec("A", 200, 80, mean_interactions_per_user=8),
+            DomainSpec("B", 50, 40, mean_interactions_per_user=8),
+            num_overlap=10,
+            seed=0,
+        )
+        degrees = generate_scenario(spec).domain_a.user_degrees()
+        # long tail: the median user has far fewer interactions than the heaviest
+        assert np.median(degrees) * 2 <= degrees.max()
+
+    def test_determinism(self):
+        spec = ScenarioSpec(
+            "gen",
+            DomainSpec("A", 40, 30),
+            DomainSpec("B", 40, 30),
+            num_overlap=10,
+            seed=42,
+        )
+        first = generate_scenario(spec)
+        second = generate_scenario(spec)
+        assert np.array_equal(first.domain_a.users, second.domain_a.users)
+        assert np.array_equal(first.domain_b.items, second.domain_b.items)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            DomainSpec("A", 0, 10)
+        with pytest.raises(ValueError):
+            DomainSpec("A", 10, 10, mean_interactions_per_user=1.0, min_interactions_per_user=5)
+        with pytest.raises(ValueError):
+            ScenarioSpec("x", DomainSpec("A", 10, 10), DomainSpec("B", 10, 10), num_overlap=50)
+
+
+class TestPreprocessing:
+    def test_filter_min_interactions(self):
+        domain = make_domain()
+        filtered = filter_min_interactions(domain, min_interactions=2)
+        assert filtered.num_users == 1  # only user 0 has >= 2 interactions
+        assert filtered.num_interactions == 2
+        assert filtered.global_user_ids.tolist() == [0]
+
+    def test_filter_raises_when_everything_removed(self):
+        domain = make_domain()
+        with pytest.raises(ValueError):
+            filter_min_interactions(domain, min_interactions=10)
+
+    def test_compact_items(self):
+        domain = make_domain(items=(0, 0, 0, 0))
+        compacted, kept = compact_items(domain)
+        assert compacted.num_items == 1
+        assert kept.tolist() == [0]
+        assert np.all(compacted.items == 0)
+
+    def test_preprocess_scenario_keeps_overlap_structure(self):
+        spec = ScenarioSpec(
+            "gen",
+            DomainSpec("A", 60, 40, mean_interactions_per_user=7),
+            DomainSpec("B", 60, 40, mean_interactions_per_user=7),
+            num_overlap=20,
+            seed=5,
+        )
+        dataset = preprocess_scenario(generate_scenario(spec), min_interactions=5)
+        assert dataset.domain_a.user_degrees().min() >= 5
+        assert dataset.num_overlapping > 0

@@ -1,0 +1,192 @@
+"""Tests for leave-one-out splitting, negative sampling and the data loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DomainData,
+    InteractionDataLoader,
+    NegativeSampler,
+    build_ranking_candidates,
+    build_training_examples,
+    leave_one_out_split,
+)
+
+
+def make_domain(num_users=5, num_items=20, interactions_per_user=6, seed=0):
+    rng = np.random.default_rng(seed)
+    users, items, times = [], [], []
+    for user in range(num_users):
+        chosen = rng.choice(num_items, size=interactions_per_user, replace=False)
+        users.extend([user] * interactions_per_user)
+        items.extend(chosen.tolist())
+        times.extend(np.arange(interactions_per_user).tolist())
+    return DomainData(
+        name="toy",
+        num_users=num_users,
+        num_items=num_items,
+        users=np.array(users),
+        items=np.array(items),
+        timestamps=np.array(times, dtype=float),
+        global_user_ids=np.arange(num_users),
+    )
+
+
+class TestLeaveOneOut:
+    def test_counts(self):
+        domain = make_domain()
+        split = leave_one_out_split(domain)
+        assert split.num_eval_users == 5
+        assert split.valid_users.shape == (5,)
+        assert split.num_train == domain.num_interactions - 2 * 5
+
+    def test_test_item_is_most_recent(self):
+        domain = make_domain(num_users=1, interactions_per_user=4)
+        split = leave_one_out_split(domain)
+        # timestamps are 0..3, so the test item is the one with timestamp 3
+        latest_item = domain.items[np.argmax(domain.timestamps)]
+        assert split.test_items[0] == latest_item
+
+    def test_no_leakage_between_splits(self):
+        domain = make_domain()
+        split = leave_one_out_split(domain)
+        for user, test_item in zip(split.test_users, split.test_items):
+            train_items_of_user = split.train_items[split.train_users == user]
+            assert test_item not in train_items_of_user
+
+    def test_users_with_too_few_interactions_are_train_only(self):
+        domain = DomainData(
+            name="toy",
+            num_users=2,
+            num_items=5,
+            users=np.array([0, 0, 0, 1, 1]),
+            items=np.array([0, 1, 2, 3, 4]),
+            timestamps=np.arange(5, dtype=float),
+            global_user_ids=np.arange(2),
+        )
+        split = leave_one_out_split(domain, min_eval_interactions=3)
+        assert 1 not in split.test_users
+        assert np.sum(split.train_users == 1) == 2
+
+    def test_train_domain_view(self):
+        domain = make_domain()
+        split = leave_one_out_split(domain)
+        train_view = split.train_domain()
+        assert train_view.num_interactions == split.num_train
+        assert train_view.num_users == domain.num_users
+
+
+class TestNegativeSampler:
+    def test_negatives_not_interacted(self):
+        domain = make_domain()
+        sampler = NegativeSampler(domain, rng=np.random.default_rng(0))
+        for user in range(domain.num_users):
+            negatives = sampler.sample_for_user(user, 5)
+            assert len(set(negatives.tolist()) & sampler.interacted(user)) == 0
+            assert negatives.size == 5
+            assert len(set(negatives.tolist())) == 5
+
+    def test_small_catalogue_returns_all_unseen(self):
+        domain = DomainData(
+            name="toy",
+            num_users=1,
+            num_items=4,
+            users=np.array([0, 0]),
+            items=np.array([0, 1]),
+            timestamps=np.arange(2, dtype=float),
+            global_user_ids=np.arange(1),
+        )
+        sampler = NegativeSampler(domain)
+        negatives = sampler.sample_for_user(0, 10)
+        assert set(negatives.tolist()) == {2, 3}
+
+    def test_errors(self):
+        domain = DomainData(
+            name="toy",
+            num_users=1,
+            num_items=2,
+            users=np.array([0, 0]),
+            items=np.array([0, 1]),
+            timestamps=np.arange(2, dtype=float),
+            global_user_ids=np.arange(1),
+        )
+        sampler = NegativeSampler(domain)
+        with pytest.raises(ValueError):
+            sampler.sample_for_user(0, 1)
+
+    def test_sample_pairs_shape(self):
+        domain = make_domain()
+        sampler = NegativeSampler(domain, rng=np.random.default_rng(0))
+        out = sampler.sample_pairs(np.array([0, 1, 2]), negatives_per_positive=2)
+        assert out.shape == (3, 2)
+
+
+class TestRankingCandidates:
+    def test_shapes_and_positive_first(self):
+        domain = make_domain(num_items=40)
+        split = leave_one_out_split(domain)
+        users, candidates = build_ranking_candidates(split, num_negatives=10, rng=np.random.default_rng(0))
+        assert candidates.shape == (split.num_eval_users, 11)
+        assert np.array_equal(candidates[:, 0], split.test_items)
+
+    def test_negatives_exclude_all_interactions(self):
+        domain = make_domain(num_items=40)
+        split = leave_one_out_split(domain)
+        users, candidates = build_ranking_candidates(split, num_negatives=10, rng=np.random.default_rng(0))
+        sampler = NegativeSampler(domain)
+        for user, row in zip(users, candidates):
+            assert len(set(row[1:].tolist()) & sampler.interacted(int(user))) == 0
+
+    def test_clamps_to_available_items(self):
+        domain = make_domain(num_items=10, interactions_per_user=6)
+        split = leave_one_out_split(domain)
+        _, candidates = build_ranking_candidates(split, num_negatives=199)
+        assert candidates.shape[1] <= 10
+
+    def test_valid_subset(self):
+        domain = make_domain()
+        split = leave_one_out_split(domain)
+        users, candidates = build_ranking_candidates(split, num_negatives=5, subset="valid")
+        assert np.array_equal(candidates[:, 0], split.valid_items)
+        with pytest.raises(ValueError):
+            build_ranking_candidates(split, subset="train")
+
+
+class TestDataLoader:
+    def test_training_examples_balance(self):
+        domain = make_domain()
+        split = leave_one_out_split(domain)
+        users, items, labels = build_training_examples(split, negatives_per_positive=1)
+        assert labels.mean() == pytest.approx(0.5)
+        assert users.shape == items.shape == labels.shape
+
+    def test_loader_covers_all_examples(self):
+        domain = make_domain()
+        split = leave_one_out_split(domain)
+        loader = InteractionDataLoader(split, batch_size=7, rng=np.random.default_rng(0))
+        total = sum(len(batch) for batch in loader)
+        assert total == split.num_train * 2
+        assert len(loader) == int(np.ceil(total / 7))
+
+    def test_labels_are_binary(self):
+        domain = make_domain()
+        split = leave_one_out_split(domain)
+        loader = InteractionDataLoader(split, batch_size=16, rng=np.random.default_rng(0))
+        for batch in loader:
+            assert set(np.unique(batch.labels)).issubset({0.0, 1.0})
+
+    def test_invalid_arguments(self):
+        domain = make_domain()
+        split = leave_one_out_split(domain)
+        with pytest.raises(ValueError):
+            InteractionDataLoader(split, batch_size=0)
+        with pytest.raises(ValueError):
+            InteractionDataLoader(split, negatives_per_positive=0)
+
+    def test_negative_resampling_changes_between_epochs(self):
+        domain = make_domain()
+        split = leave_one_out_split(domain)
+        loader = InteractionDataLoader(split, batch_size=1000, rng=np.random.default_rng(0))
+        first = np.sort(np.concatenate([batch.items for batch in loader]))
+        second = np.sort(np.concatenate([batch.items for batch in loader]))
+        assert not np.array_equal(first, second)

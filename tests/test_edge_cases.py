@@ -1,0 +1,207 @@
+"""Additional edge-case coverage across the stack.
+
+These tests target boundary conditions that the main suites do not exercise:
+degenerate shapes in the autograd engine, extreme configurations of the data
+pipeline and unusual but legal uses of the experiment harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NMCDR, NMCDRConfig, build_task
+from repro.data import CDRDataset, DomainData, leave_one_out_split
+from repro.data.dataloader import Batch
+from repro.graph import InteractionGraph, MatchingNeighborSampler
+from repro.nn import Embedding, Linear, losses
+from repro.optim import Adam
+from repro.tensor import Tensor, no_grad, ops
+
+
+class TestTensorEdgeCases:
+    def test_scalar_tensor_arithmetic(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x * 3.0 + 1.0
+        y.backward()
+        assert x.grad == pytest.approx(3.0)
+
+    def test_zero_size_dimension(self):
+        empty = Tensor(np.zeros((0, 4)))
+        out = ops.relu(empty)
+        assert out.shape == (0, 4)
+        assert ops.concat([empty, Tensor(np.ones((2, 4)))], axis=0).shape == (2, 4)
+
+    def test_three_dimensional_matmul(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(2, 4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+    def test_sum_over_multiple_axes(self):
+        x = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = ops.sum(x, axis=(0, 2))
+        assert out.shape == (3,)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_chained_reshape_transpose_grad(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        out = ops.transpose(ops.reshape(x, (4, 3)))
+        (out * 2.0).sum().backward()
+        assert np.allclose(x.grad, 2.0)
+
+    def test_no_grad_inside_training_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with no_grad():
+            frozen = y.detach() * 5.0
+        out = (y + Tensor(frozen.data)).sum()
+        out.backward()
+        assert np.allclose(x.grad, 2.0)
+
+    def test_very_deep_chain_does_not_recurse(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = x
+        for _ in range(500):
+            y = y + 1.0
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_log_of_zero_is_finite(self):
+        out = ops.log(Tensor([0.0]))
+        assert np.isfinite(out.data).all()
+
+    def test_division_by_small_number_gradient_finite(self):
+        x = Tensor([1e-8], requires_grad=True)
+        (1.0 / x).sum().backward()
+        assert np.isfinite(x.grad).all()
+
+
+class TestModuleEdgeCases:
+    def test_linear_single_example(self):
+        linear = Linear(4, 2)
+        out = linear(Tensor(np.ones((1, 4))))
+        assert out.shape == (1, 2)
+
+    def test_embedding_empty_lookup(self):
+        table = Embedding(5, 3)
+        out = table(np.array([], dtype=np.int64))
+        assert out.shape == (0, 3)
+
+    def test_bce_all_positive_labels(self):
+        predictions = Tensor(np.full((4, 1), 0.99))
+        loss = losses.binary_cross_entropy(predictions, np.ones((4, 1)))
+        assert loss.item() < 0.05
+
+    def test_optimizer_with_single_scalar_parameter(self):
+        from repro.nn import Parameter
+
+        parameter = Parameter(np.array(5.0))
+        optimizer = Adam([parameter], lr=0.5)
+        for _ in range(50):
+            optimizer.zero_grad()
+            (parameter * parameter).backward()
+            optimizer.step()
+        assert abs(float(parameter.data)) < 5.0
+
+
+class TestDataEdgeCases:
+    def _single_user_domain(self):
+        return DomainData(
+            name="solo",
+            num_users=1,
+            num_items=6,
+            users=np.zeros(4, dtype=np.int64),
+            items=np.array([0, 1, 2, 3]),
+            timestamps=np.arange(4, dtype=float),
+            global_user_ids=np.array([0]),
+        )
+
+    def test_single_user_split(self):
+        split = leave_one_out_split(self._single_user_domain())
+        assert split.num_eval_users == 1
+        assert split.num_train == 2
+
+    def test_dataset_with_no_overlap(self):
+        domain_a = self._single_user_domain()
+        domain_b = DomainData(
+            name="other",
+            num_users=1,
+            num_items=6,
+            users=np.zeros(4, dtype=np.int64),
+            items=np.array([0, 1, 2, 3]),
+            timestamps=np.arange(4, dtype=float),
+            global_user_ids=np.array([99]),
+        )
+        dataset = CDRDataset("disjoint", domain_a, domain_b)
+        assert dataset.num_overlapping == 0
+        non_a, non_b = dataset.non_overlapping_users()
+        assert non_a.tolist() == [0] and non_b.tolist() == [0]
+
+    def test_graph_with_single_edge(self):
+        graph = InteractionGraph(1, 1, [0], [0])
+        assert graph.user_aggregation_matrix()[0, 0] == pytest.approx(1.0)
+        head, tail = graph.head_tail_split(0)
+        assert head.tolist() == [0] and tail.tolist() == []
+
+    def test_sampler_with_empty_candidates(self):
+        sampler = MatchingNeighborSampler(max_neighbors=4)
+        assert sampler.sample(np.array([], dtype=np.int64)).size == 0
+
+
+class TestModelEdgeCases:
+    def _no_overlap_task(self):
+        rng = np.random.default_rng(0)
+
+        def domain(name, offset):
+            users, items = [], []
+            for user in range(12):
+                chosen = rng.choice(15, size=5, replace=False)
+                users.extend([user] * 5)
+                items.extend(chosen.tolist())
+            return DomainData(
+                name=name,
+                num_users=12,
+                num_items=15,
+                users=np.array(users),
+                items=np.array(items),
+                timestamps=rng.uniform(size=len(users)),
+                global_user_ids=offset + np.arange(12),
+            )
+
+        dataset = CDRDataset("no_overlap", domain("a", 0), domain("b", 100))
+        return build_task(dataset, head_threshold=4)
+
+    def test_nmcdr_trains_with_zero_overlap(self):
+        task = self._no_overlap_task()
+        assert task.num_overlapping == 0
+        model = NMCDR(task, NMCDRConfig(embedding_dim=8, max_matching_neighbors=8, seed=0))
+        batch = Batch(users=np.array([0, 1]), items=np.array([0, 1]), labels=np.array([1.0, 0.0]))
+        loss = model.compute_batch_loss({"a": batch, "b": batch})
+        assert np.isfinite(loss.item())
+        loss.backward()
+        model.prepare_for_evaluation()
+        scores = model.score("a", np.array([0, 1, 2]), np.array([0, 1, 2]))
+        assert np.all(np.isfinite(scores))
+
+    def test_nmcdr_single_matching_neighbor(self, tiny_task):
+        config = NMCDRConfig(embedding_dim=8, max_matching_neighbors=1, seed=0)
+        model = NMCDR(tiny_task, config)
+        reps = model.forward_representations()
+        assert np.all(np.isfinite(reps["a"]["user_g4"].data))
+
+    def test_nmcdr_two_matching_layers(self, tiny_task):
+        config = NMCDRConfig(embedding_dim=8, num_matching_layers=2, seed=0)
+        model = NMCDR(tiny_task, config)
+        reps = model.forward_representations()
+        assert np.all(np.isfinite(reps["b"]["user_g4"].data))
+        assert len(model.domain_a_params.intra_layers) == 2
+
+    def test_nmcdr_gat_kernel(self, tiny_task):
+        config = NMCDRConfig(embedding_dim=8, gnn_kernel="gat", seed=0)
+        model = NMCDR(tiny_task, config)
+        batch = Batch(users=np.array([0]), items=np.array([0]), labels=np.array([1.0]))
+        loss = model.compute_batch_loss({"a": batch})
+        assert np.isfinite(loss.item())

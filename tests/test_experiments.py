@@ -1,0 +1,174 @@
+"""Tests for the experiment harness (runner, sweeps, ablation, online A/B, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    OnlineDomainSpec,
+    build_online_world,
+    format_comparison_table,
+    format_key_values,
+    format_metric_rows,
+    format_overlap_table,
+    paper_reference,
+    prepare_dataset,
+    run_ablation,
+    run_head_threshold_sweep,
+    run_matching_neighbors_sweep,
+    run_online_ab,
+    run_overlap_sweep,
+    run_scenario,
+)
+
+FAST = ExperimentSettings(
+    scenario="cloth_sport",
+    scale=0.25,
+    num_epochs=2,
+    num_eval_negatives=20,
+    embedding_dim=8,
+    batch_size=256,
+)
+
+
+class TestRunner:
+    def test_prepare_dataset_applies_manipulations(self):
+        settings = ExperimentSettings(
+            scenario="cloth_sport", scale=0.25, overlap_ratio=0.1, density_ratio=0.8
+        )
+        dataset = prepare_dataset(settings)
+        full = prepare_dataset(ExperimentSettings(scenario="cloth_sport", scale=0.25))
+        assert dataset.num_overlapping < full.num_overlapping
+        assert dataset.domain_a.num_interactions <= full.domain_a.num_interactions
+
+    def test_run_scenario_results_structure(self):
+        result = run_scenario(FAST, ["LR", "NMCDR"])
+        assert set(result.results) == {"LR", "NMCDR"}
+        for model_result in result.results.values():
+            assert 0.0 <= model_result.metric("a", "hr@10") <= 1.0
+            assert model_result.num_parameters > 0
+            assert model_result.wall_clock_seconds > 0
+        assert result.best_model("a") in {"LR", "NMCDR"}
+        improvement = result.improvement_over_best_baseline("a")
+        assert np.isfinite(improvement) or improvement == float("inf")
+
+    def test_improvement_requires_nmcdr(self):
+        result = run_scenario(FAST, ["LR"])
+        with pytest.raises(KeyError):
+            result.improvement_over_best_baseline("a")
+
+    def test_settings_validation_passthrough(self):
+        config = FAST.trainer_config()
+        assert config.num_epochs == FAST.num_epochs
+        nmcdr_config = FAST.nmcdr_config()
+        assert nmcdr_config.embedding_dim == FAST.embedding_dim
+
+
+class TestSweeps:
+    def test_overlap_sweep_structure(self):
+        sweep = run_overlap_sweep(
+            "cloth_sport",
+            model_names=("LR", "NMCDR"),
+            overlap_ratios=(0.1, 0.9),
+            settings=FAST,
+        )
+        assert len(sweep.per_ratio) == 2
+        series = sweep.series("NMCDR", "a")
+        assert len(series) == 2
+        assert 0.0 <= sweep.nmcdr_win_fraction("a") <= 1.0
+        table = sweep.format_table("a")
+        assert "NMCDR" in table and "Ku=" in table
+
+    def test_ablation_structure(self):
+        ablation = run_ablation(
+            "cloth_sport",
+            overlap_ratio=0.5,
+            settings=FAST,
+            model_names=("NMCDR/w/o-Cgm", "NMCDR"),
+        )
+        assert np.isfinite(ablation.variant_metric("NMCDR", "a"))
+        contributions = ablation.component_contributions("a")
+        assert "NMCDR/w/o-Cgm" in contributions
+        assert "w/o-Cgm" in ablation.format_table("a") or "NMCDR" in ablation.format_table("a")
+
+    def test_hyperparameter_sweeps(self):
+        sweep = run_matching_neighbors_sweep(
+            "cloth_sport", neighbor_counts=(4, 16), settings=FAST
+        )
+        assert len(sweep.average_series()) == 2
+        assert sweep.best_value() in (4.0, 16.0)
+        assert 0.0 <= sweep.relative_spread() <= 1.0
+        threshold_sweep = run_head_threshold_sweep(
+            "cloth_sport", thresholds=(3, 9), settings=FAST
+        )
+        assert "head_threshold" in threshold_sweep.format_table()
+
+
+class TestOnlineAB:
+    def test_world_generation(self):
+        world = build_online_world(
+            (
+                OnlineDomainSpec("Loan", 80, 25, base_cvr=0.10),
+                OnlineDomainSpec("Fund", 60, 20, base_cvr=0.06),
+            ),
+            seed=3,
+        )
+        assert set(world.domains) == {"Loan", "Fund"}
+        probability = world.conversion_probability("Loan", 0, 0)
+        assert 0.0 <= probability <= 0.95
+        assert world.item_popularity("Fund").shape == (20,)
+
+    def test_run_online_ab_structure(self):
+        result = run_online_ab(
+            groups=("Control", "NMCDR"),
+            domain_specs=(
+                OnlineDomainSpec("Loan", 60, 20, base_cvr=0.10),
+                OnlineDomainSpec("Fund", 50, 18, base_cvr=0.06),
+            ),
+            impressions_per_domain=100,
+            num_epochs=1,
+            embedding_dim=8,
+            seed=5,
+        )
+        assert set(result.cvr) == {"Control", "NMCDR"}
+        for group_cvr in result.cvr.values():
+            for value in group_cvr.values():
+                assert 0.0 <= value <= 1.0
+        table = result.format_table()
+        assert "Control" in table and "paper" in table.lower()
+
+
+class TestReportingAndReference:
+    def test_paper_reference_rows(self):
+        row = paper_reference.nmcdr_reference_row("cloth_sport", "Cloth")
+        assert len(row) == len(paper_reference.OVERLAP_RATIOS)
+        improvement = paper_reference.improvement_reference_row("phone_elec", "Phone")
+        assert improvement[0][0] == pytest.approx(37.93)
+        with pytest.raises(KeyError):
+            paper_reference.nmcdr_reference_row("books", "Books")
+
+    def test_reference_tables_presence(self):
+        assert "Music" in paper_reference.TABLE9_ABLATION
+        assert "NMCDR" in paper_reference.TABLE8_ONLINE_AB
+        assert "NMCDR" in paper_reference.EFFICIENCY_REFERENCE
+        assert set(paper_reference.FIGURE_TRENDS) == {"fig3", "fig4", "fig5"}
+
+    def test_format_metric_rows(self):
+        table = format_metric_rows({"LR": {"ndcg@10": 0.1, "hr@10": 0.2}}, title="demo")
+        assert "LR" in table and "demo" in table
+
+    def test_format_overlap_table(self):
+        table = format_overlap_table(
+            "cloth_sport",
+            "Cloth",
+            (0.1, 0.5),
+            {"NMCDR": [(8.0, 16.0), (9.0, 18.0)]},
+            paper_nmcdr=[(8.4, 16.6), (9.3, 18.3)],
+        )
+        assert "paper NMCDR" in table
+
+    def test_format_comparison_and_key_values(self):
+        comparison = format_comparison_table("eff", {"params": 0.5}, {"params": 0.4}, unit="M")
+        assert "params" in comparison
+        block = format_key_values("summary", {"a": 1.0, "b": 2})
+        assert "summary" in block and "a" in block

@@ -1,0 +1,62 @@
+"""Tests for the bench-report aggregation module."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import (
+    REPORT_ORDER,
+    build_markdown_report,
+    collect_reports,
+    write_markdown_report,
+)
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "table1_statistics.txt").write_text("users items ratings\n")
+    (directory / "table9_ablation.txt").write_text("full beats variants\n")
+    (directory / "custom_extra.txt").write_text("extra experiment\n")
+    return directory
+
+
+class TestCollect:
+    def test_collect_reads_all_files(self, results_dir):
+        reports = collect_reports(results_dir)
+        assert set(reports) == {"table1_statistics", "table9_ablation", "custom_extra"}
+        assert reports["table1_statistics"].startswith("users")
+
+    def test_missing_directory_returns_empty(self, tmp_path):
+        assert collect_reports(tmp_path / "does_not_exist") == {}
+
+
+class TestMarkdown:
+    def test_sections_in_paper_order(self, results_dir):
+        markdown = build_markdown_report(results_dir)
+        table1_position = markdown.index("Table I — dataset statistics")
+        table9_position = markdown.index("Table IX — component ablation")
+        assert table1_position < table9_position
+        # unknown reports are appended at the end
+        assert markdown.index("custom_extra") > table9_position
+        assert "```" in markdown
+
+    def test_empty_results_message(self, tmp_path):
+        markdown = build_markdown_report(tmp_path / "empty")
+        assert "No bench reports found" in markdown
+
+    def test_write_markdown_report(self, results_dir, tmp_path):
+        output = write_markdown_report(results_dir, tmp_path / "report.md", title="Demo")
+        assert output.exists()
+        content = output.read_text()
+        assert content.startswith("# Demo")
+
+    def test_report_order_covers_all_benches(self):
+        names = {name for name, _ in REPORT_ORDER}
+        bench_dir = Path(__file__).parent.parent / "benchmarks"
+        bench_files = {
+            path.stem.replace("test_bench_", "") for path in bench_dir.glob("test_bench_*.py")
+        }
+        # every bench writes a report whose stem appears in REPORT_ORDER
+        assert bench_files <= names

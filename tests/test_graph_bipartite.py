@@ -1,0 +1,109 @@
+"""Tests for the bipartite interaction graph."""
+
+import numpy as np
+import pytest
+
+from repro.graph import InteractionGraph
+
+
+@pytest.fixture()
+def small_graph():
+    # 4 users, 3 items; user 0 is a heavy user, user 3 has no interactions.
+    users = [0, 0, 0, 1, 2, 2]
+    items = [0, 1, 2, 0, 1, 2]
+    return InteractionGraph(4, 3, users, items)
+
+
+class TestConstruction:
+    def test_basic_counts(self, small_graph):
+        assert small_graph.num_users == 4
+        assert small_graph.num_items == 3
+        assert small_graph.num_edges == 6
+        assert small_graph.density == pytest.approx(6 / 12)
+
+    def test_duplicate_edges_are_merged(self):
+        graph = InteractionGraph(2, 2, [0, 0, 0], [1, 1, 1])
+        assert graph.num_edges == 1
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(ValueError):
+            InteractionGraph(2, 2, [2], [0])
+        with pytest.raises(ValueError):
+            InteractionGraph(2, 2, [0], [5])
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            InteractionGraph(2, 2, [0, 1], [0])
+
+    def test_empty_graph_allowed(self):
+        graph = InteractionGraph(3, 3, [], [])
+        assert graph.num_edges == 0
+        assert np.all(graph.user_degrees() == 0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            InteractionGraph(0, 3, [], [])
+
+
+class TestAccessors:
+    def test_degrees(self, small_graph):
+        assert np.array_equal(small_graph.user_degrees(), [3, 1, 2, 0])
+        assert np.array_equal(small_graph.item_degrees(), [2, 2, 2])
+
+    def test_neighbors(self, small_graph):
+        assert set(small_graph.user_neighbors(0)) == {0, 1, 2}
+        assert set(small_graph.user_neighbors(3)) == set()
+        assert set(small_graph.item_neighbors(0)) == {0, 1}
+
+    def test_has_edge(self, small_graph):
+        assert small_graph.has_edge(0, 1)
+        assert not small_graph.has_edge(3, 0)
+
+    def test_edge_list_matches_input(self, small_graph):
+        assert set(small_graph.edge_list()) == {(0, 0), (0, 1), (0, 2), (1, 0), (2, 1), (2, 2)}
+
+    def test_to_networkx(self, small_graph):
+        nx_graph = small_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 7
+        assert nx_graph.number_of_edges() == 6
+
+
+class TestOperators:
+    def test_user_aggregation_rows_sum_to_one(self, small_graph):
+        operator = small_graph.user_aggregation_matrix()
+        sums = np.asarray(operator.sum(axis=1)).ravel()
+        degrees = small_graph.user_degrees()
+        assert np.allclose(sums[degrees > 0], 1.0)
+        assert np.allclose(sums[degrees == 0], 0.0)
+
+    def test_item_aggregation_rows_sum_to_one(self, small_graph):
+        operator = small_graph.item_aggregation_matrix()
+        sums = np.asarray(operator.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_symmetric_normalization_values(self):
+        graph = InteractionGraph(1, 1, [0], [0])
+        operator = graph.symmetric_normalized_adjacency()
+        assert operator[0, 0] == pytest.approx(1.0)
+
+    def test_aggregation_shape(self, small_graph):
+        assert small_graph.user_aggregation_matrix().shape == (4, 3)
+        assert small_graph.item_aggregation_matrix().shape == (3, 4)
+
+
+class TestHeadTailSplit:
+    def test_threshold_semantics(self, small_graph):
+        head, tail = small_graph.head_tail_split(threshold=1)
+        # head users have strictly more than 1 interaction
+        assert set(head) == {0, 2}
+        assert set(tail) == {1, 3}
+
+    def test_all_tail_when_threshold_high(self, small_graph):
+        head, tail = small_graph.head_tail_split(threshold=100)
+        assert head.size == 0
+        assert tail.size == 4
+
+    def test_partition_is_exhaustive_and_disjoint(self, small_graph):
+        head, tail = small_graph.head_tail_split(threshold=2)
+        assert set(head) | set(tail) == set(range(4))
+        assert set(head) & set(tail) == set()

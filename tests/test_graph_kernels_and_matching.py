@@ -1,0 +1,153 @@
+"""Tests for GNN kernels, sparse message passing and matching-neighbour sampling."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    GATConv,
+    GCNConv,
+    HeadTailPartition,
+    InteractionGraph,
+    MatchingNeighborSampler,
+    VanillaGNNConv,
+    kernel_by_name,
+    segment_mean,
+    spmm,
+)
+from repro.tensor import Tensor
+
+
+@pytest.fixture()
+def graph():
+    users = [0, 0, 1, 2, 2, 2]
+    items = [0, 1, 1, 0, 1, 2]
+    return InteractionGraph(3, 3, users, items)
+
+
+class TestSpmm:
+    def test_forward_matches_dense(self, rng):
+        matrix = sp.random(5, 4, density=0.5, random_state=0, format="csr")
+        features = rng.normal(size=(4, 3))
+        out = spmm(matrix, Tensor(features))
+        assert np.allclose(out.data, matrix @ features)
+
+    def test_backward_is_transpose(self, rng):
+        matrix = sp.random(5, 4, density=0.5, random_state=0, format="csr")
+        features = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        spmm(matrix, features).sum().backward()
+        expected = matrix.T @ np.ones((5, 3))
+        assert np.allclose(features.grad, expected)
+
+    def test_shape_mismatch(self, rng):
+        matrix = sp.eye(3, format="csr")
+        with pytest.raises(ValueError):
+            spmm(matrix, Tensor(rng.normal(size=(4, 2))))
+
+    def test_segment_mean(self):
+        features = Tensor(np.array([[1.0], [3.0], [10.0]]), requires_grad=True)
+        out = segment_mean(features, np.array([0, 0, 1]), num_segments=3)
+        assert np.allclose(out.data, [[2.0], [10.0], [0.0]])
+        out.sum().backward()
+        assert np.allclose(features.grad, [[0.5], [0.5], [1.0]])
+
+    def test_segment_mean_length_mismatch(self):
+        with pytest.raises(ValueError):
+            segment_mean(Tensor(np.ones((3, 1))), np.array([0, 1]), num_segments=2)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_name", ["vanilla", "gcn", "gat"])
+    def test_forward_shapes(self, kernel_name, graph, rng):
+        kernel = kernel_by_name(kernel_name, 8, 6, rng=rng)
+        users = Tensor(rng.normal(size=(3, 8)), requires_grad=True)
+        items = Tensor(rng.normal(size=(3, 8)), requires_grad=True)
+        user_out, item_out = kernel(graph, users, items)
+        assert user_out.shape == (3, 6)
+        assert item_out.shape == (3, 6)
+
+    @pytest.mark.parametrize("kernel_name", ["vanilla", "gcn", "gat"])
+    def test_gradients_reach_inputs(self, kernel_name, graph, rng):
+        kernel = kernel_by_name(kernel_name, 4, 4, rng=rng)
+        users = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        items = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        user_out, item_out = kernel(graph, users, items)
+        (user_out.sum() + item_out.sum()).backward()
+        assert users.grad is not None and np.any(users.grad != 0)
+        assert items.grad is not None and np.any(items.grad != 0)
+
+    def test_vanilla_isolated_user_keeps_self_message(self, rng):
+        graph = InteractionGraph(2, 2, [0], [0])  # user 1 isolated
+        kernel = VanillaGNNConv(4, 4, rng=rng)
+        users = Tensor(rng.normal(size=(2, 4)))
+        items = Tensor(rng.normal(size=(2, 4)))
+        user_out, _ = kernel(graph, users, items)
+        expected_isolated = np.maximum(
+            users.data[1] @ kernel.user_transform.weight.data + kernel.user_transform.bias.data, 0.0
+        )
+        assert np.allclose(user_out.data[1], expected_isolated)
+
+    def test_outputs_are_non_negative_after_relu(self, graph, rng):
+        kernel = GCNConv(4, 4, rng=rng)
+        user_out, item_out = kernel(
+            graph, Tensor(rng.normal(size=(3, 4))), Tensor(rng.normal(size=(3, 4)))
+        )
+        assert np.all(user_out.data >= 0)
+        assert np.all(item_out.data >= 0)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            kernel_by_name("transformer", 4, 4)
+
+    def test_gat_attention_weights_normalised(self, graph, rng):
+        kernel = GATConv(4, 4, rng=rng)
+        logits = rng.normal(size=graph.num_edges)
+        weights = kernel._edge_softmax(logits, graph.user_indices, graph.num_users)
+        per_user = np.zeros(graph.num_users)
+        np.add.at(per_user, graph.user_indices, weights)
+        assert np.allclose(per_user[graph.user_degrees() > 0], 1.0)
+
+
+class TestHeadTailPartition:
+    def test_partition_counts(self):
+        partition = HeadTailPartition(np.array([1, 5, 10, 2]), threshold=4)
+        assert set(partition.head_users) == {1, 2}
+        assert set(partition.tail_users) == {0, 3}
+        assert partition.is_head(2)
+        assert not partition.is_head(0)
+
+    def test_summary(self):
+        partition = HeadTailPartition(np.array([1, 10]), threshold=5)
+        summary = partition.summary()
+        assert summary["num_head"] == 1
+        assert summary["num_tail"] == 1
+        assert summary["head_fraction"] == pytest.approx(0.5)
+
+    def test_negative_threshold(self):
+        with pytest.raises(ValueError):
+            HeadTailPartition(np.array([1]), threshold=-1)
+
+
+class TestMatchingNeighborSampler:
+    def test_no_limit_returns_all(self):
+        sampler = MatchingNeighborSampler(max_neighbors=None)
+        candidates = np.arange(10)
+        assert np.array_equal(sampler.sample(candidates), candidates)
+
+    def test_limit_respected_and_subset(self):
+        sampler = MatchingNeighborSampler(max_neighbors=3, rng=np.random.default_rng(0))
+        candidates = np.arange(100)
+        sampled = sampler.sample(candidates)
+        assert sampled.size == 3
+        assert np.all(np.isin(sampled, candidates))
+        assert np.array_equal(sampled, np.sort(sampled))
+
+    def test_sample_partition(self):
+        partition = HeadTailPartition(np.arange(20), threshold=9)
+        sampler = MatchingNeighborSampler(max_neighbors=5, rng=np.random.default_rng(0))
+        head, tail = sampler.sample_partition(partition)
+        assert head.size == 5 and tail.size == 5
+
+    def test_invalid_max_neighbors(self):
+        with pytest.raises(ValueError):
+            MatchingNeighborSampler(max_neighbors=0)

@@ -1,0 +1,100 @@
+"""Integration tests exercising the full pipeline the way the benches do."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import stagewise_alignment
+from repro.baselines import build_model
+from repro.core import CDRTrainer, NMCDR, NMCDRConfig, TrainerConfig, build_task, stability_report
+from repro.data import load_scenario, preprocess_scenario
+from repro.experiments import ExperimentSettings, run_scenario
+
+
+class TestFullPipeline:
+    def test_scenario_to_metrics(self):
+        """Generate -> preprocess -> Ku manipulation -> train -> evaluate, end to end."""
+        dataset = load_scenario("phone_elec", scale=0.3, seed=1)
+        dataset = preprocess_scenario(dataset, min_interactions=3)
+        dataset = dataset.with_overlap_ratio(0.5, rng=np.random.default_rng(0))
+        task = build_task(dataset, head_threshold=5)
+
+        model = NMCDR(task, NMCDRConfig(embedding_dim=16, max_matching_neighbors=32, seed=0))
+        trainer = CDRTrainer(
+            model, task, TrainerConfig(num_epochs=4, batch_size=256, num_eval_negatives=30)
+        )
+        history = trainer.fit()
+        metrics = trainer.evaluate()
+
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+        chance = 10.0 / 31.0
+        assert metrics["a"]["hr@10"] > chance
+        assert metrics["b"]["hr@10"] > chance
+
+    def test_nmcdr_competitive_with_single_domain_baseline(self):
+        """On a mid-overlap task NMCDR should at least match a pure popularity/linear model."""
+        settings = ExperimentSettings(
+            scenario="cloth_sport",
+            scale=0.4,
+            overlap_ratio=0.5,
+            num_epochs=6,
+            num_eval_negatives=40,
+            embedding_dim=16,
+        )
+        result = run_scenario(settings, ["LR", "NMCDR"])
+        nmcdr_avg = (
+            result.results["NMCDR"].metric("a", "ndcg@10")
+            + result.results["NMCDR"].metric("b", "ndcg@10")
+        ) / 2
+        lr_avg = (
+            result.results["LR"].metric("a", "ndcg@10")
+            + result.results["LR"].metric("b", "ndcg@10")
+        ) / 2
+        assert nmcdr_avg > 0.5 * lr_avg
+
+    def test_overlap_helps_cdr_model(self):
+        """GA-DTCDR (overlap-dependent) should not get worse with much more overlap."""
+        low = ExperimentSettings(
+            scenario="music_movie", scale=0.3, overlap_ratio=0.0, num_epochs=4,
+            num_eval_negatives=30, embedding_dim=16,
+        )
+        high = ExperimentSettings(
+            scenario="music_movie", scale=0.3, overlap_ratio=1.0, num_epochs=4,
+            num_eval_negatives=30, embedding_dim=16,
+        )
+        low_result = run_scenario(low, ["NMCDR"])
+        high_result = run_scenario(high, ["NMCDR"])
+        low_score = low_result.results["NMCDR"].metric("a", "ndcg@10")
+        high_score = high_result.results["NMCDR"].metric("a", "ndcg@10")
+        # allow noise, but full overlap should not be dramatically worse
+        assert high_score >= 0.6 * low_score
+
+    def test_analysis_pipeline_on_trained_model(self, trained_nmcdr):
+        alignment = stagewise_alignment(trained_nmcdr, "a", rng=np.random.default_rng(0))
+        assert len(alignment) == 3
+        report = stability_report(trained_nmcdr, "a", rng=np.random.default_rng(0))
+        assert report.theoretical_bound_coefficient > 0
+
+    def test_baseline_and_nmcdr_share_task_state(self, tiny_task):
+        """Training a baseline must not corrupt the task used by another model."""
+        before_users = tiny_task.domain_a.split.train_users.copy()
+        model = build_model("HeroGraph", tiny_task, embedding_dim=8)
+        CDRTrainer(model, tiny_task, TrainerConfig(num_epochs=1, num_eval_negatives=10)).fit()
+        assert np.array_equal(before_users, tiny_task.domain_a.split.train_users)
+
+    def test_reproducibility_of_training(self):
+        settings = dict(embedding_dim=8, max_matching_neighbors=16, seed=3)
+        dataset = preprocess_scenario(load_scenario("loan_fund", scale=0.25, seed=2), min_interactions=3)
+        task = build_task(dataset)
+
+        def run():
+            model = NMCDR(task, NMCDRConfig(**settings))
+            trainer = CDRTrainer(
+                model, task, TrainerConfig(num_epochs=2, num_eval_negatives=20, seed=11)
+            )
+            trainer.fit()
+            return trainer.evaluate()
+
+        first = run()
+        second = run()
+        assert first["a"]["ndcg@10"] == pytest.approx(second["a"]["ndcg@10"])
+        assert first["b"]["hr@10"] == pytest.approx(second["b"]["hr@10"])

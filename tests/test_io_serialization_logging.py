@@ -1,0 +1,126 @@
+"""Tests for dataset persistence, model checkpointing and logging utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, load_scenario, save_dataset
+from repro.logging_utils import ExperimentLogger, Timer
+from repro.nn import Checkpoint, Linear, MLP, load_module, save_module
+from repro.tensor import Tensor
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        dataset = load_scenario("phone_elec", scale=0.2, seed=4)
+        path = save_dataset(dataset, tmp_path / "phone_elec")
+        assert path.suffix == ".npz"
+        restored = load_dataset(path)
+        assert restored.name == dataset.name
+        assert restored.domain_a.name == dataset.domain_a.name
+        assert np.array_equal(restored.domain_a.users, dataset.domain_a.users)
+        assert np.array_equal(restored.domain_b.items, dataset.domain_b.items)
+        assert restored.num_overlapping == dataset.num_overlapping
+
+    def test_load_without_extension(self, tmp_path):
+        dataset = load_scenario("loan_fund", scale=0.15, seed=2)
+        save_dataset(dataset, tmp_path / "loan_fund")
+        restored = load_dataset(tmp_path / "loan_fund")
+        assert restored.domain_a.num_interactions == dataset.domain_a.num_interactions
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope.npz")
+
+    def test_roundtrip_preserves_statistics(self, tmp_path):
+        dataset = load_scenario("cloth_sport", scale=0.2, seed=8)
+        restored = load_dataset(save_dataset(dataset, tmp_path / "ds"))
+        assert restored.domain_a.density == pytest.approx(dataset.domain_a.density)
+        assert restored.domain_b.num_users == dataset.domain_b.num_users
+
+
+class TestModuleSerialization:
+    def test_roundtrip(self, tmp_path):
+        source = MLP([4, 8, 1], rng=np.random.default_rng(0))
+        target = MLP([4, 8, 1], rng=np.random.default_rng(1))
+        path = save_module(source, tmp_path / "mlp", metadata={"epoch": 3})
+        metadata = load_module(target, path)
+        assert metadata["epoch"] == 3
+        x = Tensor(np.random.default_rng(2).normal(size=(5, 4)))
+        assert np.allclose(source(x).data, target(x).data)
+
+    def test_strict_mismatch(self, tmp_path):
+        source = Linear(3, 2)
+        other = Linear(5, 2)
+        path = save_module(source, tmp_path / "linear")
+        with pytest.raises((KeyError, ValueError)):
+            load_module(other, path)
+
+    def test_missing_checkpoint(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_module(Linear(2, 2), tmp_path / "missing")
+
+    def test_checkpoint_tracks_best(self, tmp_path):
+        model = Linear(2, 2, rng=np.random.default_rng(0))
+        checkpoint = Checkpoint(tmp_path / "best", higher_is_better=True)
+        assert checkpoint.update(model, 0.5)
+        best_weights = model.weight.data.copy()
+        model.weight.data = model.weight.data + 1.0
+        assert not checkpoint.update(model, 0.4)  # worse score: not saved
+        assert checkpoint.update(model, 0.9)
+        # restore the score-0.9 weights
+        model.weight.data = np.zeros_like(model.weight.data)
+        metadata = checkpoint.restore(model)
+        assert metadata["score"] == pytest.approx(0.9)
+        assert not np.allclose(model.weight.data, best_weights)
+
+    def test_checkpoint_lower_is_better(self, tmp_path):
+        model = Linear(2, 2)
+        checkpoint = Checkpoint(tmp_path / "loss", higher_is_better=False)
+        assert checkpoint.update(model, 1.0)
+        assert not checkpoint.update(model, 2.0)
+        assert checkpoint.update(model, 0.5)
+
+
+class TestTimer:
+    def test_accumulates_sections(self):
+        timer = Timer()
+        with timer.section("work"):
+            time.sleep(0.01)
+        with timer.section("work"):
+            time.sleep(0.01)
+        assert timer.count("work") == 2
+        assert timer.total("work") >= 0.02
+        assert timer.mean("work") >= 0.01
+        assert "work" in timer.summary()
+
+    def test_unknown_section_is_zero(self):
+        timer = Timer()
+        assert timer.total("missing") == 0.0
+        assert timer.mean("missing") == 0.0
+
+    def test_exception_still_recorded(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            with timer.section("boom"):
+                raise RuntimeError("x")
+        assert timer.count("boom") == 1
+
+
+class TestExperimentLogger:
+    def test_log_and_serialise(self, tmp_path):
+        logger = ExperimentLogger("unit-test")
+        logger.log("start", scenario="cloth_sport")
+        logger.log_metrics("NMCDR", {"a": {"ndcg@10": 0.25}, "b": {"hr@10": 0.4}})
+        payload = logger.to_json(tmp_path / "log.json")
+        assert "unit-test" in payload
+        assert (tmp_path / "log.json").exists()
+        assert len(logger.records) == 2
+        assert logger.records[1]["a/ndcg@10"] == pytest.approx(0.25)
+
+    def test_verbose_prints(self, capsys):
+        logger = ExperimentLogger("loud", verbose=True)
+        logger.log("event", value=1)
+        captured = capsys.readouterr()
+        assert "loud" in captured.out and "event" in captured.out

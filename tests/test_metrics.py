@@ -1,0 +1,169 @@
+"""Tests for ranking metrics, classification metrics and the evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.data import leave_one_out_split
+from repro.metrics import (
+    RankingEvaluator,
+    auc,
+    conversion_rate,
+    evaluate_split,
+    hit_rate_at_k,
+    log_loss,
+    mrr,
+    ndcg_at_k,
+    rank_of_positive,
+    ranking_report,
+)
+
+
+class TestRankingMetrics:
+    def test_rank_of_positive(self):
+        scores = np.array([[0.9, 0.1, 0.5], [0.1, 0.9, 0.5]])
+        assert np.array_equal(rank_of_positive(scores), [1, 3])
+
+    def test_rank_pessimistic_on_ties(self):
+        scores = np.array([[0.5, 0.5, 0.1]])
+        assert rank_of_positive(scores)[0] == 2
+
+    def test_hit_rate_boundaries(self):
+        scores = np.array([[0.9, 0.1], [0.1, 0.9]])
+        assert hit_rate_at_k(scores, 1) == pytest.approx(0.5)
+        assert hit_rate_at_k(scores, 2) == pytest.approx(1.0)
+
+    def test_ndcg_values(self):
+        scores = np.array([[0.9, 0.1, 0.2]])
+        assert ndcg_at_k(scores, 10) == pytest.approx(1.0)
+        scores_rank2 = np.array([[0.5, 0.9, 0.2]])
+        assert ndcg_at_k(scores_rank2, 10) == pytest.approx(1.0 / np.log2(3))
+
+    def test_ndcg_le_hr(self, rng):
+        scores = rng.normal(size=(50, 100))
+        assert ndcg_at_k(scores, 10) <= hit_rate_at_k(scores, 10) + 1e-12
+
+    def test_mrr(self):
+        scores = np.array([[0.9, 0.1], [0.1, 0.9]])
+        assert mrr(scores) == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_perfect_and_worst_scorer(self):
+        n = 20
+        perfect = np.hstack([np.ones((n, 1)), np.zeros((n, 99))])
+        worst = np.hstack([np.zeros((n, 1)), np.ones((n, 99))])
+        assert ndcg_at_k(perfect, 10) == pytest.approx(1.0)
+        assert hit_rate_at_k(worst, 10) == 0.0
+
+    def test_random_scorer_hr_close_to_k_over_n(self, rng):
+        scores = rng.random((2000, 100))
+        assert hit_rate_at_k(scores, 10) == pytest.approx(0.1, abs=0.03)
+
+    def test_ranking_report_keys(self, rng):
+        report = ranking_report(rng.random((10, 20)), ks=(5, 10))
+        assert set(report) == {"mrr", "hr@5", "ndcg@5", "hr@10", "ndcg@10"}
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            rank_of_positive(np.array([0.4, 0.2]))
+        with pytest.raises(ValueError):
+            hit_rate_at_k(np.ones((2, 3)), 0)
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.ones((2, 3)), -1)
+
+    def test_empty_input(self):
+        empty = np.zeros((0, 5))
+        assert hit_rate_at_k(empty, 5) == 0.0
+        assert ndcg_at_k(empty, 5) == 0.0
+        assert mrr(empty) == 0.0
+
+
+class TestClassificationMetrics:
+    def test_auc_perfect_and_inverted(self):
+        labels = np.array([1, 1, 0, 0])
+        assert auc(labels, np.array([0.9, 0.8, 0.2, 0.1])) == pytest.approx(1.0)
+        assert auc(labels, np.array([0.1, 0.2, 0.8, 0.9])) == pytest.approx(0.0)
+
+    def test_auc_random_is_half(self, rng):
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.random(5000)
+        assert auc(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_auc_single_class(self):
+        assert auc(np.ones(5), np.random.random(5)) == 0.5
+
+    def test_auc_with_ties(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc(labels, scores) == pytest.approx(0.5)
+
+    def test_log_loss(self):
+        labels = np.array([1.0, 0.0])
+        probabilities = np.array([0.8, 0.1])
+        expected = -(np.log(0.8) + np.log(0.9)) / 2
+        assert log_loss(labels, probabilities) == pytest.approx(expected)
+
+    def test_log_loss_clipping(self):
+        assert np.isfinite(log_loss(np.array([1.0]), np.array([0.0])))
+
+    def test_conversion_rate(self):
+        assert conversion_rate(np.array([1, 0, 1, 0]), 4) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            conversion_rate(np.array([1]), 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            auc(np.array([1, 0]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            log_loss(np.array([1, 0]), np.array([0.5]))
+
+
+class _OracleScorer:
+    """Scores the ground-truth positive column highest (uses the candidate list)."""
+
+    def __init__(self, positives):
+        self.positives = {int(user): int(item) for user, item in positives}
+
+    def score(self, domain_key, users, items):
+        return np.array(
+            [1.0 if self.positives.get(int(u)) == int(i) else 0.0 for u, i in zip(users, items)]
+        )
+
+
+class _RandomScorer:
+    def __init__(self, seed=0):
+        self.rng = np.random.default_rng(seed)
+
+    def score(self, domain_key, users, items):
+        return self.rng.random(len(users))
+
+
+class TestEvaluator:
+    def test_oracle_gets_perfect_metrics(self, tiny_task):
+        split = tiny_task.domain_a.split
+        oracle = _OracleScorer(zip(split.test_users, split.test_items))
+        report = evaluate_split(oracle, split, "a", num_negatives=20)
+        assert report["hr@10"] == pytest.approx(1.0)
+        assert report["ndcg@10"] == pytest.approx(1.0)
+
+    def test_random_scorer_near_chance(self, tiny_task):
+        split = tiny_task.domain_a.split
+        evaluator = RankingEvaluator(split, "a", num_negatives=30, rng=np.random.default_rng(1))
+        report = evaluator.evaluate(_RandomScorer())
+        expected = 10.0 / evaluator.candidates.shape[1]
+        assert report["hr@10"] == pytest.approx(expected, abs=0.12)
+
+    def test_candidate_matrix_shared_across_models(self, tiny_task):
+        split = tiny_task.domain_a.split
+        evaluator = RankingEvaluator(split, "a", num_negatives=20, rng=np.random.default_rng(3))
+        first = evaluator.candidates.copy()
+        evaluator.evaluate(_RandomScorer())
+        assert np.array_equal(first, evaluator.candidates)
+
+    def test_invalid_domain_key(self, tiny_task):
+        with pytest.raises(ValueError):
+            RankingEvaluator(tiny_task.domain_a.split, "c")
+
+    def test_score_matrix_shape(self, tiny_task):
+        split = tiny_task.domain_a.split
+        evaluator = RankingEvaluator(split, "a", num_negatives=15)
+        matrix = evaluator.score_matrix(_RandomScorer())
+        assert matrix.shape == (evaluator.num_eval_users, evaluator.candidates.shape[1])

@@ -1,0 +1,219 @@
+"""Tests for Module/Parameter bookkeeping and the basic layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Dropout,
+    Embedding,
+    Identity,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    activation_by_name,
+)
+from repro.tensor import Tensor
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = Parameter(np.ones((2, 2)))
+                self.child = Linear(2, 3)
+
+            def forward(self, x):
+                return x
+
+        toy = Toy()
+        names = [name for name, _ in toy.named_parameters()]
+        assert "weight" in names
+        assert "child.weight" in names
+        assert "child.bias" in names
+        assert toy.num_parameters() == 4 + 6 + 3
+
+    def test_train_eval_recursive(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not module.training for module in model)
+        model.train()
+        assert all(module.training for module in model)
+
+    def test_zero_grad(self):
+        linear = Linear(2, 2)
+        out = linear(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert linear.weight.grad is not None
+        linear.zero_grad()
+        assert linear.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        first = Linear(3, 2)
+        second = Linear(3, 2)
+        second.load_state_dict(first.state_dict())
+        assert np.allclose(first.weight.data, second.weight.data)
+        assert np.allclose(first.bias.data, second.bias.data)
+
+    def test_state_dict_strict_mismatch(self):
+        linear = Linear(3, 2)
+        with pytest.raises(KeyError):
+            linear.load_state_dict({"bogus": np.zeros((1,))})
+
+    def test_state_dict_shape_mismatch(self):
+        linear = Linear(3, 2)
+        state = linear.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            linear.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_module_list(self):
+        modules = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(modules) == 2
+        assert isinstance(modules[0], Linear)
+        with pytest.raises(RuntimeError):
+            modules(1)
+
+    def test_named_modules(self):
+        model = Sequential(Linear(2, 2), ReLU())
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "0" in names and "1" in names
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        linear = Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.ones((4, 3))
+        out = linear(Tensor(x))
+        assert out.shape == (4, 2)
+        expected = x @ linear.weight.data + linear.bias.data
+        assert np.allclose(out.data, expected)
+
+    def test_no_bias(self):
+        linear = Linear(3, 2, bias=False)
+        assert linear.bias is None
+        assert linear.num_parameters() == 6
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_gradients_flow(self):
+        linear = Linear(3, 1, rng=np.random.default_rng(0))
+        out = linear(Tensor(np.ones((5, 3)))).sum()
+        out.backward()
+        assert linear.weight.grad.shape == (3, 1)
+        assert np.allclose(linear.weight.grad, 5.0)
+        assert np.allclose(linear.bias.grad, 5.0)
+
+
+class TestEmbedding:
+    def test_lookup_and_shape(self):
+        table = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = table(np.array([0, 3, 3]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[1], out.data[2])
+
+    def test_out_of_range_raises(self):
+        table = Embedding(5, 2)
+        with pytest.raises(IndexError):
+            table(np.array([5]))
+        with pytest.raises(IndexError):
+            table(np.array([-1]))
+
+    def test_all_returns_weight(self):
+        table = Embedding(5, 2)
+        assert table.all() is table.weight
+
+    def test_gradient_accumulates_for_repeated_rows(self):
+        table = Embedding(5, 2, rng=np.random.default_rng(0))
+        out = table(np.array([1, 1, 2]))
+        out.sum().backward()
+        assert np.allclose(table.weight.grad[1], 2.0)
+        assert np.allclose(table.weight.grad[2], 1.0)
+        assert np.allclose(table.weight.grad[0], 0.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 3)
+
+
+class TestDropoutAndActivations:
+    def test_dropout_eval_is_identity(self):
+        dropout = Dropout(0.9, rng=np.random.default_rng(0))
+        dropout.eval()
+        x = Tensor(np.ones((10, 10)))
+        assert np.allclose(dropout(x).data, 1.0)
+
+    def test_dropout_training_zeroes_and_scales(self):
+        dropout = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((50, 50)))
+        out = dropout(x)
+        values = np.unique(np.round(out.data, 6))
+        assert set(values).issubset({0.0, 2.0})
+        assert (out.data == 0).mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_activation_registry(self):
+        assert isinstance(activation_by_name("relu"), ReLU)
+        assert isinstance(activation_by_name("SIGMOID"), Sigmoid)
+        assert isinstance(activation_by_name("identity"), Identity)
+        with pytest.raises(KeyError):
+            activation_by_name("swish")
+
+    def test_identity(self):
+        x = Tensor([1.0, 2.0])
+        assert np.allclose(Identity()(x).data, x.data)
+
+
+class TestMLP:
+    def test_shapes(self):
+        mlp = MLP([4, 8, 2], rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_output_activation(self):
+        mlp = MLP([4, 2], output_activation="sigmoid", rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.random.default_rng(1).normal(size=(5, 4))))
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_too_few_layers_raises(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_parameter_count(self):
+        mlp = MLP([4, 8, 2])
+        assert mlp.num_parameters() == (4 * 8 + 8) + (8 * 2 + 2)
+
+    def test_trainable_end_to_end(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP([2, 16, 1], rng=rng)
+        from repro.nn import losses
+        from repro.optim import Adam
+        from repro.tensor import ops
+
+        X = rng.normal(size=(128, 2))
+        y = (X.sum(axis=1) > 0).astype(float).reshape(-1, 1)
+        optimizer = Adam(mlp.parameters(), lr=0.05)
+        initial = None
+        for _ in range(60):
+            optimizer.zero_grad()
+            out = ops.sigmoid(mlp(Tensor(X)))
+            loss = losses.binary_cross_entropy(out, y)
+            if initial is None:
+                initial = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < initial * 0.5

@@ -1,0 +1,144 @@
+"""Tests for loss functions, the fine-grained gate and initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossMix, FineGrainedGate, init, losses
+from repro.tensor import Tensor
+
+
+class TestBCE:
+    def test_matches_closed_form(self):
+        predictions = Tensor([[0.9], [0.1]])
+        targets = np.array([[1.0], [0.0]])
+        loss = losses.binary_cross_entropy(predictions, targets)
+        expected = -(np.log(0.9) + np.log(0.9)) / 2.0
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_reductions(self):
+        predictions = Tensor([[0.5], [0.5]])
+        targets = np.array([[1.0], [0.0]])
+        mean_loss = losses.binary_cross_entropy(predictions, targets, reduction="mean")
+        sum_loss = losses.binary_cross_entropy(predictions, targets, reduction="sum")
+        none_loss = losses.binary_cross_entropy(predictions, targets, reduction="none")
+        assert sum_loss.item() == pytest.approx(2 * mean_loss.item())
+        assert none_loss.shape == (2, 1)
+        with pytest.raises(ValueError):
+            losses.binary_cross_entropy(predictions, targets, reduction="bogus")
+
+    def test_extreme_predictions_are_finite(self):
+        predictions = Tensor([[0.0], [1.0]])
+        targets = np.array([[1.0], [0.0]])
+        loss = losses.binary_cross_entropy(predictions, targets)
+        assert np.isfinite(loss.item())
+
+    def test_weight_scales_loss(self):
+        predictions = Tensor([[0.7]])
+        targets = np.array([[1.0]])
+        base = losses.binary_cross_entropy(predictions, targets)
+        weighted = losses.binary_cross_entropy(predictions, targets, weight=3.0)
+        assert weighted.item() == pytest.approx(3.0 * base.item())
+
+    def test_perfect_prediction_near_zero(self):
+        predictions = Tensor([[0.999999], [0.000001]])
+        targets = np.array([[1.0], [0.0]])
+        assert losses.binary_cross_entropy(predictions, targets).item() < 1e-4
+
+    def test_with_logits_matches_probability_version(self):
+        logits = np.array([[0.3], [-1.2], [2.0]])
+        targets = np.array([[1.0], [0.0], [1.0]])
+        with_logits = losses.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        probabilities = 1.0 / (1.0 + np.exp(-logits))
+        direct = losses.binary_cross_entropy(Tensor(probabilities), targets)
+        assert with_logits.item() == pytest.approx(direct.item(), rel=1e-5)
+
+    def test_gradient_direction(self):
+        prediction = Tensor([[0.3]], requires_grad=True)
+        loss = losses.binary_cross_entropy(prediction, np.array([[1.0]]))
+        loss.backward()
+        # increasing the prediction towards 1 should decrease the loss
+        assert prediction.grad[0, 0] < 0
+
+
+class TestOtherLosses:
+    def test_bpr_loss_prefers_positive(self):
+        better = losses.bpr_loss(Tensor([2.0]), Tensor([0.0]))
+        worse = losses.bpr_loss(Tensor([0.0]), Tensor([2.0]))
+        assert better.item() < worse.item()
+
+    def test_mse(self):
+        loss = losses.mse_loss(Tensor([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_l2_regularization(self):
+        from repro.nn import Parameter
+
+        params = [Parameter(np.ones((2, 2))), Parameter(np.ones((3,)))]
+        reg = losses.l2_regularization(params, 0.5)
+        assert reg.item() == pytest.approx(0.5 * (4 + 3))
+
+    def test_l2_regularization_empty(self):
+        assert losses.l2_regularization([], 0.1).item() == 0.0
+
+
+class TestGating:
+    def test_gate_output_in_tanh_range(self, rng):
+        gate = FineGrainedGate(8, rng=rng)
+        a = Tensor(rng.normal(size=(5, 8)))
+        b = Tensor(rng.normal(size=(5, 8)))
+        out = gate(a, b)
+        assert out.shape == (5, 8)
+        assert np.all(out.data <= 1.0) and np.all(out.data >= -1.0)
+
+    def test_gate_values_are_probabilities(self, rng):
+        gate = FineGrainedGate(4, rng=rng)
+        values = gate.gate_values(Tensor(rng.normal(size=(3, 4))), Tensor(rng.normal(size=(3, 4))))
+        assert np.all(values.data > 0) and np.all(values.data < 1)
+
+    def test_gate_invalid_dim(self):
+        with pytest.raises(ValueError):
+            FineGrainedGate(0)
+
+    def test_gate_is_differentiable(self, rng):
+        gate = FineGrainedGate(4, rng=rng)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gate(a, b).sum().backward()
+        assert a.grad is not None and b.grad is not None
+        assert gate.first_proj.weight.grad is not None
+
+    def test_cross_mix_complement(self, rng):
+        cross = CrossMix(6, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)))
+        combined = cross(x) + cross.complement(x)
+        assert np.allclose(combined.data, x.data, atol=1e-10)
+
+
+class TestInit:
+    def test_shapes(self):
+        assert init.zeros((2, 3)).shape == (2, 3)
+        assert init.ones((4,)).shape == (4,)
+        assert init.normal((5, 5)).shape == (5, 5)
+        assert init.uniform((5, 5)).shape == (5, 5)
+
+    def test_xavier_uniform_bound(self):
+        values = init.xavier_uniform((100, 100), rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(values).max() <= bound + 1e-12
+
+    def test_xavier_normal_std(self):
+        values = init.xavier_normal((200, 200), rng=np.random.default_rng(0))
+        assert values.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.1)
+
+    def test_kaiming_uniform_bound(self):
+        values = init.kaiming_uniform((50, 10), rng=np.random.default_rng(0))
+        assert np.abs(values).max() <= np.sqrt(6.0 / 50) + 1e-12
+
+    def test_embedding_normal_std(self):
+        values = init.embedding_normal((500, 16), std=0.1, rng=np.random.default_rng(0))
+        assert values.std() == pytest.approx(0.1, rel=0.1)
+
+    def test_deterministic_with_same_rng_seed(self):
+        a = init.xavier_uniform((4, 4), rng=np.random.default_rng(7))
+        b = init.xavier_uniform((4, 4), rng=np.random.default_rng(7))
+        assert np.allclose(a, b)

@@ -1,0 +1,88 @@
+"""Unit tests for the online A/B simulator internals (policies, world calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.online_ab import (
+    DEFAULT_ONLINE_DOMAINS,
+    OnlineDomainSpec,
+    _ModelPolicy,
+    _PopularityPolicy,
+    build_online_world,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_online_world(
+        (
+            OnlineDomainSpec("Loan", 100, 30, base_cvr=0.10),
+            OnlineDomainSpec("Fund", 80, 25, base_cvr=0.06),
+            OnlineDomainSpec("Account", 60, 20, base_cvr=0.02),
+        ),
+        overlap_fraction=0.3,
+        seed=5,
+    )
+
+
+class TestWorld:
+    def test_domains_and_latents_present(self, world):
+        assert set(world.domains) == {"Loan", "Fund", "Account"}
+        for name, domain in world.domains.items():
+            assert world.user_latents[name].shape[0] == domain.num_users
+            assert world.item_latents[name].shape[0] == domain.num_items
+
+    def test_partial_overlap_with_anchor(self, world):
+        anchor_ids = set(world.domains["Loan"].global_user_ids.tolist())
+        fund_ids = set(world.domains["Fund"].global_user_ids.tolist())
+        shared = anchor_ids & fund_ids
+        assert 0 < len(shared) < len(fund_ids)
+
+    def test_conversion_probability_calibration(self, world):
+        """Average conversion probability sits near the domain's base CVR."""
+        rng = np.random.default_rng(0)
+        for spec in world.specs:
+            domain = world.domains[spec.name]
+            probabilities = [
+                world.conversion_probability(
+                    spec.name,
+                    int(rng.integers(0, domain.num_users)),
+                    int(rng.integers(0, domain.num_items)),
+                )
+                for _ in range(300)
+            ]
+            mean_probability = float(np.mean(probabilities))
+            assert 0.3 * spec.base_cvr < mean_probability < 2.5 * spec.base_cvr
+
+    def test_probabilities_bounded(self, world):
+        for user in range(5):
+            for item in range(5):
+                probability = world.conversion_probability("Loan", user, item)
+                assert 0.0 <= probability <= 0.95
+
+    def test_item_popularity_shape(self, world):
+        popularity = world.item_popularity("Fund")
+        assert popularity.shape == (world.domains["Fund"].num_items,)
+        assert popularity.sum() == world.domains["Fund"].num_interactions
+
+    def test_default_domains_match_paper_control_rates(self):
+        names = {spec.name: spec.base_cvr for spec in DEFAULT_ONLINE_DOMAINS}
+        assert names["Loan"] == pytest.approx(0.105)
+        assert names["Fund"] == pytest.approx(0.061)
+        assert names["Account"] == pytest.approx(0.019)
+
+
+class TestPolicies:
+    def test_popularity_policy_picks_most_popular(self):
+        popularity = np.array([1.0, 50.0, 3.0, 2.0])
+        policy = _PopularityPolicy(popularity)
+        assert policy.choose(user=0, slate=np.array([0, 2, 3])) == 2
+        assert policy.choose(user=0, slate=np.array([1, 3])) == 1
+
+    def test_model_policy_picks_highest_score(self):
+        class FakeModel:
+            def score(self, domain_key, users, items):
+                return np.asarray(items, dtype=float)  # larger item id = higher score
+
+        policy = _ModelPolicy(FakeModel(), "a")
+        assert policy.choose(user=3, slate=np.array([4, 9, 1])) == 9

@@ -1,0 +1,140 @@
+"""Tests for the optimisers, gradient clipping and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, Adam, ExponentialLR, StepLR, clip_grad_norm
+from repro.tensor import Tensor
+
+
+def quadratic_loss(parameter):
+    """Simple convex objective ||p - 3||^2 used to check convergence."""
+    diff = parameter - Tensor(np.full(parameter.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        parameter = Parameter(np.array([1.0]))
+        parameter.grad = np.array([0.5])
+        SGD([parameter], lr=0.1).step()
+        assert parameter.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_momentum_accumulates(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = SGD([parameter], lr=1.0, momentum=0.9)
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        first = parameter.data[0]
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        # second step is larger because velocity accumulated
+        assert (first - parameter.data[0]) > abs(first)
+
+    def test_weight_decay(self):
+        parameter = Parameter(np.array([2.0]))
+        parameter.grad = np.array([0.0])
+        SGD([parameter], lr=0.1, weight_decay=0.5).step()
+        assert parameter.data[0] == pytest.approx(2.0 - 0.1 * 0.5 * 2.0)
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Parameter(np.array([1.0]))
+        SGD([parameter], lr=0.1).step()
+        assert parameter.data[0] == 1.0
+
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(3))
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = quadratic_loss(parameter)
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, 3.0, atol=1e-2)
+
+    def test_invalid_arguments(self):
+        parameter = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_faster_than_sgd_on_quadratic(self):
+        parameter = Parameter(np.zeros(3))
+        optimizer = Adam([parameter], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, 3.0, atol=5e-2)
+
+    def test_first_step_magnitude_close_to_lr(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = Adam([parameter], lr=0.01)
+        parameter.grad = np.array([123.0])
+        optimizer.step()
+        # bias-corrected Adam's first update is ~lr regardless of gradient scale
+        assert abs(parameter.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.2, 0.9))
+
+    def test_zero_grad_clears_all(self):
+        parameters = [Parameter(np.zeros(2)), Parameter(np.zeros(3))]
+        for parameter in parameters:
+            parameter.grad = np.ones_like(parameter.data)
+        optimizer = Adam(parameters)
+        optimizer.zero_grad()
+        assert all(parameter.grad is None for parameter in parameters)
+
+
+class TestGradClipping:
+    def test_no_clip_below_threshold(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 0.1)
+        norm = clip_grad_norm([parameter], max_norm=10.0)
+        assert norm == pytest.approx(0.2)
+        assert np.allclose(parameter.grad, 0.1)
+
+    def test_clips_to_max_norm(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 10.0)
+        clip_grad_norm([parameter], max_norm=1.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_handles_empty(self):
+        assert clip_grad_norm([], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.grad = np.ones(2)
+        with pytest.raises(ValueError):
+            clip_grad_norm([parameter], max_norm=0.0)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        parameter = Parameter(np.zeros(1))
+        optimizer = Adam([parameter], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        parameter = Parameter(np.zeros(1))
+        optimizer = SGD([parameter], lr=1.0)
+        scheduler = ExponentialLR(optimizer, gamma=0.5)
+        scheduler.step()
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.25)
+
+    def test_step_lr_invalid(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)

@@ -1,0 +1,192 @@
+"""Tests of the Tensor class and the reverse-mode autograd machinery."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, as_tensor, is_grad_enabled, no_grad, ops
+
+
+def numerical_gradient(function, value, eps=1e-6):
+    """Central-difference gradient of a scalar function of one array."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    iterator = np.nditer(value, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        plus = value.copy()
+        plus[index] += eps
+        minus = value.copy()
+        minus[index] -= eps
+        grad[index] = (function(plus) - function(minus)) / (2 * eps)
+        iterator.iternext()
+    return grad
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        tensor = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert tensor.shape == (2, 2)
+        assert tensor.ndim == 2
+        assert tensor.size == 4
+        assert not tensor.requires_grad
+
+    def test_as_tensor_passthrough(self):
+        tensor = Tensor([1.0, 2.0])
+        assert as_tensor(tensor) is tensor
+        converted = as_tensor([1.0, 2.0])
+        assert isinstance(converted, Tensor)
+
+    def test_item_and_numpy(self):
+        scalar = Tensor(3.5)
+        assert scalar.item() == pytest.approx(3.5)
+        array = Tensor([1.0, 2.0])
+        assert np.array_equal(array.numpy(), np.array([1.0, 2.0]))
+
+    def test_detach_and_copy(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        detached = tensor.detach()
+        assert not detached.requires_grad
+        copied = tensor.copy()
+        copied.data[0] = 99.0
+        assert tensor.data[0] == 1.0
+
+    def test_len_and_repr(self):
+        tensor = Tensor([[1.0], [2.0], [3.0]], requires_grad=True)
+        assert len(tensor) == 3
+        assert "requires_grad=True" in repr(tensor)
+
+    def test_transpose_property(self):
+        tensor = Tensor(np.arange(6.0).reshape(2, 3))
+        assert tensor.T.shape == (3, 2)
+
+
+class TestBackward:
+    def test_backward_requires_scalar(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        out = tensor * 2.0
+        with pytest.raises(ValueError):
+            out.backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        tensor = Tensor([1.0, 2.0])
+        out = tensor.sum()
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_simple_chain(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        loss = (x * x).sum()
+        loss.backward()
+        assert np.allclose(x.grad, 2.0 * x.data)
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x.sum()).backward()
+        (x.sum()).backward()
+        assert np.allclose(x.grad, [2.0, 2.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x.sum()).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_shared_subexpression(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0
+        loss = (y * y).sum()
+        loss.backward()
+        # d/dx (3x)^2 = 18x = 36
+        assert np.allclose(x.grad, [36.0])
+
+    def test_explicit_gradient(self):
+        x = Tensor([[1.0, 2.0]], requires_grad=True)
+        y = x * 2.0
+        y.backward(np.array([[1.0, 10.0]]))
+        assert np.allclose(x.grad, [[2.0, 20.0]])
+
+    def test_diamond_graph(self):
+        x = Tensor([1.5], requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        loss = (a * b).sum()
+        loss.backward()
+        # d/dx (6 x^2) = 12x
+        assert np.allclose(x.grad, [18.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_history(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2.0
+        assert is_grad_enabled()
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_no_grad_restores_state_after_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestNumericalGradients:
+    def test_matmul_chain(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+
+        def f_a(value):
+            return float((Tensor(value) @ Tensor(b)).sum().data)
+
+        def f_b(value):
+            return float((Tensor(a) @ Tensor(value)).sum().data)
+
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta @ tb).sum().backward()
+        assert np.allclose(ta.grad, numerical_gradient(f_a, a), atol=1e-5)
+        assert np.allclose(tb.grad, numerical_gradient(f_b, b), atol=1e-5)
+
+    def test_composite_activation_chain(self, rng):
+        x = rng.normal(size=(4, 3))
+
+        def f(value):
+            tensor = Tensor(value)
+            out = ops.sigmoid(ops.tanh(tensor) + ops.relu(tensor) * 0.5)
+            return float(out.sum().data)
+
+        tensor = Tensor(x, requires_grad=True)
+        out = ops.sigmoid(ops.tanh(tensor) + ops.relu(tensor) * 0.5)
+        out.sum().backward()
+        assert np.allclose(tensor.grad, numerical_gradient(f, x), atol=1e-5)
+
+    def test_broadcast_add_gradient(self, rng):
+        x = rng.normal(size=(5, 3))
+        bias = rng.normal(size=(3,))
+
+        def f(value):
+            return float((Tensor(x) + Tensor(value)).sum().data)
+
+        tensor_bias = Tensor(bias, requires_grad=True)
+        (Tensor(x) + tensor_bias).sum().backward()
+        assert np.allclose(tensor_bias.grad, numerical_gradient(f, bias), atol=1e-6)
+
+    def test_division_gradient(self, rng):
+        a = rng.normal(size=(3, 3)) + 3.0
+        b = rng.normal(size=(3, 3)) + 3.0
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta / tb).sum().backward()
+
+        def f_a(value):
+            return float((Tensor(value) / Tensor(b)).sum().data)
+
+        def f_b(value):
+            return float((Tensor(a) / Tensor(value)).sum().data)
+
+        assert np.allclose(ta.grad, numerical_gradient(f_a, a), atol=1e-5)
+        assert np.allclose(tb.grad, numerical_gradient(f_b, b), atol=1e-5)

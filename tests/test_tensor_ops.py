@@ -1,0 +1,234 @@
+"""Forward-value and gradient tests for the functional op library."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, ops
+
+
+class TestElementwiseForward:
+    def test_add_broadcasting(self):
+        out = ops.add(Tensor([[1.0, 2.0], [3.0, 4.0]]), Tensor([10.0, 20.0]))
+        assert np.allclose(out.data, [[11.0, 22.0], [13.0, 24.0]])
+
+    def test_sub_and_neg(self):
+        out = ops.sub(Tensor([3.0]), Tensor([1.0]))
+        assert out.data[0] == pytest.approx(2.0)
+        assert ops.neg(Tensor([2.0])).data[0] == pytest.approx(-2.0)
+
+    def test_mul_div(self):
+        assert ops.mul(Tensor([3.0]), Tensor([4.0])).data[0] == pytest.approx(12.0)
+        assert ops.div(Tensor([8.0]), Tensor([4.0])).data[0] == pytest.approx(2.0)
+
+    def test_pow(self):
+        out = ops.pow(Tensor([2.0, 3.0]), 2.0)
+        assert np.allclose(out.data, [4.0, 9.0])
+
+    def test_operator_overloads_with_scalars(self):
+        x = Tensor([2.0], requires_grad=True)
+        out = ((1.0 + x) * 3.0 - 2.0) / 2.0
+        assert out.data[0] == pytest.approx(3.5)
+        out.sum().backward()
+        assert x.grad[0] == pytest.approx(1.5)
+
+    def test_rsub_rdiv(self):
+        x = Tensor([2.0])
+        assert (10.0 - x).data[0] == pytest.approx(8.0)
+        assert (10.0 / x).data[0] == pytest.approx(5.0)
+
+
+class TestActivations:
+    def test_relu_values_and_grad(self):
+        x = Tensor([-1.0, 0.0, 2.0], requires_grad=True)
+        out = ops.relu(x)
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+        out.sum().backward()
+        assert np.allclose(x.grad, [0.0, 0.0, 1.0])
+
+    def test_leaky_relu(self):
+        out = ops.leaky_relu(Tensor([-2.0, 2.0]), negative_slope=0.1)
+        assert np.allclose(out.data, [-0.2, 2.0])
+
+    def test_sigmoid_range_and_extremes(self):
+        out = ops.sigmoid(Tensor([-1000.0, 0.0, 1000.0]))
+        assert out.data[0] == pytest.approx(0.0, abs=1e-12)
+        assert out.data[1] == pytest.approx(0.5)
+        assert out.data[2] == pytest.approx(1.0, abs=1e-12)
+        assert np.all(np.isfinite(out.data))
+
+    def test_tanh(self):
+        out = ops.tanh(Tensor([0.0, 100.0]))
+        assert out.data[0] == pytest.approx(0.0)
+        assert out.data[1] == pytest.approx(1.0)
+
+    def test_softplus_matches_log1p_exp(self):
+        x = np.array([-3.0, 0.0, 3.0])
+        out = ops.softplus(Tensor(x))
+        assert np.allclose(out.data, np.log1p(np.exp(x)))
+
+    def test_softplus_large_input_is_linear(self):
+        out = ops.softplus(Tensor([100.0]))
+        assert out.data[0] == pytest.approx(100.0)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = ops.softmax(Tensor(np.random.default_rng(0).normal(size=(4, 6))), axis=1)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_softmax_invariant_to_shift(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(
+            ops.softmax(Tensor(x)).data, ops.softmax(Tensor(x + 100.0)).data
+        )
+
+    def test_log_softmax_consistency(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        assert np.allclose(
+            ops.log_softmax(Tensor(x)).data, np.log(ops.softmax(Tensor(x)).data), atol=1e-10
+        )
+
+    def test_exp_log_roundtrip(self):
+        x = Tensor([0.5, 1.5])
+        assert np.allclose(ops.log(ops.exp(x)).data, x.data)
+
+    def test_sqrt(self):
+        assert np.allclose(ops.sqrt(Tensor([4.0, 9.0])).data, [2.0, 3.0])
+
+
+class TestReductions:
+    def test_sum_axes(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        assert ops.sum(x).data == pytest.approx(15.0)
+        assert np.allclose(ops.sum(x, axis=0).data, [3.0, 5.0, 7.0])
+        assert ops.sum(x, axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_gradient_scaling(self):
+        x = Tensor(np.ones((4, 5)), requires_grad=True)
+        ops.mean(x).backward()
+        assert np.allclose(x.grad, 1.0 / 20.0)
+
+    def test_mean_axis_gradient(self):
+        x = Tensor(np.ones((4, 5)), requires_grad=True)
+        ops.mean(x, axis=0).sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_max_forward_and_grad_with_ties(self):
+        x = Tensor([[1.0, 3.0, 3.0]], requires_grad=True)
+        out = ops.max(x, axis=1)
+        assert out.data[0] == pytest.approx(3.0)
+        out.sum().backward()
+        # gradient split between the two tied maxima
+        assert np.allclose(x.grad, [[0.0, 0.5, 0.5]])
+
+
+class TestShapeOps:
+    def test_reshape_and_gradient(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        out = ops.reshape(x, (2, 3))
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        assert x.grad.shape == (6,)
+
+    def test_transpose_roundtrip(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = ops.transpose(ops.transpose(x))
+        assert np.allclose(out.data, x.data)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_concat_values_and_grads(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros((2, 3)), requires_grad=True)
+        out = ops.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_stack(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        out = ops.stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_getitem_slice_gradient(self):
+        x = Tensor(np.arange(10.0), requires_grad=True)
+        out = x[2:5]
+        out.sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        assert np.allclose(x.grad, expected)
+
+
+class TestGatherScatter:
+    def test_gather_rows_values(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3))
+        out = ops.gather_rows(table, np.array([0, 2]))
+        assert np.allclose(out.data, [[0, 1, 2], [6, 7, 8]])
+
+    def test_gather_rows_repeated_index_accumulates_grad(self):
+        table = Tensor(np.zeros((4, 3)), requires_grad=True)
+        out = ops.gather_rows(table, np.array([1, 1, 3]))
+        out.sum().backward()
+        assert np.allclose(table.grad[1], 2.0)
+        assert np.allclose(table.grad[3], 1.0)
+        assert np.allclose(table.grad[0], 0.0)
+
+    def test_scatter_add_rows(self):
+        base = Tensor(np.zeros((3, 2)), requires_grad=True)
+        updates = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = ops.scatter_add_rows(base, np.array([0, 0]), updates)
+        assert np.allclose(out.data[0], 2.0)
+        out.sum().backward()
+        assert np.allclose(base.grad, 1.0)
+        assert np.allclose(updates.grad, 1.0)
+
+
+class TestMisc:
+    def test_clip_forward_and_grad(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        out = ops.clip(x, 0.0, 1.0)
+        assert np.allclose(out.data, [0.0, 0.5, 1.0])
+        out.sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_where(self):
+        condition = np.array([True, False])
+        out = ops.where(condition, Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        assert np.allclose(out.data, [1.0, 2.0])
+
+    def test_maximum(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        out = ops.maximum(a, b)
+        assert np.allclose(out.data, [3.0, 5.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 0.0])
+
+    def test_dropout_mask_apply(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[1.0, 0.0], [1.0, 1.0]])
+        out = ops.dropout_mask_apply(x, mask, 2.0)
+        assert np.allclose(out.data, [[2.0, 0.0], [2.0, 2.0]])
+        out.sum().backward()
+        assert np.allclose(x.grad, [[2.0, 0.0], [2.0, 2.0]])
+
+    def test_spmm_like_matmul_vector_cases(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        out = a @ b
+        assert out.data == pytest.approx(11.0)
+        out.backward()
+        assert np.allclose(a.grad, [3.0, 4.0])
+        assert np.allclose(b.grad, [1.0, 2.0])
+
+    def test_matrix_vector_matmul_gradients(self):
+        matrix = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        vector = Tensor(np.array([1.0, 1.0, 1.0]), requires_grad=True)
+        out = matrix @ vector
+        out.sum().backward()
+        assert matrix.grad.shape == (2, 3)
+        assert vector.grad.shape == (3,)
