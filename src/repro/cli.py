@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli threshold --scenario cloth_sport --values 3 7 11
     python -m repro.cli online-ab --impressions 1500
     python -m repro.cli efficiency
+    python -m repro.cli profile --profile-model NMCDR --batches 20
 
 Every subcommand prints a table to stdout and, with ``--output DIR``, writes a
 CSV export next to it.  These are the same code paths the benchmarks use; the
@@ -111,6 +112,26 @@ def build_parser() -> argparse.ArgumentParser:
     efficiency = subparsers.add_parser("efficiency", help="parameter/time accounting (Sec. III.B.6)")
     _add_common_arguments(efficiency)
 
+    profile = subparsers.add_parser(
+        "profile", help="per-phase and per-op cost breakdown of the training hot path"
+    )
+    _add_common_arguments(profile)
+    profile.add_argument(
+        "--profile-model", default="NMCDR", help="model to profile (any registry name)"
+    )
+    profile.add_argument("--batches", type=int, default=20, help="training steps to profile")
+    profile.add_argument(
+        "--no-instrument",
+        action="store_true",
+        help="skip per-op forward timing (lower overhead, phases/backward only)",
+    )
+    profile.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="engine dtype for the profiled run",
+    )
+
     return parser
 
 
@@ -211,6 +232,63 @@ def _command_efficiency(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _command_profile(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from .data.dataloader import InteractionDataLoader
+    from .optim import Adam
+    from .profiling import profile as profile_context, profiler
+    from .tensor import engine
+
+    settings = _settings_from_args(args)
+    settings = ExperimentSettings(**{**settings.__dict__, "overlap_ratio": 0.5})
+    dataset = prepare_dataset(settings)
+    task = build_task(dataset, head_threshold=settings.head_threshold)
+
+    with engine.engine_dtype(args.dtype):
+        model = build_model(
+            args.profile_model, task, embedding_dim=settings.embedding_dim, seed=settings.seed
+        )
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        loaders = {
+            key: InteractionDataLoader(
+                task.domain(key).split,
+                batch_size=settings.batch_size,
+                rng=np.random.default_rng(settings.seed + offset),
+            )
+            for offset, key in enumerate(("a", "b"))
+        }
+        iterators = {key: iter(loader) for key, loader in loaders.items()}
+        steps = 0
+        with profile_context(instrument=not args.no_instrument):
+            while steps < args.batches:
+                with profiler.scope("data/next_batch"):
+                    batches = {}
+                    for key, iterator in iterators.items():
+                        batch = next(iterator, None)
+                        if batch is None:
+                            iterators[key] = iter(loaders[key])
+                            batch = next(iterators[key], None)
+                        if batch is not None:
+                            batches[key] = batch
+                if not batches:
+                    break
+                optimizer.zero_grad()
+                with profiler.scope("train/forward"):
+                    loss = model.compute_batch_loss(batches)
+                with profiler.scope("train/backward"):
+                    loss.backward()
+                with profiler.scope("train/optimizer"):
+                    optimizer.step()
+                model.invalidate_cache()
+                steps += 1
+        header = (
+            f"profiled {args.profile_model} for {steps} training steps "
+            f"(dtype={args.dtype}, batch_size={settings.batch_size})"
+        )
+        return header + "\n\n" + profiler.report()
+
+
 _COMMANDS = {
     "stats": _command_stats,
     "overlap": _command_overlap,
@@ -220,6 +298,7 @@ _COMMANDS = {
     "threshold": _command_threshold,
     "online-ab": _command_online_ab,
     "efficiency": _command_efficiency,
+    "profile": _command_profile,
 }
 
 

@@ -15,12 +15,11 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..graph import InteractionGraph
-from ..graph.message_passing import spmm
+from ..graph.message_passing import segment_softmax_attend
 from ..nn import Linear, Module
-from ..tensor import Tensor, ops
+from ..tensor import Tensor
 
 __all__ = ["IntraNodeComplementing"]
 
@@ -45,36 +44,24 @@ class IntraNodeComplementing(Module):
         user_repr: Tensor,
         item_repr: Tensor,
     ) -> Tensor:
-        """Return ``u_g4`` given ``u_g3`` and the item representations."""
-        edge_users = graph.user_indices
-        edge_items = graph.item_indices
-        num_users = graph.num_users
-        if edge_users.size == 0:
+        """Return ``u_g4`` given ``u_g3`` and the item representations.
+
+        Eq. 18 (per-user softmax of inner-product scores over the observed
+        neighbourhood, max-shifted for stability) and Eq. 19 (attention-
+        weighted transformed item messages added residually) run as one
+        fused :func:`segment_softmax_attend` kernel; the item transform is
+        applied to the item table once rather than per edge.
+        """
+        if graph.num_edges == 0:
             return user_repr
-
-        user_rows = ops.gather_rows(user_repr, edge_users)
-        item_rows = ops.gather_rows(item_repr, edge_items)
-
-        # Eq. 18: per-user softmax over the user's interacted items.
-        edge_scores = (user_rows * item_rows).sum(axis=1, keepdims=True)
-        # Subtract the per-user maximum (treated as a constant) for stability.
-        max_per_user = np.full(num_users, -np.inf)
-        np.maximum.at(max_per_user, edge_users, edge_scores.data[:, 0])
-        max_per_user[~np.isfinite(max_per_user)] = 0.0
-        shifted = edge_scores - Tensor(max_per_user[edge_users][:, None])
-        exp_scores = ops.exp(shifted.clip(-60.0, 60.0))
-
-        sum_operator = sp.coo_matrix(
-            (np.ones(edge_users.size), (edge_users, np.arange(edge_users.size))),
-            shape=(num_users, edge_users.size),
-        ).tocsr()
-        denominator_per_user = spmm(sum_operator, exp_scores)
-        denominator_per_edge = ops.gather_rows(denominator_per_user, edge_users)
-        attention = exp_scores / (denominator_per_edge + 1e-12)
-
-        # Eq. 19: attention-weighted transformed item messages, summed per user.
-        weighted = attention * self.ref_transform(item_rows)
-        complemented = spmm(sum_operator, weighted)
+        complemented = segment_softmax_attend(
+            user_repr,
+            item_repr,
+            self.ref_transform(item_repr),
+            graph.user_indices,
+            graph.item_indices,
+            graph.num_users,
+        )
         return user_repr + complemented
 
     def virtual_link_strengths(

@@ -120,6 +120,9 @@ class TrainerConfig:
     eval_every: int = 0
     num_eval_negatives: int = 99
     verbose: bool = False
+    #: When true the trainer enables the global profiler for the duration of
+    #: ``fit`` and stores the phase report on the returned history.
+    profile: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -81,30 +81,31 @@ class InterNodeMatching(Module):
         num_users = user_repr.shape[0]
         dim = self.out_dim
 
-        # --- self message (overlapped users only) -----------------------
+        # --- Eq. 15: crossed transformation mixing ----------------------
+        # The self message (Eq. 12/13 top) is zero outside the overlap, and
+        # ``complement`` is linear with no bias, so it is applied to the
+        # overlapped rows only and the result scattered — instead of pushing
+        # a mostly-zero full-size matrix through a dense transform.
+        mixed = self.cross(user_repr)
         if own_overlap_indices.size:
             partner_repr = ops.gather_rows(other_user_repr, other_overlap_indices)
             partner_message = ops.relu(self.self_transform(partner_repr))  # Eq. 14 top
-            scatter = np.zeros((num_users, other_overlap_indices.size))
-            scatter[own_overlap_indices, np.arange(own_overlap_indices.size)] = 1.0
-            self_message = ops.matmul(Tensor(scatter), partner_message)
-        else:
-            self_message = Tensor(np.zeros((num_users, dim)))
+            mixed = mixed + ops.scatter_rows(
+                other_cross.complement(partner_message), own_overlap_indices, num_users
+            )
 
         # --- other message (non-overlapped users of the other domain) ---
         pool = sampler.sample(other_non_overlap_indices)
         if pool.size:
             pooled = ops.gather_rows(other_user_repr, pool)
             other_message = ops.relu(self.other_transform(pooled.mean(axis=0, keepdims=True)))
-            other_broadcast = ops.matmul(Tensor(np.ones((num_users, 1))), other_message)
         else:
-            other_broadcast = Tensor(np.zeros((num_users, dim)))
-
-        # --- Eq. 15: crossed transformation mixing ----------------------
-        mixed = self.cross(user_repr) + other_cross.complement(self_message)
+            other_message = Tensor(np.zeros((1, dim)))
 
         # --- Eq. 16: gate in the non-overlapped message ------------------
-        gated = self.gate(mixed, other_broadcast)
+        # ``other_message`` stays (1, D): every user receives the same
+        # non-overlapped aggregate, numpy broadcasting handles the rest.
+        gated = self.gate(mixed, other_message)
 
         # --- Eq. 17: residual --------------------------------------------
         return gated + user_repr

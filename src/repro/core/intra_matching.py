@@ -65,15 +65,13 @@ class IntraNodeMatching(Module):
         head_message = self._group_message(user_repr, head_pool, self.head_transform)
         tail_message = self._group_message(user_repr, tail_pool, self.tail_transform)
 
+        # Every user receives the same group-level messages (fully connected
+        # graph), so the gate is evaluated once on the (1, D) messages and
+        # only the fused result is broadcast — the naive formulation ran the
+        # gate's two projections over the full user table for identical rows.
+        fused = self.gate(head_message, tail_message)
         num_users = user_repr.shape[0]
-        ones = np.ones((num_users, 1))
-        # Broadcast the aggregated group messages to every user (fully
-        # connected graph: every user receives the same group-level message).
-        head_broadcast = ops.matmul(Tensor(ones), head_message)
-        tail_broadcast = ops.matmul(Tensor(ones), tail_message)
-
-        fused = self.gate(head_broadcast, tail_broadcast)
-        return fused + user_repr  # Eq. 11 residual
+        return ops.broadcast_rows(fused, num_users) + user_repr  # Eq. 11 residual
 
     def _group_message(self, user_repr: Tensor, pool: np.ndarray, transform: Linear) -> Tensor:
         """Eq. 8–9: transformed mean of the pooled users, ReLU-activated."""

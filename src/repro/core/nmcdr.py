@@ -225,25 +225,43 @@ class NMCDR(Module):
         companion_weight: float,
         cls_weight: float,
     ) -> Tensor:
+        """Final (Eq. 23) plus companion (Eq. 22) losses for one domain.
+
+        All stages share one prediction head, so the five per-stage scoring
+        passes are batched into a single head invocation on the stacked
+        stage rows: one MLP forward/backward instead of five, with the
+        per-stage means recovered by a constant weight vector.  (With a
+        non-zero head dropout this draws one mask across the stacked rows
+        rather than five independent ones — the expectation is unchanged.)
+        """
         params = self._params(key)
-        labels = batch.labels.reshape(-1, 1)
-        item_rows = ops.gather_rows(reps["items"], batch.items)
+        batch_size = batch.users.shape[0]
 
-        # Final prediction loss (Eq. 23) on u_g4.
-        final_user_rows = ops.gather_rows(reps["user_g4"], batch.users)
-        final_pred = params.prediction(final_user_rows, item_rows)
-        loss = losses.binary_cross_entropy(final_pred, labels) * cls_weight
-
-        # Companion objectives (Eq. 22) on u_g0 .. u_g3 through the shared head.
+        # Stage roster: the final prediction on u_g4 first, then the
+        # companions u_g0 .. u_g3 when enabled.
         if self.config.use_companion:
-            companion: Optional[Tensor] = None
-            for stage, stage_weight in zip(STAGES[:4], self.config.companion_weights):
-                user_rows = ops.gather_rows(reps[stage], batch.users)
-                prediction = params.prediction(user_rows, item_rows)
-                term = losses.binary_cross_entropy(prediction, labels) * stage_weight
-                companion = term if companion is None else companion + term
-            loss = loss + companion * companion_weight
-        return loss
+            stages = ("user_g4", *STAGES[:4])
+            stage_weights = (
+                cls_weight,
+                *(w * companion_weight for w in self.config.companion_weights),
+            )
+        else:
+            stages = ("user_g4",)
+            stage_weights = (cls_weight,)
+
+        user_rows = ops.gather_concat_rows([reps[stage] for stage in stages], batch.users)
+        item_rows = ops.gather_rows(reps["items"], np.tile(batch.items, len(stages)))
+        predictions = params.prediction(user_rows, item_rows)
+
+        labels = np.tile(batch.labels.reshape(-1, 1), (len(stages), 1))
+        # sum_k weight_k * mean(bce over stage-k block), as one weighted sum.
+        example_weights = np.repeat(
+            np.asarray(stage_weights, dtype=predictions.data.dtype) / batch_size,
+            batch_size,
+        ).reshape(-1, 1)
+        return ops.binary_cross_entropy_probs(
+            predictions, labels, weights=example_weights, reduction="sum"
+        )
 
     # ------------------------------------------------------------------
     # evaluation interface

@@ -55,10 +55,12 @@ class PredictionHead(Module):
                 "user and item representation batches must be aligned, got "
                 f"{user_repr.shape[0]} and {item_repr.shape[0]} rows"
             )
-        features = [user_repr, item_repr]
-        if self.interaction_feature:
-            features.append(user_repr * item_repr)
-        joined = ops.concat(features, axis=1)
+        if user_repr.shape == item_repr.shape:
+            joined = ops.pair_feature_concat(
+                user_repr, item_repr, interaction=self.interaction_feature
+            )
+        else:
+            joined = ops.concat([user_repr, item_repr], axis=1)
         return self.mlp(joined)
 
     def forward(self, user_repr: Tensor, item_repr: Tensor) -> Tensor:

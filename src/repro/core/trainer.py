@@ -27,6 +27,7 @@ import numpy as np
 from ..data.dataloader import InteractionDataLoader
 from ..metrics.evaluator import RankingEvaluator
 from ..optim import Adam, clip_grad_norm
+from ..profiling import profiler
 from .config import TrainerConfig
 from .task import CDRTask, DOMAIN_KEYS
 
@@ -44,6 +45,8 @@ class TrainingHistory:
     train_seconds_per_batch: float = 0.0
     num_batches: int = 0
     best_state: Optional[Dict[str, np.ndarray]] = None
+    #: Phase/op report collected when ``TrainerConfig.profile`` is set.
+    profile_report: Optional[str] = None
 
     @property
     def final_loss(self) -> float:
@@ -81,23 +84,52 @@ class CDRTrainer:
     def fit(self) -> TrainingHistory:
         """Train for ``num_epochs`` epochs and return the training history."""
         history = TrainingHistory()
+        if self.config.profile:
+            profiler.reset()
+            profiler.enable()
+        try:
+            self._fit_loop(history)
+        finally:
+            # The profiler installs process-wide engine hooks; they must come
+            # off even when training is interrupted mid-epoch.
+            if self.config.profile:
+                history.profile_report = profiler.report()
+                profiler.disable()
+
+        if history.best_state is not None:
+            self.model.load_state_dict(history.best_state)
+            self.model.invalidate_cache()
+        return history
+
+    def _fit_loop(self, history: TrainingHistory) -> None:
         patience = self.config.early_stopping_patience
         epochs_without_improvement = 0
         total_batch_time = 0.0
         total_batches = 0
-
         for epoch in range(self.config.num_epochs):
             epoch_loss = 0.0
             epoch_batches = 0
             for batch_a, batch_b in zip_longest(self._loaders["a"], self._loaders["b"]):
-                batches = {"a": batch_a, "b": batch_b}
+                # zip_longest pads the shorter domain loader with None; drop
+                # exhausted/empty domains and skip steps with no data at all
+                # instead of handing None (or nothing) to the model.
+                batches = {
+                    key: batch
+                    for key, batch in (("a", batch_a), ("b", batch_b))
+                    if batch is not None and len(batch) > 0
+                }
+                if not batches:
+                    continue
                 started = time.perf_counter()
                 self.optimizer.zero_grad()
-                loss = self.model.compute_batch_loss(batches)
-                loss.backward()
-                if self.config.grad_clip_norm is not None:
-                    clip_grad_norm(self.model.parameters(), self.config.grad_clip_norm)
-                self.optimizer.step()
+                with profiler.scope("train/forward"):
+                    loss = self.model.compute_batch_loss(batches)
+                with profiler.scope("train/backward"):
+                    loss.backward()
+                with profiler.scope("train/optimizer"):
+                    if self.config.grad_clip_norm is not None:
+                        clip_grad_norm(self.model.parameters(), self.config.grad_clip_norm)
+                    self.optimizer.step()
                 self.model.invalidate_cache()
                 total_batch_time += time.perf_counter() - started
                 total_batches += 1
@@ -127,12 +159,8 @@ class CDRTrainer:
                     if patience is not None and epochs_without_improvement >= patience:
                         break
 
-        if history.best_state is not None:
-            self.model.load_state_dict(history.best_state)
-            self.model.invalidate_cache()
         history.train_seconds_per_batch = total_batch_time / max(total_batches, 1)
         history.num_batches = total_batches
-        return history
 
     # ------------------------------------------------------------------
     # evaluation

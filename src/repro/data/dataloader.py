@@ -48,7 +48,22 @@ def build_training_examples(
             np.zeros(pos_users.shape[0] * negatives_per_positive),
         ]
     )
-    return users.astype(np.int64), items.astype(np.int64), labels.astype(np.float64)
+    users = users.astype(np.int64)
+    items = items.astype(np.int64)
+    # One O(n) range check per epoch re-establishes the invariant the
+    # embedding layer no longer scans per batch: negative indices would
+    # otherwise wrap silently during the table gathers.
+    domain = split.domain
+    if users.size:
+        if users.min() < 0 or users.max() >= domain.num_users:
+            raise IndexError(
+                f"training example user index out of range [0, {domain.num_users})"
+            )
+        if items.min() < 0 or items.max() >= domain.num_items:
+            raise IndexError(
+                f"training example item index out of range [0, {domain.num_items})"
+            )
+    return users, items, labels.astype(np.float64)
 
 
 class InteractionDataLoader:

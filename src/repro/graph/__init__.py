@@ -3,7 +3,7 @@
 from .bipartite import InteractionGraph
 from .homogeneous import HeadTailPartition, MatchingNeighborSampler
 from .kernels import GATConv, GCNConv, VanillaGNNConv, kernel_by_name
-from .message_passing import segment_mean, spmm
+from .message_passing import segment_mean, segment_softmax_attend, spmm
 
 __all__ = [
     "InteractionGraph",
@@ -15,4 +15,5 @@ __all__ = [
     "kernel_by_name",
     "spmm",
     "segment_mean",
+    "segment_softmax_attend",
 ]

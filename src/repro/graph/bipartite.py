@@ -8,10 +8,12 @@ used by the heterogeneous graph encoder (Eq. 3–4).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+from ..tensor import engine
 
 __all__ = ["InteractionGraph"]
 
@@ -63,6 +65,13 @@ class InteractionGraph:
         self.user_indices = coo.row.astype(np.int64)
         self.item_indices = coo.col.astype(np.int64)
 
+        # Derived sparse operators are memoised here (keyed by name and
+        # engine dtype): the graph is immutable, yet the encoder used to
+        # rebuild them with sparse diag-multiplies on every forward pass.
+        self._operator_cache: Dict[Tuple[str, str], sp.spmatrix] = {}
+        self._csc: Optional[sp.csc_matrix] = None
+        self._item_edge_order: Optional[np.ndarray] = None
+
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
@@ -88,9 +97,15 @@ class InteractionGraph:
         start, stop = self._adjacency.indptr[user], self._adjacency.indptr[user + 1]
         return self._adjacency.indices[start:stop].astype(np.int64)
 
+    def _adjacency_csc(self) -> sp.csc_matrix:
+        """Item-major (CSC) view of the adjacency, built once."""
+        if self._csc is None:
+            self._csc = self._adjacency.tocsc()
+        return self._csc
+
     def item_neighbors(self, item: int) -> np.ndarray:
         """Users who interacted with ``item``."""
-        csc = self._adjacency.tocsc()
+        csc = self._adjacency_csc()
         start, stop = csc.indptr[item], csc.indptr[item + 1]
         return csc.indices[start:stop].astype(np.int64)
 
@@ -102,8 +117,27 @@ class InteractionGraph:
         return self._adjacency
 
     # ------------------------------------------------------------------
-    # normalised propagation operators
+    # normalised propagation operators (memoised: the graph is immutable)
     # ------------------------------------------------------------------
+    def _cached_operator(
+        self, name: str, builder: Callable[[], sp.spmatrix]
+    ) -> sp.spmatrix:
+        """Build-once cache for derived sparse operators.
+
+        Keyed by the engine dtype so the ``float32`` fast path gets operators
+        it can multiply without upcasting.  Returned matrices are shared —
+        callers must treat them as read-only.
+        """
+        dtype = engine.get_dtype()
+        key = (name, dtype.str)
+        operator = self._operator_cache.get(key)
+        if operator is None:
+            operator = builder()
+            if operator.dtype != dtype:
+                operator = operator.astype(dtype)
+            self._operator_cache[key] = operator
+        return operator
+
     def user_aggregation_matrix(self) -> sp.csr_matrix:
         """Row-normalised user×item matrix: row ``u`` holds ``1/|N_u|`` per neighbour.
 
@@ -111,23 +145,107 @@ class InteractionGraph:
         ``sum_j m_{u<-v_j}`` aggregation of Eq. 4 with the ``1/|N_u|`` norm of
         Eq. 3 already folded in.
         """
-        degrees = self.user_degrees()
-        inverse = np.divide(1.0, degrees, out=np.zeros_like(degrees), where=degrees > 0)
-        return sp.diags(inverse) @ self._adjacency
+
+        def build() -> sp.csr_matrix:
+            degrees = self.user_degrees()
+            inverse = np.divide(1.0, degrees, out=np.zeros_like(degrees), where=degrees > 0)
+            return sp.diags(inverse) @ self._adjacency
+
+        return self._cached_operator("user_aggregation", build)
 
     def item_aggregation_matrix(self) -> sp.csr_matrix:
         """Row-normalised item×user matrix (symmetric role for item updates)."""
-        degrees = self.item_degrees()
-        inverse = np.divide(1.0, degrees, out=np.zeros_like(degrees), where=degrees > 0)
-        return sp.diags(inverse) @ self._adjacency.T.tocsr()
+
+        def build() -> sp.csr_matrix:
+            degrees = self.item_degrees()
+            inverse = np.divide(1.0, degrees, out=np.zeros_like(degrees), where=degrees > 0)
+            return sp.diags(inverse) @ self._adjacency.T.tocsr()
+
+        return self._cached_operator("item_aggregation", build)
 
     def symmetric_normalized_adjacency(self) -> sp.csr_matrix:
         """GCN-style ``D_u^{-1/2} A D_v^{-1/2}`` operator (used by the GCN kernel)."""
-        user_deg = self.user_degrees()
-        item_deg = self.item_degrees()
-        d_u = np.divide(1.0, np.sqrt(user_deg), out=np.zeros_like(user_deg), where=user_deg > 0)
-        d_v = np.divide(1.0, np.sqrt(item_deg), out=np.zeros_like(item_deg), where=item_deg > 0)
-        return sp.diags(d_u) @ self._adjacency @ sp.diags(d_v)
+
+        def build() -> sp.csr_matrix:
+            user_deg = self.user_degrees()
+            item_deg = self.item_degrees()
+            d_u = np.divide(
+                1.0, np.sqrt(user_deg), out=np.zeros_like(user_deg), where=user_deg > 0
+            )
+            d_v = np.divide(
+                1.0, np.sqrt(item_deg), out=np.zeros_like(item_deg), where=item_deg > 0
+            )
+            return sp.diags(d_u) @ self._adjacency @ sp.diags(d_v)
+
+        return self._cached_operator("symmetric_normalized", build)
+
+    def symmetric_normalized_adjacency_transpose(self) -> sp.csr_matrix:
+        """Item×user transpose of the GCN operator, cached in CSR form."""
+        return self._cached_operator(
+            "symmetric_normalized_T",
+            lambda: self.symmetric_normalized_adjacency().T.tocsr(),
+        )
+
+    # ------------------------------------------------------------------
+    # per-edge operators with a fixed sparsity pattern
+    # ------------------------------------------------------------------
+    def user_edge_operator(self, edge_weights: np.ndarray) -> sp.csr_matrix:
+        """User×item operator whose entry for edge ``k`` is ``edge_weights[k]``.
+
+        ``edge_weights`` is aligned with :attr:`user_indices` /
+        :attr:`item_indices`.  The CSR structure (indptr/indices) is the
+        adjacency's own and is reused — only the data array is fresh, so
+        per-step attention operators (GAT) skip the COO→CSR conversion.
+        """
+        edge_weights = np.asarray(edge_weights)
+        if edge_weights.shape != (self.num_edges,):
+            raise ValueError(
+                f"expected {self.num_edges} edge weights, got shape {edge_weights.shape}"
+            )
+        # self.user_indices/item_indices come from the CSR's own COO view,
+        # so edge order k already matches the CSR data layout.
+        return sp.csr_matrix(
+            (edge_weights, self._adjacency.indices, self._adjacency.indptr),
+            shape=(self.num_users, self.num_items),
+        )
+
+    def item_edge_operator(self, edge_weights: np.ndarray) -> sp.csr_matrix:
+        """Item×user counterpart of :meth:`user_edge_operator`."""
+        edge_weights = np.asarray(edge_weights)
+        if edge_weights.shape != (self.num_edges,):
+            raise ValueError(
+                f"expected {self.num_edges} edge weights, got shape {edge_weights.shape}"
+            )
+        if self._item_edge_order is None:
+            # Permutation taking user-major edge order to item-major order.
+            self._item_edge_order = np.lexsort((self.user_indices, self.item_indices))
+        csc = self._adjacency_csc()
+        return sp.csr_matrix(
+            (edge_weights[self._item_edge_order], csc.indices, csc.indptr),
+            shape=(self.num_items, self.num_users),
+        )
+
+    def edge_sum_operator(self) -> sp.csr_matrix:
+        """User×edge incidence operator: row ``u`` sums that user's edges.
+
+        Multiplying it by per-edge values realises ``sum over N_u`` (the
+        denominator/aggregation of Eq. 18–19).  Cached — the node
+        complementing module used to rebuild it from COO every forward.
+        """
+
+        def build() -> sp.csr_matrix:
+            # Edges are user-major sorted, so each user's edges are contiguous.
+            indptr = np.concatenate(([0], np.cumsum(self.user_degrees()))).astype(np.int64)
+            return sp.csr_matrix(
+                (
+                    np.ones(self.num_edges),
+                    np.arange(self.num_edges, dtype=np.int64),
+                    indptr,
+                ),
+                shape=(self.num_users, self.num_edges),
+            )
+
+        return self._cached_operator("edge_sum", build)
 
     # ------------------------------------------------------------------
     # head / tail partition (Eq. 5)

@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..nn import Linear, Module
 from ..tensor import Tensor, ops
@@ -45,11 +44,13 @@ class VanillaGNNConv(Module):
     ) -> Tuple[Tensor, Tensor]:
         user_agg = graph.user_aggregation_matrix()
         item_agg = graph.item_aggregation_matrix()
-        # Eq. 3: message = (v_j W + b) / |N_u| ; Eq. 4: add self message u W, then ReLU.
-        neighbor_to_user = spmm(user_agg, self.item_transform(item_features))
-        neighbor_to_item = spmm(item_agg, self.user_transform(user_features))
-        user_out = ops.relu(self.user_transform(user_features) + neighbor_to_user)
-        item_out = ops.relu(self.item_transform(item_features) + neighbor_to_item)
+        # Eq. 3: message = (v_j W + b) / |N_u| ; Eq. 4: add self message u W, then
+        # ReLU.  Each transform is applied once and shared between the self
+        # message and the neighbour aggregation of the opposite partition.
+        user_hidden = self.user_transform(user_features)
+        item_hidden = self.item_transform(item_features)
+        user_out = ops.relu(user_hidden + spmm(user_agg, item_hidden))
+        item_out = ops.relu(item_hidden + spmm(item_agg, user_hidden))
         return user_out, item_out
 
 
@@ -70,13 +71,11 @@ class GCNConv(Module):
         item_features: Tensor,
     ) -> Tuple[Tensor, Tensor]:
         norm = graph.symmetric_normalized_adjacency()
-        user_out = ops.relu(
-            self.user_transform(user_features) + spmm(norm, self.item_transform(item_features))
-        )
-        item_out = ops.relu(
-            self.item_transform(item_features)
-            + spmm(norm.T.tocsr(), self.user_transform(user_features))
-        )
+        norm_t = graph.symmetric_normalized_adjacency_transpose()
+        user_hidden = self.user_transform(user_features)
+        item_hidden = self.item_transform(item_features)
+        user_out = ops.relu(user_hidden + spmm(norm, item_hidden))
+        item_out = ops.relu(item_hidden + spmm(norm_t, user_hidden))
         return user_out, item_out
 
 
@@ -133,12 +132,11 @@ class GATConv(Module):
         user_weights = self._edge_softmax(edge_logits, users, graph.num_users)
         item_weights = self._edge_softmax(edge_logits, items, graph.num_items)
 
-        user_operator = sp.coo_matrix(
-            (user_weights, (users, items)), shape=(graph.num_users, graph.num_items)
-        ).tocsr()
-        item_operator = sp.coo_matrix(
-            (item_weights, (items, users)), shape=(graph.num_items, graph.num_users)
-        ).tocsr()
+        # The sparsity pattern is the graph's own; only the attention values
+        # change per step, so the cached CSR templates avoid a COO→CSR
+        # conversion (and its index bookkeeping) on every forward pass.
+        user_operator = graph.user_edge_operator(user_weights)
+        item_operator = graph.item_edge_operator(item_weights)
 
         user_out = ops.relu(user_hidden + spmm(user_operator, item_hidden))
         item_out = ops.relu(item_hidden + spmm(item_operator, user_hidden))

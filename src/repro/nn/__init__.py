@@ -13,6 +13,9 @@ from .layers import (
     Softplus,
     Tanh,
     activation_by_name,
+    index_validation,
+    index_validation_enabled,
+    set_index_validation,
 )
 from .mlp import MLP
 from .module import Module, ModuleList, Parameter, Sequential
@@ -33,6 +36,9 @@ __all__ = [
     "Softplus",
     "Identity",
     "activation_by_name",
+    "index_validation",
+    "index_validation_enabled",
+    "set_index_validation",
     "MLP",
     "FineGrainedGate",
     "CrossMix",

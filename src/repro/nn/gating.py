@@ -37,9 +37,8 @@ class FineGrainedGate(Module):
         self.second_proj = Linear(dim, dim, rng=rng)
 
     def forward(self, first: Tensor, second: Tensor) -> Tensor:
-        gate = ops.sigmoid(self.first_proj(first) + self.second_proj(second))
-        mixed = (1.0 - gate) * first + gate * second
-        return ops.tanh(mixed)
+        logits = self.first_proj(first) + self.second_proj(second)
+        return ops.gated_tanh_mix(first, second, logits)
 
     def gate_values(self, first: Tensor, second: Tensor) -> Tensor:
         """Expose the raw gate activations (useful for analysis / tests)."""

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Union
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -21,7 +22,39 @@ __all__ = [
     "Softplus",
     "Identity",
     "activation_by_name",
+    "set_index_validation",
+    "index_validation_enabled",
+    "index_validation",
 ]
+
+#: Debug flag controlling the O(n) bounds scan in :meth:`Embedding.forward`.
+#: Off by default: the dataloader and graph builders already validate their
+#: index arrays, and numpy still raises for out-of-range *positive* indices.
+#: Enable it when debugging a new data path (it additionally rejects the
+#: negative indices numpy would silently wrap).
+_VALIDATE_INDICES = False
+
+
+def set_index_validation(enabled: bool) -> bool:
+    """Toggle the embedding index bounds scan; returns the previous setting."""
+    global _VALIDATE_INDICES
+    previous = _VALIDATE_INDICES
+    _VALIDATE_INDICES = bool(enabled)
+    return previous
+
+
+def index_validation_enabled() -> bool:
+    return _VALIDATE_INDICES
+
+
+@contextmanager
+def index_validation(enabled: bool = True) -> Iterator[None]:
+    """Context manager that temporarily toggles the embedding bounds scan."""
+    previous = set_index_validation(enabled)
+    try:
+        yield
+    finally:
+        set_index_validation(previous)
 
 
 class Linear(Module):
@@ -51,6 +84,8 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
+        if isinstance(x, Tensor) and x.data.ndim == 2:
+            return ops.linear(x, self.weight, self.bias)
         out = ops.matmul(x, self.weight)
         if self.bias is not None:
             out = out + self.bias
@@ -86,7 +121,14 @@ class Embedding(Module):
 
     def forward(self, indices: Union[np.ndarray, Sequence[int]]) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)
-        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+        # The O(n) min/max scan is redundant for indices the dataloader has
+        # already validated, so it only runs under the debug flag (numpy
+        # itself still rejects out-of-range positive indices).
+        if (
+            _VALIDATE_INDICES
+            and indices.size
+            and (indices.min() < 0 or indices.max() >= self.num_embeddings)
+        ):
             raise IndexError(
                 f"embedding index out of range [0, {self.num_embeddings}): "
                 f"min={indices.min() if indices.size else None}, "

@@ -30,8 +30,22 @@ def binary_cross_entropy(
     weight: Optional[float] = None,
     reduction: str = "mean",
 ) -> Tensor:
-    """BCE of Eq. 21 on probabilities already passed through a sigmoid."""
+    """BCE of Eq. 21 on probabilities already passed through a sigmoid.
+
+    Constant targets (the overwhelmingly common case — labels) take the
+    fused single-node kernel; differentiable targets fall back to the
+    composed op chain so their gradient still flows.
+    """
     predictions = as_tensor(predictions)
+    if not (isinstance(targets, Tensor) and targets.requires_grad):
+        if weight is None:
+            return ops.binary_cross_entropy_probs(
+                predictions, targets, reduction=reduction, eps=_EPS
+            )
+        loss = ops.binary_cross_entropy_probs(
+            predictions, targets, reduction="none", eps=_EPS
+        )
+        return _reduce(loss * float(weight), reduction)
     targets = as_tensor(targets)
     clipped = ops.clip(predictions, _EPS, 1.0 - _EPS)
     loss = -(targets * ops.log(clipped) + (1.0 - targets) * ops.log(1.0 - clipped))

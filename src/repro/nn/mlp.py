@@ -6,11 +6,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..tensor import Tensor
-from .layers import Dropout, Linear, activation_by_name
+from ..tensor import Tensor, ops
+from .layers import Dropout, Linear, ReLU, Sigmoid, Tanh, activation_by_name
 from .module import Module, ModuleList
 
 __all__ = ["MLP"]
+
+#: Activation modules whose forward fuses into a single ``ops.linear`` node.
+_FUSABLE_ACTIVATIONS = {ReLU: "relu", Sigmoid: "sigmoid", Tanh: "tanh"}
 
 
 class MLP(Module):
@@ -54,14 +57,20 @@ class MLP(Module):
             activation_by_name(output_activation) if output_activation else None
         )
         self.dropout = Dropout(dropout, rng=rng)
+        self._fused_activation = _FUSABLE_ACTIVATIONS.get(type(self.hidden_activation))
 
     def forward(self, x: Tensor) -> Tensor:
         last = len(self.linears) - 1
+        fused = self._fused_activation if isinstance(x, Tensor) and x.data.ndim == 2 else None
         for index, linear in enumerate(self.linears):
-            x = linear(x)
             if index < last:
-                x = self.hidden_activation(x)
+                if fused is not None:
+                    x = ops.linear(x, linear.weight, linear.bias, activation=fused)
+                else:
+                    x = self.hidden_activation(linear(x))
                 x = self.dropout(x)
+            else:
+                x = linear(x)
         if self.output_activation is not None:
             x = self.output_activation(x)
         return x

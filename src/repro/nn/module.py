@@ -122,7 +122,9 @@ class Module:
             )
         for name, parameter in own.items():
             if name in state:
-                value = np.asarray(state[name], dtype=np.float64)
+                # Cast into the parameter's storage dtype (the engine dtype
+                # at construction time) so float32-mode models stay float32.
+                value = np.asarray(state[name], dtype=parameter.data.dtype)
                 if value.shape != parameter.data.shape:
                     raise ValueError(
                         f"shape mismatch for '{name}': "

@@ -37,10 +37,21 @@ class Adam(Optimizer):
         self.eps = float(eps)
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def _update(self, index: int, parameter: Parameter, grad: np.ndarray) -> None:
-        self._m[index] = self.beta1 * self._m[index] + (1.0 - self.beta1) * grad
-        self._v[index] = self.beta2 * self._v[index] + (1.0 - self.beta2) * (grad ** 2)
-        m_hat = self._m[index] / (1.0 - self.beta1 ** self.step_count)
-        v_hat = self._v[index] / (1.0 - self.beta2 ** self.step_count)
-        parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        # Moment estimates and the update direction are computed in place in
+        # optimiser-private buffers — no temporaries per parameter per step.
+        m, v, scratch = self._m[index], self._v[index], self._scratch[index]
+        np.multiply(m, self.beta1, out=m)
+        m += (1.0 - self.beta1) * grad
+        np.multiply(v, self.beta2, out=v)
+        v += (1.0 - self.beta2) * (grad ** 2)
+        bias1 = 1.0 - self.beta1 ** self.step_count
+        bias2 = 1.0 - self.beta2 ** self.step_count
+        np.divide(v, bias2, out=scratch)
+        np.sqrt(scratch, out=scratch)
+        scratch += self.eps
+        np.divide(m, scratch, out=scratch)
+        scratch *= self.lr / bias1
+        parameter.data = parameter.data - scratch

@@ -65,11 +65,14 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     parameters = [p for p in parameters if p.grad is not None]
     if not parameters:
         return 0.0
-    total = float(np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in parameters)))
+    # np.dot on the raveled gradient avoids materialising the squares.
+    total = float(
+        np.sqrt(sum(float(np.dot(p.grad.ravel(), p.grad.ravel())) for p in parameters))
+    )
     if max_norm <= 0:
         raise ValueError("max_norm must be positive")
     if total > max_norm:
         scale = max_norm / (total + 1e-12)
         for parameter in parameters:
-            parameter.grad = parameter.grad * scale
+            np.multiply(parameter.grad, scale, out=parameter.grad)
     return total

@@ -1,0 +1,9 @@
+"""Profiling subsystem: scoped timers and per-op cost accounting.
+
+See :mod:`repro.profiling.profiler` for the full story; the CLI front end is
+``python -m repro.cli profile``.
+"""
+
+from .profiler import OpStats, Profiler, instrument_ops, profile, profiler
+
+__all__ = ["OpStats", "Profiler", "profiler", "profile", "instrument_ops"]

@@ -1,0 +1,259 @@
+"""Scoped timers and per-op counters for the training hot path.
+
+The profiler aggregates three kinds of signal:
+
+* **scopes** — named wall-clock sections (``train/forward`` …) entered via
+  :meth:`Profiler.scope`; nestable, aggregated by name;
+* **forward op counts** — one increment per autograd graph node, collected
+  through the engine's op hook with near-zero overhead;
+* **per-op milliseconds** — forward timings via :func:`instrument_ops`
+  (which temporarily wraps every public op in :mod:`repro.tensor.ops`) and
+  backward timings via the engine's backward hook.
+
+Everything is off by default and adds a single ``None`` check to the hot
+path when disabled.  Typical use::
+
+    from repro.profiling import profile, profiler
+
+    with profile(instrument: bool = True):
+        ... run training steps ...
+    print(profiler.report())
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from ..tensor import engine
+
+__all__ = ["OpStats", "Profiler", "profiler", "profile", "instrument_ops"]
+
+
+@dataclass
+class OpStats:
+    """Call count and cumulative seconds for one named operation/scope."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.calls += 1
+        self.seconds += seconds
+
+    @property
+    def ms_per_call(self) -> float:
+        return self.seconds * 1000.0 / self.calls if self.calls else 0.0
+
+
+class Profiler:
+    """Aggregating profiler; a process-wide instance lives at ``profiler``."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.scopes: Dict[str, OpStats] = defaultdict(OpStats)
+        self.forward_counts: Dict[str, int] = defaultdict(int)
+        self.forward_ops: Dict[str, OpStats] = defaultdict(OpStats)
+        self.backward_ops: Dict[str, OpStats] = defaultdict(OpStats)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        """Start collecting: counts graph-node creations from here on."""
+        self.enabled = True
+        engine.set_op_hook(self._record_forward_count)
+        engine.set_backward_hook(self._record_backward)
+
+    def disable(self) -> None:
+        self.enabled = False
+        engine.set_op_hook(None)
+        engine.set_backward_hook(None)
+
+    def reset(self) -> None:
+        self.scopes.clear()
+        self.forward_counts.clear()
+        self.forward_ops.clear()
+        self.backward_ops.clear()
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def _record_forward_count(self, op: str) -> None:
+        self.forward_counts[op] += 1
+
+    def _record_backward(self, op: str, seconds: float) -> None:
+        self.backward_ops[op].record(seconds)
+
+    def record_forward_time(self, op: str, seconds: float) -> None:
+        self.forward_ops[op].record(seconds)
+
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Time a named section; no-op (single check) when disabled."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.scopes[name].record(time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Machine-readable snapshot of everything collected so far."""
+
+        def stats_dict(table: Dict[str, OpStats]) -> Dict[str, Dict[str, float]]:
+            return {
+                name: {"calls": stats.calls, "seconds": stats.seconds}
+                for name, stats in table.items()
+            }
+
+        return {
+            "scopes": stats_dict(self.scopes),
+            "forward_counts": {
+                name: {"calls": count} for name, count in self.forward_counts.items()
+            },
+            "forward_ops": stats_dict(self.forward_ops),
+            "backward_ops": stats_dict(self.backward_ops),
+        }
+
+    def report(self) -> str:
+        """Human-readable tables: scopes, then per-op forward/backward cost."""
+        lines = []
+        if self.scopes:
+            lines.append(f"{'scope':<28}{'calls':>8}{'total ms':>12}{'ms/call':>10}")
+            lines.append("-" * 58)
+            for name, stats in sorted(
+                self.scopes.items(), key=lambda item: -item[1].seconds
+            ):
+                lines.append(
+                    f"{name:<28}{stats.calls:>8}{stats.seconds * 1e3:>12.2f}"
+                    f"{stats.ms_per_call:>10.3f}"
+                )
+        if self.forward_counts or self.forward_ops or self.backward_ops:
+            lines.append("")
+            lines.append(
+                f"{'op':<24}{'nodes':>8}{'fwd ms':>10}{'bwd calls':>11}{'bwd ms':>10}"
+            )
+            lines.append("-" * 63)
+            names = (
+                set(self.forward_counts) | set(self.forward_ops) | set(self.backward_ops)
+            )
+
+            def total_cost(name: str) -> float:
+                forward = self.forward_ops.get(name)
+                backward = self.backward_ops.get(name)
+                return (forward.seconds if forward else 0.0) + (
+                    backward.seconds if backward else 0.0
+                )
+
+            for name in sorted(names, key=lambda n: -total_cost(n)):
+                forward = self.forward_ops.get(name)
+                backward = self.backward_ops.get(name)
+                lines.append(
+                    f"{name:<24}{self.forward_counts.get(name, 0):>8}"
+                    f"{forward.seconds * 1e3 if forward else 0.0:>10.2f}"
+                    f"{backward.calls if backward else 0:>11}"
+                    f"{backward.seconds * 1e3 if backward else 0.0:>10.2f}"
+                )
+        return "\n".join(lines) if lines else "(profiler collected no data)"
+
+
+#: Process-wide profiler used by the trainer and the ``repro profile`` CLI.
+profiler = Profiler()
+
+
+@contextmanager
+def profile(instrument: bool = False, reset: bool = True) -> Iterator[Profiler]:
+    """Enable the global profiler for the duration of the block.
+
+    With ``instrument=True`` every public tensor op is additionally wrapped
+    to record forward milliseconds (a few percent overhead — leave it off
+    when only phase timings are wanted).
+    """
+    if reset:
+        profiler.reset()
+    profiler.enable()
+    try:
+        if instrument:
+            with instrument_ops(profiler):
+                yield profiler
+        else:
+            yield profiler
+    finally:
+        profiler.disable()
+
+
+@contextmanager
+def instrument_ops(target: Optional[Profiler] = None) -> Iterator[None]:
+    """Temporarily wrap tensor/message-passing ops with forward timers.
+
+    Model code resolves ops through module attributes (``ops.linear`` …), so
+    swapping the attributes is enough — no call sites change.  ``spmm`` and
+    ``segment_mean`` are bound by name at import time in a handful of
+    modules; those bindings are patched explicitly.
+    """
+    import repro.baselines.minet
+    import repro.baselines.ptupcdr
+    import repro.core.complementing
+    import repro.graph
+    import repro.graph.kernels
+
+    from ..graph import message_passing
+    from ..tensor import ops as ops_module
+
+    target = target or profiler
+
+    def wrap(module, name):
+        original = getattr(module, name)
+
+        def timed(*args, __original=original, __name=name, **kwargs):
+            started = time.perf_counter()
+            try:
+                return __original(*args, **kwargs)
+            finally:
+                target.record_forward_time(__name, time.perf_counter() - started)
+
+        timed.__wrapped__ = original
+        return original, timed
+
+    patched = []
+    try:
+        for name in ops_module.__all__:
+            original, timed = wrap(ops_module, name)
+            patched.append((ops_module, name, original))
+            setattr(ops_module, name, timed)
+        spmm_importers = (
+            message_passing,
+            repro.graph,
+            repro.graph.kernels,
+            repro.core.complementing,
+            repro.baselines.minet,
+            repro.baselines.ptupcdr,
+        )
+        original_spmm, timed_spmm = wrap(message_passing, "spmm")
+        for module in spmm_importers:
+            if getattr(module, "spmm", None) is original_spmm:
+                patched.append((module, "spmm", original_spmm))
+                setattr(module, "spmm", timed_spmm)
+        original_segment, timed_segment = wrap(message_passing, "segment_mean")
+        for module in (message_passing, repro.graph):
+            if getattr(module, "segment_mean", None) is original_segment:
+                patched.append((module, "segment_mean", original_segment))
+                setattr(module, "segment_mean", timed_segment)
+        original_attend, timed_attend = wrap(message_passing, "segment_softmax_attend")
+        for module in (message_passing, repro.graph, repro.core.complementing):
+            if getattr(module, "segment_softmax_attend", None) is original_attend:
+                patched.append((module, "segment_softmax_attend", original_attend))
+                setattr(module, "segment_softmax_attend", timed_attend)
+        yield
+    finally:
+        for module, name, original in patched:
+            setattr(module, name, original)

@@ -7,7 +7,8 @@ Public surface:
 * :func:`set_seed` / :func:`get_rng` / :func:`spawn_rng` — seeded RNG helpers.
 """
 
-from . import ops
+from . import engine, ops
+from .engine import engine_dtype, get_dtype, set_dtype
 from .random import get_rng, set_seed, spawn_rng
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
@@ -16,6 +17,10 @@ __all__ = [
     "as_tensor",
     "no_grad",
     "is_grad_enabled",
+    "engine",
+    "engine_dtype",
+    "get_dtype",
+    "set_dtype",
     "ops",
     "set_seed",
     "get_rng",

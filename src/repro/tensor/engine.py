@@ -1,0 +1,161 @@
+"""Runtime configuration of the autograd engine.
+
+Three concerns live here, all of them shared by :mod:`repro.tensor.tensor`
+and :mod:`repro.tensor.ops`:
+
+* **dtype** — the engine computes in ``float64`` by default (bit-for-bit
+  reproducibility of the paper tables matters more than speed for the
+  reference experiments), but can be switched to ``float32`` for a ~2x
+  cheaper hot path when numeric parity is not required.
+* **gradient buffer pool** — backward passes of identically-shaped graphs
+  (the common case: one graph per training step) would otherwise allocate a
+  fresh gradient array per node per step.  Intermediate gradient buffers are
+  returned to a shape-keyed free list once a node has propagated its
+  gradient, and :meth:`Tensor._accumulate` draws from that free list.
+* **op hook** — an optional callback invoked for every graph node created by
+  :meth:`Tensor._build`; the profiling subsystem uses it to count operations
+  without adding overhead when disabled.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "get_dtype",
+    "set_dtype",
+    "engine_dtype",
+    "GradientBufferPool",
+    "buffer_pool",
+    "set_op_hook",
+    "get_op_hook",
+    "set_backward_hook",
+]
+
+_DTYPES = {
+    "float32": np.float32,
+    "float64": np.float64,
+}
+
+_dtype: np.dtype = np.dtype(np.float64)
+
+#: Optional ``fn(op_name)`` invoked on every graph-node creation.
+_op_hook: Optional[Callable[[str], None]] = None
+
+#: Optional ``fn(op_name, seconds)`` invoked after each node's backward rule.
+_backward_hook: Optional[Callable[[str, float], None]] = None
+
+
+def get_dtype() -> np.dtype:
+    """Return the dtype newly created tensors are stored in."""
+    return _dtype
+
+
+def set_dtype(dtype) -> np.dtype:
+    """Set the engine dtype (``"float32"`` or ``"float64"``); returns the old one.
+
+    Switching dtype mid-graph is not supported: tensors created before the
+    switch keep their storage, and mixing them into one graph will silently
+    cast at every node boundary.  Switch between training runs, not inside
+    one.
+    """
+    global _dtype
+    if isinstance(dtype, str):
+        if dtype not in _DTYPES:
+            raise ValueError(f"unknown engine dtype '{dtype}'; known: {sorted(_DTYPES)}")
+        resolved = np.dtype(_DTYPES[dtype])
+    else:
+        resolved = np.dtype(dtype)
+        if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"engine dtype must be float32 or float64, got {resolved}")
+    previous = _dtype
+    _dtype = resolved
+    if resolved != previous:
+        buffer_pool.clear()
+    return previous
+
+
+@contextmanager
+def engine_dtype(dtype) -> Iterator[np.dtype]:
+    """Context manager that temporarily switches the engine dtype."""
+    previous = set_dtype(dtype)
+    try:
+        yield _dtype
+    finally:
+        set_dtype(previous)
+
+
+class GradientBufferPool:
+    """Shape-keyed free list of gradient arrays.
+
+    ``acquire`` returns a writable array of the requested shape (recycled
+    when possible), ``release`` hands a no-longer-needed buffer back.  The
+    pool never hands out the same array twice without an intervening
+    ``release``, and the caller that acquired a buffer is its sole owner
+    until released.
+    """
+
+    #: Upper bound of retained buffers per shape; prevents pathological growth
+    #: when many differently-rooted graphs are backpropagated.
+    max_per_shape = 32
+
+    def __init__(self) -> None:
+        self._free: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype).str)
+        stack = self._free.get(key)
+        if stack:
+            self.hits += 1
+            return stack.pop()
+        self.misses += 1
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, array: np.ndarray) -> None:
+        if array is None or not isinstance(array, np.ndarray):
+            return
+        if not array.flags.owndata or not array.flags.writeable:
+            return  # views / read-only arrays are not safe to recycle
+        key = (array.shape, array.dtype.str)
+        stack = self._free.setdefault(key, [])
+        if len(stack) < self.max_per_shape:
+            stack.append(array)
+
+    def clear(self) -> None:
+        self._free.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def num_buffered(self) -> int:
+        return sum(len(stack) for stack in self._free.values())
+
+
+#: Process-wide pool used by ``Tensor.backward`` / ``Tensor._accumulate``.
+buffer_pool = GradientBufferPool()
+
+
+def set_op_hook(hook: Optional[Callable[[str], None]]) -> Optional[Callable[[str], None]]:
+    """Install (or clear with ``None``) the per-node op hook; returns the old one."""
+    global _op_hook
+    previous = _op_hook
+    _op_hook = hook
+    return previous
+
+
+def get_op_hook() -> Optional[Callable[[str], None]]:
+    return _op_hook
+
+
+def set_backward_hook(
+    hook: Optional[Callable[[str, float], None]]
+) -> Optional[Callable[[str, float], None]]:
+    """Install (or clear) the per-node backward timing hook; returns the old one."""
+    global _backward_hook
+    previous = _backward_hook
+    _backward_hook = hook
+    return previous

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from .tensor import ArrayLike, Tensor, as_tensor
 
@@ -23,6 +24,8 @@ __all__ = [
     "neg",
     "pow",
     "matmul",
+    "linear",
+    "addmm",
     "exp",
     "log",
     "sqrt",
@@ -30,9 +33,11 @@ __all__ = [
     "leaky_relu",
     "sigmoid",
     "tanh",
+    "gated_tanh_mix",
     "softplus",
     "softmax",
     "log_softmax",
+    "softmax_cross_entropy",
     "sum",
     "mean",
     "max",
@@ -40,9 +45,14 @@ __all__ = [
     "transpose",
     "concat",
     "stack",
+    "pair_feature_concat",
     "getitem",
     "gather_rows",
+    "gather_concat_rows",
     "scatter_add_rows",
+    "broadcast_rows",
+    "scatter_rows",
+    "binary_cross_entropy_probs",
     "clip",
     "where",
     "maximum",
@@ -50,6 +60,86 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+
+def _load_csc_matvecs():
+    """Import scipy's private CSC mat-vec kernel and self-check it once.
+
+    ``scipy.sparse._sparsetools`` makes no stability promise, so the fast
+    scatter path is only enabled if the kernel reproduces a known
+    scatter-add on a tiny example; any import error, signature change or
+    wrong result falls back to the public-API path.
+    """
+    try:  # pragma: no cover - exercised implicitly at import
+        from scipy.sparse._sparsetools import csc_matvecs
+    except ImportError:  # pragma: no cover - older/newer scipy layouts
+        return None
+    try:
+        out = np.zeros((3, 2))
+        indices = np.array([2, 0, 2], dtype=np.int64)
+        updates = np.arange(6, dtype=np.float64).reshape(3, 2)
+        csc_matvecs(
+            3,
+            3,
+            2,
+            np.arange(4, dtype=np.int64),
+            indices,
+            np.ones(3),
+            updates.ravel(),
+            out.ravel(),
+        )
+        expected = np.zeros((3, 2))
+        np.add.at(expected, indices, updates)
+        if not np.array_equal(out, expected):
+            return None
+    except Exception:  # pragma: no cover - changed private signature
+        return None
+    return csc_matvecs
+
+
+_csc_matvecs = _load_csc_matvecs()
+
+
+def _scatter_add_2d(buffer: np.ndarray, indices: np.ndarray, grad: np.ndarray) -> None:
+    """``buffer[indices] += grad`` with repeated-index accumulation.
+
+    ``np.add.at`` is correct but an order of magnitude slower than a sparse
+    mat-vec at the sizes the models use, so for 2-D row scatters the update
+    is expressed as ``P @ grad`` with ``P`` the one-hot scatter operator in
+    CSC form (column ``k`` holds a single 1 at row ``indices[k]``).  When
+    scipy's C kernel is importable it is called directly, accumulating into
+    ``buffer`` with no temporary and no matrix-validation overhead.
+    """
+    if grad.ndim == 2 and indices.ndim == 1 and indices.shape[0] >= 32:
+        count = indices.shape[0]
+        if (
+            _csc_matvecs is not None
+            and buffer.flags.c_contiguous
+            and buffer.dtype == grad.dtype
+        ):
+            if indices.dtype != np.int64:
+                indices = indices.astype(np.int64)
+            _csc_matvecs(
+                buffer.shape[0],
+                count,
+                buffer.shape[1],
+                np.arange(count + 1, dtype=np.int64),
+                indices,
+                np.ones(count, dtype=buffer.dtype),
+                np.ascontiguousarray(grad).ravel(),
+                buffer.ravel(),
+            )
+            return
+        operator = sp.csc_matrix(
+            (
+                np.ones(count, dtype=grad.dtype),
+                indices,
+                np.arange(count + 1),
+            ),
+            shape=(buffer.shape[0], count),
+        )
+        buffer += operator @ grad
+    else:
+        np.add.at(buffer, indices, grad)
 
 
 # ----------------------------------------------------------------------
@@ -148,6 +238,90 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
     return Tensor._build(out_data, (a, b), backward, "matmul")
 
 
+_LINEAR_ACTIVATIONS = (None, "relu", "sigmoid", "tanh")
+
+
+def linear(
+    x: ArrayLike,
+    weight: ArrayLike,
+    bias: Optional[ArrayLike] = None,
+    activation: Optional[str] = None,
+) -> Tensor:
+    """Fused ``activation(x @ weight + bias)`` as a single graph node.
+
+    The classic three-node chain (matmul, broadcast add, activation) is the
+    single most frequent pattern in every model here; fusing it removes two
+    graph nodes and two full-size gradient buffers per call.  ``activation``
+    may be ``None``, ``"relu"``, ``"sigmoid"`` or ``"tanh"`` — the ones whose
+    derivative is expressible from the forward output alone.
+    """
+    if activation not in _LINEAR_ACTIVATIONS:
+        raise ValueError(
+            f"fused linear supports activations {_LINEAR_ACTIVATIONS}, got '{activation}'"
+        )
+    x, weight = as_tensor(x), as_tensor(weight)
+    if x.data.ndim != 2 or weight.data.ndim != 2:
+        raise ValueError(
+            f"fused linear expects 2-D operands, got {x.data.shape} @ {weight.data.shape}"
+        )
+    bias_tensor = as_tensor(bias) if bias is not None else None
+
+    out_data = x.data @ weight.data
+    if bias_tensor is not None:
+        out_data = out_data + bias_tensor.data
+    if activation == "relu":
+        np.maximum(out_data, 0.0, out=out_data)
+    elif activation == "sigmoid":
+        out_data = _sigmoid_forward(out_data)
+    elif activation == "tanh":
+        np.tanh(out_data, out=out_data)
+
+    parents = (x, weight) if bias_tensor is None else (x, weight, bias_tensor)
+
+    def backward(grad: np.ndarray) -> None:
+        if activation == "relu":
+            head = grad * (out_data > 0)
+        elif activation == "sigmoid":
+            head = grad * out_data * (1.0 - out_data)
+        elif activation == "tanh":
+            head = grad * (1.0 - out_data ** 2)
+        else:
+            head = np.asarray(grad)
+        if x.requires_grad:
+            x._accumulate(head @ weight.data.T)
+        if weight.requires_grad:
+            weight._accumulate(x.data.T @ head)
+        if bias_tensor is not None and bias_tensor.requires_grad:
+            bias_tensor._accumulate(head.sum(axis=0))
+
+    return Tensor._build(out_data, parents, backward, "linear")
+
+
+def addmm(c: ArrayLike, a: ArrayLike, b: ArrayLike, beta: float = 1.0, alpha: float = 1.0) -> Tensor:
+    """Fused ``beta * c + alpha * (a @ b)`` (mirrors ``torch.addmm``)."""
+    c, a, b = as_tensor(c), as_tensor(a), as_tensor(b)
+    if a.data.ndim != 2 or b.data.ndim != 2:
+        raise ValueError(f"addmm expects 2-D matrices, got {a.data.shape} @ {b.data.shape}")
+    beta, alpha = float(beta), float(alpha)
+    product = a.data @ b.data
+    if alpha != 1.0:
+        product *= alpha
+    out_data = product + (beta * c.data if beta != 1.0 else c.data)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        if c.requires_grad:
+            c._accumulate(grad if beta == 1.0 else beta * grad)
+        if a.requires_grad:
+            scaled = grad if alpha == 1.0 else alpha * grad
+            a._accumulate(scaled @ b.data.T)
+        if b.requires_grad:
+            scaled = grad if alpha == 1.0 else alpha * grad
+            b._accumulate(a.data.T @ scaled)
+
+    return Tensor._build(out_data, (c, a, b), backward, "addmm")
+
+
 # ----------------------------------------------------------------------
 # unary nonlinearities
 # ----------------------------------------------------------------------
@@ -203,19 +377,47 @@ def leaky_relu(a: ArrayLike, negative_slope: float = 0.01) -> Tensor:
     return Tensor._build(out_data, (a,), backward, "leaky_relu")
 
 
+def _sigmoid_forward(x: np.ndarray) -> np.ndarray:
+    """Numerically stable sigmoid computed with a single ``exp``.
+
+    ``exp(-|x|)`` never overflows, and both branches reduce to the textbook
+    expressions ``1 / (1 + e^-x)`` (x >= 0) and ``e^x / (1 + e^x)`` (x < 0).
+    """
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
+
+
 def sigmoid(a: ArrayLike) -> Tensor:
     a = as_tensor(a)
-    # numerically stable sigmoid
-    out_data = np.where(
-        a.data >= 0,
-        1.0 / (1.0 + np.exp(-np.clip(a.data, -60.0, 60.0))),
-        np.exp(np.clip(a.data, -60.0, 60.0)) / (1.0 + np.exp(np.clip(a.data, -60.0, 60.0))),
-    )
+    out_data = _sigmoid_forward(a.data)
 
     def backward(grad: np.ndarray) -> None:
         a._accumulate(grad * out_data * (1.0 - out_data))
 
     return Tensor._build(out_data, (a,), backward, "sigmoid")
+
+
+def gated_tanh_mix(first: ArrayLike, second: ArrayLike, gate_logits: ArrayLike) -> Tensor:
+    """Fused ``tanh((1 - H) * first + H * second)`` with ``H = sigmoid(gate_logits)``.
+
+    The fine-grained gate of Eq. 10 / Eq. 16 applies this to full user
+    tables several times per step; fusing it collapses six elementwise graph
+    nodes (sigmoid, two muls, two adds/subs, tanh) into one.
+    """
+    first, second, gate_logits = as_tensor(first), as_tensor(second), as_tensor(gate_logits)
+    gate = _sigmoid_forward(gate_logits.data)
+    out_data = np.tanh((1.0 - gate) * first.data + gate * second.data)
+
+    def backward(grad: np.ndarray) -> None:
+        base = grad * (1.0 - out_data ** 2)
+        first._accumulate(base * (1.0 - gate))
+        second._accumulate(base * gate)
+        if gate_logits.requires_grad:
+            gate_logits._accumulate(
+                base * (second.data - first.data) * gate * (1.0 - gate)
+            )
+
+    return Tensor._build(out_data, (first, second, gate_logits), backward, "gated_tanh_mix")
 
 
 def tanh(a: ArrayLike) -> Tensor:
@@ -265,6 +467,51 @@ def log_softmax(a: ArrayLike, axis: int = -1) -> Tensor:
         a._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
 
     return Tensor._build(out_data, (a,), backward, "log_softmax")
+
+
+def softmax_cross_entropy(
+    logits: ArrayLike,
+    targets: Union[Tensor, np.ndarray],
+    axis: int = -1,
+    reduction: str = "mean",
+) -> Tensor:
+    """Fused ``cross_entropy(softmax(logits), targets)`` as one graph node.
+
+    ``targets`` is a constant probability distribution (one-hot or soft) of
+    the same shape as ``logits``.  The fused backward rule is the classic
+    ``softmax - targets``, which skips materialising the log-softmax graph.
+    """
+    logits = as_tensor(logits)
+    target_data = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    if target_data.shape != logits.data.shape:
+        raise ValueError(
+            f"targets shape {target_data.shape} must match logits shape {logits.data.shape}"
+        )
+    shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    sum_exps = exps.sum(axis=axis, keepdims=True)
+    log_probs = shifted - np.log(sum_exps)
+    soft = exps / sum_exps
+    loss_data = -(target_data * log_probs).sum(axis=axis)
+    if reduction == "mean":
+        out_data = loss_data.mean()
+        scale = 1.0 / (loss_data.size or 1)  # NB: builtin max is shadowed here
+    elif reduction == "sum":
+        out_data = loss_data.sum()
+        scale = 1.0
+    elif reduction == "none":
+        out_data = loss_data
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction '{reduction}'")
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad)
+        if reduction == "none":
+            g = np.expand_dims(g, axis % logits.data.ndim)
+        logits._accumulate((soft - target_data) * (g * scale))
+
+    return Tensor._build(out_data, (logits,), backward, "softmax_cross_entropy")
 
 
 # ----------------------------------------------------------------------
@@ -406,9 +653,11 @@ def gather_rows(a: ArrayLike, indices: np.ndarray) -> Tensor:
     out_data = a.data[indices]
 
     def backward(grad: np.ndarray) -> None:
-        full = np.zeros_like(a.data)
-        np.add.at(full, indices, grad)
-        a._accumulate(full)
+        if not a.requires_grad:
+            return
+        # Scatter straight into the accumulation buffer: no full-size
+        # temporary, and the repeated-index sum runs as a sparse mat-vec.
+        _scatter_add_2d(a._ensure_grad_buffer(), indices, np.asarray(grad))
 
     return Tensor._build(out_data, (a,), backward, "gather_rows")
 
@@ -425,6 +674,161 @@ def scatter_add_rows(base: ArrayLike, indices: np.ndarray, updates: ArrayLike) -
         updates._accumulate(np.asarray(grad)[indices])
 
     return Tensor._build(out_data, (base, updates), backward, "scatter_add_rows")
+
+
+def gather_concat_rows(tensors: Sequence[ArrayLike], indices: np.ndarray) -> Tensor:
+    """Fused ``concat([t[indices] for t in tensors], axis=0)`` as one node.
+
+    The NMCDR loss gathers the same batch rows from every stage tensor and
+    stacks them for the shared prediction head; doing it in one node writes
+    each gather straight into the output block (no intermediate copies) and
+    scatters each block straight into its parent's gradient buffer.
+    """
+    tensors = [as_tensor(t) for t in tensors]
+    indices = np.asarray(indices, dtype=np.int64)
+    if not tensors:
+        raise ValueError("gather_concat_rows needs at least one tensor")
+    count = indices.shape[0]
+    width = tensors[0].data.shape[1]
+    out_data = np.empty((count * len(tensors), width), dtype=tensors[0].data.dtype)
+    for block, tensor in enumerate(tensors):
+        if tensor.data.ndim != 2 or tensor.data.shape[1] != width:
+            raise ValueError("gather_concat_rows tensors must share their column count")
+        np.take(tensor.data, indices, axis=0, out=out_data[block * count : (block + 1) * count])
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        for block, tensor in enumerate(tensors):
+            if tensor.requires_grad:
+                _scatter_add_2d(
+                    tensor._ensure_grad_buffer(),
+                    indices,
+                    grad[block * count : (block + 1) * count],
+                )
+
+    return Tensor._build(out_data, tuple(tensors), backward, "gather_concat_rows")
+
+
+def pair_feature_concat(u: ArrayLike, v: ArrayLike, interaction: bool = True) -> Tensor:
+    """Fused ``concat([u, v, u * v], axis=1)`` (the prediction-head input).
+
+    One node instead of a mul plus a concat: each block is written straight
+    into the output, and the backward rule adds the interaction term's
+    product-rule contributions without materialising sliced copies first.
+    """
+    u, v = as_tensor(u), as_tensor(v)
+    if u.data.shape != v.data.shape or u.data.ndim != 2:
+        raise ValueError(
+            f"pair_feature_concat expects equal (B, D) operands, got "
+            f"{u.data.shape} and {v.data.shape}"
+        )
+    count, width = u.data.shape
+    blocks = 3 if interaction else 2
+    out_data = np.empty((count, blocks * width), dtype=u.data.dtype)
+    out_data[:, :width] = u.data
+    out_data[:, width : 2 * width] = v.data
+    if interaction:
+        np.multiply(u.data, v.data, out=out_data[:, 2 * width :])
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        grad_u = grad[:, :width]
+        grad_v = grad[:, width : 2 * width]
+        if interaction:
+            grad_uv = grad[:, 2 * width :]
+            u._accumulate(grad_u + grad_uv * v.data)
+            v._accumulate(grad_v + grad_uv * u.data)
+        else:
+            u._accumulate(grad_u)
+            v._accumulate(grad_v)
+
+    return Tensor._build(out_data, (u, v), backward, "pair_feature_concat")
+
+
+def binary_cross_entropy_probs(
+    probabilities: ArrayLike,
+    targets: Union[Tensor, np.ndarray],
+    weights: Optional[np.ndarray] = None,
+    reduction: str = "mean",
+    eps: float = 1e-7,
+) -> Tensor:
+    """Fused binary cross-entropy on probabilities (Eq. 21), one graph node.
+
+    Computes ``-(t * log(clip(p)) + (1 - t) * log(1 - clip(p)))`` with
+    ``clip`` to ``[eps, 1 - eps]``, optionally scaled elementwise by the
+    constant ``weights``, then reduced.  Replaces the nine-node clip/log/
+    mul/add chain the losses module would otherwise build per call.
+    """
+    probabilities = as_tensor(probabilities)
+    target_data = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    p = probabilities.data
+    clipped = np.clip(p, eps, 1.0 - eps)
+    loss = -(target_data * np.log(clipped) + (1.0 - target_data) * np.log(1.0 - clipped))
+    if weights is not None:
+        weights = np.asarray(weights)
+        loss = loss * weights
+    if reduction == "mean":
+        out_data = loss.mean()
+        scale = 1.0 / loss.size
+    elif reduction == "sum":
+        out_data = loss.sum()
+        scale = 1.0
+    elif reduction == "none":
+        out_data = loss
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction '{reduction}'")
+
+    def backward(grad: np.ndarray) -> None:
+        # d loss / d clipped, masked where the clip is inactive.
+        base = (1.0 - target_data) / (1.0 - clipped) - target_data / clipped
+        base *= (p >= eps) & (p <= 1.0 - eps)
+        if weights is not None:
+            base *= weights
+        probabilities._accumulate(base * (np.asarray(grad) * scale))
+
+    return Tensor._build(out_data, (probabilities,), backward, "binary_cross_entropy_probs")
+
+
+def broadcast_rows(row: ArrayLike, num_rows: int) -> Tensor:
+    """Broadcast a ``(1, D)`` row to ``(num_rows, D)`` without materialising it.
+
+    Replaces the ``ones(N, 1) @ row`` idiom: the forward pass is a numpy
+    broadcast view (zero copy) and the backward pass is a single column sum
+    instead of a dense matmul against the ones matrix.
+    """
+    row = as_tensor(row)
+    if row.data.ndim != 2 or row.data.shape[0] != 1:
+        raise ValueError(f"broadcast_rows expects a (1, D) row, got {row.data.shape}")
+    out_data = np.broadcast_to(row.data, (int(num_rows), row.data.shape[1]))
+
+    def backward(grad: np.ndarray) -> None:
+        row._accumulate(np.asarray(grad).sum(axis=0, keepdims=True))
+
+    return Tensor._build(out_data, (row,), backward, "broadcast_rows")
+
+
+def scatter_rows(updates: ArrayLike, indices: np.ndarray, num_rows: int) -> Tensor:
+    """Place ``updates`` rows at ``indices`` of an otherwise-zero matrix.
+
+    ``indices`` must be unique (each destination row receives at most one
+    update) — the inter-matching overlap mapping guarantees that.  Replaces
+    a dense ``scatter_matrix @ updates`` product with an O(K · D) assignment.
+    """
+    updates = as_tensor(updates)
+    indices = np.asarray(indices, dtype=np.int64)
+    if updates.data.ndim != 2 or indices.shape[0] != updates.data.shape[0]:
+        raise ValueError(
+            f"scatter_rows expects aligned (K, D) updates and K indices, got "
+            f"{updates.data.shape} and {indices.shape}"
+        )
+    out_data = np.zeros((int(num_rows), updates.data.shape[1]), dtype=updates.data.dtype)
+    out_data[indices] = updates.data
+
+    def backward(grad: np.ndarray) -> None:
+        updates._accumulate(np.asarray(grad)[indices])
+
+    return Tensor._build(out_data, (updates,), backward, "scatter_rows")
 
 
 # ----------------------------------------------------------------------

@@ -13,9 +13,12 @@ so that model code in :mod:`repro.nn`, :mod:`repro.core` and
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from . import engine
 
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 
@@ -54,7 +57,8 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     ``grad`` during the forward pass, the chain rule requires summing the
     incoming gradient over every broadcast axis.
     """
-    grad = np.asarray(grad, dtype=np.float64)
+    if type(grad) is not np.ndarray:
+        grad = np.asarray(grad, dtype=engine.get_dtype())
     if grad.shape == shape:
         return grad
     extra_dims = grad.ndim - len(shape)
@@ -72,9 +76,10 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a ``numpy.ndarray``.  Stored as ``float64``
-        because the experiments run on small synthetic datasets where numeric
-        robustness matters more than memory footprint.
+        Anything convertible to a ``numpy.ndarray``.  Stored in the engine
+        dtype (:func:`repro.tensor.engine.get_dtype`): ``float64`` by default
+        for numeric parity with the paper tables, switchable to ``float32``
+        for a cheaper hot path.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` when
         :meth:`backward` is called on a downstream scalar.
@@ -91,12 +96,13 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=engine.get_dtype())
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = tuple(_parents)
         self._op = _op
+        self._topo_cache: Optional[List["Tensor"]] = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -166,7 +172,23 @@ class Tensor:
         )
         if requires:
             child._backward = backward
+        hook = engine._op_hook
+        if hook is not None:
+            hook(op)
         return child
+
+    def _ensure_grad_buffer(self) -> np.ndarray:
+        """Return ``self.grad``, creating a zero-filled pooled buffer if unset.
+
+        Scatter-style backward rules write into the accumulation buffer
+        directly, skipping the intermediate full-size temporary that
+        :meth:`_accumulate` would otherwise copy from.
+        """
+        if self.grad is None:
+            buffer = engine.buffer_pool.acquire(self.data.shape, self.data.dtype)
+            buffer.fill(0.0)
+            self.grad = buffer
+        return self.grad
 
     def _accumulate(self, grad: np.ndarray) -> None:
         """Add ``grad`` (matching shape after unbroadcast) into ``self.grad``."""
@@ -174,9 +196,13 @@ class Tensor:
             return
         grad = _unbroadcast(grad, self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            # The tensor owns its gradient buffer exclusively, so it can be
+            # recycled through the engine pool across backward passes.
+            buffer = engine.buffer_pool.acquire(self.data.shape, self.data.dtype)
+            np.copyto(buffer, grad)
+            self.grad = buffer
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
 
     # ------------------------------------------------------------------
     # backward pass
@@ -200,17 +226,43 @@ class Tensor:
                     f"got shape {self.data.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
+        pool = engine.buffer_pool
+        timing_hook = engine._backward_hook
         self._accumulate(grad)
         for node in reversed(self._topological_order()):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+            node_backward = node._backward
+            if node_backward is not None and node.grad is not None:
+                if timing_hook is not None:
+                    started = time.perf_counter()
+                    node_backward(node.grad)
+                    timing_hook(node._op, time.perf_counter() - started)
+                else:
+                    node_backward(node.grad)
+                # Intermediate gradients are fully propagated at this point
+                # (topological order guarantees every consumer already ran),
+                # so their buffers can be recycled for later nodes and for
+                # the next same-shaped backward pass.  Leaf gradients
+                # (``_backward is None``) stay, the optimiser reads them.
+                pool.release(node.grad)
+                node.grad = None
 
     def _topological_order(self) -> List["Tensor"]:
-        """Iterative post-order traversal of the graph rooted at ``self``."""
+        """Iterative post-order traversal of the graph rooted at ``self``.
+
+        The order is cached on the root: the graph is immutable once built,
+        so a second ``backward`` over the same root (companion losses,
+        gradient checks, repeated same-shape passes) skips the traversal.
+        The cached list excludes the root itself (post-order guarantees it
+        comes last) — storing ``self`` inside its own attribute would create
+        a reference cycle and leave every step's graph to the cyclic GC
+        instead of being freed by refcount.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache + [self]
         order: List[Tensor] = []
         visited = set()
         stack: List[Tuple[Tensor, bool]] = [(self, False)]
@@ -226,6 +278,7 @@ class Tensor:
             for parent in node._parents:
                 if id(parent) not in visited:
                     stack.append((parent, False))
+        self._topo_cache = order[:-1]
         return order
 
     # ------------------------------------------------------------------

@@ -1,0 +1,138 @@
+"""Engine configuration (dtype, buffer pool, topo cache) and operator caching."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import InteractionGraph
+from repro.tensor import Tensor, engine, ops
+
+
+class TestEngineDtype:
+    def test_default_is_float64(self):
+        assert engine.get_dtype() == np.dtype(np.float64)
+
+    def test_set_and_restore(self):
+        previous = engine.set_dtype("float32")
+        try:
+            assert engine.get_dtype() == np.dtype(np.float32)
+            assert Tensor([1.0]).data.dtype == np.float32
+        finally:
+            engine.set_dtype(previous)
+        assert engine.get_dtype() == np.dtype(np.float64)
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with engine.engine_dtype("float32"):
+                raise RuntimeError("boom")
+        assert engine.get_dtype() == np.dtype(np.float64)
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            engine.set_dtype("float16")
+        with pytest.raises(ValueError):
+            engine.set_dtype(np.int32)
+
+
+class TestBufferPool:
+    def test_intermediate_gradients_are_recycled(self):
+        pool = engine.buffer_pool
+        pool.clear()
+        x = Tensor(np.ones((7, 5)), requires_grad=True)
+        hidden = ops.relu(x * 2.0)
+        hidden.sum().backward()
+        # Leaf gradient stays, intermediate node buffers returned to the pool.
+        assert x.grad is not None
+        assert hidden.grad is None
+        assert pool.num_buffered() > 0
+
+    def test_second_pass_reuses_buffers(self):
+        pool = engine.buffer_pool
+        pool.clear()
+        for _ in range(2):
+            x = Tensor(np.ones((9, 4)), requires_grad=True)
+            (ops.tanh(x) * 3.0).sum().backward()
+        assert pool.hits > 0
+
+    def test_release_rejects_views(self):
+        pool = engine.GradientBufferPool()
+        base = np.zeros((4, 4))
+        pool.release(base[:2])  # view — must not be pooled
+        assert pool.num_buffered() == 0
+
+    def test_acquire_returns_exclusive_buffers(self):
+        pool = engine.GradientBufferPool()
+        first = pool.acquire((3, 3), np.float64)
+        second = pool.acquire((3, 3), np.float64)
+        assert first is not second
+        pool.release(first)
+        third = pool.acquire((3, 3), np.float64)
+        assert third is first  # recycled after release
+
+
+class TestTopologicalOrderCache:
+    def test_backward_twice_reuses_order_and_accumulates(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = (x * x).sum()
+        loss.backward()
+        first = x.grad.copy()
+        assert loss._topo_cache is not None
+        loss.backward()
+        assert np.allclose(x.grad, 2.0 * first)
+
+
+class TestGraphOperatorCaching:
+    def make_graph(self):
+        return InteractionGraph(4, 5, [0, 0, 1, 2, 3, 3], [0, 2, 2, 4, 1, 3])
+
+    def test_aggregation_matrices_are_memoised(self):
+        graph = self.make_graph()
+        assert graph.user_aggregation_matrix() is graph.user_aggregation_matrix()
+        assert graph.item_aggregation_matrix() is graph.item_aggregation_matrix()
+        assert (
+            graph.symmetric_normalized_adjacency()
+            is graph.symmetric_normalized_adjacency()
+        )
+
+    def test_cache_is_dtype_keyed(self):
+        graph = self.make_graph()
+        default = graph.user_aggregation_matrix()
+        with engine.engine_dtype("float32"):
+            fast = graph.user_aggregation_matrix()
+            assert fast.dtype == np.float32
+            assert fast is graph.user_aggregation_matrix()
+        assert fast is not default
+        assert graph.user_aggregation_matrix() is default
+
+    def test_symmetric_transpose_matches(self):
+        graph = self.make_graph()
+        norm = graph.symmetric_normalized_adjacency()
+        norm_t = graph.symmetric_normalized_adjacency_transpose()
+        assert np.allclose(norm.toarray().T, norm_t.toarray())
+
+    def test_edge_operators_match_coo_construction(self):
+        graph = self.make_graph()
+        weights = np.arange(1.0, graph.num_edges + 1)
+        expected_user = sp.coo_matrix(
+            (weights, (graph.user_indices, graph.item_indices)),
+            shape=(graph.num_users, graph.num_items),
+        ).toarray()
+        expected_item = sp.coo_matrix(
+            (weights, (graph.item_indices, graph.user_indices)),
+            shape=(graph.num_items, graph.num_users),
+        ).toarray()
+        assert np.allclose(graph.user_edge_operator(weights).toarray(), expected_user)
+        assert np.allclose(graph.item_edge_operator(weights).toarray(), expected_item)
+
+    def test_edge_operator_validates_length(self):
+        graph = self.make_graph()
+        with pytest.raises(ValueError):
+            graph.user_edge_operator(np.ones(graph.num_edges + 1))
+
+    def test_edge_sum_operator(self):
+        graph = self.make_graph()
+        values = np.arange(1.0, graph.num_edges + 1).reshape(-1, 1)
+        summed = graph.edge_sum_operator() @ values
+        expected = np.zeros((graph.num_users, 1))
+        np.add.at(expected, graph.user_indices, values)
+        assert np.allclose(summed, expected)

@@ -1,0 +1,276 @@
+"""Finite-difference gradient checks for the sparse and fused operations.
+
+Every op that implements a hand-derived backward rule (the fused kernels
+introduced for the hot path, plus the sparse message-passing primitives) is
+validated against a central-difference numerical gradient in float64 with
+absolute tolerance 1e-5.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph.message_passing import segment_mean, segment_softmax_attend, spmm
+from repro.tensor import Tensor, ops
+
+TOL = 1e-5
+
+
+def numerical_gradient(function, value, eps=1e-6):
+    """Central-difference gradient of a scalar function of one array."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    iterator = np.nditer(value, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        plus = value.copy()
+        plus[index] += eps
+        minus = value.copy()
+        minus[index] -= eps
+        grad[index] = (function(plus) - function(minus)) / (2 * eps)
+        iterator.iternext()
+    return grad
+
+
+def check_gradients(build_scalar, arrays, tol=TOL):
+    """Assert autograd gradients of ``build_scalar`` match finite differences.
+
+    ``build_scalar`` receives one Tensor per input array and must return a
+    scalar Tensor.  Each input is checked independently.
+    """
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    build_scalar(*tensors).backward()
+    for position, array in enumerate(arrays):
+        def partial(value, position=position):
+            replaced = [
+                Tensor(value if i == position else a)
+                for i, a in enumerate(arrays)
+            ]
+            return build_scalar(*replaced).item()
+
+        expected = numerical_gradient(partial, array)
+        actual = tensors[position].grad
+        assert actual is not None, f"input {position} received no gradient"
+        assert np.allclose(actual, expected, atol=tol), (
+            f"gradient mismatch for input {position}: "
+            f"max err {np.max(np.abs(actual - expected)):.2e}"
+        )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestSparseOps:
+    def test_spmm(self, rng):
+        matrix = sp.random(6, 5, density=0.5, random_state=3, format="csr")
+        features = rng.standard_normal((5, 4))
+        check_gradients(lambda f: spmm(matrix, f).sum(), [features])
+
+    def test_spmm_weighted_loss(self, rng):
+        matrix = sp.random(4, 7, density=0.6, random_state=5, format="csr")
+        features = rng.standard_normal((7, 3))
+        weights = rng.standard_normal((4, 3))
+        check_gradients(lambda f: (spmm(matrix, f) * weights).sum(), [features])
+
+    def test_segment_mean(self, rng):
+        features = rng.standard_normal((8, 3))
+        segments = np.array([0, 0, 1, 2, 2, 2, 4, 4])  # segment 3 empty
+        downstream = rng.standard_normal((5, 3))
+        check_gradients(
+            lambda f: (segment_mean(f, segments, 5) * downstream).sum(),
+            [features],
+        )
+
+    def test_segment_softmax_attend(self, rng):
+        num_users, num_items, dim = 5, 4, 3
+        edge_users = np.array([0, 0, 1, 2, 2, 2, 4])
+        edge_items = np.array([0, 1, 2, 0, 2, 3, 1])
+        queries = rng.standard_normal((num_users, dim))
+        keys = rng.standard_normal((num_items, dim))
+        values = rng.standard_normal((num_items, dim))
+        downstream = rng.standard_normal((num_users, dim))
+
+        def scalar(q, k, v):
+            out = segment_softmax_attend(q, k, v, edge_users, edge_items, num_users)
+            return (out * downstream).sum()
+
+        check_gradients(scalar, [queries, keys, values])
+
+
+class TestFusedLinear:
+    @pytest.mark.parametrize("activation", [None, "relu", "sigmoid", "tanh"])
+    def test_linear_activations(self, rng, activation):
+        x = rng.standard_normal((6, 4))
+        weight = rng.standard_normal((4, 3))
+        bias = rng.standard_normal(3)
+        downstream = rng.standard_normal((6, 3))
+
+        def scalar(xt, wt, bt):
+            return (ops.linear(xt, wt, bt, activation=activation) * downstream).sum()
+
+        check_gradients(scalar, [x, weight, bias])
+
+    def test_linear_no_bias(self, rng):
+        x = rng.standard_normal((5, 3))
+        weight = rng.standard_normal((3, 2))
+        check_gradients(lambda xt, wt: ops.linear(xt, wt).sum(), [x, weight])
+
+    def test_linear_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            ops.linear(np.ones((2, 2)), np.ones((2, 2)), activation="gelu")
+
+    def test_addmm(self, rng):
+        c = rng.standard_normal((4, 3))
+        a = rng.standard_normal((4, 5))
+        b = rng.standard_normal((5, 3))
+        check_gradients(
+            lambda ct, at, bt: ops.addmm(ct, at, bt, beta=0.5, alpha=2.0).sum(),
+            [c, a, b],
+        )
+
+    def test_addmm_matches_composition(self, rng):
+        c = rng.standard_normal((3, 2))
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 2))
+        fused = ops.addmm(c, a, b)
+        composed = Tensor(c) + ops.matmul(Tensor(a), Tensor(b))
+        assert np.allclose(fused.data, composed.data)
+
+
+class TestFusedLossAndGates:
+    def test_softmax_cross_entropy(self, rng):
+        logits = rng.standard_normal((5, 4))
+        targets = rng.dirichlet(np.ones(4), size=5)
+        check_gradients(
+            lambda lt: ops.softmax_cross_entropy(lt, targets, reduction="mean"),
+            [logits],
+        )
+
+    def test_softmax_cross_entropy_sum_and_none(self, rng):
+        logits = rng.standard_normal((4, 3))
+        targets = np.eye(3)[[0, 2, 1, 0]]
+        weights = rng.standard_normal(4)
+        check_gradients(
+            lambda lt: ops.softmax_cross_entropy(lt, targets, reduction="sum"),
+            [logits],
+        )
+        check_gradients(
+            lambda lt: (
+                ops.softmax_cross_entropy(lt, targets, reduction="none") * weights
+            ).sum(),
+            [logits],
+        )
+
+    def test_softmax_cross_entropy_matches_log_softmax(self, rng):
+        logits = rng.standard_normal((6, 5))
+        targets = np.eye(5)[rng.integers(0, 5, 6)]
+        fused = ops.softmax_cross_entropy(Tensor(logits), targets, reduction="mean")
+        composed = -(Tensor(targets) * ops.log_softmax(Tensor(logits), axis=-1)).sum(
+            axis=1
+        ).mean()
+        assert np.allclose(fused.data, composed.data, atol=1e-12)
+
+    def test_binary_cross_entropy_probs(self, rng):
+        probabilities = rng.uniform(0.05, 0.95, size=(6, 1))
+        targets = rng.integers(0, 2, size=(6, 1)).astype(float)
+        check_gradients(
+            lambda pt: ops.binary_cross_entropy_probs(pt, targets, reduction="mean"),
+            [probabilities],
+        )
+
+    def test_binary_cross_entropy_probs_weighted_sum(self, rng):
+        probabilities = rng.uniform(0.05, 0.95, size=(8, 1))
+        targets = rng.integers(0, 2, size=(8, 1)).astype(float)
+        weights = rng.uniform(0.1, 2.0, size=(8, 1))
+        check_gradients(
+            lambda pt: ops.binary_cross_entropy_probs(
+                pt, targets, weights=weights, reduction="sum"
+            ),
+            [probabilities],
+        )
+
+    def test_gated_tanh_mix(self, rng):
+        first = rng.standard_normal((5, 3))
+        second = rng.standard_normal((5, 3))
+        logits = rng.standard_normal((5, 3))
+        downstream = rng.standard_normal((5, 3))
+        check_gradients(
+            lambda f, s, g: (ops.gated_tanh_mix(f, s, g) * downstream).sum(),
+            [first, second, logits],
+        )
+
+    def test_gated_tanh_mix_broadcast_second(self, rng):
+        first = rng.standard_normal((5, 3))
+        second = rng.standard_normal((1, 3))
+        logits = rng.standard_normal((5, 3))
+        downstream = rng.standard_normal((5, 3))
+        check_gradients(
+            lambda f, s, g: (ops.gated_tanh_mix(f, s, g) * downstream).sum(),
+            [first, second, logits],
+        )
+
+
+class TestRowOps:
+    def test_gather_rows_repeated_indices(self, rng):
+        table = rng.standard_normal((6, 3))
+        indices = np.array([0, 2, 2, 5, 0, 0])
+        downstream = rng.standard_normal((6, 3))
+        check_gradients(
+            lambda t: (ops.gather_rows(t, indices) * downstream).sum(), [table]
+        )
+
+    def test_gather_concat_rows(self, rng):
+        first = rng.standard_normal((5, 3))
+        second = rng.standard_normal((5, 3))
+        indices = np.array([4, 1, 1, 0])
+        downstream = rng.standard_normal((8, 3))
+        check_gradients(
+            lambda a, b: (ops.gather_concat_rows([a, b], indices) * downstream).sum(),
+            [first, second],
+        )
+
+    def test_gather_concat_rows_matches_concat_of_gathers(self, rng):
+        first = Tensor(rng.standard_normal((4, 2)))
+        second = Tensor(rng.standard_normal((4, 2)))
+        indices = np.array([3, 3, 0])
+        fused = ops.gather_concat_rows([first, second], indices)
+        composed = ops.concat(
+            [ops.gather_rows(first, indices), ops.gather_rows(second, indices)], axis=0
+        )
+        assert np.allclose(fused.data, composed.data)
+
+    def test_broadcast_rows(self, rng):
+        row = rng.standard_normal((1, 4))
+        downstream = rng.standard_normal((6, 4))
+        check_gradients(
+            lambda r: (ops.broadcast_rows(r, 6) * downstream).sum(), [row]
+        )
+
+    def test_scatter_rows(self, rng):
+        updates = rng.standard_normal((3, 2))
+        indices = np.array([4, 0, 2])
+        downstream = rng.standard_normal((6, 2))
+        check_gradients(
+            lambda u: (ops.scatter_rows(u, indices, 6) * downstream).sum(), [updates]
+        )
+
+    def test_pair_feature_concat(self, rng):
+        u = rng.standard_normal((4, 3))
+        v = rng.standard_normal((4, 3))
+        downstream = rng.standard_normal((4, 9))
+        check_gradients(
+            lambda ut, vt: (ops.pair_feature_concat(ut, vt) * downstream).sum(), [u, v]
+        )
+
+    def test_pair_feature_concat_no_interaction(self, rng):
+        u = rng.standard_normal((4, 3))
+        v = rng.standard_normal((4, 3))
+        downstream = rng.standard_normal((4, 6))
+        check_gradients(
+            lambda ut, vt: (
+                ops.pair_feature_concat(ut, vt, interaction=False) * downstream
+            ).sum(),
+            [u, v],
+        )

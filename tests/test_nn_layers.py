@@ -124,11 +124,24 @@ class TestEmbedding:
         assert np.allclose(out.data[1], out.data[2])
 
     def test_out_of_range_raises(self):
+        from repro.nn import index_validation
+
+        table = Embedding(5, 2)
+        with index_validation():
+            with pytest.raises(IndexError):
+                table(np.array([5]))
+            with pytest.raises(IndexError):
+                table(np.array([-1]))
+
+    def test_out_of_range_positive_raises_without_validation(self):
+        # numpy itself rejects positive out-of-range indices even with the
+        # debug bounds scan disabled (the default).
+        from repro.nn import index_validation_enabled
+
+        assert not index_validation_enabled()
         table = Embedding(5, 2)
         with pytest.raises(IndexError):
             table(np.array([5]))
-        with pytest.raises(IndexError):
-            table(np.array([-1]))
 
     def test_all_returns_weight(self):
         table = Embedding(5, 2)

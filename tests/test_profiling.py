@@ -1,0 +1,128 @@
+"""Tests of the profiling subsystem: scopes, op counters, instrumentation."""
+
+import numpy as np
+
+from repro.profiling import Profiler, instrument_ops, profile, profiler
+from repro.tensor import Tensor, engine, ops
+
+
+class TestProfilerScopes:
+    def test_scope_is_noop_when_disabled(self):
+        local = Profiler()
+        with local.scope("idle"):
+            pass
+        assert not local.scopes
+
+    def test_scope_aggregates_by_name(self):
+        local = Profiler()
+        local.enabled = True
+        for _ in range(3):
+            with local.scope("work"):
+                pass
+        assert local.scopes["work"].calls == 3
+        assert local.scopes["work"].seconds >= 0.0
+
+    def test_report_mentions_scopes_and_ops(self):
+        local = Profiler()
+        local.enabled = True
+        with local.scope("train/forward"):
+            pass
+        local._record_forward_count("matmul")
+        local.record_forward_time("matmul", 0.001)
+        local._record_backward("matmul", 0.002)
+        report = local.report()
+        assert "train/forward" in report
+        assert "matmul" in report
+        snapshot = local.as_dict()
+        assert snapshot["scopes"]["train/forward"]["calls"] == 1
+        assert snapshot["backward_ops"]["matmul"]["seconds"] > 0
+
+
+class TestGlobalProfile:
+    def test_profile_counts_graph_nodes_and_backward(self):
+        with profile() as active:
+            x = Tensor(np.ones((4, 3)), requires_grad=True)
+            (ops.relu(x) * 2.0).sum().backward()
+        assert active.forward_counts.get("relu", 0) >= 1
+        assert active.backward_ops.get("relu") is not None
+        # hooks removed after the context exits
+        assert engine.get_op_hook() is None
+
+    def test_profile_with_instrumentation_times_forward(self):
+        with profile(instrument=True) as active:
+            x = Tensor(np.ones((8, 8)), requires_grad=True)
+            ops.linear(x, Tensor(np.ones((8, 4))), activation="relu").sum().backward()
+        assert active.forward_ops["linear"].calls >= 1
+        assert active.forward_ops["linear"].seconds > 0
+        # patched attributes restored
+        assert not hasattr(ops.linear, "__wrapped__")
+
+    def test_instrument_ops_restores_on_error(self):
+        local = Profiler()
+        try:
+            with instrument_ops(local):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not hasattr(ops.matmul, "__wrapped__")
+
+
+class TestProfileCLI:
+    def test_cli_profile_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "profile",
+                "--batches",
+                "2",
+                "--scale",
+                "0.3",
+                "--epochs",
+                "1",
+                "--no-instrument",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profiled NMCDR for 2 training steps" in out
+        assert "train/forward" in out
+
+
+class TestTrainerIntegration:
+    def test_trainer_profile_flag_produces_report(self, tiny_task, tiny_nmcdr_config):
+        from repro.core import CDRTrainer, NMCDR, TrainerConfig
+
+        model = NMCDR(tiny_task, tiny_nmcdr_config)
+        trainer = CDRTrainer(
+            model,
+            tiny_task,
+            TrainerConfig(num_epochs=1, batch_size=64, eval_every=0, profile=True),
+        )
+        history = trainer.fit()
+        assert history.profile_report is not None
+        assert "train/forward" in history.profile_report
+        assert not profiler.enabled
+
+    def test_trainer_disables_profiler_when_fit_raises(self, tiny_task, tiny_nmcdr_config):
+        from repro.core import CDRTrainer, NMCDR, TrainerConfig
+        from repro.tensor import engine
+
+        model = NMCDR(tiny_task, tiny_nmcdr_config)
+        trainer = CDRTrainer(
+            model,
+            tiny_task,
+            TrainerConfig(num_epochs=1, batch_size=64, eval_every=0, profile=True),
+        )
+
+        def explode(batches):
+            raise KeyboardInterrupt
+
+        model.compute_batch_loss = explode
+        try:
+            trainer.fit()
+        except KeyboardInterrupt:
+            pass
+        # The engine hooks must be uninstalled even though fit was interrupted.
+        assert not profiler.enabled
+        assert engine.get_op_hook() is None

@@ -1,0 +1,82 @@
+"""Regression test: ``CDRTrainer.fit`` must never hand models ``None`` batches.
+
+``zip_longest`` pads the shorter domain loader with ``None`` once the two
+domains have a different number of mini-batches.  The trainer now filters
+those out (and skips all-empty steps) instead of relying on every model's
+``compute_batch_loss`` to be defensive about them.
+"""
+
+import numpy as np
+
+from repro.core import CDRTrainer, TrainerConfig
+from repro.data.dataloader import Batch, InteractionDataLoader
+from repro.nn import Module, Parameter
+from repro.tensor import Tensor
+
+
+class StrictModel(Module):
+    """Minimal trainable model that rejects ``None``/empty batches outright."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.theta = Parameter(np.zeros(1))
+        self.seen_batches = []
+
+    def compute_batch_loss(self, batches):
+        assert batches, "trainer passed an empty batch dict"
+        total = None
+        for key, batch in batches.items():
+            assert batch is not None, f"trainer passed None batch for domain '{key}'"
+            assert isinstance(batch, Batch) and len(batch) > 0
+            self.seen_batches.append((key, len(batch)))
+            term = (self.theta * float(len(batch))).sum()
+            total = term if total is None else total + term
+        return total
+
+    def invalidate_cache(self) -> None:
+        pass
+
+    def prepare_for_evaluation(self) -> None:
+        pass
+
+    def score(self, domain_key, users, items):
+        return np.zeros(len(users))
+
+
+def test_fit_skips_none_batches_from_unequal_loaders(tiny_task):
+    config = TrainerConfig(num_epochs=1, batch_size=32, eval_every=0)
+    trainer = CDRTrainer(StrictModel(), tiny_task, config)
+
+    lengths = {key: len(trainer._loaders[key]) for key in ("a", "b")}
+    assert lengths["a"] != lengths["b"], (
+        "precondition: the two domains must produce unequal loader lengths "
+        f"for this regression test, got {lengths}"
+    )
+
+    history = trainer.fit()
+
+    # Every step ran (no crash), and the step count equals the longer loader:
+    # the trailing steps carry only the longer domain's batch.
+    assert history.num_batches == max(lengths.values())
+    model = trainer.model
+    per_domain = {key: sum(1 for k, _ in model.seen_batches if k == key) for key in ("a", "b")}
+    assert per_domain["a"] == lengths["a"]
+    assert per_domain["b"] == lengths["b"]
+
+
+def test_fit_handles_one_empty_domain(tiny_task):
+    """A loader that yields nothing at all must not abort training."""
+    config = TrainerConfig(num_epochs=1, batch_size=32, eval_every=0)
+    trainer = CDRTrainer(StrictModel(), tiny_task, config)
+
+    class EmptyLoader:
+        def __iter__(self):
+            return iter(())
+
+        def __len__(self):
+            return 0
+
+    trainer._loaders["b"] = EmptyLoader()
+    history = trainer.fit()
+    assert history.num_batches == len(trainer._loaders["a"])
+    assert all(key == "a" for key, _ in trainer.model.seen_batches)
