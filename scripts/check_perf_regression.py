@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over ``BENCH_efficiency.json``.
+
+Compares a freshly emitted efficiency record against the committed baseline
+and fails (exit code 1) when any model's training seconds-per-batch slowed
+down by more than the threshold (default 20%).  The subgraph-scaling sweep
+is additionally checked on its largest graph point when both records carry
+one.
+
+Usage::
+
+    python scripts/check_perf_regression.py BASELINE.json FRESH.json [--threshold 0.2]
+
+Caveats: absolute timings are hardware-specific, so the gate is only
+meaningful when baseline and fresh records come from comparable machines
+(CI re-times both sides on the same runner class).  Apply the
+``perf-regression-ok`` label to a pull request to skip the gate for changes
+with a known, accepted slowdown — see README.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: could not read '{path}': {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> int:
+    failures = []
+    rows = []
+
+    baseline_models = baseline.get("models", {})
+    fresh_models = fresh.get("models", {})
+    for name, base_report in sorted(baseline_models.items()):
+        fresh_report = fresh_models.get(name)
+        if fresh_report is None:
+            failures.append(f"model '{name}' missing from the fresh record")
+            continue
+        base_time = base_report.get("train_s_per_batch")
+        fresh_time = fresh_report.get("train_s_per_batch")
+        if not base_time or not fresh_time or base_time != base_time or fresh_time != fresh_time:
+            failures.append(f"model '{name}' has no usable train_s_per_batch timing")
+            continue
+        change = fresh_time / base_time - 1.0
+        rows.append((f"{name} train_s_per_batch", base_time, fresh_time, change))
+        if change > threshold:
+            failures.append(
+                f"{name}: train s/batch regressed {change * 100:+.1f}% "
+                f"({base_time:.6f}s -> {fresh_time:.6f}s)"
+            )
+
+    base_scaling = (baseline.get("subgraph_scaling") or {}).get("points")
+    fresh_scaling = (fresh.get("subgraph_scaling") or {}).get("points")
+    if base_scaling and fresh_scaling:
+        base_point, fresh_point = base_scaling[-1], fresh_scaling[-1]
+        if base_point.get("scale") == fresh_point.get("scale"):
+            base_time = base_point["sampled_train_s_per_batch"]
+            fresh_time = fresh_point["sampled_train_s_per_batch"]
+            change = fresh_time / base_time - 1.0
+            rows.append(
+                (f"sampled NMCDR @scale={base_point['scale']}", base_time, fresh_time, change)
+            )
+            if change > threshold:
+                failures.append(
+                    f"sampled NMCDR (largest scaling point): regressed {change * 100:+.1f}%"
+                )
+
+    print(f"perf gate (threshold: +{threshold * 100:.0f}% train s/batch)")
+    for label, base_time, fresh_time, change in rows:
+        print(f"  {label:<40} {base_time:.6f}s -> {fresh_time:.6f}s ({change * 100:+.1f}%)")
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(
+            "\nIf the slowdown is intended and accepted, apply the "
+            "'perf-regression-ok' label to the pull request (see README)."
+        )
+        return 1
+    print("OK: no train-time regression beyond the threshold.")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_efficiency.json")
+    parser.add_argument("fresh", help="freshly emitted BENCH_efficiency.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown per model (default: 0.2 = 20%%)",
+    )
+    args = parser.parse_args()
+    return compare(load(args.baseline), load(args.fresh), args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

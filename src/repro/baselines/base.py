@@ -19,11 +19,80 @@ import numpy as np
 
 from ..data.dataloader import Batch
 from ..data.negative_sampling import NegativeSampler
+from ..graph import SubgraphCache
+from ..graph.sampling import DomainSubgraph, InteractionGraph
 from ..nn import Module, losses
 from ..tensor import Tensor, no_grad
 from ..core.task import CDRTask, DOMAIN_KEYS
 
-__all__ = ["BaselineModel"]
+__all__ = ["BaselineModel", "SubgraphSamplingMixin"]
+
+
+class SubgraphSamplingMixin:
+    """Opt-in sampled-subgraph *training* for baselines with graph encoders.
+
+    Mirrors :meth:`repro.core.NMCDR.configure_subgraph_sampling`: when
+    enabled, the model's training-time ``batch_scores`` restricts graph
+    propagation to the induced k-hop subgraph around the batch, with one
+    :class:`~repro.graph.SubgraphCache` per named graph.  Evaluation
+    (``self.training == False``) always runs the full-graph path.
+    """
+
+    #: Hops required for exact restricted propagation (the encoder depth of
+    #: the subclass; every graph baseline here uses one layer).
+    subgraph_exact_hops = 1
+
+    _subgraph_num_hops: Optional[int] = None
+    _subgraph_fanout: Optional[int] = None
+    _subgraph_caches: Optional[Dict[str, SubgraphCache]] = None
+
+    def configure_subgraph_sampling(
+        self,
+        enabled: bool = True,
+        *,
+        num_hops: Optional[int] = None,
+        fanout: Optional[int] = None,
+        cache_size: int = 16,
+    ) -> None:
+        if not enabled:
+            self._subgraph_num_hops = None
+            self._subgraph_fanout = None
+            self._subgraph_caches = None
+            return
+        resolved = int(num_hops) if num_hops is not None else self.subgraph_exact_hops
+        if resolved < 1:
+            raise ValueError("num_hops must be >= 1")
+        self._subgraph_num_hops = resolved
+        self._subgraph_fanout = fanout
+        self._subgraph_cache_size = int(cache_size)
+        self._subgraph_caches = {}
+
+    @property
+    def subgraph_sampling_enabled(self) -> bool:
+        return self._subgraph_num_hops is not None
+
+    def _use_sampled_forward(self) -> bool:
+        """Sampling applies to training steps only; scoring stays exact."""
+        return self._subgraph_num_hops is not None and self.training
+
+    def _subgraph_for(
+        self,
+        cache_key: str,
+        graph: InteractionGraph,
+        seed_users,
+        seed_items,
+    ) -> DomainSubgraph:
+        cache = self._subgraph_caches.get(cache_key)
+        if cache is None:
+            cache = SubgraphCache(getattr(self, "_subgraph_cache_size", 16))
+            self._subgraph_caches[cache_key] = cache
+        return cache.get(
+            graph,
+            seed_users,
+            seed_items,
+            num_hops=self._subgraph_num_hops,
+            fanout=self._subgraph_fanout,
+        )
 
 
 class BaselineModel(Module):
@@ -100,13 +169,7 @@ class BaselineModel(Module):
 
     def overlap_partner_lookup(self, domain_key: str) -> np.ndarray:
         """Array mapping local user index -> partner index in the other domain (-1 if none)."""
-        pairs = self.task.overlap_pairs
-        own_column = 0 if domain_key == "a" else 1
-        other_column = 1 - own_column
-        lookup = -np.ones(self.task.domain(domain_key).num_users, dtype=np.int64)
-        if pairs.size:
-            lookup[pairs[:, own_column]] = pairs[:, other_column]
-        return lookup
+        return self.task.partner_lookup(domain_key)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(scenario={self.task.dataset.name!r})"

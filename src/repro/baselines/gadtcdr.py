@@ -18,12 +18,12 @@ from ..core.encoder import HeterogeneousGraphEncoder
 from ..core.task import CDRTask
 from ..nn import MLP, Embedding, Linear
 from ..tensor import Tensor, ops
-from .base import BaselineModel
+from .base import BaselineModel, SubgraphSamplingMixin
 
 __all__ = ["GADTCDRModel"]
 
 
-class GADTCDRModel(BaselineModel):
+class GADTCDRModel(SubgraphSamplingMixin, BaselineModel):
     """Per-domain GNN encoders with element-wise attention fusion for overlapped users."""
 
     display_name = "GA-DTCDR"
@@ -58,28 +58,60 @@ class GADTCDRModel(BaselineModel):
                 MLP([2 * embedding_dim, *tower_hidden, 1], activation="relu", rng=rng),
             )
 
-    def _encode(self, domain_key: str):
-        domain = self.task.domain(domain_key)
-        users, items = getattr(self, f"encoder_{domain_key}")(
-            domain.train_graph,
-            getattr(self, f"user_embedding_{domain_key}").all(),
-            getattr(self, f"item_embedding_{domain_key}").all(),
-        )
-        return users, items
+    def _encode(self, domain_key: str, subgraph=None):
+        """Encode one domain, optionally restricted to an induced subgraph."""
+        if subgraph is None:
+            domain = self.task.domain(domain_key)
+            graph = domain.train_graph
+            user_g0 = getattr(self, f"user_embedding_{domain_key}").all()
+            item_g0 = getattr(self, f"item_embedding_{domain_key}").all()
+        else:
+            graph = subgraph.graph
+            user_g0 = getattr(self, f"user_embedding_{domain_key}")(subgraph.user_ids)
+            item_g0 = getattr(self, f"item_embedding_{domain_key}")(subgraph.item_ids)
+        return getattr(self, f"encoder_{domain_key}")(graph, user_g0, item_g0)
 
     def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         other_key = self.task.other_key(domain_key)
-
-        own_users, own_items = self._encode(domain_key)
-        other_users, _ = self._encode(other_key)
-
-        user_vectors = ops.gather_rows(own_users, users)
         partners = self._partner_lookup[domain_key][users]
         has_partner = partners >= 0
+        sampled = self._use_sampled_forward()
+
+        if sampled:
+            # Restrict both encoders to the k-hop subgraphs around the rows
+            # this batch actually reads: the batch pairs in the own domain and
+            # the overlap partners in the other (exact for num_hops >= 1).
+            own_subgraph = self._subgraph_for(
+                domain_key, self.task.domain(domain_key).train_graph, users, items
+            )
+            own_users, own_items = self._encode(domain_key, own_subgraph)
+            lookup_users = own_subgraph.local_users(users)
+            lookup_items = own_subgraph.local_items(items)
+        else:
+            own_users, own_items = self._encode(domain_key)
+            lookup_users, lookup_items = users, items
+
+        user_vectors = ops.gather_rows(own_users, lookup_users)
         if has_partner.any():
-            safe_partners = np.where(has_partner, partners, 0)
+            if sampled:
+                partner_ids = np.unique(partners[has_partner])
+                other_subgraph = self._subgraph_for(
+                    other_key,
+                    self.task.domain(other_key).train_graph,
+                    partner_ids,
+                    np.empty(0, dtype=np.int64),
+                )
+                other_users, _ = self._encode(other_key, other_subgraph)
+                # Rows without a partner gather an arbitrary in-subgraph row;
+                # the mask below zeroes their contribution.
+                safe_partners = other_subgraph.local_users(
+                    np.where(has_partner, partners, partner_ids[0])
+                )
+            else:
+                other_users, _ = self._encode(other_key)
+                safe_partners = np.where(has_partner, partners, 0)
             partner_vectors = ops.gather_rows(other_users, safe_partners)
             gate = ops.sigmoid(
                 getattr(self, f"fusion_gate_{domain_key}")(
@@ -90,7 +122,7 @@ class GADTCDRModel(BaselineModel):
             mask = Tensor(has_partner.astype(np.float64)[:, None])
             user_vectors = fused * mask + user_vectors * (1.0 - mask)
 
-        item_vectors = ops.gather_rows(own_items, items)
+        item_vectors = ops.gather_rows(own_items, lookup_items)
         logits = getattr(self, f"tower_{domain_key}")(
             ops.concat([user_vectors, item_vectors], axis=1)
         )

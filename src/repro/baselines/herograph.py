@@ -20,13 +20,13 @@ from ..core.task import CDRTask
 from ..graph import InteractionGraph
 from ..nn import MLP, Embedding
 from ..tensor import Tensor, ops
-from .base import BaselineModel
+from .base import BaselineModel, SubgraphSamplingMixin
 from .mmoe import build_global_user_index
 
 __all__ = ["HeroGraphModel"]
 
 
-class HeroGraphModel(BaselineModel):
+class HeroGraphModel(SubgraphSamplingMixin, BaselineModel):
     """Global + local graph encoders with shared users bridging the domains."""
 
     display_name = "HeroGraph"
@@ -90,20 +90,49 @@ class HeroGraphModel(BaselineModel):
     def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
+        global_user_ids = self._global_index[domain_key][users]
+        global_item_ids = items + self._item_offset[domain_key]
 
-        global_users, global_items = self.global_encoder(
-            self._global_graph,
-            self.global_user_embedding.all(),
-            self.global_item_embedding.all(),
-        )
-        local_users, local_items = getattr(self, f"local_encoder_{domain_key}")(
-            self.task.domain(domain_key).train_graph,
-            getattr(self, f"local_user_embedding_{domain_key}").all(),
-            getattr(self, f"local_item_embedding_{domain_key}").all(),
-        )
+        if self._use_sampled_forward():
+            # Training steps propagate over the induced 1-hop subgraphs of the
+            # global and per-domain local graphs around the batch pairs.
+            global_subgraph = self._subgraph_for(
+                "global", self._global_graph, global_user_ids, global_item_ids
+            )
+            global_users, global_items = self.global_encoder(
+                global_subgraph.graph,
+                self.global_user_embedding(global_subgraph.user_ids),
+                self.global_item_embedding(global_subgraph.item_ids),
+            )
+            local_subgraph = self._subgraph_for(
+                f"local_{domain_key}",
+                self.task.domain(domain_key).train_graph,
+                users,
+                items,
+            )
+            local_users, local_items = getattr(self, f"local_encoder_{domain_key}")(
+                local_subgraph.graph,
+                getattr(self, f"local_user_embedding_{domain_key}")(local_subgraph.user_ids),
+                getattr(self, f"local_item_embedding_{domain_key}")(local_subgraph.item_ids),
+            )
+            global_user_ids = global_subgraph.local_users(global_user_ids)
+            global_item_ids = global_subgraph.local_items(global_item_ids)
+            users = local_subgraph.local_users(users)
+            items = local_subgraph.local_items(items)
+        else:
+            global_users, global_items = self.global_encoder(
+                self._global_graph,
+                self.global_user_embedding.all(),
+                self.global_item_embedding.all(),
+            )
+            local_users, local_items = getattr(self, f"local_encoder_{domain_key}")(
+                self.task.domain(domain_key).train_graph,
+                getattr(self, f"local_user_embedding_{domain_key}").all(),
+                getattr(self, f"local_item_embedding_{domain_key}").all(),
+            )
 
-        global_user_rows = ops.gather_rows(global_users, self._global_index[domain_key][users])
-        global_item_rows = ops.gather_rows(global_items, items + self._item_offset[domain_key])
+        global_user_rows = ops.gather_rows(global_users, global_user_ids)
+        global_item_rows = ops.gather_rows(global_items, global_item_ids)
         local_user_rows = ops.gather_rows(local_users, users)
         local_item_rows = ops.gather_rows(local_items, items)
 

@@ -7,6 +7,12 @@ from .inter_matching import InterNodeMatching
 from .intra_matching import IntraNodeMatching
 from .nmcdr import NMCDR, DomainRepresentations
 from .prediction import PredictionHead
+from .subgraph_plan import (
+    DomainSubgraphPlan,
+    SubgraphPlan,
+    SubgraphSettings,
+    build_subgraph_plan,
+)
 from .stability import (
     StabilityReport,
     empirical_prediction_deviation,
@@ -37,6 +43,10 @@ __all__ = [
     "VARIANT_NAMES",
     "variant_config",
     "build_variant",
+    "SubgraphPlan",
+    "DomainSubgraphPlan",
+    "SubgraphSettings",
+    "build_subgraph_plan",
     "StabilityReport",
     "spectral_norm",
     "theoretical_stability_bound",

@@ -123,6 +123,21 @@ class TrainerConfig:
     #: When true the trainer enables the global profiler for the duration of
     #: ``fit`` and stores the phase report on the returned history.
     profile: bool = False
+    #: When true, models exposing ``configure_subgraph_sampling`` (NMCDR and
+    #: the graph baselines) train on induced k-hop subgraphs around each
+    #: mini-batch instead of the full graph, making step cost O(batch).
+    #: Evaluation always runs the exact full-graph forward.  Models without
+    #: graph propagation ignore the switch (they are already O(batch)).
+    sampled_subgraph_training: bool = False
+    #: Hop count of the sampled subgraph; ``None`` resolves to the model's
+    #: exactness depth (encoder layers, plus one when node complementing is
+    #: enabled), which with ``subgraph_fanout=None`` keeps sampled training
+    #: numerically exact.
+    subgraph_num_hops: Optional[int] = None
+    #: Per-hop neighbour cap for high-degree nodes; ``None`` means no cap
+    #: (exact neighbourhoods).  Setting it bounds subgraph size at the cost
+    #: of approximate propagation for truncated nodes.
+    subgraph_fanout: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -134,6 +149,10 @@ class TrainerConfig:
             raise ValueError("learning_rate must be positive")
         if self.negatives_per_positive <= 0:
             raise ValueError("negatives_per_positive must be positive")
+        if self.subgraph_num_hops is not None and self.subgraph_num_hops < 1:
+            raise ValueError("subgraph_num_hops must be >= 1 or None")
+        if self.subgraph_fanout is not None and self.subgraph_fanout < 1:
+            raise ValueError("subgraph_fanout must be >= 1 or None")
 
     def variant(self, **overrides) -> "TrainerConfig":
         """Return a copy with the given fields replaced."""

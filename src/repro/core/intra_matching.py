@@ -13,7 +13,7 @@ cost linear in the number of users.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -55,12 +55,24 @@ class IntraNodeMatching(Module):
     def forward(
         self,
         user_repr: Tensor,
-        partition: HeadTailPartition,
+        partition: Optional[HeadTailPartition] = None,
         sampler: Optional[MatchingNeighborSampler] = None,
+        pools: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> Tensor:
-        """Return ``u_g2`` given ``u_g1`` and the domain's head/tail partition."""
-        sampler = sampler or MatchingNeighborSampler()
-        head_pool, tail_pool = sampler.sample_partition(partition)
+        """Return ``u_g2`` given ``u_g1`` and the domain's head/tail partition.
+
+        ``pools`` overrides the partition sampling with pre-drawn
+        ``(head_pool, tail_pool)`` index arrays — the sampled-subgraph
+        training path draws the pools up front (they are subgraph seeds) and
+        passes their local ids here.
+        """
+        if pools is not None:
+            head_pool, tail_pool = pools
+        else:
+            if partition is None:
+                raise ValueError("intra matching needs either a partition or explicit pools")
+            sampler = sampler or MatchingNeighborSampler()
+            head_pool, tail_pool = sampler.sample_partition(partition)
 
         head_message = self._group_message(user_repr, head_pool, self.head_transform)
         tail_message = self._group_message(user_repr, tail_pool, self.tail_transform)

@@ -24,8 +24,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..data.dataloader import Batch
-from ..graph import MatchingNeighborSampler
+from ..graph import MatchingNeighborSampler, SubgraphCache
 from ..nn import Embedding, Module, ModuleList, losses
+from ..profiling import profiler
 from ..tensor import Tensor, no_grad, ops
 from .complementing import IntraNodeComplementing
 from .config import NMCDRConfig
@@ -33,6 +34,7 @@ from .encoder import HeterogeneousGraphEncoder
 from .inter_matching import InterNodeMatching
 from .intra_matching import IntraNodeMatching
 from .prediction import PredictionHead
+from .subgraph_plan import SubgraphPlan, SubgraphSettings, build_subgraph_plan
 from .task import CDRTask, DOMAIN_KEYS
 
 __all__ = ["NMCDR", "DomainRepresentations"]
@@ -106,6 +108,10 @@ class NMCDR(Module):
         self._sampler = MatchingNeighborSampler(
             self.config.max_matching_neighbors, rng=np.random.default_rng(self.config.seed + 1)
         )
+        #: Pass-through sampler for pre-drawn pools (sampled-subgraph mode).
+        self._identity_sampler = MatchingNeighborSampler(None)
+        self._subgraph_settings: Optional[SubgraphSettings] = None
+        self._subgraph_caches: Optional[Dict[str, SubgraphCache]] = None
         self._cache: Optional[Dict[str, Dict[str, np.ndarray]]] = None
 
     # ------------------------------------------------------------------
@@ -119,25 +125,101 @@ class NMCDR(Module):
         raise KeyError(f"unknown domain key '{key}'")
 
     # ------------------------------------------------------------------
+    # sampled-subgraph training mode
+    # ------------------------------------------------------------------
+    def configure_subgraph_sampling(
+        self,
+        enabled: bool = True,
+        *,
+        num_hops: Optional[int] = None,
+        fanout: Optional[int] = None,
+        cache_size: int = 16,
+    ) -> None:
+        """Switch mini-batch training to k-hop subgraph forwards.
+
+        When enabled, :meth:`compute_batch_loss` extracts the induced
+        ``num_hops``-hop subgraph around each step's batch (plus every
+        matching pool and overlap partner the pipeline reads) and runs the
+        whole five-stage forward on local tensors, making the step cost a
+        function of the batch rather than the graph.  Evaluation
+        (:meth:`prepare_for_evaluation`) always uses the exact full-graph
+        forward.
+
+        ``num_hops`` defaults to the model's *exactness depth*:
+        ``num_encoder_layers``, plus one hop for the GCN/GAT kernels (their
+        normalisation — far-endpoint degrees resp. per-node attention
+        softmaxes — reads the neighbourhood structure of the frontier
+        nodes), plus one hop when node complementing is enabled (Eq. 18–19
+        read the encoder outputs of the batch users' neighbour items, which
+        in turn need *their* own encoder neighbourhood).  That default,
+        together with ``fanout=None``, makes sampled training *exact*: the
+        batch rows of every stage — and therefore losses and parameter
+        gradients — match the full-graph forward to floating-point
+        equality.  Smaller hop counts or a ``fanout`` cap trade exactness
+        for bounded subgraphs.
+
+        The per-domain subgraph cache holds at most ``cache_size`` induced
+        subgraphs; signatures repeat (and hit) only when the step's seed
+        sets do — e.g. with deterministic matching pools
+        (``max_matching_neighbors=None``) and fixed negatives — so the
+        default is kept small to bound memory on large graphs.
+        """
+        if not enabled:
+            self._subgraph_settings = None
+            self._subgraph_caches = None
+            return
+        if num_hops is not None:
+            resolved = num_hops
+        else:
+            resolved = max(self.config.num_encoder_layers, 1)
+            if self.config.gnn_kernel.lower() in ("gcn", "gat"):
+                resolved += 1
+            if self.config.use_complementing:
+                resolved += 1
+        self._subgraph_settings = SubgraphSettings(num_hops=resolved, fanout=fanout)
+        self._subgraph_caches = {key: SubgraphCache(cache_size) for key in DOMAIN_KEYS}
+
+    @property
+    def subgraph_sampling_enabled(self) -> bool:
+        return self._subgraph_settings is not None
+
+    # ------------------------------------------------------------------
     # forward pipeline
     # ------------------------------------------------------------------
-    def forward_representations(self) -> Dict[str, DomainRepresentations]:
-        """Run the full pipeline for both domains and return staged representations."""
+    def forward_representations(
+        self, plan: Optional[SubgraphPlan] = None
+    ) -> Dict[str, DomainRepresentations]:
+        """Run the five-stage pipeline and return staged representations.
+
+        Without a ``plan`` the pipeline propagates over the full graphs of
+        both domains (the exact path used for evaluation).  With a
+        :class:`SubgraphPlan` every stage operates on the plan's induced
+        subgraph tensors: row ``i`` of each returned stage corresponds to
+        global node ``plan.domain(key).subgraph.user_ids[i]`` (items
+        likewise), and domains the plan marks inactive are skipped entirely.
+        """
         config = self.config
         reps: Dict[str, DomainRepresentations] = {}
+        active_keys = tuple(
+            key for key in DOMAIN_KEYS if plan is None or plan.domain(key).active
+        )
 
         # Stage 0/1: look-up + heterogeneous graph encoder, per domain.
         encoded_users: Dict[str, Tensor] = {}
-        encoded_items: Dict[str, Tensor] = {}
-        for key in DOMAIN_KEYS:
+        for key in active_keys:
             params = self._params(key)
-            domain_task = self.task.domain(key)
-            user_g0 = params.user_embedding.all()
-            item_g0 = params.item_embedding.all()
-            user_g1, item_g1 = params.encoder(domain_task.train_graph, user_g0, item_g0)
+            if plan is None:
+                graph = self.task.domain(key).train_graph
+                user_g0 = params.user_embedding.all()
+                item_g0 = params.item_embedding.all()
+            else:
+                subgraph = plan.domain(key).subgraph
+                graph = subgraph.graph
+                user_g0 = params.user_embedding(subgraph.user_ids)
+                item_g0 = params.item_embedding(subgraph.item_ids)
+            user_g1, item_g1 = params.encoder(graph, user_g0, item_g0)
             reps[key] = DomainRepresentations(user_g0=user_g0, user_g1=user_g1, items=item_g1)
             encoded_users[key] = user_g1
-            encoded_items[key] = item_g1
 
         # Stage 2/3: stacked intra + inter matching blocks (coupled across domains).
         current: Dict[str, Tensor] = dict(encoded_users)
@@ -146,45 +228,71 @@ class NMCDR(Module):
         for layer_index in range(config.num_matching_layers):
             # intra matching within each domain
             if config.use_intra_matching:
-                for key in DOMAIN_KEYS:
+                for key in active_keys:
                     params = self._params(key)
-                    domain_task = self.task.domain(key)
-                    current[key] = params.intra_layers[layer_index](
-                        current[key], domain_task.partition, self._sampler
-                    )
+                    if plan is None:
+                        current[key] = params.intra_layers[layer_index](
+                            current[key], self.task.domain(key).partition, self._sampler
+                        )
+                    else:
+                        current[key] = params.intra_layers[layer_index](
+                            current[key], pools=plan.domain(key).intra_pools[layer_index]
+                        )
             intra_out = dict(current)
 
             # inter matching across domains (computed from the same input state)
             if config.use_inter_matching:
                 pairs = self.task.overlap_pairs
                 updated: Dict[str, Tensor] = {}
-                for key in DOMAIN_KEYS:
+                for key in active_keys:
                     other = self.task.other_key(key)
-                    own_overlap = pairs[:, 0] if key == "a" else pairs[:, 1]
-                    other_overlap = pairs[:, 1] if key == "a" else pairs[:, 0]
+                    if plan is None:
+                        own_overlap = pairs[:, 0] if key == "a" else pairs[:, 1]
+                        other_overlap = pairs[:, 1] if key == "a" else pairs[:, 0]
+                        other_repr = current[other]
+                        other_pool = self.task.non_overlap_indices(other)
+                        sampler = self._sampler
+                    else:
+                        domain_plan = plan.domain(key)
+                        own_overlap = domain_plan.overlap_own
+                        other_overlap = domain_plan.overlap_other
+                        # The pool was drawn when the plan was built (its
+                        # users are subgraph seeds), so the pass-through
+                        # sampler forwards the local ids untouched.
+                        other_pool = domain_plan.inter_pools[layer_index]
+                        other_repr = current.get(other)
+                        if other_repr is None:
+                            other_repr = Tensor(
+                                np.zeros((0, current[key].shape[1]))
+                            )
+                        sampler = self._identity_sampler
                     updated[key] = self._params(key).inter_layers[layer_index](
                         current[key],
-                        current[other],
+                        other_repr,
                         own_overlap,
                         other_overlap,
-                        self.task.non_overlap_indices(other),
+                        other_pool,
                         self._params(other).inter_layers[layer_index].cross,
-                        self._sampler,
+                        sampler,
                     )
                 current = updated
             inter_out = dict(current)
 
-        for key in DOMAIN_KEYS:
+        for key in active_keys:
             reps[key]["user_g2"] = intra_out[key]
             reps[key]["user_g3"] = inter_out[key]
 
         # Stage 4: intra node complementing.
-        for key in DOMAIN_KEYS:
+        for key in active_keys:
             params = self._params(key)
-            domain_task = self.task.domain(key)
             if config.use_complementing:
+                graph = (
+                    self.task.domain(key).train_graph
+                    if plan is None
+                    else plan.domain(key).subgraph.graph
+                )
                 reps[key]["user_g4"] = params.complementing(
-                    domain_task.train_graph, reps[key]["user_g3"], reps[key]["items"]
+                    graph, reps[key]["user_g3"], reps[key]["items"]
                 )
             else:
                 reps[key]["user_g4"] = reps[key]["user_g3"]
@@ -197,9 +305,23 @@ class NMCDR(Module):
         """Total loss of Eq. 24 for the given per-domain mini-batches.
 
         ``batches`` maps domain keys to :class:`Batch` objects (``None`` skips
-        a domain).  One full forward pass serves both domains.
+        a domain).  One forward pass serves both domains; when subgraph
+        sampling is configured (:meth:`configure_subgraph_sampling`), that
+        pass propagates only over the induced k-hop subgraph around the
+        batches and the loss reads local rows.
         """
-        reps = self.forward_representations()
+        plan: Optional[SubgraphPlan] = None
+        if self._subgraph_settings is not None:
+            with profiler.scope("train/subgraph_sample"):
+                plan = build_subgraph_plan(
+                    self.task,
+                    self.config,
+                    batches,
+                    self._sampler,
+                    self._subgraph_settings,
+                    self._subgraph_caches,
+                )
+        reps = self.forward_representations(plan)
         w_co_a, w_co_b, w_cls_a, w_cls_b = self.config.loss_weights
         total: Optional[Tensor] = None
 
@@ -210,6 +332,13 @@ class NMCDR(Module):
             batch = batches.get(key)
             if batch is None or len(batch) == 0:
                 continue
+            if plan is not None:
+                domain_plan = plan.domain(key)
+                batch = Batch(
+                    users=domain_plan.batch_users,
+                    items=domain_plan.batch_items,
+                    labels=batch.labels,
+                )
             domain_loss = self._domain_loss(key, reps[key], batch, companion_weight, cls_weight)
             total = domain_loss if total is None else total + domain_loss
 

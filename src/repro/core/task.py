@@ -48,6 +48,9 @@ class CDRTask:
     domain_a: DomainTask
     domain_b: DomainTask
     overlap_pairs: np.ndarray
+    #: Memoised per-key derived index arrays (the task is immutable, yet the
+    #: matching stages used to rebuild these O(num_users) arrays every step).
+    _index_cache: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
 
     def domain(self, key: str) -> DomainTask:
         if key == "a":
@@ -73,11 +76,27 @@ class CDRTask:
         return self.overlap_pairs[:, column]
 
     def non_overlap_indices(self, key: str) -> np.ndarray:
-        """Local indices of non-overlapped users in the requested domain."""
-        domain = self.domain(key)
-        mask = np.ones(domain.num_users, dtype=bool)
-        mask[self.overlap_indices(key)] = False
-        return np.where(mask)[0]
+        """Local indices of non-overlapped users in the requested domain (memoised)."""
+        cached = self._index_cache.get(f"non_overlap_{key}")
+        if cached is None:
+            domain = self.domain(key)
+            mask = np.ones(domain.num_users, dtype=bool)
+            mask[self.overlap_indices(key)] = False
+            cached = np.where(mask)[0]
+            self._index_cache[f"non_overlap_{key}"] = cached
+        return cached
+
+    def partner_lookup(self, key: str) -> np.ndarray:
+        """Array mapping a local user index to its overlap partner in the other
+        domain, or ``-1`` for non-overlapped users (memoised)."""
+        cached = self._index_cache.get(f"partner_{key}")
+        if cached is None:
+            own_column = 0 if key == "a" else 1
+            cached = -np.ones(self.domain(key).num_users, dtype=np.int64)
+            if self.overlap_pairs.size:
+                cached[self.overlap_pairs[:, own_column]] = self.overlap_pairs[:, 1 - own_column]
+            self._index_cache[f"partner_{key}"] = cached
+        return cached
 
     def summary(self) -> Dict:
         return {

@@ -60,6 +60,16 @@ class CDRTrainer:
         self.model = model
         self.task = task
         self.config = config or TrainerConfig()
+        if self.config.sampled_subgraph_training and hasattr(
+            model, "configure_subgraph_sampling"
+        ):
+            # Models without graph propagation (most non-graph baselines) are
+            # already O(batch) per step and simply train full-batch.
+            model.configure_subgraph_sampling(
+                True,
+                num_hops=self.config.subgraph_num_hops,
+                fanout=self.config.subgraph_fanout,
+            )
         self.optimizer = Adam(
             model.parameters(),
             lr=self.config.learning_rate,

@@ -30,15 +30,20 @@ def build_training_examples(
     split: DomainSplit,
     negatives_per_positive: int = 1,
     rng: Optional[np.random.Generator] = None,
+    vectorized_negatives: bool = True,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Materialise positives plus freshly sampled negatives as flat arrays.
 
     The paper trains with one sampled negative per observed positive; this
     helper is called once per epoch so negatives are re-drawn each time.
+    ``vectorized_negatives=False`` selects the legacy per-user sampling loop
+    (same rng stream as the seed implementation, kept for fixed-seed replays).
     """
     sampler = NegativeSampler(split.domain, rng=rng)
     pos_users, pos_items = split.train_users, split.train_items
-    negatives = sampler.sample_pairs(pos_users, negatives_per_positive)
+    negatives = sampler.sample_pairs(
+        pos_users, negatives_per_positive, vectorized=vectorized_negatives
+    )
 
     users = np.concatenate([pos_users, np.repeat(pos_users, negatives_per_positive)])
     items = np.concatenate([pos_items, negatives.reshape(-1)])
@@ -81,6 +86,9 @@ class InteractionDataLoader:
     resample_negatives:
         When true (default), negatives are re-drawn at the start of every
         epoch, matching standard implicit-feedback training practice.
+    vectorized_negatives:
+        When true (default), negatives come from the vectorised rejection
+        sampler; false replays the legacy per-user loop (seed rng stream).
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class InteractionDataLoader:
         negatives_per_positive: int = 1,
         resample_negatives: bool = True,
         rng: Optional[np.random.Generator] = None,
+        vectorized_negatives: bool = True,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -99,13 +108,17 @@ class InteractionDataLoader:
         self.batch_size = int(batch_size)
         self.negatives_per_positive = int(negatives_per_positive)
         self.resample_negatives = resample_negatives
+        self.vectorized_negatives = vectorized_negatives
         self._rng = rng or np.random.default_rng(0)
         self._cached = None
 
     def _examples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self.resample_negatives or self._cached is None:
             self._cached = build_training_examples(
-                self.split, self.negatives_per_positive, rng=self._rng
+                self.split,
+                self.negatives_per_positive,
+                rng=self._rng,
+                vectorized_negatives=self.vectorized_negatives,
             )
         return self._cached
 

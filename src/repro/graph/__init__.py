@@ -1,9 +1,10 @@
-"""Graph substrate: interaction graphs, GNN kernels, matching-neighbour sampling."""
+"""Graph substrate: interaction graphs, GNN kernels, neighbour/subgraph sampling."""
 
 from .bipartite import InteractionGraph
 from .homogeneous import HeadTailPartition, MatchingNeighborSampler
 from .kernels import GATConv, GCNConv, VanillaGNNConv, kernel_by_name
 from .message_passing import segment_mean, segment_softmax_attend, spmm
+from .sampling import DomainSubgraph, SubgraphCache, induced_subgraph, sample_khop_nodes
 
 __all__ = [
     "InteractionGraph",
@@ -16,4 +17,8 @@ __all__ = [
     "spmm",
     "segment_mean",
     "segment_softmax_attend",
+    "DomainSubgraph",
+    "SubgraphCache",
+    "induced_subgraph",
+    "sample_khop_nodes",
 ]

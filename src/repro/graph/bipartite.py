@@ -116,6 +116,14 @@ class InteractionGraph:
         """Binary user×item adjacency (copy-safe CSR view)."""
         return self._adjacency
 
+    def adjacency_item_major(self) -> sp.csc_matrix:
+        """Item-major (CSC) adjacency view, built once and shared.
+
+        Column ``v``'s indices are the users of item ``v`` — the structure
+        the k-hop subgraph sampler walks in the item→user direction.
+        """
+        return self._adjacency_csc()
+
     # ------------------------------------------------------------------
     # normalised propagation operators (memoised: the graph is immutable)
     # ------------------------------------------------------------------

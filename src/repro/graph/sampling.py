@@ -1,0 +1,307 @@
+"""Batched k-hop subgraph sampling over bipartite interaction graphs.
+
+Mini-batch GNN training only reads the batch rows of the final
+representations, yet a full-graph forward propagates over every user and item
+of the domain.  This module extracts the *induced* k-hop bipartite subgraph
+around a batch (the GraphSAGE-style neighbour-sampling recipe), remaps the
+global node ids to a compact local id space and materialises an
+:class:`~repro.graph.InteractionGraph` over the local ids — whose memoised
+normalised operators and CSR edge templates then serve every forward pass on
+that subgraph.
+
+Exactness contract.  Message passing over the induced subgraph reproduces the
+full-graph representations *at the seed nodes* whenever
+
+* ``num_hops >= L`` for an ``L``-layer encoder whose normalisation only
+  reads the *near* endpoint's degree (the paper's vanilla kernel): a node at
+  distance ``j`` from a seed only needs its own ``L - j``-layer
+  representation, which depends on nodes up to distance ``L``;
+* ``num_hops >= L + 1`` when the kernel's normalisation also reads the *far*
+  endpoint's neighbourhood (GCN's ``D^-1/2 A D^-1/2`` degrees, GAT's
+  per-node attention softmax) — frontier nodes at distance exactly
+  ``num_hops`` have truncated neighbourhoods, so one extra hop keeps every
+  degree/softmax a seed output depends on exact; and
+* no ``fanout`` cap is set (the induced subgraph then contains the complete
+  neighbourhood of every node at distance ``< num_hops``).
+
+Consumers that read non-seed rows (e.g. NMCDR's node complementing reads the
+encoder outputs of the seeds' neighbour items) must budget extra hops for
+them; :meth:`repro.core.NMCDR.configure_subgraph_sampling` resolves the
+correct depth per configuration.
+
+With a ``fanout`` cap high-degree frontier nodes pull in at most ``fanout``
+neighbours per hop, which bounds the subgraph size at the cost of truncated
+neighbourhoods (the standard accuracy/cost dial of neighbour sampling).
+Fanout sampling is deterministic in the seed signature, so a cached subgraph
+and a freshly sampled one for the same key are identical by construction.
+
+:class:`SubgraphCache` memoises :class:`DomainSubgraph` objects keyed by the
+seed sets and sampling settings: repeated batch signatures (common with small
+catalogues, curriculum replays or per-epoch re-shuffles that happen to cover
+the same users) skip extraction entirely and reuse the induced graph together
+with all of its cached sparse operators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .bipartite import InteractionGraph
+
+__all__ = [
+    "DomainSubgraph",
+    "SubgraphCache",
+    "sample_khop_nodes",
+    "induced_subgraph",
+]
+
+
+def _as_node_ids(ids, size: int, label: str) -> np.ndarray:
+    """Validate and canonicalise (sort + dedup) a global node id array."""
+    ids = np.asarray(ids, dtype=np.int64).ravel()
+    if ids.size and (ids.min() < 0 or ids.max() >= size):
+        raise ValueError(f"{label} id out of range [0, {size})")
+    return np.unique(ids)
+
+
+def _gather_neighbors(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    fanout: Optional[int],
+    rng: Optional[np.random.Generator],
+) -> np.ndarray:
+    """All (or up to ``fanout`` per node) neighbours of the frontier nodes."""
+    if frontier.size == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Contiguous gather of every CSR slice without a Python loop.
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    flat = np.repeat(starts, counts) + offsets
+    if fanout is None or not (counts > fanout).any():
+        return indices[flat].astype(np.int64)
+
+    # Per-node sampling without replacement, fully vectorised: give every
+    # edge a random key, order edges by (owning node, key) and keep each
+    # node's first ``fanout`` — a per-segment uniform random subset.
+    segments = np.repeat(np.arange(frontier.size), counts)
+    order = np.lexsort((rng.random(total), segments))
+    segment_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    ranks = np.arange(total) - segment_starts
+    return indices[flat[order[ranks < fanout]]].astype(np.int64)
+
+
+def _signature(
+    seed_users: np.ndarray,
+    seed_items: np.ndarray,
+    num_hops: int,
+    fanout: Optional[int],
+) -> bytes:
+    """Stable digest of the sampling inputs (cache key and fanout rng seed)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.int64(num_hops).tobytes())
+    digest.update(np.int64(-1 if fanout is None else fanout).tobytes())
+    digest.update(np.int64(seed_users.size).tobytes())
+    digest.update(seed_users.tobytes())
+    digest.update(seed_items.tobytes())
+    return digest.digest()
+
+
+def sample_khop_nodes(
+    graph: InteractionGraph,
+    seed_users,
+    seed_items,
+    num_hops: int = 1,
+    fanout: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Node sets of the k-hop neighbourhood around the seed users/items.
+
+    One hop expands the user frontier to its items and the item frontier to
+    its users simultaneously; ``fanout`` caps how many neighbours a single
+    frontier node may contribute per hop.  Returns sorted global
+    ``(user_ids, item_ids)``.  Isolated seed nodes are kept (they simply add
+    no neighbours).
+    """
+    if num_hops < 1:
+        raise ValueError("num_hops must be >= 1")
+    if fanout is not None and fanout < 1:
+        raise ValueError("fanout must be positive or None")
+    seed_users = _as_node_ids(seed_users, graph.num_users, "seed user")
+    seed_items = _as_node_ids(seed_items, graph.num_items, "seed item")
+    if fanout is not None and rng is None:
+        seed_int = int.from_bytes(
+            _signature(seed_users, seed_items, num_hops, fanout)[:8], "little"
+        )
+        rng = np.random.default_rng(seed_int)
+
+    csr = graph.adjacency()
+    csc = graph.adjacency_item_major()
+    user_mask = np.zeros(graph.num_users, dtype=bool)
+    item_mask = np.zeros(graph.num_items, dtype=bool)
+    user_mask[seed_users] = True
+    item_mask[seed_items] = True
+    user_frontier, item_frontier = seed_users, seed_items
+
+    for _ in range(num_hops):
+        next_items = _gather_neighbors(csr.indptr, csr.indices, user_frontier, fanout, rng)
+        next_users = _gather_neighbors(csc.indptr, csc.indices, item_frontier, fanout, rng)
+        next_items = np.unique(next_items[~item_mask[next_items]]) if next_items.size else next_items
+        next_users = np.unique(next_users[~user_mask[next_users]]) if next_users.size else next_users
+        if next_items.size == 0 and next_users.size == 0:
+            break
+        item_mask[next_items] = True
+        user_mask[next_users] = True
+        user_frontier, item_frontier = next_users, next_items
+
+    return np.where(user_mask)[0].astype(np.int64), np.where(item_mask)[0].astype(np.int64)
+
+
+class DomainSubgraph:
+    """Induced bipartite subgraph with a global→local id remapping.
+
+    ``user_ids`` / ``item_ids`` are the sorted global ids of the included
+    nodes; ``graph`` is the induced :class:`InteractionGraph` over local ids
+    ``0 .. len(ids) - 1`` (row ``i`` of the local graph is global node
+    ``user_ids[i]``).  The remap uses binary search over the sorted id
+    arrays, so no dense parent-sized lookup table is materialised.
+    """
+
+    def __init__(
+        self,
+        user_ids: np.ndarray,
+        item_ids: np.ndarray,
+        graph: Optional[InteractionGraph],
+    ) -> None:
+        self.user_ids = user_ids
+        self.item_ids = item_ids
+        self.graph = graph
+
+    @property
+    def num_users(self) -> int:
+        return int(self.user_ids.size)
+
+    @property
+    def num_items(self) -> int:
+        return int(self.item_ids.size)
+
+    def _localize(self, table: np.ndarray, global_ids, label: str) -> np.ndarray:
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if table.size == 0:
+            if global_ids.size:
+                raise KeyError(f"{label} ids requested from an empty subgraph partition")
+            return global_ids
+        local = np.searchsorted(table, global_ids)
+        valid = (local < table.size) & (table[np.minimum(local, table.size - 1)] == global_ids)
+        if global_ids.size and not valid.all():
+            missing = global_ids[~valid][:5]
+            raise KeyError(f"{label} ids {missing.tolist()} are not part of this subgraph")
+        return local.astype(np.int64)
+
+    def local_users(self, global_ids) -> np.ndarray:
+        """Map global user ids to local rows (raises if any id is missing)."""
+        return self._localize(self.user_ids, global_ids, "user")
+
+    def local_items(self, global_ids) -> np.ndarray:
+        """Map global item ids to local rows (raises if any id is missing)."""
+        return self._localize(self.item_ids, global_ids, "item")
+
+    def contains_users(self, global_ids) -> np.ndarray:
+        """Boolean membership mask for global user ids."""
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if self.user_ids.size == 0:
+            return np.zeros(global_ids.shape, dtype=bool)
+        pos = np.searchsorted(self.user_ids, global_ids)
+        return (pos < self.user_ids.size) & (
+            self.user_ids[np.minimum(pos, self.user_ids.size - 1)] == global_ids
+        )
+
+    def __repr__(self) -> str:
+        edges = self.graph.num_edges if self.graph is not None else 0
+        return f"DomainSubgraph(users={self.num_users}, items={self.num_items}, edges={edges})"
+
+
+def induced_subgraph(
+    graph: InteractionGraph, user_ids: np.ndarray, item_ids: np.ndarray
+) -> DomainSubgraph:
+    """Materialise the induced subgraph over the given (sorted global) node sets.
+
+    The edge set is *every* observed edge between the included users and
+    items.  When the user set is non-empty but no item was reached (all
+    included users are isolated), a single dummy item column is padded in so
+    the local :class:`InteractionGraph` remains constructible — the padded
+    column is all-zero by construction (any edge would have pulled the item
+    into the node set), so it influences nothing.
+    """
+    user_ids = np.asarray(user_ids, dtype=np.int64)
+    item_ids = np.asarray(item_ids, dtype=np.int64)
+    if user_ids.size == 0:
+        return DomainSubgraph(user_ids, item_ids, None)
+    if item_ids.size == 0:
+        item_ids = np.zeros(1, dtype=np.int64)
+    sub = graph.adjacency()[user_ids][:, item_ids].tocoo()
+    local = InteractionGraph(
+        user_ids.size, item_ids.size, sub.row.astype(np.int64), sub.col.astype(np.int64)
+    )
+    return DomainSubgraph(user_ids, item_ids, local)
+
+
+class SubgraphCache:
+    """LRU cache of :class:`DomainSubgraph` objects keyed by batch signature.
+
+    The key covers the canonical seed node sets and the sampling settings;
+    two batches that touch the same unique users and items (in any order,
+    with any multiplicity) therefore share one cached subgraph — including
+    the induced graph's own memoised sparse operators from PR 1.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[bytes, DomainSubgraph]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        graph: InteractionGraph,
+        seed_users,
+        seed_items,
+        num_hops: int = 1,
+        fanout: Optional[int] = None,
+    ) -> DomainSubgraph:
+        """Return the (possibly cached) induced k-hop subgraph for the seeds."""
+        seed_users = _as_node_ids(seed_users, graph.num_users, "seed user")
+        seed_items = _as_node_ids(seed_items, graph.num_items, "seed item")
+        key = _signature(seed_users, seed_items, num_hops, fanout)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        user_ids, item_ids = sample_khop_nodes(
+            graph, seed_users, seed_items, num_hops=num_hops, fanout=fanout
+        )
+        entry = induced_subgraph(graph, user_ids, item_ids)
+        self._entries[key] = entry
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)

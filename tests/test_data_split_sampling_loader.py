@@ -121,6 +121,92 @@ class TestNegativeSampler:
         assert out.shape == (3, 2)
 
 
+class TestVectorizedNegativeSampler:
+    """Distribution / determinism coverage of the rejection sampler and its
+    exact fallback (near-saturated users)."""
+
+    def _assert_valid(self, sampler, users, out):
+        for user, row in zip(users, out):
+            assert len(set(row.tolist()) & sampler.interacted(int(user))) == 0
+            assert len(set(row.tolist())) == row.size
+
+    def test_vectorized_rows_are_unseen_and_distinct(self):
+        domain = make_domain(num_users=8, num_items=30, interactions_per_user=6)
+        sampler = NegativeSampler(domain, rng=np.random.default_rng(1))
+        users = np.repeat(np.arange(8), 5)
+        out = sampler.sample_pairs(users, negatives_per_positive=3, vectorized=True)
+        assert out.shape == (40, 3)
+        self._assert_valid(sampler, users, out)
+        # rows come back sorted, matching the legacy per-user convention
+        assert np.all(out[:, 1:] > out[:, :-1])
+
+    def test_exact_fallback_rows_are_unseen_and_distinct(self):
+        # 16 of 20 items seen -> far past the saturation threshold.
+        domain = make_domain(num_users=3, num_items=20, interactions_per_user=16, seed=2)
+        sampler = NegativeSampler(domain, rng=np.random.default_rng(3))
+        users = np.repeat(np.arange(3), 20)
+        out = sampler.sample_pairs(users, negatives_per_positive=2, vectorized=True)
+        self._assert_valid(sampler, users, out)
+
+    def test_both_paths_are_deterministic_under_a_seed(self):
+        for interactions in (6, 16):
+            domain = make_domain(num_users=4, num_items=20, interactions_per_user=interactions)
+            users = np.repeat(np.arange(4), 8)
+            draws = [
+                NegativeSampler(domain, rng=np.random.default_rng(7)).sample_pairs(
+                    users, negatives_per_positive=2, vectorized=True
+                )
+                for _ in range(2)
+            ]
+            assert np.array_equal(draws[0], draws[1])
+
+    def test_vectorized_distribution_is_uniform_over_unseen(self):
+        domain = make_domain(num_users=2, num_items=25, interactions_per_user=5, seed=4)
+        sampler = NegativeSampler(domain, rng=np.random.default_rng(5))
+        users = np.zeros(4000, dtype=np.int64)
+        out = sampler.sample_pairs(users, negatives_per_positive=1, vectorized=True)
+        counts = np.bincount(out.ravel(), minlength=domain.num_items)
+        unseen = np.setdiff1d(np.arange(domain.num_items), sorted(sampler.interacted(0)))
+        assert counts[list(sampler.interacted(0))].sum() == 0
+        expected = len(users) / unseen.size
+        assert np.all(np.abs(counts[unseen] - expected) < 5 * np.sqrt(expected))
+
+    def test_fallback_distribution_is_uniform_over_unseen(self):
+        domain = make_domain(num_users=1, num_items=20, interactions_per_user=15, seed=6)
+        sampler = NegativeSampler(domain, rng=np.random.default_rng(8))
+        users = np.zeros(3000, dtype=np.int64)
+        out = sampler.sample_pairs(users, negatives_per_positive=1, vectorized=True)
+        counts = np.bincount(out.ravel(), minlength=domain.num_items)
+        unseen = np.setdiff1d(np.arange(domain.num_items), sorted(sampler.interacted(0)))
+        assert counts[list(sampler.interacted(0))].sum() == 0
+        expected = len(users) / unseen.size
+        assert np.all(np.abs(counts[unseen] - expected) < 5 * np.sqrt(expected))
+
+    def test_legacy_path_still_matches_per_user_draws(self):
+        domain = make_domain()
+        users = np.array([0, 1, 2, 3])
+        legacy = NegativeSampler(domain, rng=np.random.default_rng(9)).sample_pairs(
+            users, negatives_per_positive=2, vectorized=False
+        )
+        reference = NegativeSampler(domain, rng=np.random.default_rng(9))
+        expected = np.stack([reference.sample_for_user(int(u), 2) for u in users])
+        assert np.array_equal(legacy, expected)
+
+    def test_saturated_user_raises(self):
+        domain = DomainData(
+            name="toy",
+            num_users=1,
+            num_items=2,
+            users=np.array([0, 0]),
+            items=np.array([0, 1]),
+            timestamps=np.arange(2, dtype=float),
+            global_user_ids=np.arange(1),
+        )
+        sampler = NegativeSampler(domain)
+        with pytest.raises(ValueError):
+            sampler.sample_pairs(np.array([0]), negatives_per_positive=1, vectorized=True)
+
+
 class TestRankingCandidates:
     def test_shapes_and_positive_first(self):
         domain = make_domain(num_items=40)

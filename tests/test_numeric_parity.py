@@ -27,15 +27,25 @@ SEED_LOSSES = [
 ]
 
 
-def run_smoke_losses(num_steps: int = 6):
-    """Replay the recorded training run and return the per-step losses."""
+def run_smoke_losses(num_steps: int = 6, sampled_subgraphs: bool = False):
+    """Replay the recorded training run and return the per-step losses.
+
+    ``vectorized_negatives=False`` pins the loaders to the legacy per-user
+    negative-sampling loop: the recorded losses were produced against its rng
+    stream, and this suite checks *engine* parity, not sampler equality.
+    """
     scenario = load_scenario("cloth_sport", scale=0.3, seed=13)
     task = build_task(scenario, head_threshold=7)
     model = NMCDR(task, NMCDRConfig(embedding_dim=16, seed=3))
+    if sampled_subgraphs:
+        model.configure_subgraph_sampling(True)
     optimizer = Adam(model.parameters(), lr=1e-3)
     loaders = {
         key: InteractionDataLoader(
-            task.domain(key).split, batch_size=128, rng=np.random.default_rng(100 + i)
+            task.domain(key).split,
+            batch_size=128,
+            rng=np.random.default_rng(100 + i),
+            vectorized_negatives=False,
         )
         for i, key in enumerate(("a", "b"))
     }
@@ -60,6 +70,14 @@ def test_float64_losses_match_seed_run():
     )
 
 
+def test_sampled_subgraph_losses_match_seed_run():
+    """Sampled-subgraph training at full coverage replays the exact seed run."""
+    losses = run_smoke_losses(sampled_subgraphs=True)
+    assert np.allclose(losses, SEED_LOSSES, atol=1e-8, rtol=0.0), (
+        f"sampled-subgraph smoke run diverged from the seed implementation: {losses}"
+    )
+
+
 def test_float32_mode_runs_and_stays_close():
     """The float32 fast path trains the same model to ~1e-3 of float64."""
     with engine.engine_dtype("float32"):
@@ -68,6 +86,37 @@ def test_float32_mode_runs_and_stays_close():
     assert np.allclose(losses, SEED_LOSSES, atol=5e-3), (
         f"float32 smoke run drifted too far from float64: {losses}"
     )
+
+
+def test_float32_paper_table_metrics_within_tolerance():
+    """The float32 fast path reproduces the paper-table ranking metrics.
+
+    This is the safety assertion behind running the efficiency benches on the
+    float32 engine: training *and* scoring a model entirely in float32 must
+    leave every ranking metric within 1e-4 of the float64 reference (the
+    parity suite itself stays float64).
+    """
+    from repro.core import CDRTrainer, TrainerConfig
+
+    scenario = load_scenario("cloth_sport", scale=0.3, seed=13)
+    task = build_task(scenario, head_threshold=7)
+
+    def train_and_evaluate(dtype):
+        with engine.engine_dtype(dtype):
+            model = NMCDR(task, NMCDRConfig(embedding_dim=16, seed=3))
+            trainer = CDRTrainer(
+                model, task, TrainerConfig(num_epochs=3, batch_size=128, seed=11)
+            )
+            trainer.fit()
+            return trainer.evaluate("test")
+
+    reference = train_and_evaluate("float64")
+    fast = train_and_evaluate("float32")
+    for key, metrics in reference.items():
+        for name, value in metrics.items():
+            assert abs(value - fast[key][name]) <= 1e-4, (
+                f"float32 {key}/{name} drifted: {fast[key][name]} vs {value}"
+            )
 
 
 def test_float32_tensors_use_float32_storage():

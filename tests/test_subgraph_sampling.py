@@ -1,0 +1,332 @@
+"""Batched k-hop subgraph sampling: extraction, caching and NMCDR equivalence.
+
+The headline guarantee is gated here: with full neighbourhood coverage
+(``num_hops`` at least the model's exactness depth, or at least the graph
+diameter, and no fanout cap) sampled training reproduces the full-graph
+losses *and parameter gradients* at float64 tolerance.  The remaining tests
+cover the extraction edge cases: empty batch domains, isolated nodes,
+overlap-user remapping in the cross-domain stages and cache-key behaviour
+when different batches induce the same subgraph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_model
+from repro.core import (
+    CDRTrainer,
+    NMCDR,
+    NMCDRConfig,
+    TrainerConfig,
+    build_task,
+)
+from repro.data import load_scenario
+from repro.data.dataloader import Batch, InteractionDataLoader
+from repro.graph import (
+    InteractionGraph,
+    SubgraphCache,
+    induced_subgraph,
+    sample_khop_nodes,
+)
+
+
+def small_task(scale=0.3, seed=13):
+    return build_task(load_scenario("cloth_sport", scale=scale, seed=seed), head_threshold=7)
+
+
+def first_batches(task, batch_size=64):
+    loader_a = InteractionDataLoader(
+        task.domain("a").split, batch_size=batch_size, rng=np.random.default_rng(5)
+    )
+    loader_b = InteractionDataLoader(
+        task.domain("b").split, batch_size=batch_size, rng=np.random.default_rng(6)
+    )
+    return next(iter(loader_a)), next(iter(loader_b))
+
+
+def max_grad_difference(model_a, model_b):
+    worst = 0.0
+    for param_a, param_b in zip(model_a.parameters(), model_b.parameters()):
+        grad_a = np.zeros_like(param_a.data) if param_a.grad is None else np.asarray(param_a.grad)
+        grad_b = np.zeros_like(param_b.data) if param_b.grad is None else np.asarray(param_b.grad)
+        worst = max(worst, float(np.max(np.abs(grad_a - grad_b))))
+    return worst
+
+
+def toy_graph():
+    # users 0-4, items 0-3; user 4 is isolated, item 3 only touches user 3.
+    return InteractionGraph(
+        5,
+        4,
+        [0, 0, 1, 2, 3],
+        [0, 1, 1, 2, 3],
+    )
+
+
+class TestKhopExtraction:
+    def test_one_hop_covers_neighbour_items_only(self):
+        users, items = sample_khop_nodes(toy_graph(), [0], [], num_hops=1)
+        assert users.tolist() == [0]  # user 1 is two hops away (via item 1)
+        assert items.tolist() == [0, 1]
+
+    def test_two_hops_reach_co_interacting_users(self):
+        users, items = sample_khop_nodes(toy_graph(), [0], [], num_hops=2)
+        assert users.tolist() == [0, 1]
+        assert items.tolist() == [0, 1]
+
+    def test_hops_expand_until_component_is_covered(self):
+        graph = toy_graph()
+        users, items = sample_khop_nodes(graph, [0], [], num_hops=4)
+        # User 0's connected component is {u0, u1} x {i0, i1}.
+        assert users.tolist() == [0, 1]
+        assert items.tolist() == [0, 1]
+        users, items = sample_khop_nodes(graph, [2], [], num_hops=4)
+        assert users.tolist() == [2]
+        assert items.tolist() == [2]
+
+    def test_isolated_seed_user_is_kept(self):
+        users, items = sample_khop_nodes(toy_graph(), [4], [], num_hops=2)
+        assert users.tolist() == [4]
+        assert items.tolist() == []
+        subgraph = induced_subgraph(toy_graph(), users, items)
+        # A dummy all-zero item column is padded so the local graph exists.
+        assert subgraph.graph.num_users == 1
+        assert subgraph.graph.num_edges == 0
+
+    def test_fanout_caps_per_node_expansion(self):
+        rng = np.random.default_rng(0)
+        users = rng.integers(0, 40, size=300)
+        items = rng.integers(0, 30, size=300)
+        graph = InteractionGraph(40, 30, users, items)
+        full_users, full_items = sample_khop_nodes(graph, [0, 1], [], num_hops=1)
+        capped_users, capped_items = sample_khop_nodes(graph, [0, 1], [], num_hops=1, fanout=2)
+        assert capped_items.size <= 2 * 2  # at most fanout items per seed user
+        assert capped_items.size <= full_items.size
+        assert np.isin(capped_items, full_items).all()
+        # deterministic in the seed signature
+        again_users, again_items = sample_khop_nodes(graph, [0, 1], [], num_hops=1, fanout=2)
+        assert np.array_equal(capped_items, again_items)
+        assert np.array_equal(capped_users, again_users)
+
+    def test_induced_subgraph_keeps_all_edges_between_included_nodes(self):
+        graph = toy_graph()
+        subgraph = induced_subgraph(graph, np.array([0, 1]), np.array([0, 1]))
+        assert subgraph.graph.num_edges == 3  # (0,0), (0,1), (1,1)
+        assert subgraph.local_users([1]).tolist() == [1]
+        assert subgraph.local_items([1]).tolist() == [1]
+        with pytest.raises(KeyError):
+            subgraph.local_users([3])
+
+    def test_out_of_range_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            sample_khop_nodes(toy_graph(), [99], [], num_hops=1)
+        with pytest.raises(ValueError):
+            sample_khop_nodes(toy_graph(), [0], [], num_hops=0)
+
+
+class TestSubgraphCache:
+    def test_same_node_set_hits_regardless_of_order_and_multiplicity(self):
+        cache = SubgraphCache()
+        graph = toy_graph()
+        first = cache.get(graph, [1, 0, 0], [0], num_hops=1)
+        second = cache.get(graph, [0, 1], [0, 0, 0], num_hops=1)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_covers_hops_and_fanout(self):
+        cache = SubgraphCache()
+        graph = toy_graph()
+        a = cache.get(graph, [0], [], num_hops=1)
+        b = cache.get(graph, [0], [], num_hops=2)
+        c = cache.get(graph, [0], [], num_hops=1, fanout=1)
+        assert a is not b and a is not c
+        assert cache.misses == 3
+
+    def test_different_batches_inducing_same_subgraph_share_operators(self):
+        cache = SubgraphCache()
+        graph = toy_graph()
+        first = cache.get(graph, [0, 1], [0], num_hops=1)
+        operator = first.graph.user_aggregation_matrix()
+        second = cache.get(graph, [1, 0], [0], num_hops=1)
+        # PR 1's operator memoisation rides along with the cached subgraph.
+        assert second.graph.user_aggregation_matrix() is operator
+
+    def test_lru_eviction(self):
+        cache = SubgraphCache(max_entries=2)
+        graph = toy_graph()
+        cache.get(graph, [0], [], num_hops=1)
+        cache.get(graph, [1], [], num_hops=1)
+        cache.get(graph, [2], [], num_hops=1)
+        assert len(cache) == 2
+
+
+class TestNMCDREquivalence:
+    @pytest.mark.parametrize(
+        "config_kwargs",
+        [
+            {},
+            {"num_matching_layers": 2},
+            {"num_encoder_layers": 2},
+            {"max_matching_neighbors": None},
+            {"gnn_kernel": "gcn"},
+            {"gnn_kernel": "gat"},
+            # Degree/attention-normalised kernels without the complementing
+            # stage's extra hop: exactness must come from the kernel-aware
+            # depth resolution (+1 for far-endpoint normalisation).
+            {"gnn_kernel": "gcn", "use_complementing": False},
+            {"gnn_kernel": "gat", "use_complementing": False},
+            {"gnn_kernel": "gcn", "num_encoder_layers": 2, "use_complementing": False},
+            {"use_complementing": False},
+            {"use_inter_matching": False},
+        ],
+    )
+    def test_sampled_loss_and_grads_match_full_graph(self, config_kwargs):
+        config = NMCDRConfig(embedding_dim=16, seed=3, **config_kwargs)
+        task = small_task()
+        model_full = NMCDR(task, config)
+        model_sampled = NMCDR(task, config)
+        model_sampled.configure_subgraph_sampling(True)  # exactness depth, no fanout
+        batch_a, batch_b = first_batches(task)
+
+        loss_full = model_full.compute_batch_loss({"a": batch_a, "b": batch_b})
+        loss_sampled = model_sampled.compute_batch_loss({"a": batch_a, "b": batch_b})
+        assert abs(loss_full.item() - loss_sampled.item()) < 1e-10
+
+        loss_full.backward()
+        loss_sampled.backward()
+        assert max_grad_difference(model_full, model_sampled) < 1e-10
+
+    def test_num_hops_at_graph_diameter_matches_too(self):
+        config = NMCDRConfig(embedding_dim=16, seed=3)
+        task = small_task()
+        diameter_bound = max(
+            task.domain(key).train_graph.num_users + task.domain(key).train_graph.num_items
+            for key in ("a", "b")
+        )
+        model_full = NMCDR(task, config)
+        model_sampled = NMCDR(task, config)
+        model_sampled.configure_subgraph_sampling(True, num_hops=diameter_bound)
+        batch_a, batch_b = first_batches(task)
+        loss_full = model_full.compute_batch_loss({"a": batch_a, "b": batch_b})
+        loss_sampled = model_sampled.compute_batch_loss({"a": batch_a, "b": batch_b})
+        assert abs(loss_full.item() - loss_sampled.item()) < 1e-10
+        loss_full.backward()
+        loss_sampled.backward()
+        assert max_grad_difference(model_full, model_sampled) < 1e-10
+
+    def test_empty_batch_domain(self):
+        config = NMCDRConfig(embedding_dim=16, seed=3)
+        task = small_task()
+        model_full = NMCDR(task, config)
+        model_sampled = NMCDR(task, config)
+        model_sampled.configure_subgraph_sampling(True)
+        batch_a, _ = first_batches(task)
+        loss_full = model_full.compute_batch_loss({"a": batch_a, "b": None})
+        loss_sampled = model_sampled.compute_batch_loss({"a": batch_a, "b": None})
+        assert abs(loss_full.item() - loss_sampled.item()) < 1e-10
+
+    def test_empty_batch_domain_without_inter_matching_skips_other_domain(self):
+        config = NMCDRConfig(embedding_dim=16, seed=3, use_inter_matching=False)
+        task = small_task()
+        model = NMCDR(task, config)
+        model.configure_subgraph_sampling(True)
+        batch_a, _ = first_batches(task)
+        loss = model.compute_batch_loss({"a": batch_a, "b": None})
+        assert np.isfinite(loss.item())
+        # Domain b contributed nothing, so its subgraph cache stayed cold
+        # when no intra pools pulled it in either.
+        reference = NMCDR(task, config)
+        full_loss = reference.compute_batch_loss({"a": batch_a, "b": None})
+        assert abs(loss.item() - full_loss.item()) < 1e-10
+
+    def test_overlap_partner_rows_match_full_forward(self):
+        """Cross-domain remapping: u_g3 of overlapped batch users is exact."""
+        config = NMCDRConfig(embedding_dim=16, seed=3, max_matching_neighbors=None)
+        task = small_task()
+        model_full = NMCDR(task, config)
+        model_sampled = NMCDR(task, config)
+        model_sampled.configure_subgraph_sampling(True)
+
+        overlap_a = task.overlap_indices("a")[:8]
+        items_a = np.array(
+            [task.domain("a").train_graph.user_neighbors(int(u))[0] for u in overlap_a]
+        )
+        batch = Batch(
+            users=overlap_a.astype(np.int64),
+            items=items_a.astype(np.int64),
+            labels=np.ones(overlap_a.size),
+        )
+        reps_full = model_full.forward_representations()
+
+        from repro.core import build_subgraph_plan
+
+        plan = build_subgraph_plan(
+            task,
+            config,
+            {"a": batch, "b": None},
+            model_sampled._sampler,
+            model_sampled._subgraph_settings,
+            model_sampled._subgraph_caches,
+        )
+        reps_sampled = model_sampled.forward_representations(plan)
+        local = plan.domain("a").batch_users
+        for stage in ("user_g2", "user_g3", "user_g4"):
+            full_rows = reps_full["a"][stage].data[batch.users]
+            sampled_rows = reps_sampled["a"][stage].data[local]
+            assert np.allclose(full_rows, sampled_rows, atol=1e-12), stage
+
+    def test_trainer_switch_trains_identically(self):
+        task = small_task()
+
+        def fit(sampled):
+            model = NMCDR(task, NMCDRConfig(embedding_dim=16, seed=3))
+            trainer = CDRTrainer(
+                model,
+                task,
+                TrainerConfig(
+                    num_epochs=2, batch_size=128, seed=11, sampled_subgraph_training=sampled
+                ),
+            )
+            history = trainer.fit()
+            return history.epoch_losses
+
+        assert np.allclose(fit(False), fit(True), atol=1e-10)
+
+    def test_fanout_mode_is_finite_and_bounded(self):
+        """With a fanout cap the loss is approximate but well-defined."""
+        task = small_task(scale=1.0)
+        model = NMCDR(task, NMCDRConfig(embedding_dim=16, seed=3, max_matching_neighbors=8))
+        model.configure_subgraph_sampling(True, num_hops=1, fanout=4)
+        batch_a, batch_b = first_batches(task, batch_size=32)
+        loss = model.compute_batch_loss({"a": batch_a, "b": batch_b})
+        assert np.isfinite(loss.item())
+        loss.backward()
+        subgraph = list(model._subgraph_caches["a"]._entries.values())[-1]
+        assert subgraph.num_users < task.domain("a").train_graph.num_users
+
+    def test_evaluation_stays_full_graph(self):
+        task = small_task()
+        model = NMCDR(task, NMCDRConfig(embedding_dim=16, seed=3))
+        reference = NMCDR(task, NMCDRConfig(embedding_dim=16, seed=3))
+        model.configure_subgraph_sampling(True, num_hops=1, fanout=2)
+        users = np.arange(10)
+        items = np.arange(10)
+        assert np.allclose(
+            model.score("a", users, items), reference.score("a", users, items), atol=0
+        )
+
+
+class TestGraphBaselineEquivalence:
+    @pytest.mark.parametrize("name", ["GA-DTCDR", "HeroGraph"])
+    def test_sampled_training_matches_full_graph(self, name):
+        task = small_task()
+        batch_a, batch_b = first_batches(task)
+        model_full = build_model(name, task, embedding_dim=16, seed=3)
+        model_sampled = build_model(name, task, embedding_dim=16, seed=3)
+        model_sampled.configure_subgraph_sampling(True)
+        loss_full = model_full.compute_batch_loss({"a": batch_a, "b": batch_b})
+        loss_sampled = model_sampled.compute_batch_loss({"a": batch_a, "b": batch_b})
+        assert abs(loss_full.item() - loss_sampled.item()) < 1e-10
+        loss_full.backward()
+        loss_sampled.backward()
+        assert max_grad_difference(model_full, model_sampled) < 1e-10
