@@ -26,7 +26,8 @@ from conftest import bench_settings, run_once, write_report
 
 from repro.analysis import measure_efficiency
 from repro.baselines import build_model
-from repro.core import NMCDR, NMCDRConfig, build_task
+from repro.core import CDRTrainer, NMCDR, NMCDRConfig, TrainerConfig, build_task
+from repro.core.subgraph_plan import build_subgraph_plan
 from repro.data import load_scenario
 from repro.data.dataloader import InteractionDataLoader
 from repro.experiments import fast_mode, format_comparison_table
@@ -198,6 +199,165 @@ def test_bench_efficiency(benchmark):
     for name in MODELS:
         assert reports[name].train_seconds_per_batch > 0
         assert reports[name].test_seconds_per_batch > 0
+
+
+def _run_pipeline_overlap():
+    """Overlap + plan-build record at the largest scaling-bench size.
+
+    Two measurements:
+
+    * **Pipeline overlap** — NMCDR sampled training (1 hop, fanout 8,
+      scheduled plans) with the *legacy rng-parity* negative sampler, whose
+      per-epoch materialisation cost stands in for any data pipeline with
+      expensive epoch-boundary prep (the vectorised default sampler made
+      prep ~1% of wall time, where overlap is unmeasurable).  Serial vs
+      epoch-prefetched runs are loss-identical; the prefetch run hides most
+      of the data wait behind the training steps.
+    * **Plan build** — median per-step plan-construction time of the PR-2
+      path (per-step rebuild with the scipy fancy-indexing extraction, kept
+      as ``induced_subgraph_scipy``) vs the incremental ``PlanSchedule``
+      with the CSR-native extraction, at the model's exactness depth.
+    """
+    import repro.graph.sampling as sampling_module
+
+    scale = SCALING_SCALES[-1]
+    with engine.engine_dtype("float32"):
+        dataset = load_scenario("cloth_sport", scale=scale, seed=13)
+        task = build_task(dataset, head_threshold=7)
+
+        def fit(prefetch_epochs):
+            model = NMCDR(task, NMCDRConfig(embedding_dim=32, seed=0))
+            config = TrainerConfig(
+                num_epochs=3,
+                batch_size=2048,
+                seed=5,
+                sampled_subgraph_training=True,
+                subgraph_num_hops=1,
+                subgraph_fanout=8,
+                scheduled_subgraph_plans=True,
+                prefetch_epochs=prefetch_epochs,
+            )
+            trainer = CDRTrainer(model, task, config)
+            for loader in trainer._loaders.values():
+                loader.vectorized_negatives = False  # the expensive-prep stand-in
+            return trainer.fit()
+
+        serial = fit(0)
+        prefetched = fit(1)
+        assert serial.epoch_losses == prefetched.epoch_losses, (
+            "prefetching must not change the batch stream"
+        )
+
+        def plan_build_ms(scheduled, pr2_extraction, num_steps=16):
+            # Deterministic matching pools (max_matching_neighbors=None, a
+            # paper-faithful configuration): the regime where the schedule's
+            # static-closure caching and delta expansion fully engage.
+            if pr2_extraction:
+                original = sampling_module.induced_subgraph
+                sampling_module.induced_subgraph = sampling_module.induced_subgraph_scipy
+            try:
+                model = NMCDR(
+                    task, NMCDRConfig(embedding_dim=32, seed=0, max_matching_neighbors=None)
+                )
+                model.configure_subgraph_sampling(True, scheduled=scheduled)
+                iterators = [
+                    iter(
+                        InteractionDataLoader(
+                            task.domain(key).split,
+                            batch_size=256,
+                            rng=np.random.default_rng(index + 1),
+                        )
+                    )
+                    for index, key in enumerate(("a", "b"))
+                ]
+                times = []
+                for _ in range(num_steps):
+                    batches = {
+                        key: next(iterator, None)
+                        for key, iterator in zip(("a", "b"), iterators)
+                    }
+                    started = time.perf_counter()
+                    if scheduled:
+                        model.plan_schedule.plan_for(batches)
+                    else:
+                        build_subgraph_plan(
+                            task,
+                            model.config,
+                            batches,
+                            model._sampler,
+                            model._subgraph_settings,
+                            model._subgraph_caches,
+                        )
+                    times.append(time.perf_counter() - started)
+                return float(np.median(times)) * 1e3
+            finally:
+                if pr2_extraction:
+                    sampling_module.induced_subgraph = original
+
+        pr2_ms = plan_build_ms(scheduled=False, pr2_extraction=True)
+        scheduled_ms = plan_build_ms(scheduled=True, pr2_extraction=False)
+
+    return {
+        "scale": scale,
+        "num_epochs": 3,
+        "sampler": "legacy-parity (per-user loop; expensive-prep stand-in)",
+        "serial_fit_wall_s": serial.fit_wall_seconds,
+        "prefetch_fit_wall_s": prefetched.fit_wall_seconds,
+        "serial_data_wait_s": serial.data_wait_seconds_total,
+        "prefetch_data_wait_s": prefetched.data_wait_seconds_total,
+        "serial_step_s": serial.step_seconds_total,
+        "prefetch_step_s": prefetched.step_seconds_total,
+        "wall_reduction": 1.0 - prefetched.fit_wall_seconds / serial.fit_wall_seconds,
+        "plan_build": {
+            "pr2_per_step_ms": pr2_ms,
+            "scheduled_ms": scheduled_ms,
+            "speedup": pr2_ms / scheduled_ms,
+        },
+    }
+
+
+def test_bench_pipeline_overlap(benchmark):
+    """Prefetching hides the data wait; scheduled plans beat PR-2 rebuilds.
+
+    The structural claims gated here are deliberately noise-tolerant for
+    shared CI hardware: the prefetched run must hide most of the consumer's
+    data wait (the wall reduction itself is recorded, not tightly gated —
+    GIL contention makes it hardware-dependent), and the incremental plan
+    schedule with CSR-native extraction must build plans faster than the
+    PR-2 per-step/scipy path.
+    """
+    record = run_once(benchmark, _run_pipeline_overlap)
+
+    lines = [
+        "Pipeline overlap (epoch-prefetch) and incremental plan builds",
+        "",
+        f"scale {record['scale']}: serial fit wall {record['serial_fit_wall_s']:.2f}s "
+        f"(data wait {record['serial_data_wait_s']:.2f}s) vs prefetched "
+        f"{record['prefetch_fit_wall_s']:.2f}s (data wait "
+        f"{record['prefetch_data_wait_s']:.2f}s) — "
+        f"wall reduction {record['wall_reduction'] * 100:.1f}%",
+        f"plan build: PR-2 per-step {record['plan_build']['pr2_per_step_ms']:.2f} ms "
+        f"vs scheduled {record['plan_build']['scheduled_ms']:.2f} ms "
+        f"({record['plan_build']['speedup']:.2f}x)",
+    ]
+    write_report("efficiency_pipeline_overlap", "\n".join(lines))
+    _update_bench_json(
+        {
+            "pipeline_overlap": {
+                "engine_dtype": "float32",
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                **record,
+            }
+        }
+    )
+
+    # The worker must hide the bulk of the data wait behind training.
+    assert record["prefetch_data_wait_s"] < 0.6 * record["serial_data_wait_s"], record
+    # And prefetching must never cost wall time beyond noise.
+    assert record["prefetch_fit_wall_s"] < 1.05 * record["serial_fit_wall_s"], record
+    # Incremental schedule + CSR-native extraction beats the PR-2 rebuild.
+    assert record["plan_build"]["scheduled_ms"] < 0.9 * record["plan_build"]["pr2_per_step_ms"], record
 
 
 def test_bench_subgraph_scaling(benchmark):

@@ -53,7 +53,17 @@ class SubgraphSamplingMixin:
         num_hops: Optional[int] = None,
         fanout: Optional[int] = None,
         cache_size: int = 16,
+        scheduled: bool = False,
     ) -> None:
+        """Enable restricted training-time propagation; see the class docstring.
+
+        ``scheduled`` is accepted for trainer uniformity with
+        :meth:`repro.core.NMCDR.configure_subgraph_sampling`.  The baselines
+        here draw no matching pools, so their per-step plan *is* already the
+        degenerate schedule (seeds = the batch, memoised by signature in the
+        subgraph cache); the flag changes nothing about the plans and the
+        scheduled mode is identical by construction.
+        """
         if not enabled:
             self._subgraph_num_hops = None
             self._subgraph_fanout = None
@@ -66,6 +76,9 @@ class SubgraphSamplingMixin:
         self._subgraph_fanout = fanout
         self._subgraph_cache_size = int(cache_size)
         self._subgraph_caches = {}
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Training-engine epoch hook (pool-free models have no epoch state)."""
 
     @property
     def subgraph_sampling_enabled(self) -> bool:

@@ -131,6 +131,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="float64",
         help="engine dtype for the profiled run",
     )
+    profile.add_argument(
+        "--prefetch",
+        type=int,
+        default=0,
+        help="background batch prefetch depth (0 = serial pipeline)",
+    )
+    profile.add_argument(
+        "--sampled",
+        action="store_true",
+        help="profile sampled-subgraph training (adds the plan/build phase)",
+    )
+    profile.add_argument(
+        "--scheduled-plans",
+        action="store_true",
+        help="with --sampled: build plans through the incremental schedule",
+    )
 
     return parser
 
@@ -233,10 +249,15 @@ def _command_efficiency(args: argparse.Namespace) -> str:
 
 
 def _command_profile(args: argparse.Namespace) -> str:
-    import numpy as np
+    """Per-stage (data/plan/step) and per-op breakdown through the engine.
 
-    from .data.dataloader import InteractionDataLoader
-    from .optim import Adam
+    The profiled loop is the real staged engine — DataPipeline (serial or
+    prefetched) → plan provider (per-step or scheduled) → StepExecutor — so
+    the scope rows mirror production phase structure: ``data/wait``,
+    ``plan/build`` (sampled mode), ``train/forward`` / ``train/backward`` /
+    ``train/optimizer``.
+    """
+    from .core import CDRTrainer, TrainerConfig
     from .profiling import profile as profile_context, profiler
     from .tensor import engine
 
@@ -249,44 +270,35 @@ def _command_profile(args: argparse.Namespace) -> str:
         model = build_model(
             args.profile_model, task, embedding_dim=settings.embedding_dim, seed=settings.seed
         )
-        optimizer = Adam(model.parameters(), lr=1e-3)
-        loaders = {
-            key: InteractionDataLoader(
-                task.domain(key).split,
-                batch_size=settings.batch_size,
-                rng=np.random.default_rng(settings.seed + offset),
-            )
-            for offset, key in enumerate(("a", "b"))
-        }
-        iterators = {key: iter(loader) for key, loader in loaders.items()}
-        steps = 0
-        with profile_context(instrument=not args.no_instrument):
-            while steps < args.batches:
-                with profiler.scope("data/next_batch"):
-                    batches = {}
-                    for key, iterator in iterators.items():
-                        batch = next(iterator, None)
-                        if batch is None:
-                            iterators[key] = iter(loaders[key])
-                            batch = next(iterators[key], None)
-                        if batch is not None:
-                            batches[key] = batch
-                if not batches:
-                    break
-                optimizer.zero_grad()
-                with profiler.scope("train/forward"):
-                    loss = model.compute_batch_loss(batches)
-                with profiler.scope("train/backward"):
-                    loss.backward()
-                with profiler.scope("train/optimizer"):
-                    optimizer.step()
-                model.invalidate_cache()
-                steps += 1
-        header = (
-            f"profiled {args.profile_model} for {steps} training steps "
-            f"(dtype={args.dtype}, batch_size={settings.batch_size})"
+        config = TrainerConfig(
+            # Enough epochs to cover the requested step count; the engine
+            # stops exactly at max_steps.
+            num_epochs=max(1, args.batches),
+            batch_size=settings.batch_size,
+            learning_rate=1e-3,
+            eval_every=0,
+            seed=settings.seed,
+            prefetch_epochs=args.prefetch,
+            sampled_subgraph_training=args.sampled,
+            scheduled_subgraph_plans=args.scheduled_plans,
         )
-        return header + "\n\n" + profiler.report()
+        trainer = CDRTrainer(model, task, config)
+        training_engine = trainer.build_engine()
+        pipeline = training_engine.build_pipeline(trainer._loaders)
+        with profile_context(instrument=not args.no_instrument):
+            history = training_engine.fit(pipeline, max_steps=args.batches)
+        header = (
+            f"profiled {args.profile_model} for {history.num_batches} training steps "
+            f"(dtype={args.dtype}, batch_size={settings.batch_size}, "
+            f"prefetch={args.prefetch}, sampled={args.sampled}, "
+            f"scheduled_plans={args.scheduled_plans})"
+        )
+        phases = (
+            f"phase totals: data wait {history.data_wait_seconds_total * 1e3:.1f} ms | "
+            f"data prep {history.data_prep_seconds_total * 1e3:.1f} ms | "
+            f"step {history.step_seconds_total * 1e3:.1f} ms"
+        )
+        return header + "\n" + phases + "\n\n" + profiler.report()
 
 
 _COMMANDS = {

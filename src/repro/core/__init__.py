@@ -3,6 +3,15 @@
 from .complementing import IntraNodeComplementing
 from .config import NMCDRConfig, TrainerConfig
 from .encoder import HeterogeneousGraphEncoder
+from .engine import (
+    Callback,
+    EarlyStoppingCallback,
+    EngineContext,
+    LRSchedulerCallback,
+    StepExecutor,
+    TrainingEngine,
+)
+from .plan_schedule import PlanSchedule, PlanScheduleStats
 from .inter_matching import InterNodeMatching
 from .intra_matching import IntraNodeMatching
 from .nmcdr import NMCDR, DomainRepresentations
@@ -40,6 +49,14 @@ __all__ = [
     "build_task",
     "CDRTrainer",
     "TrainingHistory",
+    "TrainingEngine",
+    "StepExecutor",
+    "EngineContext",
+    "Callback",
+    "EarlyStoppingCallback",
+    "LRSchedulerCallback",
+    "PlanSchedule",
+    "PlanScheduleStats",
     "VARIANT_NAMES",
     "variant_config",
     "build_variant",

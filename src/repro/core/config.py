@@ -138,6 +138,26 @@ class TrainerConfig:
     #: (exact neighbourhoods).  Setting it bounds subgraph size at the cost
     #: of approximate propagation for truncated nodes.
     subgraph_fanout: Optional[int] = None
+    #: When true, sampled-subgraph training builds its plans through the
+    #: persistent per-epoch :class:`~repro.core.plan_schedule.PlanSchedule`
+    #: (delta-updated seed sets, incremental k-hop expansion) instead of
+    #: rebuilding from scratch every step.  Plans — and therefore losses and
+    #: gradients — are bit-identical to per-step building.
+    scheduled_subgraph_plans: bool = False
+    #: Background data prefetching: ``0`` (default) prepares batches on the
+    #: training thread exactly like the historical loop (seed parity); any
+    #: positive value runs the data pipeline on a worker thread buffering
+    #: that many *epochs* ahead (``1`` = double buffering), overlapping
+    #: epoch-boundary example materialisation and negative sampling with the
+    #: training steps.  The batch sequence is identical under a fixed seed.
+    prefetch_epochs: int = 0
+    #: Learning-rate schedule applied once per epoch: ``None`` keeps the
+    #: fixed rate of the paper, ``"step"`` decays by ``lr_gamma`` every
+    #: ``lr_step_size`` epochs, ``"exponential"`` decays by ``lr_gamma``
+    #: every epoch.
+    lr_scheduler: Optional[str] = None
+    lr_step_size: int = 5
+    lr_gamma: float = 0.5
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -153,6 +173,19 @@ class TrainerConfig:
             raise ValueError("subgraph_num_hops must be >= 1 or None")
         if self.subgraph_fanout is not None and self.subgraph_fanout < 1:
             raise ValueError("subgraph_fanout must be >= 1 or None")
+        if self.prefetch_epochs < 0:
+            raise ValueError("prefetch_epochs must be >= 0")
+        if self.lr_scheduler is not None:
+            from ..optim.scheduler import SCHEDULER_NAMES
+
+            if self.lr_scheduler not in SCHEDULER_NAMES:
+                raise ValueError(
+                    f"lr_scheduler must be None or one of {SCHEDULER_NAMES}"
+                )
+        if self.lr_step_size < 1:
+            raise ValueError("lr_step_size must be >= 1")
+        if self.lr_gamma <= 0:
+            raise ValueError("lr_gamma must be positive")
 
     def variant(self, **overrides) -> "TrainerConfig":
         """Return a copy with the given fields replaced."""

@@ -1,0 +1,340 @@
+"""Staged training engine: DataPipeline → PlanSchedule → StepExecutor.
+
+The engine decomposes the historical monolithic trainer loop into three
+independently testable stages wired by callbacks:
+
+* a :class:`~repro.data.pipeline.DataPipeline` supplies joint per-step batch
+  dicts (serial, or prefetched on a background worker);
+* the model's plan provider (per-step builder or the incremental
+  :class:`~repro.core.plan_schedule.PlanSchedule`) turns a step's batches
+  into a subgraph plan — the engine only signals epoch boundaries through
+  the model's optional ``on_epoch_start`` hook;
+* a :class:`StepExecutor` runs the optimisation step (forward, backward,
+  clip, update, cache invalidation).  A future sharded/data-parallel
+  executor replaces this object without touching the loop.
+
+Cross-cutting concerns — early stopping, learning-rate scheduling, custom
+monitoring — plug in as :class:`Callback` objects instead of branches inside
+the loop.  With the default configuration (serial pipeline, per-step plans,
+no scheduler) the engine replays the historical loop exactly: same rng
+consumption, same step order, same histories under a fixed seed.
+
+Timing is recorded per stage so benchmarks stop under-reporting wall cost:
+``step_seconds_total`` is the pure optimisation time (the historical
+``train_seconds_per_batch`` numerator), ``data_prep_seconds_total`` is the
+producer-side batch materialisation cost and ``data_wait_seconds_total`` is
+how long the loop actually stood still waiting for data — the gap between
+the last two is the wall time a prefetching pipeline hid behind training.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.pipeline import DataPipeline, build_pipeline
+from ..optim import Optimizer, build_scheduler, clip_grad_norm
+from ..profiling import profiler
+from .config import TrainerConfig
+from .task import DOMAIN_KEYS
+
+__all__ = [
+    "TrainingHistory",
+    "EngineContext",
+    "Callback",
+    "EarlyStoppingCallback",
+    "LRSchedulerCallback",
+    "StepExecutor",
+    "TrainingEngine",
+]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records collected during a :meth:`TrainingEngine.fit` run."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    validation_metrics: List[Dict[str, Dict[str, float]]] = field(default_factory=list)
+    best_epoch: int = -1
+    best_validation_score: float = -np.inf
+    train_seconds_per_batch: float = 0.0
+    num_batches: int = 0
+    best_state: Optional[Dict[str, np.ndarray]] = None
+    #: Phase/op report collected when ``TrainerConfig.profile`` is set.
+    profile_report: Optional[str] = None
+    #: Pure optimisation time summed over steps (forward/backward/update).
+    step_seconds_total: float = 0.0
+    #: Producer-side batch preparation time (materialisation, negatives,
+    #: slicing) — runs on the worker thread when prefetching.
+    data_prep_seconds_total: float = 0.0
+    #: Time the training loop actually blocked waiting for batches; equals
+    #: ``data_prep_seconds_total`` for the serial pipeline, approaches zero
+    #: when prefetching fully overlaps preparation with training.
+    data_wait_seconds_total: float = 0.0
+    #: Wall-clock duration of the whole fit loop.
+    fit_wall_seconds: float = 0.0
+    #: Per-epoch wall-clock durations (data + step + bookkeeping).
+    epoch_wall_seconds: List[float] = field(default_factory=list)
+    #: Learning rate in effect at the start of each epoch.
+    learning_rates: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    @property
+    def data_seconds_per_batch(self) -> float:
+        """Producer-side data cost per executed step (0 when nothing ran)."""
+        return self.data_prep_seconds_total / self.num_batches if self.num_batches else 0.0
+
+
+@dataclass
+class EngineContext:
+    """Mutable state shared between the engine loop and its callbacks."""
+
+    model: object
+    optimizer: Optimizer
+    config: TrainerConfig
+    history: TrainingHistory
+    epoch: int = 0
+    stop_requested: bool = False
+
+    def request_stop(self) -> None:
+        """Ask the engine to stop after the current epoch's bookkeeping."""
+        self.stop_requested = True
+
+
+class Callback:
+    """Hook points around the engine loop; subclass and override what you need.
+
+    All methods are no-ops by default.  Callbacks must not mutate the batch
+    stream; they may read/write the history and call
+    :meth:`EngineContext.request_stop`.
+    """
+
+    def on_fit_start(self, context: EngineContext) -> None: ...
+
+    def on_epoch_start(self, context: EngineContext, epoch: int) -> None: ...
+
+    def on_step_end(self, context: EngineContext, step: int, loss: float) -> None: ...
+
+    def on_epoch_end(self, context: EngineContext, epoch: int, epoch_loss: float) -> None: ...
+
+    def on_evaluation(
+        self, context: EngineContext, epoch: int, metrics: Dict[str, Dict[str, float]]
+    ) -> None: ...
+
+    def on_fit_end(self, context: EngineContext) -> None: ...
+
+
+class EarlyStoppingCallback(Callback):
+    """Track the best validation score and stop after ``patience`` flat evals.
+
+    Replicates the historical trainer semantics: the best state is snapshotted
+    whenever the mean ``ndcg@10`` over the evaluated domains improves
+    (regardless of patience), and training stops once ``patience`` consecutive
+    evaluations fail to improve (``patience=None`` never stops).
+    """
+
+    def __init__(self, patience: Optional[int] = None) -> None:
+        self.patience = patience
+        self.evals_without_improvement = 0
+
+    def on_evaluation(self, context, epoch, metrics) -> None:
+        history = context.history
+        score = float(
+            np.mean([metrics[key]["ndcg@10"] for key in DOMAIN_KEYS if key in metrics])
+        )
+        if score > history.best_validation_score:
+            history.best_validation_score = score
+            history.best_epoch = epoch
+            history.best_state = context.model.state_dict()
+            self.evals_without_improvement = 0
+        else:
+            self.evals_without_improvement += 1
+            if self.patience is not None and self.evals_without_improvement >= self.patience:
+                context.request_stop()
+
+
+class LRSchedulerCallback(Callback):
+    """Advance a learning-rate scheduler once per epoch."""
+
+    def __init__(self, scheduler) -> None:
+        self.scheduler = scheduler
+
+    def on_epoch_end(self, context, epoch, epoch_loss) -> None:
+        self.scheduler.step()
+
+
+class StepExecutor:
+    """Run one optimisation step; swap this out for sharded execution.
+
+    The executor owns everything between receiving a step's batches and the
+    updated parameters: zero-grad, forward, backward, clipping, the optimiser
+    update and the model's cache invalidation.
+    """
+
+    def __init__(
+        self, model, optimizer: Optimizer, grad_clip_norm: Optional[float] = None
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.grad_clip_norm = grad_clip_norm
+
+    def run_step(self, batches) -> float:
+        """Execute one training step and return the scalar loss."""
+        self.optimizer.zero_grad()
+        with profiler.scope("train/forward"):
+            loss = self.model.compute_batch_loss(batches)
+        with profiler.scope("train/backward"):
+            loss.backward()
+        with profiler.scope("train/optimizer"):
+            if self.grad_clip_norm is not None:
+                clip_grad_norm(self.model.parameters(), self.grad_clip_norm)
+            self.optimizer.step()
+        self.model.invalidate_cache()
+        return float(loss.item())
+
+
+class TrainingEngine:
+    """Drive pipeline → plans → executor for ``config.num_epochs`` epochs."""
+
+    def __init__(
+        self,
+        model,
+        optimizer: Optimizer,
+        config: TrainerConfig,
+        evaluate_fn: Optional[Callable[[], Dict[str, Dict[str, float]]]] = None,
+        executor: Optional[StepExecutor] = None,
+        callbacks: Sequence[Callback] = (),
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.config = config
+        self.evaluate_fn = evaluate_fn
+        self.executor = executor or StepExecutor(
+            model, optimizer, grad_clip_norm=config.grad_clip_norm
+        )
+        self.callbacks: List[Callback] = []
+        if config.eval_every and evaluate_fn is not None:
+            self.callbacks.append(EarlyStoppingCallback(config.early_stopping_patience))
+        scheduler = build_scheduler(
+            config.lr_scheduler,
+            optimizer,
+            step_size=config.lr_step_size,
+            gamma=config.lr_gamma,
+        )
+        if scheduler is not None:
+            self.callbacks.append(LRSchedulerCallback(scheduler))
+        self.callbacks.extend(callbacks)
+
+    def build_pipeline(self, loaders) -> DataPipeline:
+        """Default pipeline for the configured prefetch depth."""
+        return build_pipeline(
+            loaders,
+            num_epochs=self.config.num_epochs,
+            prefetch_epochs=self.config.prefetch_epochs,
+        )
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        pipeline: DataPipeline,
+        history: Optional[TrainingHistory] = None,
+        max_steps: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Run the training loop over the pipeline's epochs.
+
+        ``max_steps`` caps the total number of executed steps (profiling and
+        smoke runs); the loop stops cleanly once it is reached.  The pipeline
+        is always closed on exit — normal return, early stop or exception —
+        so no worker thread outlives this call.
+        """
+        history = history if history is not None else TrainingHistory()
+        context = EngineContext(
+            model=self.model, optimizer=self.optimizer, config=self.config, history=history
+        )
+        config = self.config
+        fit_started = time.perf_counter()
+        total_steps = 0
+        for callback in self.callbacks:
+            callback.on_fit_start(context)
+        try:
+            with pipeline:
+                for epoch in range(config.num_epochs):
+                    context.epoch = epoch
+                    history.learning_rates.append(self.optimizer.lr)
+                    epoch_started = time.perf_counter()
+                    model_hook = getattr(self.model, "on_epoch_start", None)
+                    if callable(model_hook):
+                        model_hook(epoch)
+                    for callback in self.callbacks:
+                        callback.on_epoch_start(context, epoch)
+
+                    epoch_loss = 0.0
+                    epoch_steps = 0
+                    epoch_truncated = False
+                    steps = pipeline.epoch(epoch)
+                    while True:
+                        with profiler.scope("data/wait"):
+                            batches = next(steps, None)
+                        if batches is None:
+                            break
+                        step_started = time.perf_counter()
+                        loss = self.executor.run_step(batches)
+                        history.step_seconds_total += time.perf_counter() - step_started
+                        epoch_loss += loss
+                        epoch_steps += 1
+                        total_steps += 1
+                        history.num_batches = total_steps
+                        for callback in self.callbacks:
+                            callback.on_step_end(context, total_steps, loss)
+                        if max_steps is not None and total_steps >= max_steps:
+                            context.request_stop()
+                            epoch_truncated = True
+                            break
+
+                    history.epoch_wall_seconds.append(time.perf_counter() - epoch_started)
+                    if epoch_truncated:
+                        # A max_steps cap cut the epoch short: recording a
+                        # partial mean as an epoch loss (or advancing the LR
+                        # scheduler / evaluating) would misrepresent a
+                        # fraction of an epoch as a completed one.
+                        break
+                    mean_loss = epoch_loss / max(epoch_steps, 1)
+                    history.epoch_losses.append(mean_loss)
+                    if config.verbose:
+                        print(
+                            f"[{type(self.model).__name__}] epoch {epoch + 1}/"
+                            f"{config.num_epochs} loss={mean_loss:.4f}"
+                        )
+                    for callback in self.callbacks:
+                        callback.on_epoch_end(context, epoch, mean_loss)
+
+                    if (
+                        config.eval_every
+                        and self.evaluate_fn is not None
+                        and (epoch + 1) % config.eval_every == 0
+                    ):
+                        metrics = self.evaluate_fn()
+                        history.validation_metrics.append(metrics)
+                        for callback in self.callbacks:
+                            callback.on_evaluation(context, epoch, metrics)
+
+                    if context.stop_requested:
+                        break
+        finally:
+            history.data_prep_seconds_total = pipeline.stats.prep_seconds
+            history.data_wait_seconds_total = pipeline.stats.wait_seconds
+            history.fit_wall_seconds = time.perf_counter() - fit_started
+            history.train_seconds_per_batch = history.step_seconds_total / max(
+                history.num_batches, 1
+            )
+            for callback in self.callbacks:
+                callback.on_fit_end(context)
+        return history

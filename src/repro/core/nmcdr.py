@@ -33,6 +33,7 @@ from .config import NMCDRConfig
 from .encoder import HeterogeneousGraphEncoder
 from .inter_matching import InterNodeMatching
 from .intra_matching import IntraNodeMatching
+from .plan_schedule import PlanSchedule
 from .prediction import PredictionHead
 from .subgraph_plan import SubgraphPlan, SubgraphSettings, build_subgraph_plan
 from .task import CDRTask, DOMAIN_KEYS
@@ -112,6 +113,7 @@ class NMCDR(Module):
         self._identity_sampler = MatchingNeighborSampler(None)
         self._subgraph_settings: Optional[SubgraphSettings] = None
         self._subgraph_caches: Optional[Dict[str, SubgraphCache]] = None
+        self._plan_schedule: Optional[PlanSchedule] = None
         self._cache: Optional[Dict[str, Dict[str, np.ndarray]]] = None
 
     # ------------------------------------------------------------------
@@ -134,6 +136,7 @@ class NMCDR(Module):
         num_hops: Optional[int] = None,
         fanout: Optional[int] = None,
         cache_size: int = 16,
+        scheduled: bool = False,
     ) -> None:
         """Switch mini-batch training to k-hop subgraph forwards.
 
@@ -163,10 +166,17 @@ class NMCDR(Module):
         sets do — e.g. with deterministic matching pools
         (``max_matching_neighbors=None``) and fixed negatives — so the
         default is kept small to bound memory on large graphs.
+
+        ``scheduled=True`` replaces the per-step plan rebuild with a
+        persistent :class:`~repro.core.plan_schedule.PlanSchedule`:
+        delta-updated seed sets, an incremental k-hop expansion and pool
+        draws in the same full-forward rng order — plans (and therefore
+        losses and gradients) stay bit-identical to per-step building.
         """
         if not enabled:
             self._subgraph_settings = None
             self._subgraph_caches = None
+            self._plan_schedule = None
             return
         if num_hops is not None:
             resolved = num_hops
@@ -178,10 +188,31 @@ class NMCDR(Module):
                 resolved += 1
         self._subgraph_settings = SubgraphSettings(num_hops=resolved, fanout=fanout)
         self._subgraph_caches = {key: SubgraphCache(cache_size) for key in DOMAIN_KEYS}
+        self._plan_schedule = (
+            PlanSchedule(
+                self.task,
+                self.config,
+                self._subgraph_settings,
+                self._sampler,
+                self._subgraph_caches,
+            )
+            if scheduled
+            else None
+        )
 
     @property
     def subgraph_sampling_enabled(self) -> bool:
         return self._subgraph_settings is not None
+
+    @property
+    def plan_schedule(self) -> Optional[PlanSchedule]:
+        """The active incremental plan schedule, if one is configured."""
+        return self._plan_schedule
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Training-engine epoch hook: advance the plan schedule's epoch."""
+        if self._plan_schedule is not None:
+            self._plan_schedule.begin_epoch(epoch)
 
     # ------------------------------------------------------------------
     # forward pipeline
@@ -312,15 +343,18 @@ class NMCDR(Module):
         """
         plan: Optional[SubgraphPlan] = None
         if self._subgraph_settings is not None:
-            with profiler.scope("train/subgraph_sample"):
-                plan = build_subgraph_plan(
-                    self.task,
-                    self.config,
-                    batches,
-                    self._sampler,
-                    self._subgraph_settings,
-                    self._subgraph_caches,
-                )
+            with profiler.scope("plan/build"):
+                if self._plan_schedule is not None:
+                    plan = self._plan_schedule.plan_for(batches)
+                else:
+                    plan = build_subgraph_plan(
+                        self.task,
+                        self.config,
+                        batches,
+                        self._sampler,
+                        self._subgraph_settings,
+                        self._subgraph_caches,
+                    )
         reps = self.forward_representations(plan)
         w_co_a, w_co_b, w_cls_a, w_cls_b = self.config.loss_weights
         total: Optional[Tensor] = None

@@ -1,0 +1,256 @@
+"""Persistent per-epoch subgraph-plan schedules for sampled training.
+
+PR 2 rebuilt a :class:`~repro.core.subgraph_plan.SubgraphPlan` from scratch on
+every training step: draw the matching pools, union the seed sets, run the
+k-hop expansion over *all* seeds and extract the induced subgraph with scipy
+fancy indexing.  At scale the plan build dominates the sampled-mode step cost
+(it was the top open item in ROADMAP.md).  :class:`PlanSchedule` keeps the
+construction incremental across the steps of an epoch:
+
+* **Pools in the full-forward rng order.**  Pool sets are drawn lazily, one
+  per executed step, consuming the model's matching-sampler rng exactly as
+  the per-step builder would — which is what keeps scheduled training
+  bit-identical to per-step training (and to the full-graph forward at the
+  PR-2 exactness depth).  Skipped steps draw nothing, and a mid-training
+  evaluation sees the same sampler state in both modes.
+* **Delta-updated seed sets.**  The seed union decomposes as
+  ``close(pools ∪ batch) = close(pools) ∪ close(batch)`` (partner closure
+  distributes over unions), so the pool part — the *static closure* — is
+  cached and only the small per-batch part is recomputed between consecutive
+  steps.  With deterministic pools (``max_matching_neighbors=None``) the
+  static closure is computed once and reused for the whole run.
+* **Incremental k-hop expansion.**  Without a fanout cap the k-hop node set
+  also distributes over seed unions, so the static closure's expansion is
+  computed once (on its first reuse) and each step only expands the batch
+  delta — O(batch) frontier work instead of O(pools + batch).
+* **CSR-native extraction.**  The induced subgraph is assembled straight from
+  the parent adjacency's CSR slices (:func:`repro.graph.induced_subgraph`),
+  bypassing the scipy fancy-indexing path and the COO→CSR canonicalisation.
+
+Fanout-capped sampling is *not* union-decomposable (the per-node neighbour
+draw depends on the whole frontier signature), so with ``fanout`` set the
+schedule keeps the single-pass expansion and still benefits from pool reuse
+and the CSR-native extraction.
+
+Equivalence is structural, not approximate: for the same rng state and batch
+sequence, :meth:`PlanSchedule.plan_for` returns plans whose arrays are
+byte-identical to :func:`~repro.core.subgraph_plan.build_subgraph_plan`'s
+(gated in ``tests/test_plan_schedule.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.dataloader import Batch
+from ..graph import MatchingNeighborSampler, SubgraphCache
+from ..graph.sampling import sample_khop_nodes
+from .config import NMCDRConfig
+from .subgraph_plan import (
+    SubgraphPlan,
+    SubgraphSettings,
+    _sample_pools,
+    batch_index_arrays,
+    close_seed_users,
+    finalize_subgraph_plan,
+)
+from .task import CDRTask, DOMAIN_KEYS
+
+__all__ = ["PlanScheduleStats", "PlanSchedule"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class PlanScheduleStats:
+    """Counters describing how much work the schedule actually avoided."""
+
+    plans_built: int = 0
+    static_closure_reuses: int = 0
+    delta_expansions: int = 0
+    full_expansions: int = 0
+    epochs: int = 0
+
+
+@dataclass
+class _StaticClosure:
+    """Cached pool-side seed closure, keyed by the pool arrays' identity.
+
+    Holding strong references to the pool arrays makes the ``is``-based key
+    sound: the referenced objects cannot be garbage collected (and their ids
+    recycled) while this entry is alive.  Deterministic samplers return the
+    task/partition-owned arrays themselves every step, so the key hits; a
+    random sampler returns fresh arrays and the closure is rebuilt — exactly
+    the per-step cost the schedule would have paid anyway.
+    """
+
+    pool_refs: Tuple[np.ndarray, ...]
+    seed_users: Dict[str, np.ndarray]
+    #: Per-domain k-hop (user_ids, item_ids) of the static seeds; populated
+    #: lazily on the first reuse (fanout-free settings only).
+    node_sets: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
+
+
+def _flatten_pools(
+    intra_pools: Dict[str, list], inter_pools: Dict[str, list]
+) -> Tuple[np.ndarray, ...]:
+    flat: List[np.ndarray] = []
+    for key in DOMAIN_KEYS:
+        for head, tail in intra_pools[key]:
+            flat.append(head)
+            flat.append(tail)
+        flat.extend(inter_pools[key])
+    return tuple(flat)
+
+
+class PlanSchedule:
+    """Incremental builder of per-step :class:`SubgraphPlan` objects."""
+
+    def __init__(
+        self,
+        task: CDRTask,
+        config: NMCDRConfig,
+        settings: SubgraphSettings,
+        sampler: MatchingNeighborSampler,
+        caches: Dict[str, SubgraphCache],
+    ) -> None:
+        self.task = task
+        self.config = config
+        self.settings = settings
+        self.sampler = sampler
+        self.caches = caches
+        self.stats = PlanScheduleStats()
+        self._static: Optional[_StaticClosure] = None
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+    def begin_epoch(self, epoch: int) -> None:
+        """Epoch-boundary hook; the schedule's caches survive across epochs.
+
+        Nothing rng-related happens here: pool draws stay strictly lazy so an
+        epoch with skipped (all-empty) steps consumes exactly as much sampler
+        state as per-step building would.
+        """
+        self.stats.epochs += 1
+
+    # ------------------------------------------------------------------
+    # plan construction
+    # ------------------------------------------------------------------
+    def _static_closure(
+        self, intra_pools: Dict[str, list], inter_pools: Dict[str, list]
+    ) -> _StaticClosure:
+        refs = _flatten_pools(intra_pools, inter_pools)
+        cached = self._static
+        if (
+            cached is not None
+            and len(cached.pool_refs) == len(refs)
+            and all(a is b for a, b in zip(cached.pool_refs, refs))
+        ):
+            self.stats.static_closure_reuses += 1
+            if cached.node_sets is None and self.settings.fanout is None:
+                # First reuse: the pools are stable, so the one-off expansion
+                # of the static seeds now pays for itself every later step.
+                cached.node_sets = {
+                    key: sample_khop_nodes(
+                        self.task.domain(key).train_graph,
+                        cached.seed_users[key],
+                        _EMPTY,
+                        num_hops=self.settings.num_hops,
+                        fanout=None,
+                    )
+                    for key in DOMAIN_KEYS
+                }
+            return cached
+
+        seed_parts: Dict[str, list] = {}
+        for key in DOMAIN_KEYS:
+            other = self.task.other_key(key)
+            parts: List[np.ndarray] = []
+            for head, tail in intra_pools[key]:
+                parts.append(head)
+                parts.append(tail)
+            parts.extend(inter_pools[other])  # pools of `key`'s users
+            seed_parts[key] = parts
+        closure = _StaticClosure(
+            pool_refs=refs, seed_users=close_seed_users(self.task, seed_parts)
+        )
+        self._static = closure
+        return closure
+
+    def plan_for(self, batches: Dict[str, Optional[Batch]]) -> SubgraphPlan:
+        """Build this step's plan, reusing everything the epoch already paid for."""
+        intra_pools, inter_pools = _sample_pools(self.task, self.config, self.sampler)
+        batch_users, batch_items = batch_index_arrays(batches)
+        static = self._static_closure(intra_pools, inter_pools)
+
+        batch_closed = close_seed_users(
+            self.task, {key: [batch_users[key]] for key in DOMAIN_KEYS}
+        )
+
+        node_sets: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
+        if static.node_sets is not None and self.settings.fanout is None:
+            # Every active domain gets explicit node sets below, so the
+            # finalisation only reads the seed arrays for the is-this-domain
+            # -active check — hand it a non-empty representative instead of
+            # paying the full O(N) seed union every step.
+            seed_users = {
+                key: (
+                    static.seed_users[key]
+                    if static.seed_users[key].size
+                    else batch_closed[key]
+                )
+                for key in DOMAIN_KEYS
+            }
+            # Delta expansion: k-hop distance to (S ∪ B) is the min of the
+            # distances to S and to B, so the union of the two expansions is
+            # exactly the single-pass expansion of the union.
+            node_sets = {}
+            for key in DOMAIN_KEYS:
+                if seed_users[key].size == 0 and batch_items[key].size == 0:
+                    continue
+                delta_users = np.setdiff1d(
+                    batch_closed[key], static.seed_users[key], assume_unique=True
+                )
+                delta = sample_khop_nodes(
+                    self.task.domain(key).train_graph,
+                    delta_users,
+                    batch_items[key],
+                    num_hops=self.settings.num_hops,
+                    fanout=None,
+                )
+                static_users, static_items = static.node_sets[key]
+                merged_users = np.union1d(static_users, delta[0])
+                merged_items = np.union1d(static_items, delta[1])
+                # A union the same size as the static set *is* the static set
+                # (the union is a superset); reusing the very same array
+                # objects lets the subgraph cache's identity fast path skip
+                # even the node-set hashing.
+                if merged_users.size == static_users.size:
+                    merged_users = static_users
+                if merged_items.size == static_items.size:
+                    merged_items = static_items
+                node_sets[key] = (merged_users, merged_items)
+            self.stats.delta_expansions += 1
+        else:
+            seed_users = {
+                key: np.union1d(static.seed_users[key], batch_closed[key])
+                for key in DOMAIN_KEYS
+            }
+            self.stats.full_expansions += 1
+
+        self.stats.plans_built += 1
+        return finalize_subgraph_plan(
+            self.task,
+            batch_users,
+            batch_items,
+            seed_users,
+            intra_pools,
+            inter_pools,
+            self.settings,
+            self.caches,
+            node_sets=node_sets,
+        )

@@ -43,7 +43,15 @@ from ..graph.sampling import DomainSubgraph
 from .config import NMCDRConfig
 from .task import CDRTask, DOMAIN_KEYS
 
-__all__ = ["SubgraphSettings", "DomainSubgraphPlan", "SubgraphPlan", "build_subgraph_plan"]
+__all__ = [
+    "SubgraphSettings",
+    "DomainSubgraphPlan",
+    "SubgraphPlan",
+    "build_subgraph_plan",
+    "batch_index_arrays",
+    "close_seed_users",
+    "finalize_subgraph_plan",
+]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -113,17 +121,10 @@ def _sample_pools(
     return intra, inter
 
 
-def build_subgraph_plan(
-    task: CDRTask,
-    config: NMCDRConfig,
+def batch_index_arrays(
     batches: Dict[str, Optional[Batch]],
-    sampler: MatchingNeighborSampler,
-    settings: SubgraphSettings,
-    caches: Dict[str, SubgraphCache],
-) -> SubgraphPlan:
-    """Sample pools, extract both domains' induced subgraphs and localise ids."""
-    intra_pools, inter_pools = _sample_pools(task, config, sampler)
-
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Per-domain (users, items) int64 arrays of the step's mini-batches."""
     batch_users: Dict[str, np.ndarray] = {}
     batch_items: Dict[str, np.ndarray] = {}
     for key in DOMAIN_KEYS:
@@ -134,19 +135,25 @@ def build_subgraph_plan(
         else:
             batch_users[key] = np.asarray(batch.users, dtype=np.int64)
             batch_items[key] = np.asarray(batch.items, dtype=np.int64)
+    return batch_users, batch_items
 
-    # Seed users: batch rows, this domain's intra pools, and the pools of this
-    # domain's users that the *other* domain's inter step aggregates.
+
+def close_seed_users(
+    task: CDRTask, seed_parts: Dict[str, list]
+) -> Dict[str, np.ndarray]:
+    """Union the per-domain seed parts and apply one partner-closure round.
+
+    One round suffices — partner of partner is the user itself — and union
+    with :func:`np.unique` makes the result independent of how the caller
+    grouped the parts, which is what lets the incremental schedule assemble
+    seeds as (cached static closure) ∪ (per-step batch closure) and land on
+    byte-identical arrays.
+    """
     seed_users: Dict[str, np.ndarray] = {}
     for key in DOMAIN_KEYS:
-        other = task.other_key(key)
-        parts = [batch_users[key]]
-        parts.extend(pool for pools in intra_pools[key] for pool in pools)
-        parts.extend(inter_pools[other])  # pools of `key`'s non-overlapped users
+        parts = [part for part in seed_parts[key] if part.size]
         seed_users[key] = np.unique(np.concatenate(parts)) if parts else _EMPTY
 
-    # Partner closure: every seed user's overlap partner joins the other
-    # domain's seeds (one round suffices — partner of partner is the user).
     partnered: Dict[str, np.ndarray] = {}
     for key in DOMAIN_KEYS:
         lookup = task.partner_lookup(key)
@@ -155,19 +162,51 @@ def build_subgraph_plan(
     for key in DOMAIN_KEYS:
         if partnered[key].size:
             seed_users[key] = np.unique(np.concatenate([seed_users[key], partnered[key]]))
+    return seed_users
 
+
+def finalize_subgraph_plan(
+    task: CDRTask,
+    batch_users: Dict[str, np.ndarray],
+    batch_items: Dict[str, np.ndarray],
+    seed_users: Dict[str, np.ndarray],
+    intra_pools: Dict[str, list],
+    inter_pools: Dict[str, list],
+    settings: SubgraphSettings,
+    caches: Dict[str, SubgraphCache],
+    node_sets: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None,
+) -> SubgraphPlan:
+    """Extract both domains' induced subgraphs and localise every index set.
+
+    ``node_sets`` optionally carries pre-expanded k-hop node sets per domain
+    (the incremental schedule's delta expansion); they are forwarded to the
+    subgraph cache and must equal what the sampler would have produced.
+    """
     domains: Dict[str, DomainSubgraphPlan] = {}
     for key in DOMAIN_KEYS:
         if seed_users[key].size == 0 and batch_items[key].size == 0:
             domains[key] = DomainSubgraphPlan(subgraph=None)
             continue
-        subgraph = caches[key].get(
-            task.domain(key).train_graph,
-            seed_users[key],
-            batch_items[key],
-            num_hops=settings.num_hops,
-            fanout=settings.fanout,
-        )
+        nodes = None if node_sets is None else node_sets.get(key)
+        if nodes is not None:
+            # Pre-expanded delta path: key the cache on the node sets
+            # themselves — no seed canonicalisation, no k-hop re-expansion,
+            # and steps whose expansions coincide share one subgraph.
+            subgraph = caches[key].get_by_nodes(
+                task.domain(key).train_graph,
+                nodes[0],
+                nodes[1],
+                num_hops=settings.num_hops,
+                fanout=settings.fanout,
+            )
+        else:
+            subgraph = caches[key].get(
+                task.domain(key).train_graph,
+                seed_users[key],
+                batch_items[key],
+                num_hops=settings.num_hops,
+                fanout=settings.fanout,
+            )
         domains[key] = DomainSubgraphPlan(
             subgraph=subgraph,
             batch_users=subgraph.local_users(batch_users[key]),
@@ -179,7 +218,6 @@ def build_subgraph_plan(
         )
 
     # Localise the cross-domain index sets now that both subgraphs exist.
-    pairs = task.overlap_pairs
     for key in DOMAIN_KEYS:
         plan = domains[key]
         if not plan.active:
@@ -187,13 +225,20 @@ def build_subgraph_plan(
         other = task.other_key(key)
         other_plan = domains[other]
         if other_plan.active:
-            own_column = 0 if key == "a" else 1
-            present = plan.subgraph.contains_users(pairs[:, own_column]) & (
-                other_plan.subgraph.contains_users(pairs[:, 1 - own_column])
+            own_pairs = task.overlap_indices(key)
+            other_pairs = task.overlap_indices(other)
+            present = plan.subgraph.contains_users(own_pairs) & (
+                other_plan.subgraph.contains_users(other_pairs)
             )
-            kept = pairs[present]
-            plan.overlap_own = plan.subgraph.local_users(kept[:, own_column])
-            plan.overlap_other = other_plan.subgraph.local_users(kept[:, 1 - own_column])
+            if present.all():
+                # Full coverage (common once the pool closure spans the
+                # overlap): keep the memoised column arrays themselves so
+                # the localisation below hits the subgraph's identity memo.
+                own_kept, other_kept = own_pairs, other_pairs
+            else:
+                own_kept, other_kept = own_pairs[present], other_pairs[present]
+            plan.overlap_own = plan.subgraph.local_users(own_kept)
+            plan.overlap_other = other_plan.subgraph.local_users(other_kept)
             plan.inter_pools = [
                 other_plan.subgraph.local_users(pool) for pool in inter_pools[key]
             ]
@@ -201,3 +246,38 @@ def build_subgraph_plan(
             plan.inter_pools = [_EMPTY for _ in inter_pools[key]]
 
     return SubgraphPlan(domains=domains, settings=settings)
+
+
+def build_subgraph_plan(
+    task: CDRTask,
+    config: NMCDRConfig,
+    batches: Dict[str, Optional[Batch]],
+    sampler: MatchingNeighborSampler,
+    settings: SubgraphSettings,
+    caches: Dict[str, SubgraphCache],
+) -> SubgraphPlan:
+    """Sample pools, extract both domains' induced subgraphs and localise ids."""
+    intra_pools, inter_pools = _sample_pools(task, config, sampler)
+    batch_users, batch_items = batch_index_arrays(batches)
+
+    # Seed users: batch rows, this domain's intra pools, and the pools of this
+    # domain's users that the *other* domain's inter step aggregates.
+    seed_parts: Dict[str, list] = {}
+    for key in DOMAIN_KEYS:
+        other = task.other_key(key)
+        parts = [batch_users[key]]
+        parts.extend(pool for pools in intra_pools[key] for pool in pools)
+        parts.extend(inter_pools[other])  # pools of `key`'s non-overlapped users
+        seed_parts[key] = parts
+    seed_users = close_seed_users(task, seed_parts)
+
+    return finalize_subgraph_plan(
+        task,
+        batch_users,
+        batch_items,
+        seed_users,
+        intra_pools,
+        inter_pools,
+        settings,
+        caches,
+    )

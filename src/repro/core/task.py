@@ -71,9 +71,18 @@ class CDRTask:
         return int(self.overlap_pairs.shape[0])
 
     def overlap_indices(self, key: str) -> np.ndarray:
-        """Local indices of overlapped users in the requested domain."""
-        column = 0 if key == "a" else 1
-        return self.overlap_pairs[:, column]
+        """Local indices of overlapped users in the requested domain (memoised).
+
+        Returning the same array object every call (rather than a fresh view)
+        lets identity-keyed downstream memos — the subgraph localisation
+        cache in particular — recognise repeated lookups.
+        """
+        cached = self._index_cache.get(f"overlap_{key}")
+        if cached is None:
+            column = 0 if key == "a" else 1
+            cached = np.ascontiguousarray(self.overlap_pairs[:, column])
+            self._index_cache[f"overlap_{key}"] = cached
+        return cached
 
     def non_overlap_indices(self, key: str) -> np.ndarray:
         """Local indices of non-overlapped users in the requested domain (memoised)."""

@@ -1,4 +1,4 @@
-"""Joint two-domain training loop shared by NMCDR and all baselines.
+"""Joint two-domain training facade shared by NMCDR and all baselines.
 
 Any model implementing the small protocol below can be trained:
 
@@ -8,58 +8,53 @@ Any model implementing the small protocol below can be trained:
 * ``prepare_for_evaluation()`` / ``invalidate_cache()`` — representation cache
   management around parameter updates;
 * ``score(domain_key, users, items)`` — the :class:`repro.metrics.Scorer`
-  interface used by the ranking evaluator.
+  interface used by the ranking evaluator;
+* optionally ``on_epoch_start(epoch)`` — epoch-boundary hook (NMCDR uses it
+  to advance its incremental plan schedule).
 
-The trainer draws one mini-batch per domain per step (the multi-target
-setting: both domains are optimised simultaneously, Eq. 24) and optionally
-evaluates on the validation split for early stopping.
+:class:`CDRTrainer` is a thin facade: it assembles the per-domain loaders,
+the optimiser and the evaluation closure, then delegates the loop to the
+staged :class:`~repro.core.engine.TrainingEngine` (data pipeline → plan
+provider → step executor, with early stopping and LR scheduling as
+callbacks).  One mini-batch per domain per step is drawn (the multi-target
+setting: both domains are optimised simultaneously, Eq. 24); the default
+configuration — serial pipeline, per-step plans — replays the historical
+monolithic loop bit-for-bit under a fixed seed.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from itertools import zip_longest
-from typing import Dict, List, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..data.dataloader import InteractionDataLoader
 from ..metrics.evaluator import RankingEvaluator
-from ..optim import Adam, clip_grad_norm
+from ..optim import Adam
 from ..profiling import profiler
 from .config import TrainerConfig
+from .engine import Callback, StepExecutor, TrainingEngine, TrainingHistory
 from .task import CDRTask, DOMAIN_KEYS
 
 __all__ = ["TrainingHistory", "CDRTrainer"]
 
 
-@dataclass
-class TrainingHistory:
-    """Per-epoch records collected during :meth:`CDRTrainer.fit`."""
-
-    epoch_losses: List[float] = field(default_factory=list)
-    validation_metrics: List[Dict[str, Dict[str, float]]] = field(default_factory=list)
-    best_epoch: int = -1
-    best_validation_score: float = -np.inf
-    train_seconds_per_batch: float = 0.0
-    num_batches: int = 0
-    best_state: Optional[Dict[str, np.ndarray]] = None
-    #: Phase/op report collected when ``TrainerConfig.profile`` is set.
-    profile_report: Optional[str] = None
-
-    @property
-    def final_loss(self) -> float:
-        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
-
-
 class CDRTrainer:
     """Joint trainer for one two-domain CDR task."""
 
-    def __init__(self, model, task: CDRTask, config: Optional[TrainerConfig] = None) -> None:
+    def __init__(
+        self,
+        model,
+        task: CDRTask,
+        config: Optional[TrainerConfig] = None,
+        callbacks: Sequence[Callback] = (),
+        executor: Optional[StepExecutor] = None,
+    ) -> None:
         self.model = model
         self.task = task
         self.config = config or TrainerConfig()
+        self._callbacks = list(callbacks)
+        self._executor = executor
         if self.config.sampled_subgraph_training and hasattr(
             model, "configure_subgraph_sampling"
         ):
@@ -69,6 +64,7 @@ class CDRTrainer:
                 True,
                 num_hops=self.config.subgraph_num_hops,
                 fanout=self.config.subgraph_fanout,
+                scheduled=self.config.scheduled_subgraph_plans,
             )
         self.optimizer = Adam(
             model.parameters(),
@@ -85,20 +81,34 @@ class CDRTrainer:
             )
             for key in DOMAIN_KEYS
         }
-        self._valid_evaluators: Optional[Dict[str, RankingEvaluator]] = None
         self._eval_rng_seed = int(rng.integers(0, 2**32 - 1))
 
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
+    def build_engine(self) -> TrainingEngine:
+        """Assemble the staged engine for this trainer's model and config."""
+        return TrainingEngine(
+            self.model,
+            self.optimizer,
+            self.config,
+            evaluate_fn=lambda: self.evaluate(subset="valid"),
+            executor=self._executor,
+            callbacks=self._callbacks,
+        )
+
     def fit(self) -> TrainingHistory:
         """Train for ``num_epochs`` epochs and return the training history."""
         history = TrainingHistory()
+        engine = self.build_engine()
+        # The pipeline is built at fit time from the live loader dict so a
+        # caller may swap loaders in between construction and training.
+        pipeline = engine.build_pipeline(self._loaders)
         if self.config.profile:
             profiler.reset()
             profiler.enable()
         try:
-            self._fit_loop(history)
+            engine.fit(pipeline, history=history)
         finally:
             # The profiler installs process-wide engine hooks; they must come
             # off even when training is interrupted mid-epoch.
@@ -110,67 +120,6 @@ class CDRTrainer:
             self.model.load_state_dict(history.best_state)
             self.model.invalidate_cache()
         return history
-
-    def _fit_loop(self, history: TrainingHistory) -> None:
-        patience = self.config.early_stopping_patience
-        epochs_without_improvement = 0
-        total_batch_time = 0.0
-        total_batches = 0
-        for epoch in range(self.config.num_epochs):
-            epoch_loss = 0.0
-            epoch_batches = 0
-            for batch_a, batch_b in zip_longest(self._loaders["a"], self._loaders["b"]):
-                # zip_longest pads the shorter domain loader with None; drop
-                # exhausted/empty domains and skip steps with no data at all
-                # instead of handing None (or nothing) to the model.
-                batches = {
-                    key: batch
-                    for key, batch in (("a", batch_a), ("b", batch_b))
-                    if batch is not None and len(batch) > 0
-                }
-                if not batches:
-                    continue
-                started = time.perf_counter()
-                self.optimizer.zero_grad()
-                with profiler.scope("train/forward"):
-                    loss = self.model.compute_batch_loss(batches)
-                with profiler.scope("train/backward"):
-                    loss.backward()
-                with profiler.scope("train/optimizer"):
-                    if self.config.grad_clip_norm is not None:
-                        clip_grad_norm(self.model.parameters(), self.config.grad_clip_norm)
-                    self.optimizer.step()
-                self.model.invalidate_cache()
-                total_batch_time += time.perf_counter() - started
-                total_batches += 1
-                epoch_loss += loss.item()
-                epoch_batches += 1
-            history.epoch_losses.append(epoch_loss / max(epoch_batches, 1))
-
-            if self.config.verbose:
-                print(
-                    f"[{type(self.model).__name__}] epoch {epoch + 1}/{self.config.num_epochs} "
-                    f"loss={history.epoch_losses[-1]:.4f}"
-                )
-
-            if self.config.eval_every and (epoch + 1) % self.config.eval_every == 0:
-                metrics = self.evaluate(subset="valid")
-                history.validation_metrics.append(metrics)
-                score = float(
-                    np.mean([metrics[key]["ndcg@10"] for key in DOMAIN_KEYS if key in metrics])
-                )
-                if score > history.best_validation_score:
-                    history.best_validation_score = score
-                    history.best_epoch = epoch
-                    history.best_state = self.model.state_dict()
-                    epochs_without_improvement = 0
-                else:
-                    epochs_without_improvement += 1
-                    if patience is not None and epochs_without_improvement >= patience:
-                        break
-
-        history.train_seconds_per_batch = total_batch_time / max(total_batches, 1)
-        history.num_batches = total_batches
 
     # ------------------------------------------------------------------
     # evaluation

@@ -10,6 +10,13 @@ from .datasets import (
     scenario_spec,
 )
 from .negative_sampling import NegativeSampler, build_ranking_candidates
+from .pipeline import (
+    DataPipeline,
+    PipelineStats,
+    PrefetchDataPipeline,
+    SerialDataPipeline,
+    build_pipeline,
+)
 from .preprocessing import compact_items, filter_min_interactions, preprocess_scenario
 from .schema import CDRDataset, DomainData
 from .split import DomainSplit, leave_one_out_split
@@ -40,6 +47,11 @@ __all__ = [
     "Batch",
     "InteractionDataLoader",
     "build_training_examples",
+    "DataPipeline",
+    "SerialDataPipeline",
+    "PrefetchDataPipeline",
+    "PipelineStats",
+    "build_pipeline",
     "DomainStatistics",
     "scenario_statistics",
     "format_statistics_table",

@@ -31,6 +31,7 @@ def build_training_examples(
     negatives_per_positive: int = 1,
     rng: Optional[np.random.Generator] = None,
     vectorized_negatives: bool = True,
+    sampler: Optional[NegativeSampler] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Materialise positives plus freshly sampled negatives as flat arrays.
 
@@ -38,8 +39,13 @@ def build_training_examples(
     helper is called once per epoch so negatives are re-drawn each time.
     ``vectorized_negatives=False`` selects the legacy per-user sampling loop
     (same rng stream as the seed implementation, kept for fixed-seed replays).
+    ``sampler`` lets the caller reuse one :class:`NegativeSampler` across
+    epochs (its seen-set CSR is a function of the immutable domain log, yet
+    it used to be rebuilt every epoch); constructing the sampler consumes no
+    rng, so passing one holding ``rng`` replays the exact same stream.
     """
-    sampler = NegativeSampler(split.domain, rng=rng)
+    if sampler is None:
+        sampler = NegativeSampler(split.domain, rng=rng)
     pos_users, pos_items = split.train_users, split.train_items
     negatives = sampler.sample_pairs(
         pos_users, negatives_per_positive, vectorized=vectorized_negatives
@@ -111,14 +117,21 @@ class InteractionDataLoader:
         self.vectorized_negatives = vectorized_negatives
         self._rng = rng or np.random.default_rng(0)
         self._cached = None
+        self._sampler: Optional[NegativeSampler] = None
 
     def _examples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self.resample_negatives or self._cached is None:
+            if self._sampler is None:
+                # One seen-set CSR per loader lifetime instead of per epoch;
+                # the sampler owns the loader's rng so the negative stream is
+                # unchanged.
+                self._sampler = NegativeSampler(self.split.domain, rng=self._rng)
             self._cached = build_training_examples(
                 self.split,
                 self.negatives_per_positive,
                 rng=self._rng,
                 vectorized_negatives=self.vectorized_negatives,
+                sampler=self._sampler,
             )
         return self._cached
 

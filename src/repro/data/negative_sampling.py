@@ -59,6 +59,13 @@ class NegativeSampler:
             return set()
         return set(self._seen_items[self._indptr[user] : self._indptr[user + 1]].tolist())
 
+    def seen_counts(self, users: np.ndarray) -> np.ndarray:
+        """Per-user interaction counts (vectorised ``len(interacted(u))``)."""
+        users = np.asarray(users, dtype=np.int64)
+        if users.size and (users.min() < 0 or users.max() >= self.num_users):
+            raise ValueError(f"user index out of range [0, {self.num_users})")
+        return self._seen_counts[users]
+
     def _seen_slice(self, user: int) -> np.ndarray:
         return self._seen_items[self._indptr[user] : self._indptr[user + 1]]
 
@@ -218,7 +225,7 @@ def build_ranking_candidates(
         # The scaled-down synthetic catalogues may be smaller than the paper's
         # 199 negatives; clamp to what every evaluated user can actually
         # supply so the candidate matrix stays rectangular and duplicate-free.
-        max_seen = max(len(sampler.interacted(int(user))) for user in users)
+        max_seen = int(sampler.seen_counts(users).max())
         available = split.domain.num_items - max_seen - 1
         num_negatives = max(1, min(num_negatives, available))
 

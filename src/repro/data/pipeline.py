@@ -1,0 +1,306 @@
+"""Staged batch pipelines: per-epoch example materialisation behind an iterator.
+
+The training engine consumes *joint steps* — ``{"a": Batch, "b": Batch}``
+dicts with one mini-batch per domain (either may be missing once its loader
+is exhausted; the multi-target trainer optimises whatever is present).  This
+module owns everything that happens before a step runs: per-epoch example
+materialisation, negative re-sampling, shuffling and batching, all hidden
+behind :meth:`DataPipeline.epoch`.
+
+Two implementations share that interface:
+
+* :class:`SerialDataPipeline` — batches are produced on the caller's thread,
+  exactly where the pre-engine trainer produced them.  This is the seed-parity
+  default: fixed-seed runs are bit-identical to the historical loop.
+* :class:`PrefetchDataPipeline` — a background worker thread runs the same
+  producer loop one epoch ahead through a bounded queue (double buffering),
+  so epoch-boundary materialisation and negative sampling overlap with the
+  training step instead of serialising with it.
+
+Determinism contract.  Each loader's rng is consumed *only* by the producer
+(epoch by epoch, in epoch order), never by the consumer — handing the
+producer loop to a worker thread therefore replays the exact serial rng
+stream, and the prefetched batch sequence is identical to the serial one
+under a fixed seed (gated in ``tests/test_data_pipeline.py``).  The worker
+may run ahead of an early-stopped consumer (drawing negatives for epochs that
+never train); that consumes loader rng the serial path would not have
+consumed, but nothing observable reads those generators afterwards.
+
+Failure contract.  Exceptions raised while materialising a batch (e.g. an
+invalid index from ``build_training_examples``) are captured with their
+traceback and re-raised on the consuming thread — the queue never hangs — and
+:meth:`close` (also run by the context manager) always leaves the worker
+thread dead, even when the consumer abandons the iterator mid-epoch.
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional
+
+from .dataloader import Batch
+
+__all__ = [
+    "PipelineStats",
+    "DataPipeline",
+    "SerialDataPipeline",
+    "PrefetchDataPipeline",
+    "build_pipeline",
+]
+
+#: Queue item kinds used by the prefetch worker.
+_STEP, _ERROR = 0, 2
+
+
+@dataclass
+class PipelineStats:
+    """Where the data side of training spent its time.
+
+    ``prep_seconds`` is producer-side: materialising examples, drawing
+    negatives, slicing batches (for the prefetch pipeline this runs on the
+    worker thread and only counts epochs the consumer actually received —
+    lookahead work for epochs an early-stopped run never trains is excluded).  ``wait_seconds`` is consumer-side: how long the training
+    loop actually blocked waiting for the next step.  Serial pipelines have
+    ``wait_seconds == prep_seconds`` by construction; a well-overlapped
+    prefetch run has ``wait_seconds`` close to zero while ``prep_seconds``
+    stays the same — the difference is the wall time hidden behind training.
+    """
+
+    prep_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    steps: int = 0
+    epochs_started: int = 0
+
+
+class DataPipeline:
+    """Iterator protocol over joint per-step batch dicts, one epoch at a time.
+
+    Subclasses implement :meth:`epoch`; :meth:`close` must be idempotent and
+    safe to call mid-epoch.  Pipelines are context managers so the engine can
+    guarantee shutdown on any exit path.
+    """
+
+    def __init__(self, loaders: Mapping[str, object]) -> None:
+        self.loaders = dict(loaders)
+        self.stats = PipelineStats()
+
+    # -- interface ------------------------------------------------------
+    def epoch(self, epoch_index: int) -> Iterator[Dict[str, Batch]]:
+        """Yield the joint steps of one epoch (must be consumed in order)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release background resources; idempotent."""
+
+    @property
+    def steps_per_epoch(self) -> int:
+        """Upper bound on joint steps per epoch (the longest loader)."""
+        return max((len(loader) for loader in self.loaders.values()), default=0)
+
+    # -- shared producer loop ------------------------------------------
+    def _produce_epoch(self, timed: bool = True) -> Iterator[Dict[str, Batch]]:
+        """One epoch of joint steps, replicating the historical trainer loop.
+
+        Mirrors ``zip_longest`` over the per-domain loaders: steps continue
+        until every loader is exhausted, exhausted domains are dropped from
+        the step dict, and all-empty steps are skipped (never yielded).
+        """
+        started = time.perf_counter() if timed else 0.0
+        iterators = {key: iter(loader) for key, loader in self.loaders.items()}
+        if timed:
+            self.stats.prep_seconds += time.perf_counter() - started
+        while iterators:
+            started = time.perf_counter() if timed else 0.0
+            step: Dict[str, Batch] = {}
+            for key in list(iterators):
+                batch = next(iterators[key], None)
+                if batch is None:
+                    del iterators[key]
+                elif len(batch) > 0:
+                    step[key] = batch
+            if timed:
+                self.stats.prep_seconds += time.perf_counter() - started
+            if not iterators and not step:
+                break
+            if step:
+                self.stats.steps += 1
+                yield step
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "DataPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialDataPipeline(DataPipeline):
+    """Produce every batch on the consuming thread (seed-parity default)."""
+
+    def epoch(self, epoch_index: int) -> Iterator[Dict[str, Batch]]:
+        self.stats.epochs_started += 1
+        for step in self._produce_epoch():
+            # Serial production *is* the consumer's wait: everything the
+            # producer spent, the training loop stood still for.
+            self.stats.wait_seconds = self.stats.prep_seconds
+            yield step
+        self.stats.wait_seconds = self.stats.prep_seconds
+
+
+class PrefetchDataPipeline(DataPipeline):
+    """Epoch-granular double buffering on a background worker thread.
+
+    The expensive data work is *per epoch* (example materialisation, negative
+    re-sampling, the shuffle permutation) while per-step slicing is nearly
+    free, so the worker materialises **whole epochs** of joint steps and the
+    bounded queue holds epoch step-lists.  With ``depth=1`` (double
+    buffering) the worker is building epoch ``e+1`` while the trainer
+    consumes epoch ``e`` from memory — the epoch-boundary stall of the
+    serial pipeline disappears, and the consumer pays one queue round-trip
+    per epoch instead of per step.  A step-granular queue cannot hide this
+    cost: a worker that may only run a few *steps* ahead reaches the next
+    epoch boundary just before the consumer does.
+
+    Parameters
+    ----------
+    loaders:
+        Per-domain loaders; their rngs become worker-owned once the worker
+        starts (the deterministic handoff — see the module docstring).
+    num_epochs:
+        How many epochs the worker should produce in total.  The consumer may
+        stop earlier; :meth:`close` shuts the worker down regardless.
+    depth:
+        Queue capacity in *epochs* ahead of the one being consumed.
+    """
+
+    def __init__(self, loaders: Mapping[str, object], num_epochs: int, depth: int = 1) -> None:
+        super().__init__(loaders)
+        if num_epochs < 1:
+            raise ValueError("num_epochs must be positive")
+        if depth < 1:
+            raise ValueError("depth must be positive")
+        self.num_epochs = int(num_epochs)
+        self.depth = int(depth)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.depth)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._failure = None
+
+    # -- worker side ----------------------------------------------------
+    def _put(self, item) -> bool:
+        """Enqueue unless shutdown was requested; never blocks forever."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _worker(self) -> None:
+        try:
+            for epoch in range(self.num_epochs):
+                # Materialise the whole epoch before enqueueing: the list
+                # build (not the queue put) is where the epoch-boundary cost
+                # lives, and it overlaps with the consumer's training steps.
+                # Each epoch's prep time travels with its payload and is only
+                # folded into the stats when the consumer receives the epoch
+                # — prep spent on epochs an early-stopped run never trains
+                # must not inflate the recorded data cost.
+                prep_before = self.stats.prep_seconds
+                steps = list(self._produce_epoch())
+                epoch_prep = self.stats.prep_seconds - prep_before
+                self.stats.prep_seconds = prep_before
+                if not self._put((_STEP, epoch, steps, epoch_prep)):
+                    return
+        except BaseException:  # noqa: BLE001 — forwarded verbatim to the consumer
+            # Hand the *live* exception (with its traceback) to the consumer
+            # instead of letting the queue starve it.
+            self._put((_ERROR, -1, sys.exc_info()))
+
+    def _ensure_started(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._worker, name="repro-data-prefetch", daemon=True
+            )
+            self._thread.start()
+
+    # -- consumer side --------------------------------------------------
+    def _get(self):
+        started = time.perf_counter()
+        try:
+            while True:
+                try:
+                    return self._queue.get(timeout=0.05)
+                except queue.Empty:
+                    if self._thread is not None and not self._thread.is_alive():
+                        # The worker died without posting anything (it only
+                        # exits silently after _stop or after its final
+                        # epoch was consumed).
+                        raise RuntimeError(
+                            "prefetch worker exited without completing the epoch"
+                        )
+        finally:
+            self.stats.wait_seconds += time.perf_counter() - started
+
+    def epoch(self, epoch_index: int) -> Iterator[Dict[str, Batch]]:
+        if epoch_index >= self.num_epochs:
+            raise IndexError(f"epoch {epoch_index} outside the {self.num_epochs}-epoch plan")
+        if self._stop.is_set():
+            # A closed pipeline must fail fast: restarting the worker here
+            # would spin against the stop flag and silently burn loader rng.
+            raise RuntimeError("prefetch pipeline is closed")
+        self._ensure_started()
+        self.stats.epochs_started += 1
+        item = self._get()
+        if item[0] == _ERROR:
+            self._failure = item[2]
+            self.close()
+            _, error, traceback = item[2]
+            raise error.with_traceback(traceback)
+        _, epoch, payload, epoch_prep = item
+        if epoch != epoch_index:
+            raise RuntimeError(
+                f"pipeline epochs must be consumed in order: got epoch {epoch} "
+                f"while iterating epoch {epoch_index}"
+            )
+        self.stats.prep_seconds += epoch_prep
+        yield from payload
+
+    def close(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is None:
+            return
+        # The worker may be blocked on a full queue; drain until it exits.
+        deadline = time.monotonic() + 10.0
+        while thread.is_alive() and time.monotonic() < deadline:
+            try:
+                while True:
+                    self._queue.get_nowait()
+            except queue.Empty:
+                pass
+            thread.join(timeout=0.05)
+        if thread.is_alive():  # pragma: no cover — defensive, should not happen
+            raise RuntimeError("prefetch worker failed to shut down")
+        self._thread = None
+
+
+def build_pipeline(
+    loaders: Mapping[str, object], num_epochs: int, prefetch_epochs: int = 0
+) -> DataPipeline:
+    """Pipeline factory used by the training engine.
+
+    ``prefetch_epochs=0`` selects the serial (seed-parity) pipeline; any
+    positive value enables the background worker buffering that many epochs
+    ahead (``1`` = classic double buffering).
+    """
+    if prefetch_epochs < 0:
+        raise ValueError("prefetch_epochs must be >= 0")
+    if prefetch_epochs == 0:
+        return SerialDataPipeline(loaders)
+    return PrefetchDataPipeline(loaders, num_epochs=num_epochs, depth=prefetch_epochs)

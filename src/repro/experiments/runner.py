@@ -77,6 +77,12 @@ class ModelResult:
     num_parameters: int
     train_seconds_per_batch: float
     wall_clock_seconds: float
+    #: Producer-side batch-preparation cost per step (epoch materialisation,
+    #: negative sampling, slicing) — the wall cost the step timing above
+    #: deliberately excludes.
+    data_seconds_per_batch: float = 0.0
+    #: Wall-clock seconds of the fit loop itself (data + steps + eval).
+    fit_wall_seconds: float = 0.0
 
     def metric(self, domain_key: str, name: str) -> float:
         return self.metrics.get(domain_key, {}).get(name, float("nan"))
@@ -157,5 +163,7 @@ def run_scenario(
             num_parameters=model.num_parameters(),
             train_seconds_per_batch=history.train_seconds_per_batch,
             wall_clock_seconds=time.perf_counter() - started,
+            data_seconds_per_batch=history.data_seconds_per_batch,
+            fit_wall_seconds=history.fit_wall_seconds,
         )
     return scenario_result

@@ -72,6 +72,52 @@ class InteractionGraph:
         self._csc: Optional[sp.csc_matrix] = None
         self._item_edge_order: Optional[np.ndarray] = None
 
+    @classmethod
+    def from_csr(
+        cls,
+        num_users: int,
+        num_items: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ) -> "InteractionGraph":
+        """Trusted constructor from an already-canonical CSR structure.
+
+        ``indptr``/``indices`` must describe a user-major CSR whose column
+        indices are **sorted and unique within each row** and in range —
+        exactly what slicing another canonical adjacency produces.  This
+        skips the COO round-trip and duplicate merge of ``__init__`` (the
+        dominant cost of building per-step induced subgraphs); only cheap
+        structural invariants are checked.
+        """
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("graph requires at least one user and one item")
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.shape != (num_users + 1,) or indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError("indptr does not describe a CSR over the given shape")
+        if indices.size and (indices.min() < 0 or indices.max() >= num_items):
+            raise ValueError("item index out of range")
+
+        graph = cls.__new__(cls)
+        graph.num_users = int(num_users)
+        graph.num_items = int(num_items)
+        matrix = sp.csr_matrix(
+            (np.ones(indices.size), indices, indptr), shape=(num_users, num_items)
+        )
+        # The caller guarantees canonical form; record it so scipy never
+        # re-sorts or re-merges behind our back.
+        matrix.has_sorted_indices = True
+        matrix.has_canonical_format = True
+        graph._adjacency = matrix
+        graph.user_indices = np.repeat(
+            np.arange(num_users, dtype=np.int64), np.diff(indptr)
+        )
+        graph.item_indices = indices.copy()
+        graph._operator_cache = {}
+        graph._csc = None
+        graph._item_edge_order = None
+        return graph
+
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------

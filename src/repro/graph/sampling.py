@@ -57,6 +57,7 @@ __all__ = [
     "SubgraphCache",
     "sample_khop_nodes",
     "induced_subgraph",
+    "induced_subgraph_scipy",
 ]
 
 
@@ -175,6 +176,9 @@ class DomainSubgraph:
     arrays, so no dense parent-sized lookup table is materialised.
     """
 
+    #: Bound on the identity-keyed localisation memo (see ``_localize``).
+    _MEMO_LIMIT = 64
+
     def __init__(
         self,
         user_ids: np.ndarray,
@@ -184,6 +188,13 @@ class DomainSubgraph:
         self.user_ids = user_ids
         self.item_ids = item_ids
         self.graph = graph
+        # Identity-keyed memo for the global→local remaps: a persistent plan
+        # schedule re-localises the *same* pool/overlap arrays against the
+        # same cached subgraph every step, so repeated lookups skip the
+        # binary search.  Values hold the key array itself, which both makes
+        # the ``id`` key collision-free (the object cannot be freed and its
+        # id recycled while referenced) and keeps the memo bounded.
+        self._local_memo: dict = {}
 
     @property
     def num_users(self) -> int:
@@ -206,16 +217,36 @@ class DomainSubgraph:
             raise KeyError(f"{label} ids {missing.tolist()} are not part of this subgraph")
         return local.astype(np.int64)
 
+    def _memoized(self, kind: str, global_ids, compute) -> np.ndarray:
+        if not isinstance(global_ids, np.ndarray):
+            return compute(global_ids)
+        key = (kind, id(global_ids))
+        hit = self._local_memo.get(key)
+        if hit is not None and hit[0] is global_ids:
+            return hit[1]
+        result = compute(global_ids)
+        if len(self._local_memo) >= self._MEMO_LIMIT:
+            self._local_memo.clear()
+        self._local_memo[key] = (global_ids, result)
+        return result
+
     def local_users(self, global_ids) -> np.ndarray:
         """Map global user ids to local rows (raises if any id is missing)."""
-        return self._localize(self.user_ids, global_ids, "user")
+        return self._memoized(
+            "user", global_ids, lambda ids: self._localize(self.user_ids, ids, "user")
+        )
 
     def local_items(self, global_ids) -> np.ndarray:
         """Map global item ids to local rows (raises if any id is missing)."""
-        return self._localize(self.item_ids, global_ids, "item")
+        return self._memoized(
+            "item", global_ids, lambda ids: self._localize(self.item_ids, ids, "item")
+        )
 
     def contains_users(self, global_ids) -> np.ndarray:
         """Boolean membership mask for global user ids."""
+        return self._memoized("contains", global_ids, self._contains_users)
+
+    def _contains_users(self, global_ids) -> np.ndarray:
         global_ids = np.asarray(global_ids, dtype=np.int64)
         if self.user_ids.size == 0:
             return np.zeros(global_ids.shape, dtype=bool)
@@ -240,6 +271,78 @@ def induced_subgraph(
     the local :class:`InteractionGraph` remains constructible — the padded
     column is all-zero by construction (any edge would have pulled the item
     into the node set), so it influences nothing.
+
+    The extraction is CSR-native: the included users' row slices are gathered
+    straight off the parent adjacency, filtered by item membership with one
+    binary search and assembled into the local CSR directly — no scipy
+    fancy-indexing pass and no COO round-trip (the PR-2 path is kept as
+    :func:`induced_subgraph_scipy` for reference and regression benches).
+    Because the parent CSR is canonical (sorted, duplicate-free) and the
+    remap is monotone, the local structure is canonical by construction.
+    """
+    user_ids = np.asarray(user_ids, dtype=np.int64)
+    item_ids = np.asarray(item_ids, dtype=np.int64)
+    if user_ids.size == 0:
+        return DomainSubgraph(user_ids, item_ids, None)
+    if item_ids.size == 0:
+        item_ids = np.zeros(1, dtype=np.int64)
+
+    csr = graph.adjacency()
+    starts = csr.indptr[user_ids]
+    counts = csr.indptr[user_ids + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        local = InteractionGraph.from_csr(
+            user_ids.size,
+            item_ids.size,
+            np.zeros(user_ids.size + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        return DomainSubgraph(user_ids, item_ids, local)
+
+    if total * 8 >= graph.num_edges:
+        # Dense extraction (exact-hop subgraphs cover most of the graph):
+        # one membership mask over the parent's user-major edge list and two
+        # dense rank lookups.  The parent edge order is user-major with
+        # sorted columns, and the kept subsequence inherits it, so the local
+        # structure is canonical without any sort.
+        item_rank = np.full(graph.num_items, -1, dtype=np.int64)
+        item_rank[item_ids] = np.arange(item_ids.size, dtype=np.int64)
+        user_member = np.zeros(graph.num_users, dtype=bool)
+        user_member[user_ids] = True
+        keep = user_member[graph.user_indices] & (item_rank[graph.item_indices] >= 0)
+        kept_users = graph.user_indices[keep]
+        local_items = item_rank[graph.item_indices[keep]]
+        kept_per_user = np.bincount(kept_users, minlength=graph.num_users)[user_ids]
+    else:
+        # Sparse extraction (fanout-capped subgraphs): contiguous gather of
+        # the included users' CSR slices, then an item-membership filter via
+        # binary search — O(edges of the included users), not O(parent).
+        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        flat = np.repeat(starts, counts) + offsets
+        columns = csr.indices[flat]
+        # The searchsorted position doubles as the *local* item id
+        # (item_ids is sorted and unique).
+        position = np.searchsorted(item_ids, columns)
+        keep = (position < item_ids.size) & (
+            item_ids[np.minimum(position, item_ids.size - 1)] == columns
+        )
+        rows = np.repeat(np.arange(user_ids.size, dtype=np.int64), counts)
+        local_items = position[keep].astype(np.int64)
+        kept_per_user = np.bincount(rows[keep], minlength=user_ids.size)
+
+    indptr = np.concatenate(([0], np.cumsum(kept_per_user))).astype(np.int64)
+    local = InteractionGraph.from_csr(user_ids.size, item_ids.size, indptr, local_items)
+    return DomainSubgraph(user_ids, item_ids, local)
+
+
+def induced_subgraph_scipy(
+    graph: InteractionGraph, user_ids: np.ndarray, item_ids: np.ndarray
+) -> DomainSubgraph:
+    """PR-2 reference extraction via scipy fancy indexing (slow path).
+
+    Kept for the equivalence tests and as the baseline of the plan-build
+    regression bench; production code uses :func:`induced_subgraph`.
     """
     user_ids = np.asarray(user_ids, dtype=np.int64)
     item_ids = np.asarray(item_ids, dtype=np.int64)
@@ -268,8 +371,66 @@ class SubgraphCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = int(max_entries)
         self._entries: "OrderedDict[bytes, DomainSubgraph]" = OrderedDict()
+        #: Secondary index keyed by the *expanded* node sets: two different
+        #: seed sets whose k-hop neighbourhoods coincide share one induced
+        #: subgraph (and all of its memoised operators).
+        self._node_entries: "OrderedDict[bytes, DomainSubgraph]" = OrderedDict()
+        self._node_identity: dict = {}
         self.hits = 0
         self.misses = 0
+        self.node_hits = 0
+
+    def _from_nodes(
+        self,
+        graph: InteractionGraph,
+        user_ids: np.ndarray,
+        item_ids: np.ndarray,
+        num_hops: int,
+        fanout: Optional[int],
+    ) -> DomainSubgraph:
+        """Build-or-reuse an induced subgraph keyed by its node sets."""
+        # Identity fast path: the plan schedule hands back the *same* node
+        # arrays whenever a step's expansion collapses onto the static
+        # closure — skip even the content hash then.  The stored entry keeps
+        # the key arrays alive, so the ids cannot be recycled.
+        identity_key = (id(user_ids), id(item_ids), num_hops, fanout)
+        cached = self._node_identity.get(identity_key)
+        if cached is not None and cached[0] is user_ids and cached[1] is item_ids:
+            self.node_hits += 1
+            return cached[2]
+        node_key = b"nodes:" + _signature(user_ids, item_ids, num_hops, fanout)
+        entry = self._node_entries.get(node_key)
+        if entry is not None:
+            self.node_hits += 1
+            self._node_entries.move_to_end(node_key)
+        else:
+            entry = induced_subgraph(graph, user_ids, item_ids)
+            self._node_entries[node_key] = entry
+            if len(self._node_entries) > self.max_entries:
+                self._node_entries.popitem(last=False)
+        if len(self._node_identity) >= self.max_entries:
+            self._node_identity.clear()
+        self._node_identity[identity_key] = (user_ids, item_ids, entry)
+        return entry
+
+    def get_by_nodes(
+        self,
+        graph: InteractionGraph,
+        user_ids: np.ndarray,
+        item_ids: np.ndarray,
+        num_hops: int = 1,
+        fanout: Optional[int] = None,
+    ) -> DomainSubgraph:
+        """Cached induced subgraph over *pre-expanded*, sorted-unique node sets.
+
+        The incremental plan schedule expands seed deltas itself; this entry
+        point skips seed canonicalisation and k-hop sampling entirely.  The
+        induced subgraph is a pure function of the node sets, so consecutive
+        steps whose expansions coincide (e.g. deterministic pools whose
+        closure already covers the batch neighbourhood) reuse one subgraph
+        and its operator caches.
+        """
+        return self._from_nodes(graph, user_ids, item_ids, num_hops, fanout)
 
     def get(
         self,
@@ -279,7 +440,11 @@ class SubgraphCache:
         num_hops: int = 1,
         fanout: Optional[int] = None,
     ) -> DomainSubgraph:
-        """Return the (possibly cached) induced k-hop subgraph for the seeds."""
+        """Return the (possibly cached) induced k-hop subgraph for the seeds.
+
+        Callers that have already expanded the node sets themselves (the
+        incremental plan schedule) should use :meth:`get_by_nodes` instead.
+        """
         seed_users = _as_node_ids(seed_users, graph.num_users, "seed user")
         seed_items = _as_node_ids(seed_items, graph.num_items, "seed item")
         key = _signature(seed_users, seed_items, num_hops, fanout)
@@ -292,7 +457,7 @@ class SubgraphCache:
         user_ids, item_ids = sample_khop_nodes(
             graph, seed_users, seed_items, num_hops=num_hops, fanout=fanout
         )
-        entry = induced_subgraph(graph, user_ids, item_ids)
+        entry = self._from_nodes(graph, user_ids, item_ids, num_hops, fanout)
         self._entries[key] = entry
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
@@ -300,8 +465,10 @@ class SubgraphCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._node_entries.clear()
         self.hits = 0
         self.misses = 0
+        self.node_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -2,7 +2,7 @@
 
 from .adam import Adam
 from .optimizer import Optimizer, clip_grad_norm
-from .scheduler import ExponentialLR, LRScheduler, StepLR
+from .scheduler import SCHEDULER_NAMES, ExponentialLR, LRScheduler, StepLR, build_scheduler
 from .sgd import SGD
 
 __all__ = [
@@ -13,4 +13,6 @@ __all__ = [
     "LRScheduler",
     "StepLR",
     "ExponentialLR",
+    "build_scheduler",
+    "SCHEDULER_NAMES",
 ]

@@ -7,9 +7,11 @@ will want them, and the ablation benches use step decay for stability.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .optimizer import Optimizer
 
-__all__ = ["LRScheduler", "StepLR", "ExponentialLR"]
+__all__ = ["LRScheduler", "StepLR", "ExponentialLR", "build_scheduler", "SCHEDULER_NAMES"]
 
 
 class LRScheduler:
@@ -54,3 +56,29 @@ class ExponentialLR(LRScheduler):
 
     def get_lr(self) -> float:
         return self.base_lr * (self.gamma ** self.epoch)
+
+
+#: Scheduler names accepted by :func:`build_scheduler` / ``TrainerConfig``.
+SCHEDULER_NAMES = ("step", "exponential")
+
+
+def build_scheduler(
+    name: Optional[str],
+    optimizer: Optimizer,
+    *,
+    step_size: int = 5,
+    gamma: float = 0.5,
+) -> Optional[LRScheduler]:
+    """Config-driven scheduler factory used by the training engine.
+
+    ``None`` (the default trainer configuration: a fixed learning rate, as in
+    the paper) returns ``None``; ``"step"`` and ``"exponential"`` build the
+    matching scheduler with the given knobs.
+    """
+    if name is None:
+        return None
+    if name == "step":
+        return StepLR(optimizer, step_size=step_size, gamma=gamma)
+    if name == "exponential":
+        return ExponentialLR(optimizer, gamma=gamma)
+    raise ValueError(f"unknown lr scheduler '{name}'; expected one of {SCHEDULER_NAMES} or None")

@@ -1,0 +1,226 @@
+"""DataPipeline tests: serial semantics, prefetch determinism, failure paths.
+
+The prefetch worker's contracts are the interesting part: the batch stream
+must be byte-identical to the serial pipeline under a fixed seed (the
+deterministic rng handoff), mid-epoch producer exceptions must surface on the
+consuming thread with their original traceback instead of hanging the queue,
+and no worker thread may outlive the pipeline — whether training finished,
+stopped early or blew up.
+"""
+
+import threading
+import traceback
+
+import numpy as np
+import pytest
+
+from repro.core import CDRTrainer, NMCDR, TrainerConfig
+from repro.data.dataloader import InteractionDataLoader
+from repro.data.pipeline import (
+    PrefetchDataPipeline,
+    SerialDataPipeline,
+    build_pipeline,
+)
+
+WORKER_NAME = "repro-data-prefetch"
+
+
+def make_loaders(task, batch_size=64, seed=9):
+    rng = np.random.default_rng(seed)
+    return {
+        key: InteractionDataLoader(
+            task.domain(key).split,
+            batch_size=batch_size,
+            rng=np.random.default_rng(rng.integers(0, 2**32 - 1)),
+        )
+        for key in ("a", "b")
+    }
+
+
+def collect_epochs(pipeline, num_epochs):
+    epochs = []
+    with pipeline:
+        for epoch in range(num_epochs):
+            epochs.append(list(pipeline.epoch(epoch)))
+    return epochs
+
+
+def assert_same_stream(left, right):
+    assert len(left) == len(right)
+    for steps_a, steps_b in zip(left, right):
+        assert len(steps_a) == len(steps_b)
+        for step_a, step_b in zip(steps_a, steps_b):
+            assert step_a.keys() == step_b.keys()
+            for key in step_a:
+                np.testing.assert_array_equal(step_a[key].users, step_b[key].users)
+                np.testing.assert_array_equal(step_a[key].items, step_b[key].items)
+                np.testing.assert_array_equal(step_a[key].labels, step_b[key].labels)
+
+
+def live_workers():
+    return [t for t in threading.enumerate() if t.name == WORKER_NAME and t.is_alive()]
+
+
+class TestSerialPipeline:
+    def test_replicates_ziplongest_step_structure(self, tiny_task):
+        loaders = make_loaders(tiny_task)
+        lengths = {key: len(loader) for key, loader in loaders.items()}
+        assert lengths["a"] != lengths["b"], "fixture should exercise unequal loaders"
+        pipeline = SerialDataPipeline(loaders)
+        steps = list(pipeline.epoch(0))
+        assert len(steps) == max(lengths.values())
+        # The trailing steps only carry the longer domain.
+        longer = max(lengths, key=lengths.get)
+        for step in steps[min(lengths.values()) :]:
+            assert set(step) == {longer}
+        assert pipeline.stats.steps == len(steps)
+        assert pipeline.stats.prep_seconds > 0
+        assert pipeline.stats.wait_seconds == pipeline.stats.prep_seconds
+
+    def test_steps_per_epoch_upper_bound(self, tiny_task):
+        loaders = make_loaders(tiny_task)
+        pipeline = SerialDataPipeline(loaders)
+        assert pipeline.steps_per_epoch == max(len(loader) for loader in loaders.values())
+
+
+class TestPrefetchDeterminism:
+    def test_prefetched_stream_identical_to_serial(self, tiny_task):
+        serial = SerialDataPipeline(make_loaders(tiny_task))
+        prefetched = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=3, depth=1)
+        assert_same_stream(collect_epochs(serial, 3), collect_epochs(prefetched, 3))
+
+    def test_deeper_buffering_still_identical(self, tiny_task):
+        serial = SerialDataPipeline(make_loaders(tiny_task))
+        prefetched = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=4, depth=3)
+        assert_same_stream(collect_epochs(serial, 4), collect_epochs(prefetched, 4))
+
+    def test_factory_selects_implementation(self, tiny_task):
+        loaders = make_loaders(tiny_task)
+        assert isinstance(build_pipeline(loaders, 2, 0), SerialDataPipeline)
+        pipeline = build_pipeline(loaders, 2, 2)
+        assert isinstance(pipeline, PrefetchDataPipeline)
+        assert pipeline.depth == 2
+        pipeline.close()
+        with pytest.raises(ValueError):
+            build_pipeline(loaders, 2, -1)
+
+
+class TestPrefetchLifecycle:
+    def test_worker_dead_after_full_consumption(self, tiny_task):
+        pipeline = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=2, depth=1)
+        collect_epochs(pipeline, 2)
+        assert not live_workers()
+
+    def test_worker_dead_after_abandoned_epoch(self, tiny_task):
+        pipeline = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=5, depth=1)
+        iterator = pipeline.epoch(0)
+        next(iterator)  # consume a single step, then walk away mid-epoch
+        pipeline.close()
+        assert not live_workers()
+
+    def test_close_is_idempotent(self, tiny_task):
+        pipeline = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=2, depth=1)
+        next(pipeline.epoch(0))
+        pipeline.close()
+        pipeline.close()
+        assert not live_workers()
+
+    def test_prep_time_counts_only_consumed_epochs(self, tiny_task):
+        """Lookahead prep for epochs an early stop never trains is excluded."""
+        pipeline = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=4, depth=3)
+        with pipeline:
+            list(pipeline.epoch(0))
+            after_one = pipeline.stats.prep_seconds
+            assert after_one > 0
+            list(pipeline.epoch(1))
+            assert pipeline.stats.prep_seconds > after_one
+        # Worker very likely pre-built epochs 2-3 before close; their prep
+        # must not have leaked into the stats.
+        assert pipeline.stats.epochs_started == 2
+
+    def test_closed_pipeline_fails_fast(self, tiny_task):
+        pipeline = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=3, depth=1)
+        next(pipeline.epoch(0))
+        pipeline.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            next(pipeline.epoch(1))
+
+    def test_epochs_must_be_consumed_in_order(self, tiny_task):
+        pipeline = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=3, depth=1)
+        with pipeline:
+            with pytest.raises(RuntimeError, match="in order"):
+                next(pipeline.epoch(2))
+        with pytest.raises(IndexError):
+            next(PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=1).epoch(5))
+
+
+class ExplodingLoader:
+    """Loader whose iteration fails mid-epoch, like a bad index would."""
+
+    def __init__(self, loader, explode_at=1):
+        self.loader = loader
+        self.explode_at = explode_at
+
+    def __len__(self):
+        return len(self.loader)
+
+    def __iter__(self):
+        for index, batch in enumerate(self.loader):
+            if index == self.explode_at:
+                raise IndexError("training example user index out of range [0, 7)")
+            yield batch
+
+
+class TestExceptionPropagation:
+    def test_worker_exception_reaches_consumer_with_traceback(self, tiny_task):
+        loaders = make_loaders(tiny_task)
+        loaders["a"] = ExplodingLoader(loaders["a"])
+        pipeline = PrefetchDataPipeline(loaders, num_epochs=2, depth=1)
+        with pytest.raises(IndexError, match="out of range") as excinfo:
+            collect_epochs(pipeline, 2)
+        # The original producer frame survives the thread handoff.
+        frames = traceback.format_tb(excinfo.value.__traceback__)
+        assert any("ExplodingLoader" in frame or "__iter__" in frame for frame in frames)
+        assert not live_workers()
+
+    def test_invalid_examples_surface_through_trainer_fit(self, tiny_task, tiny_nmcdr_config):
+        """End to end: a poisoned split fails fast instead of hanging the queue."""
+        model = NMCDR(tiny_task, tiny_nmcdr_config)
+        trainer = CDRTrainer(
+            model,
+            tiny_task,
+            TrainerConfig(num_epochs=2, batch_size=64, prefetch_epochs=1, eval_every=0),
+        )
+        trainer._loaders["b"] = ExplodingLoader(trainer._loaders["b"], explode_at=0)
+        with pytest.raises(IndexError, match="out of range"):
+            trainer.fit()
+        assert not live_workers()
+
+
+class TestTrainerThreadHygiene:
+    def test_no_live_worker_after_fit_returns(self, tiny_task, tiny_nmcdr_config):
+        model = NMCDR(tiny_task, tiny_nmcdr_config)
+        trainer = CDRTrainer(
+            model,
+            tiny_task,
+            TrainerConfig(num_epochs=2, batch_size=128, prefetch_epochs=1, eval_every=0),
+        )
+        history = trainer.fit()
+        assert history.num_batches > 0
+        assert not live_workers()
+
+    def test_no_live_worker_after_fit_raises(self, tiny_task, tiny_nmcdr_config):
+        model = NMCDR(tiny_task, tiny_nmcdr_config)
+        trainer = CDRTrainer(
+            model,
+            tiny_task,
+            TrainerConfig(num_epochs=3, batch_size=128, prefetch_epochs=1, eval_every=0),
+        )
+
+        def explode(batches):
+            raise KeyboardInterrupt
+
+        model.compute_batch_loss = explode
+        with pytest.raises(KeyboardInterrupt):
+            trainer.fit()
+        assert not live_workers()
