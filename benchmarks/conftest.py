@@ -15,10 +15,8 @@ Two modes:
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
-import pytest
 
 from repro.experiments import ExperimentSettings, fast_mode
 

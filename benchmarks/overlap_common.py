@@ -5,7 +5,7 @@ from __future__ import annotations
 from conftest import bench_settings, run_once, sweep_models, sweep_overlap_ratios, write_report
 
 from repro.experiments import run_overlap_sweep
-from repro.experiments.paper_reference import improvement_reference_row, nmcdr_reference_row
+from repro.experiments.paper_reference import improvement_reference_row
 
 
 def run_overlap_bench(benchmark, scenario: str, report_name: str) -> None:

@@ -413,3 +413,177 @@ def test_bench_subgraph_scaling(benchmark):
     assert (
         largest["sampled_train_s_per_batch"] < largest["full_train_s_per_batch"]
     ), "sampled training should beat full-graph training outright on the largest graph"
+
+
+def _run_sharded_scaling():
+    """Sharded-executor fit walls at the largest scaling-bench size.
+
+    Serial vs ``n_shards ∈ {1, 2, 4}``, NMCDR sampled training (1 hop,
+    fanout 8) with a large batch so the per-shard micro-batch work
+    dominates the shared pool-closure work each worker replicates.  Besides
+    the measured walls the record carries a **projected multi-core wall**
+    for each shard count — parent-side overhead plus an even split of the
+    workers' busy time — because the measured speedup is only meaningful on
+    a machine with at least ``n_shards`` idle cores (``cpu_count`` is
+    recorded; on a single-core container every sharded wall is necessarily
+    a slowdown and only the projection and the overhead bounds are
+    informative).
+    """
+    import os
+
+    from repro.profiling import profiler
+
+    scale = SCALING_SCALES[-1]
+    shard_counts = (1, 2, 4)
+    cpu_count = (
+        len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    )
+    with engine.engine_dtype("float32"):
+        dataset = load_scenario("cloth_sport", scale=scale, seed=13)
+        task = build_task(dataset, head_threshold=7)
+
+        def fit(executor, n_shards):
+            model = NMCDR(task, NMCDRConfig(embedding_dim=32, seed=0))
+            config = TrainerConfig(
+                num_epochs=1,
+                batch_size=8192,
+                seed=5,
+                sampled_subgraph_training=True,
+                subgraph_num_hops=1,
+                subgraph_fanout=8,
+                executor=executor,
+                n_shards=n_shards,
+            )
+            trainer = CDRTrainer(model, task, config)
+            profiler.reset()
+            profiler.enable()
+            try:
+                history = trainer.fit()
+            finally:
+                scopes = {
+                    name: stats["seconds"]
+                    for name, stats in profiler.as_dict()["scopes"].items()
+                }
+                profiler.disable()
+            return history, scopes
+
+        serial, _ = fit("serial", 1)
+        points = []
+        for n_shards in shard_counts:
+            history, scopes = fit("sharded", n_shards)
+            busy = scopes.get("train/shard_wait", 0.0)
+            overhead = sum(
+                scopes.get(name, 0.0)
+                for name in (
+                    "train/publish",
+                    "train/dispatch",
+                    "train/reduce",
+                    "train/optimizer",
+                )
+            )
+            # The projection is only meaningful when the workers were
+            # time-sliced on fewer cores than shards: there, the parent's
+            # shard_wait approximates the *sum* of worker busy time and an
+            # even split estimates the parallel wall.  With >= n_shards
+            # cores the workers already ran concurrently — shard_wait *is*
+            # the parallel wall, and dividing it again would double-count
+            # the parallelism — so the measured speedup is the truth and
+            # no projection is recorded.
+            if cpu_count < n_shards:
+                projected_wall = overhead + busy / n_shards
+                projected_speedup = serial.step_seconds_total / projected_wall
+            else:
+                projected_wall = None
+                projected_speedup = None
+            points.append(
+                {
+                    "n_shards": n_shards,
+                    "fit_wall_s": history.fit_wall_seconds,
+                    "speedup_vs_serial": serial.fit_wall_seconds / history.fit_wall_seconds,
+                    "worker_busy_s": busy,
+                    "parent_overhead_s": overhead,
+                    "projected_multicore_step_wall_s": projected_wall,
+                    "projected_multicore_speedup": projected_speedup,
+                    "epoch_losses": history.epoch_losses,
+                }
+            )
+        replica_matches_serial = points[0]["epoch_losses"] == serial.epoch_losses
+
+    return {
+        "scale": scale,
+        "num_epochs": 1,
+        "batch_size": 8192,
+        "subgraph": "1 hop, fanout 8",
+        "cpu_count": cpu_count,
+        "serial_fit_wall_s": serial.fit_wall_seconds,
+        "serial_step_s": serial.step_seconds_total,
+        "num_steps": serial.num_batches,
+        "replica_matches_serial": replica_matches_serial,
+        "points": [
+            {key: value for key, value in point.items() if key != "epoch_losses"}
+            for point in points
+        ],
+    }
+
+
+def test_bench_sharded_scaling(benchmark):
+    """Sharded executor: correctness canary, overhead bound, scaling record.
+
+    Hard assertions stay machine-independent: the ``n_shards=1`` replica
+    must replay the serial loss stream bit-for-bit, and its fit wall must
+    stay within a generous constant factor of serial (the IPC + publish
+    overhead bound).  Actual speedup is only gated when the machine has
+    enough cores — that check lives in ``scripts/check_perf_regression.py``
+    so CI (multi-core runners) enforces it while single-core containers
+    record the projection honestly.
+    """
+    record = run_once(benchmark, _run_sharded_scaling)
+
+    lines = [
+        "Sharded data-parallel executor: fit wall vs shard count "
+        f"(scale {record['scale']}, batch {record['batch_size']}, {record['subgraph']})",
+        "",
+        f"cpu_count={record['cpu_count']}  serial fit wall {record['serial_fit_wall_s']:.2f}s "
+        f"({record['num_steps']} steps)",
+    ]
+    for point in record["points"]:
+        projection = (
+            f", {point['projected_multicore_speedup']:.2f}x projected on "
+            f"{point['n_shards']} idle cores"
+            if point["projected_multicore_speedup"] is not None
+            else ""
+        )
+        lines.append(
+            f"n_shards={point['n_shards']}: wall {point['fit_wall_s']:.2f}s "
+            f"(speedup {point['speedup_vs_serial']:.2f}x measured{projection})"
+        )
+    write_report("efficiency_sharded_scaling", "\n".join(lines))
+    _update_bench_json(
+        {
+            "sharded_scaling": {
+                "engine_dtype": "float32",
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                **record,
+            }
+        }
+    )
+
+    assert record["replica_matches_serial"], (
+        "n_shards=1 must replay the serial loss stream bit-for-bit"
+    )
+    replica = record["points"][0]
+    assert replica["fit_wall_s"] < 3.0 * record["serial_fit_wall_s"], (
+        "single-shard IPC overhead exploded: "
+        f"{replica['fit_wall_s']:.2f}s vs serial {record['serial_fit_wall_s']:.2f}s"
+    )
+    # On machines with the cores to exploit, parallel execution must not be
+    # lost entirely (0.9 floor mirrors scripts/check_perf_regression.py:
+    # break-even is too thin against shared-runner contention, while a
+    # single-core-like wall lands around 0.4x).
+    if record["cpu_count"] >= 4:
+        best = max(point["speedup_vs_serial"] for point in record["points"])
+        assert best > 0.9, (
+            f"parallel execution lost: best sharded speedup {best:.2f}x "
+            f"on a {record['cpu_count']}-core machine"
+        )

@@ -5,7 +5,6 @@ from __future__ import annotations
 from conftest import run_once, write_report
 
 from repro.experiments import DEFAULT_AB_GROUPS, OnlineDomainSpec, fast_mode, run_online_ab
-from repro.experiments.paper_reference import TABLE8_ONLINE_AB
 
 
 def _run():

@@ -110,6 +110,63 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                     f"pipeline overlap: {label} regressed {change * 100:+.1f}%"
                 )
 
+    base_sharded = baseline.get("sharded_scaling")
+    fresh_sharded = fresh.get("sharded_scaling")
+    if fresh_sharded:
+        # Structural claims, baseline-independent.  The n_shards=1 replica
+        # must keep replaying the serial loss stream bit-for-bit, and its
+        # IPC/publish overhead must stay within a constant factor of serial.
+        if not fresh_sharded.get("replica_matches_serial", True):
+            failures.append(
+                "sharded executor: n_shards=1 no longer replays the serial loss stream"
+            )
+        points = fresh_sharded.get("points") or []
+        serial_wall = fresh_sharded.get("serial_fit_wall_s")
+        replica = next((p for p in points if p.get("n_shards") == 1), None)
+        if replica and serial_wall:
+            ratio = replica["fit_wall_s"] / serial_wall
+            rows.append(("sharded n=1 wall vs serial", serial_wall, replica["fit_wall_s"], ratio - 1.0))
+            if ratio > 3.0:
+                failures.append(
+                    f"sharded executor: single-shard overhead {ratio:.2f}x serial (limit 3.0x)"
+                )
+        # Actual speedup is only meaningful with enough cores (the committed
+        # record may come from a single-core container, where every sharded
+        # wall is necessarily a slowdown and only the overhead bound above
+        # applies); multi-core CI runners enforce the scaling claim.
+        # Floor 0.9 rather than 1.0: the pool-closure replication bounds the
+        # achievable speedup (see ROADMAP), and on a shared 4-vCPU runner
+        # the parent contends with the workers — a hard break-even gate
+        # would flake under normal runner noise.  0.9 still catches
+        # "parallelism lost entirely" (single-core-like walls are ~0.4x).
+        cpu_count = fresh_sharded.get("cpu_count") or 1
+        if cpu_count >= 4 and points:
+            best = max(p.get("speedup_vs_serial", 0.0) for p in points)
+            if best < 0.9:
+                failures.append(
+                    f"sharded executor: best measured speedup {best:.2f}x on a "
+                    f"{cpu_count}-core machine (parallel execution lost)"
+                )
+    if (
+        base_sharded
+        and fresh_sharded
+        and base_sharded.get("cpu_count") == fresh_sharded.get("cpu_count")
+    ):
+        base_points = {p.get("n_shards"): p for p in base_sharded.get("points") or []}
+        for point in fresh_sharded.get("points") or []:
+            base_point = base_points.get(point.get("n_shards"))
+            if not base_point:
+                continue
+            base_time, fresh_time = base_point["fit_wall_s"], point["fit_wall_s"]
+            change = fresh_time / base_time - 1.0
+            rows.append(
+                (f"sharded n={point['n_shards']} fit wall", base_time, fresh_time, change)
+            )
+            if change > threshold:
+                failures.append(
+                    f"sharded n={point['n_shards']}: fit wall regressed {change * 100:+.1f}%"
+                )
+
     print(f"perf gate (threshold: +{threshold * 100:.0f}% train s/batch)")
     for label, base_time, fresh_time, change in rows:
         print(f"  {label:<40} {base_time:.6f}s -> {fresh_time:.6f}s ({change * 100:+.1f}%)")

@@ -17,13 +17,14 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..core.sharded import ShardLoss
+from ..core.task import CDRTask, DOMAIN_KEYS
 from ..data.dataloader import Batch
 from ..data.negative_sampling import NegativeSampler
 from ..graph import SubgraphCache
 from ..graph.sampling import DomainSubgraph, InteractionGraph
 from ..nn import Module, losses
-from ..tensor import Tensor, no_grad
-from ..core.task import CDRTask, DOMAIN_KEYS
+from ..tensor import Tensor, no_grad, ops
 
 __all__ = ["BaselineModel", "SubgraphSamplingMixin"]
 
@@ -154,6 +155,92 @@ class BaselineModel(Module):
         if extra is not None:
             total = total + extra
         return total
+
+    # ------------------------------------------------------------------
+    # sharded execution protocol
+    # ------------------------------------------------------------------
+    def supports_sharding(self) -> bool:
+        """Whether the sharded executor can decompose this model's steps.
+
+        The sharded loss decomposition assumes the default pointwise BCE
+        objective (per-example terms that sum across shards) and a step
+        that consumes no rng; models overriding ``domain_batch_loss`` or
+        ``compute_batch_loss`` (e.g. BPR's pairwise loss, which draws its
+        own negatives inside the step) must train on the serial executor.
+        """
+        return (
+            type(self).domain_batch_loss is BaselineModel.domain_batch_loss
+            and type(self).compute_batch_loss is BaselineModel.compute_batch_loss
+        )
+
+    def compute_shard_loss(
+        self,
+        batches: Dict[str, Optional[Batch]],
+        *,
+        pools=None,
+        full_sizes: Optional[Dict[str, int]] = None,
+        localize: bool = False,
+        include_extra: bool = True,
+    ) -> ShardLoss:
+        """One shard's pointwise loss over its micro-batches (worker-side).
+
+        Mirrors :meth:`compute_batch_loss` with the per-domain mean
+        normalised by the step's *full* batch size (``full_sizes``) so
+        per-shard losses and gradients sum to the full-batch quantities.
+        Graph baselines with sampled-subgraph support localise inside
+        ``batch_scores`` (the worker enables it when ``localize`` is set),
+        so nothing else is needed here.  ``extra_losses`` is charged to
+        shard 0 only (``include_extra``) — it is batch-independent and must
+        enter the reduced gradient exactly once.
+        """
+        del pools, localize  # pool-free models; locality lives in batch_scores
+        if not self.supports_sharding():
+            raise NotImplementedError(
+                f"{type(self).__name__} overrides the pointwise loss and cannot "
+                "be decomposed into shard losses"
+            )
+        if not include_extra and not any(
+            batch is not None and len(batch) > 0 for batch in batches.values()
+        ):
+            return ShardLoss()
+        total: Optional[Tensor] = None
+        terms: Dict[str, np.ndarray] = {}
+        value_dtype: Optional[str] = None
+        for key in DOMAIN_KEYS:
+            batch = batches.get(key)
+            if batch is None or len(batch) == 0:
+                continue
+            predictions = self.batch_scores(key, batch.users, batch.items)
+            labels = batch.labels.reshape(-1, 1)
+            term_sum, raw = ops.binary_cross_entropy_probs(
+                predictions, labels, reduction="sum", return_terms=True
+            )
+            # Raw pre-reduction terms (natural dtype) for the parent's
+            # canonical ``mean`` over the reassembled full batch.
+            terms[key] = raw
+            full_size = (full_sizes or {}).get(key, len(batch))
+            columns = max(raw.size // len(batch), 1)
+            # The serial path reduces with ``mean`` over the full batch
+            # array; scaling the shard's term sum by 1/(full array size)
+            # hands the kernel's backward the exact per-term multiplier of
+            # that mean, so shard gradients sum to the serial gradient.
+            loss = term_sum * (1.0 / (full_size * columns))
+            total = loss if total is None else total + loss
+            value_dtype = str(loss.data.dtype)
+        extra_value: Optional[float] = None
+        if include_extra:
+            extra = self.extra_losses()
+            if extra is not None:
+                total = extra if total is None else total + extra
+                extra_value = float(extra.item())
+                value_dtype = value_dtype or str(extra.data.dtype)
+        return ShardLoss(
+            loss=total,
+            terms=terms,
+            reductions={key: "mean" for key in terms},
+            extra=extra_value,
+            value_dtype=value_dtype,
+        )
 
     def prepare_for_evaluation(self) -> None:
         """Hook called before scoring; default switches to eval mode."""

@@ -10,7 +10,7 @@ Tables II–V.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Sequence
 
 import numpy as np
 

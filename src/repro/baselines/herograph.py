@@ -11,7 +11,7 @@ to transfer knowledge — the limitation the paper's CH1 targets.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Sequence
 
 import numpy as np
 

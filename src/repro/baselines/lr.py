@@ -11,7 +11,6 @@ cross-domain transfer.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

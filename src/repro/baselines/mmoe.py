@@ -14,7 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.task import CDRTask
-from ..nn import MLP, Embedding, Linear, Module, ModuleList
+from ..nn import MLP, Embedding, Linear, ModuleList
 from ..tensor import Tensor, ops
 from .base import BaselineModel
 

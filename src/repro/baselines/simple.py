@@ -12,14 +12,14 @@ can be dropped into any experiment for calibration.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
 from ..core.task import CDRTask
 from ..data.dataloader import Batch
 from ..nn import Parameter, init
-from ..tensor import Tensor, ops
+from ..tensor import Tensor
 from .base import BaselineModel
 
 __all__ = ["RandomModel", "PopularityModel"]

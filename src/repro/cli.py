@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis import measure_efficiency
 from .baselines import build_model
@@ -146,6 +146,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduled-plans",
         action="store_true",
         help="with --sampled: build plans through the incremental schedule",
+    )
+    profile.add_argument(
+        "--executor",
+        choices=("serial", "sharded"),
+        default="serial",
+        help="step executor: in-process serial or the sharded data-parallel one",
+    )
+    profile.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker-process count for --executor sharded",
     )
 
     return parser
@@ -281,17 +293,24 @@ def _command_profile(args: argparse.Namespace) -> str:
             prefetch_epochs=args.prefetch,
             sampled_subgraph_training=args.sampled,
             scheduled_subgraph_plans=args.scheduled_plans,
+            executor=args.executor,
+            n_shards=args.shards,
         )
         trainer = CDRTrainer(model, task, config)
         training_engine = trainer.build_engine()
         pipeline = training_engine.build_pipeline(trainer._loaders)
         with profile_context(instrument=not args.no_instrument):
             history = training_engine.fit(pipeline, max_steps=args.batches)
+        executor_note = (
+            f", executor=sharded(n_shards={args.shards})"
+            if args.executor == "sharded"
+            else ""
+        )
         header = (
             f"profiled {args.profile_model} for {history.num_batches} training steps "
             f"(dtype={args.dtype}, batch_size={settings.batch_size}, "
             f"prefetch={args.prefetch}, sampled={args.sampled}, "
-            f"scheduled_plans={args.scheduled_plans})"
+            f"scheduled_plans={args.scheduled_plans}{executor_note})"
         )
         phases = (
             f"phase totals: data wait {history.data_wait_seconds_total * 1e3:.1f} ms | "

@@ -16,6 +16,7 @@ from .inter_matching import InterNodeMatching
 from .intra_matching import IntraNodeMatching
 from .nmcdr import NMCDR, DomainRepresentations
 from .prediction import PredictionHead
+from .sharded import ShardedStepExecutor, ShardLoss
 from .subgraph_plan import (
     DomainSubgraphPlan,
     SubgraphPlan,
@@ -51,6 +52,8 @@ __all__ = [
     "TrainingHistory",
     "TrainingEngine",
     "StepExecutor",
+    "ShardedStepExecutor",
+    "ShardLoss",
     "EngineContext",
     "Callback",
     "EarlyStoppingCallback",

@@ -9,7 +9,7 @@ fraction of the cost.  Every value is overridable per experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 __all__ = ["NMCDRConfig", "TrainerConfig"]
@@ -151,6 +151,17 @@ class TrainerConfig:
     #: epoch-boundary example materialisation and negative sampling with the
     #: training steps.  The batch sequence is identical under a fixed seed.
     prefetch_epochs: int = 0
+    #: Which step executor drives the optimisation step: ``"serial"`` (the
+    #: seed-parity default, in-process) or ``"sharded"`` — the data-parallel
+    #: :class:`~repro.core.sharded.ShardedStepExecutor`, which splits every
+    #: joint batch across ``n_shards`` forked worker processes over
+    #: shared-memory parameters and reduces gradients with a fixed-order
+    #: sum before one Adam update.
+    executor: str = "serial"
+    #: Worker-process count of the sharded executor (ignored when
+    #: ``executor="serial"``).  ``1`` is the serial-replica mode: bit-exact
+    #: against the serial executor while exercising the full process path.
+    n_shards: int = 1
     #: Learning-rate schedule applied once per epoch: ``None`` keeps the
     #: fixed rate of the paper, ``"step"`` decays by ``lr_gamma`` every
     #: ``lr_step_size`` epochs, ``"exponential"`` decays by ``lr_gamma``
@@ -175,6 +186,10 @@ class TrainerConfig:
             raise ValueError("subgraph_fanout must be >= 1 or None")
         if self.prefetch_epochs < 0:
             raise ValueError("prefetch_epochs must be >= 0")
+        if self.executor not in ("serial", "sharded"):
+            raise ValueError("executor must be 'serial' or 'sharded'")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
         if self.lr_scheduler is not None:
             from ..optim.scheduler import SCHEDULER_NAMES
 

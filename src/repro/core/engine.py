@@ -262,9 +262,17 @@ class TrainingEngine:
         config = self.config
         fit_started = time.perf_counter()
         total_steps = 0
-        for callback in self.callbacks:
-            callback.on_fit_start(context)
         try:
+            # Executors with external resources (the sharded executor's
+            # worker processes) open *before* the pipeline starts any worker
+            # thread — forking a multi-threaded process risks inheriting
+            # held locks — but inside this try, so a failing open or
+            # on_fit_start callback still reaches the executor close below.
+            executor_open = getattr(self.executor, "open", None)
+            if callable(executor_open):
+                executor_open()
+            for callback in self.callbacks:
+                callback.on_fit_start(context)
             with pipeline:
                 for epoch in range(config.num_epochs):
                     context.epoch = epoch
@@ -329,6 +337,13 @@ class TrainingEngine:
                     if context.stop_requested:
                         break
         finally:
+            # Symmetric to the eager open above: whatever path exits the
+            # loop — normal return, early stop, executor crash — no worker
+            # process may outlive fit() (close() is idempotent, so an
+            # executor that already tore itself down is fine).
+            executor_close = getattr(self.executor, "close", None)
+            if callable(executor_close):
+                executor_close()
             history.data_prep_seconds_total = pipeline.stats.prep_seconds
             history.data_wait_seconds_total = pipeline.stats.wait_seconds
             history.fit_wall_seconds = time.perf_counter() - fit_started

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..data.dataloader import Batch
 from ..graph import MatchingNeighborSampler, SubgraphCache
-from ..nn import Embedding, Module, ModuleList, losses
+from ..nn import Embedding, Module, ModuleList
 from ..profiling import profiler
 from ..tensor import Tensor, no_grad, ops
 from .complementing import IntraNodeComplementing
@@ -35,13 +35,58 @@ from .inter_matching import InterNodeMatching
 from .intra_matching import IntraNodeMatching
 from .plan_schedule import PlanSchedule
 from .prediction import PredictionHead
-from .subgraph_plan import SubgraphPlan, SubgraphSettings, build_subgraph_plan
+from .sharded import ShardLoss
+from .subgraph_plan import (
+    SubgraphPlan,
+    SubgraphSettings,
+    build_subgraph_plan,
+    build_subgraph_plan_from_pools,
+    sample_matching_pools,
+)
 from .task import CDRTask, DOMAIN_KEYS
 
 __all__ = ["NMCDR", "DomainRepresentations"]
 
 #: Stage names in pipeline order; ``user_g4`` feeds the final prediction loss.
 STAGES = ("user_g0", "user_g1", "user_g2", "user_g3", "user_g4")
+
+
+class _PoolReplaySampler:
+    """Sampler that replays pre-drawn matching pools in full-forward order.
+
+    The sharded executor draws every pool of a step in the parent process
+    (:func:`~repro.core.subgraph_plan.sample_matching_pools`) and ships them
+    to the shard workers; a worker running the *full-graph* forward (replica
+    mode, ``n_shards=1``) injects them through this object so the forward
+    consumes the exact pools of the serial stream without touching any rng.
+    """
+
+    def __init__(self, intra_pools, inter_pools, config: NMCDRConfig) -> None:
+        self._draws = []
+        for layer in range(config.num_matching_layers):
+            if config.use_intra_matching:
+                for key in DOMAIN_KEYS:
+                    self._draws.append(("partition", intra_pools[key][layer]))
+            if config.use_inter_matching:
+                for key in DOMAIN_KEYS:
+                    self._draws.append(("pool", inter_pools[key][layer]))
+        self._cursor = 0
+
+    def _next(self, kind: str):
+        if self._cursor >= len(self._draws) or self._draws[self._cursor][0] != kind:
+            raise RuntimeError(
+                "matching-pool replay out of sync with the forward pass "
+                f"(wanted a {kind!r} draw at position {self._cursor})"
+            )
+        value = self._draws[self._cursor][1]
+        self._cursor += 1
+        return value
+
+    def sample_partition(self, partition):
+        return self._next("partition")
+
+    def sample(self, candidates):
+        return self._next("pool")
 
 
 class DomainRepresentations(dict):
@@ -387,6 +432,8 @@ class NMCDR(Module):
         batch: Batch,
         companion_weight: float,
         cls_weight: float,
+        weight_batch_size: Optional[int] = None,
+        return_example_terms: bool = False,
     ) -> Tensor:
         """Final (Eq. 23) plus companion (Eq. 22) losses for one domain.
 
@@ -396,9 +443,21 @@ class NMCDR(Module):
         per-stage means recovered by a constant weight vector.  (With a
         non-zero head dropout this draws one mask across the stacked rows
         rather than five independent ones — the expectation is unchanged.)
+
+        ``weight_batch_size`` overrides the per-stage mean's normaliser —
+        the sharded executor computes micro-batch losses normalised by the
+        *full* batch size so per-shard partial losses (and gradients) sum
+        to the full-batch quantities.  ``return_example_terms=True``
+        additionally returns the raw pre-reduction weighted loss-term
+        array (one row per stacked stage row, in its natural pre-cast
+        dtype), which the executor reassembles in canonical batch order
+        and reduces exactly like the fused kernel; the returned loss
+        tensor is the unchanged fused ``"sum"`` node either way, so the
+        backward pass is the serial one verbatim.
         """
         params = self._params(key)
         batch_size = batch.users.shape[0]
+        weight_size = weight_batch_size if weight_batch_size is not None else batch_size
 
         # Stage roster: the final prediction on u_g4 first, then the
         # companions u_g0 .. u_g3 when enabled.
@@ -419,11 +478,127 @@ class NMCDR(Module):
         labels = np.tile(batch.labels.reshape(-1, 1), (len(stages), 1))
         # sum_k weight_k * mean(bce over stage-k block), as one weighted sum.
         example_weights = np.repeat(
-            np.asarray(stage_weights, dtype=predictions.data.dtype) / batch_size,
+            np.asarray(stage_weights, dtype=predictions.data.dtype) / weight_size,
             batch_size,
         ).reshape(-1, 1)
+        if return_example_terms:
+            return ops.binary_cross_entropy_probs(
+                predictions, labels, weights=example_weights, reduction="sum",
+                return_terms=True,
+            )
         return ops.binary_cross_entropy_probs(
             predictions, labels, weights=example_weights, reduction="sum"
+        )
+
+    # ------------------------------------------------------------------
+    # sharded execution protocol
+    # ------------------------------------------------------------------
+    def supports_sharding(self) -> bool:
+        return True
+
+    def sample_step_pools(self):
+        """Draw one training step's matching pools (parent-side, per step).
+
+        Consumes exactly the sampler rng a serial training forward would —
+        whether that forward is full-graph (pools drawn inside the matching
+        layers) or plan-based (pools pre-drawn by the plan builder) — so a
+        sharded run's parent rng stream, and therefore its mid-training
+        evaluation, matches the serial executor's.
+        """
+        return sample_matching_pools(self.task, self.config, self._sampler)
+
+    def compute_shard_loss(
+        self,
+        batches: Dict[str, Optional[Batch]],
+        *,
+        pools=None,
+        full_sizes: Optional[Dict[str, int]] = None,
+        localize: bool = False,
+        include_extra: bool = True,
+    ) -> "ShardLoss":
+        """One shard's loss for its micro-batches (worker-side, rng-free).
+
+        ``pools`` are the step's parent-drawn matching pools.  With
+        ``localize=True`` the five-stage forward runs over the induced
+        subgraph around the micro-batch (plus the pools' closure), so shard
+        cost follows the micro-batch; with ``localize=False`` (the
+        ``n_shards=1`` replica mode) the forward replays the serial
+        computation verbatim — the model's own configured path, with the
+        pools injected — and is bit-identical to the serial executor.
+        Loss terms are normalised by ``full_sizes`` (the step's full batch
+        sizes) so the per-shard losses and gradients decompose the
+        full-batch quantities.
+        """
+        del include_extra  # NMCDR has no model-level extra losses
+        if pools is None:
+            raise ValueError("NMCDR shard steps need the parent-drawn matching pools")
+        if not any(batch is not None and len(batch) > 0 for batch in batches.values()):
+            # Every domain of this shard's micro-batch is empty (more shards
+            # than batch users): contribute nothing instead of running a
+            # pool-only forward.
+            return ShardLoss()
+        intra_pools, inter_pools = pools
+        plan: Optional[SubgraphPlan] = None
+        replay_sampler: Optional[_PoolReplaySampler] = None
+        if localize or self._subgraph_settings is not None:
+            settings = self._subgraph_settings
+            caches = self._subgraph_caches
+            if settings is None:
+                # Workers localise at the exactness depth by default; the
+                # executor configures this post-fork, so reaching this branch
+                # means a caller drove the protocol directly.
+                self.configure_subgraph_sampling(True)
+                settings, caches = self._subgraph_settings, self._subgraph_caches
+            plan = build_subgraph_plan_from_pools(
+                self.task, self.config, batches, intra_pools, inter_pools, settings, caches
+            )
+        else:
+            replay_sampler = _PoolReplaySampler(intra_pools, inter_pools, self.config)
+
+        original_sampler = self._sampler
+        if replay_sampler is not None:
+            self._sampler = replay_sampler
+        try:
+            reps = self.forward_representations(plan)
+        finally:
+            self._sampler = original_sampler
+
+        w_co_a, w_co_b, w_cls_a, w_cls_b = self.config.loss_weights
+        total: Optional[Tensor] = None
+        terms: Dict[str, np.ndarray] = {}
+        for key, companion_weight, cls_weight in (
+            ("a", w_co_a, w_cls_a),
+            ("b", w_co_b, w_cls_b),
+        ):
+            batch = batches.get(key)
+            if batch is None or len(batch) == 0:
+                continue
+            if plan is not None:
+                domain_plan = plan.domain(key)
+                local_batch = Batch(
+                    users=domain_plan.batch_users,
+                    items=domain_plan.batch_items,
+                    labels=batch.labels,
+                )
+            else:
+                local_batch = batch
+            full_size = (full_sizes or {}).get(key, len(batch))
+            loss, raw_terms = self._domain_loss(
+                key,
+                reps[key],
+                local_batch,
+                companion_weight,
+                cls_weight,
+                weight_batch_size=full_size,
+                return_example_terms=True,
+            )
+            terms[key] = raw_terms
+            total = loss if total is None else total + loss
+        return ShardLoss(
+            loss=total,
+            terms=terms,
+            reductions={key: "sum" for key in terms},
+            value_dtype=str(total.data.dtype) if total is not None else None,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,513 @@
+"""Sharded data-parallel step execution over shared-memory parameters.
+
+:class:`ShardedStepExecutor` replaces the serial :class:`~repro.core.engine.
+StepExecutor` without any training-loop changes (the PR-3 swap point): every
+joint step is split into per-shard micro-batches (``user_id % n_shards``,
+:mod:`repro.data.shard`), each shard worker — a forked process — localises
+its micro-batch with the existing :class:`~repro.core.subgraph_plan.
+SubgraphPlan` machinery and runs forward/backward on its own core, and the
+parent combines the per-shard gradients with a fixed-order all-reduce-style
+sum before one in-place Adam update.
+
+Determinism / equivalence design
+--------------------------------
+
+The fixed-seed loss and metric stream is kept equivalent to the serial
+executor by moving every rng consumer and every floating-point reduction to
+a canonical place:
+
+* **Parameters** live in one shared-memory block.  Workers alias their
+  model's parameters to views of that block, the parent publishes updated
+  values into it before dispatching a step, and the strict
+  dispatch → compute → reduce → update lock-step means nobody reads while
+  the parent writes.  Every shard therefore computes from bit-identical
+  parameters; nothing about worker scheduling can leak into the numerics.
+* **Matching pools** (the only rng consumed inside a training forward) are
+  drawn once per step *in the parent*, in the exact full-forward order
+  (:func:`~repro.core.subgraph_plan.sample_matching_pools`), and shipped to
+  every worker.  The parent's sampler stream — and therefore mid-training
+  evaluation — stays identical to a serial run, and workers consume no rng
+  at all.
+* **Losses** are reduced in canonical batch order: workers return the
+  *pre-reduction* per-example loss terms, the parent scatters them back
+  into the full batch's array layout and applies the same numpy reduction
+  the serial executor's fused loss kernel applies.  The reported loss is
+  therefore independent of ``n_shards`` given equal parameters.
+* **Gradients** are summed shard-by-shard in fixed shard order
+  (:func:`~repro.optim.reduce_gradient_shards`); parameters untouched by
+  every shard keep ``grad=None`` exactly like the serial executor (the Adam
+  moment buffers must not advance for them).
+
+With ``n_shards=1`` the single worker replays the serial computation
+verbatim (same graph, same kernels, pools injected by replay), so epoch
+losses and validation metrics are bit-identical to the serial executor.
+With ``n_shards>1`` each shard's forward runs over its own induced
+subgraph; per-row stage outputs match the full forward to float64 exactness
+(the PR-2 gate), while gradient contributions are necessarily *summed in a
+different association order* than one fused full-batch backward — the
+combined stream is therefore reproducible bit-for-bit run-to-run, and
+equivalent to the serial stream at float64 ulp level (gated tightly in
+``tests/test_sharded_executor.py``; see README "Distributed training" for
+the precise guarantees).
+
+Failure contract
+----------------
+
+``run_step`` never hangs on a dead worker: receives poll worker liveness
+and a step deadline, and any worker error is re-raised in the parent with
+the worker traceback attached.  :meth:`ShardedStepExecutor.close` is
+idempotent, runs via ``weakref.finalize`` at garbage collection and
+interpreter exit (so an executor crash mid-epoch cannot leak processes),
+and escalates join → terminate → kill.  Workers are daemonic as a last
+line of defence.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import multiprocessing
+import time
+import traceback
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.shard import ShardSplit, split_joint_batch
+from ..optim import Optimizer, clip_grad_norm, reduce_gradient_shards
+from ..profiling import profiler
+from .engine import StepExecutor
+from .task import DOMAIN_KEYS
+
+__all__ = ["ShardLoss", "ShardedStepExecutor"]
+
+#: Wire commands of the parent → worker pipe protocol.
+_STEP, _STOP = "step", "stop"
+
+
+@dataclass
+class ShardLoss:
+    """One shard's contribution to a training step.
+
+    Models implement ``compute_shard_loss(batches, pools=, full_sizes=,
+    localize=, include_extra=) -> ShardLoss`` (see :class:`repro.core.NMCDR`
+    and :class:`repro.baselines.BaselineModel`); the executor's worker
+    backwards ``loss`` and ships the rest to the parent.
+    """
+
+    #: Backward target of this shard (``None`` when the shard's micro-batch
+    #: is empty in every domain and the model has no extra losses).
+    loss: Optional[object] = None
+    #: Per-domain *raw* pre-reduction loss-term arrays, aligned with the
+    #: shard's micro-batch rows (stage-blocked for NMCDR, one row per
+    #: example for the pointwise baselines), in their natural pre-cast
+    #: dtype so the parent's reduction rounds exactly once, like the
+    #: serial fused kernel.
+    terms: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-domain canonical numpy reduction (``"sum"`` or ``"mean"``) the
+    #: parent applies to the reassembled full-batch array.
+    reductions: Dict[str, str] = field(default_factory=dict)
+    #: Dtype the serial kernel would store each reduced scalar in (the
+    #: engine dtype); the parent casts before the cross-domain add.
+    value_dtype: Optional[str] = None
+    #: Model-level extra losses (computed on shard 0 only), as a float.
+    extra: Optional[float] = None
+    #: Per-parameter "this shard produced a gradient" mask (set by the
+    #: executor when a step result crosses the pipe, not by models).
+    present: Optional[np.ndarray] = None
+
+
+def _allocate_block(context, specs: List[Tuple[Tuple[int, ...], np.dtype]]):
+    """One anonymous shared-memory block with 64-byte-aligned array views."""
+    offsets = []
+    cursor = 0
+    for shape, dtype in specs:
+        cursor = (cursor + 63) & ~63
+        offsets.append(cursor)
+        cursor += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    block = context.RawArray(ctypes.c_char, max(int(cursor), 1))
+    views = [
+        np.frombuffer(
+            block, dtype=dtype, count=int(np.prod(shape, dtype=np.int64)), offset=offset
+        ).reshape(shape)
+        for (shape, dtype), offset in zip(specs, offsets)
+    ]
+    return block, views
+
+
+def _shutdown_workers(workers, connections) -> None:
+    """Stop worker processes; join → terminate → kill.  Idempotent."""
+    for connection in connections:
+        try:
+            connection.send((_STOP,))
+        except (BrokenPipeError, OSError):
+            pass
+    deadline = time.monotonic() + 5.0
+    for worker in workers:
+        worker.join(timeout=max(0.1, deadline - time.monotonic()))
+    for worker in workers:
+        if worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=2.0)
+        if worker.is_alive():  # pragma: no cover — terminate should suffice
+            worker.kill()
+            worker.join(timeout=2.0)
+    for connection in connections:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover — already closed
+            pass
+
+
+def _worker_main(
+    shard_index: int,
+    connection,
+    model,
+    parameters,
+    param_views: Sequence[np.ndarray],
+    grad_views: Sequence[np.ndarray],
+    localize: bool,
+) -> None:
+    """Shard worker loop: recv step → forward/backward → publish gradients.
+
+    Runs in a forked child, so ``model`` and ``parameters`` are inherited
+    object references; the parameter data is re-aliased onto the shared
+    block so parent-side updates become visible without copies.
+    """
+    try:
+        for parameter, view in zip(parameters, param_views):
+            parameter.data = view
+        if (
+            localize
+            and hasattr(model, "configure_subgraph_sampling")
+            and not getattr(model, "subgraph_sampling_enabled", False)
+        ):
+            # Exactness-depth localisation so each shard's step cost follows
+            # its micro-batch, not the graph (parent model stays untouched —
+            # this is the fork's private copy).
+            model.configure_subgraph_sampling(True)
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == _STOP:
+                return
+            _, micro_batches, pools, full_sizes = message
+            try:
+                for parameter in parameters:
+                    parameter.zero_grad()
+                result = model.compute_shard_loss(
+                    micro_batches,
+                    pools=pools,
+                    full_sizes=full_sizes,
+                    localize=localize,
+                    include_extra=shard_index == 0,
+                )
+                if result.loss is not None:
+                    result.loss.backward()
+                present = np.zeros(len(parameters), dtype=bool)
+                for index, (parameter, view) in enumerate(zip(parameters, grad_views)):
+                    if parameter.grad is not None:
+                        np.copyto(view, parameter.grad)
+                        present[index] = True
+                connection.send(
+                    (
+                        "done",
+                        result.terms,
+                        result.reductions,
+                        result.extra,
+                        result.value_dtype,
+                        present,
+                    )
+                )
+            except BaseException as error:  # noqa: BLE001 — forwarded to the parent
+                connection.send(("error", repr(error), traceback.format_exc()))
+    finally:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class ShardedStepExecutor(StepExecutor):
+    """Data-parallel :class:`StepExecutor` over ``n_shards`` forked workers.
+
+    Parameters
+    ----------
+    model:
+        Any model implementing the shard protocol (``compute_shard_loss``;
+        optionally ``sample_step_pools`` / ``configure_subgraph_sampling``).
+        :class:`repro.core.NMCDR` and the pointwise baselines qualify.
+    optimizer:
+        The parent-side optimiser; its parameter list is the canonical
+        ordering of the shared parameter/gradient blocks.
+    n_shards:
+        Worker process count.  ``1`` is the serial-replica mode (bit-exact
+        against the serial executor, still exercising the full IPC path).
+    step_timeout:
+        Seconds the parent waits for one shard's step result before raising
+        (a deadlocked worker must fail the run, not hang it).
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer: Optimizer,
+        grad_clip_norm: Optional[float] = None,
+        n_shards: int = 2,
+        step_timeout: float = 600.0,
+    ) -> None:
+        super().__init__(model, optimizer, grad_clip_norm)
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if not hasattr(model, "compute_shard_loss"):
+            raise TypeError(
+                f"{type(model).__name__} does not implement the shard protocol "
+                "(compute_shard_loss); use the serial StepExecutor"
+            )
+        supports = getattr(model, "supports_sharding", None)
+        if callable(supports) and not supports():
+            raise TypeError(
+                f"{type(model).__name__} overrides the pointwise loss and cannot "
+                "be sharded deterministically; use the serial StepExecutor"
+            )
+        if getattr(getattr(model, "config", None), "dropout", 0.0):
+            raise ValueError(
+                "sharded execution requires dropout=0 (per-worker dropout masks "
+                "would diverge from the serial rng stream)"
+            )
+        self.n_shards = int(n_shards)
+        self.step_timeout = float(step_timeout)
+        self._workers: List = []
+        self._connections: List = []
+        self._param_views: List[np.ndarray] = []
+        self._grad_views: List[List[np.ndarray]] = []
+        self._blocks: List = []  # keep RawArrays alive alongside their views
+        self._finalizer = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return bool(self._workers)
+
+    def open(self) -> None:
+        """Allocate shared memory and fork the shard workers.
+
+        Called lazily by :meth:`run_step` and eagerly by the training engine
+        *before* the data pipeline starts, so the fork happens while the
+        process is still single-threaded (forking after the prefetch worker
+        thread exists would risk inheriting held locks).
+        """
+        if self._workers:
+            return
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as error:  # pragma: no cover — non-POSIX platforms
+            raise RuntimeError(
+                "ShardedStepExecutor requires the fork start method (POSIX)"
+            ) from error
+        parameters = self.optimizer.parameters
+        specs = [(p.data.shape, p.data.dtype) for p in parameters]
+        block, self._param_views = _allocate_block(context, specs)
+        self._blocks = [block]
+        self._grad_views = []
+        for _ in range(self.n_shards):
+            grad_block, views = _allocate_block(context, specs)
+            self._blocks.append(grad_block)
+            self._grad_views.append(views)
+        self._publish_parameters()
+
+        localize = self.n_shards > 1
+        workers, connections = [], []
+        try:
+            for shard_index in range(self.n_shards):
+                parent_end, child_end = context.Pipe(duplex=True)
+                worker = context.Process(
+                    target=_worker_main,
+                    args=(
+                        shard_index,
+                        child_end,
+                        self.model,
+                        parameters,
+                        self._param_views,
+                        self._grad_views[shard_index],
+                        localize,
+                    ),
+                    name=f"repro-shard-{shard_index}",
+                    daemon=True,
+                )
+                worker.start()
+                child_end.close()
+                workers.append(worker)
+                connections.append(parent_end)
+        except BaseException:
+            # A mid-loop failure (fd exhaustion, fork error) must not leave
+            # already-started workers running or the executor half-open: the
+            # `if self._workers` guard above would treat a partial set as
+            # fully open and run_step would dispatch short.
+            _shutdown_workers(workers, connections)
+            self._param_views, self._grad_views, self._blocks = [], [], []
+            raise
+        self._workers, self._connections = workers, connections
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, list(workers), list(connections)
+        )
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent and safe to call at any time."""
+        finalizer, self._finalizer = self._finalizer, None
+        self._workers, self._connections = [], []
+        self._grad_views, self._param_views, self._blocks = [], [], []
+        if finalizer is not None:
+            finalizer()  # weakref.finalize runs at most once
+
+    def __enter__(self) -> "ShardedStepExecutor":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the step
+    # ------------------------------------------------------------------
+    def _publish_parameters(self) -> None:
+        """Copy current parameter values into the shared block."""
+        for parameter, view in zip(self.optimizer.parameters, self._param_views):
+            if parameter.data is not view:
+                np.copyto(view, parameter.data)
+
+    def _receive(self, shard_index: int):
+        connection = self._connections[shard_index]
+        worker = self._workers[shard_index]
+        deadline = time.monotonic() + self.step_timeout
+        while not connection.poll(0.05):
+            if not worker.is_alive():
+                raise RuntimeError(
+                    f"shard worker {shard_index} died (exit code "
+                    f"{worker.exitcode}) without returning a step result"
+                )
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"shard worker {shard_index} timed out after "
+                    f"{self.step_timeout:.0f}s"
+                )
+        try:
+            return connection.recv()
+        except (EOFError, OSError) as error:
+            raise RuntimeError(
+                f"shard worker {shard_index} closed its pipe mid-step"
+            ) from error
+
+    def run_step(self, batches) -> float:
+        self.open()
+        try:
+            with profiler.scope("train/publish"):
+                self._publish_parameters()
+            pool_sampler = getattr(self.model, "sample_step_pools", None)
+            pools = pool_sampler() if callable(pool_sampler) else None
+            split = split_joint_batch(batches, self.n_shards)
+            with profiler.scope("train/dispatch"):
+                for shard_index, connection in enumerate(self._connections):
+                    try:
+                        connection.send(
+                            (_STEP, split.micro_batches[shard_index], pools, split.full_sizes)
+                        )
+                    except (BrokenPipeError, OSError) as error:
+                        raise RuntimeError(
+                            f"shard worker {shard_index} is gone (exit code "
+                            f"{self._workers[shard_index].exitcode}); cannot dispatch step"
+                        ) from error
+            results: List[ShardLoss] = []
+            with profiler.scope("train/shard_wait"):
+                for shard_index in range(self.n_shards):
+                    message = self._receive(shard_index)
+                    if message[0] == "error":
+                        raise RuntimeError(
+                            f"shard worker {shard_index} failed: {message[1]}\n"
+                            f"--- worker traceback ---\n{message[2]}"
+                        )
+                    _, terms, reductions, extra, value_dtype, present = message
+                    results.append(
+                        ShardLoss(
+                            terms=terms,
+                            reductions=reductions,
+                            extra=extra,
+                            value_dtype=value_dtype,
+                            present=present,
+                        )
+                    )
+            with profiler.scope("train/reduce"):
+                reduce_gradient_shards(
+                    self.optimizer.parameters,
+                    self._grad_views,
+                    [result.present for result in results],
+                )
+            with profiler.scope("train/optimizer"):
+                if self.grad_clip_norm is not None:
+                    clip_grad_norm(self.model.parameters(), self.grad_clip_norm)
+                self.optimizer.step()
+            self.model.invalidate_cache()
+            return self._assemble_loss(split, results)
+        except Exception:
+            # Leave no worker behind when a step fails; the engine's finally
+            # block would close us anyway, but callers driving the executor
+            # directly (profiling, tests) must not leak processes either.
+            self.close()
+            raise
+
+    def _assemble_loss(self, split: ShardSplit, results: Sequence[ShardLoss]) -> float:
+        """Reduce per-shard loss terms in canonical (serial) batch order.
+
+        The raw (pre-cast) terms are scattered back into the full batch's
+        array layout, reduced with the serial kernel's own numpy reduction,
+        and only then cast to the engine dtype — one rounding, exactly
+        where the serial executor rounds — before the cross-domain add.
+        """
+        value_dtype = next(
+            (result.value_dtype for result in results if result.value_dtype), None
+        )
+        total = None
+
+        def accumulate(total, value):
+            if value_dtype is not None:
+                value = np.asarray(value).astype(value_dtype)
+            return value if total is None else total + value
+
+        for key in DOMAIN_KEYS:
+            full_size = split.full_sizes.get(key)
+            if not full_size:
+                continue
+            contributions = [
+                (shard_index, result.terms[key])
+                for shard_index, result in enumerate(results)
+                if key in result.terms
+            ]
+            if not contributions:  # pragma: no cover — non-empty batches always land
+                continue
+            first_shard, first_terms = contributions[0]
+            shard_rows = split.positions[key][first_shard].size
+            stage_blocks = first_terms.shape[0] // max(shard_rows, 1)
+            full_terms = np.empty(
+                (stage_blocks * full_size,) + first_terms.shape[1:], dtype=first_terms.dtype
+            )
+            for shard_index, terms in contributions:
+                rows = split.positions[key][shard_index]
+                micro_size = rows.size
+                for block in range(stage_blocks):
+                    full_terms[block * full_size + rows] = terms[
+                        block * micro_size : (block + 1) * micro_size
+                    ]
+            reduction = results[contributions[0][0]].reductions[key]
+            value = full_terms.sum() if reduction == "sum" else full_terms.mean()
+            total = accumulate(total, value)
+        for result in results:
+            if result.extra is not None:
+                total = accumulate(total, result.extra)
+        if total is None:
+            raise ValueError("run_step needs at least one non-empty batch")
+        return float(total)

@@ -22,9 +22,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..tensor import Tensor, no_grad
 from .nmcdr import NMCDR
-from .task import CDRTask
 
 __all__ = [
     "StabilityReport",

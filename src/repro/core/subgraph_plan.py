@@ -48,6 +48,8 @@ __all__ = [
     "DomainSubgraphPlan",
     "SubgraphPlan",
     "build_subgraph_plan",
+    "build_subgraph_plan_from_pools",
+    "sample_matching_pools",
     "batch_index_arrays",
     "close_seed_users",
     "finalize_subgraph_plan",
@@ -104,10 +106,17 @@ class SubgraphPlan:
         return self.domains[key]
 
 
-def _sample_pools(
+def sample_matching_pools(
     task: CDRTask, config: NMCDRConfig, sampler: MatchingNeighborSampler
 ) -> Tuple[Dict[str, list], Dict[str, list]]:
-    """Draw every matching pool for one step, mirroring the full-forward order."""
+    """Draw every matching pool for one step, mirroring the full-forward order.
+
+    One call consumes exactly the sampler rng a full-graph forward pass
+    would, which is what lets the sharded executor draw pools once in the
+    parent process (keeping its rng stream — and therefore mid-training
+    evaluation — identical to the serial executor's) and ship the drawn
+    pools to every shard worker.
+    """
     intra: Dict[str, list] = {key: [] for key in DOMAIN_KEYS}
     inter: Dict[str, list] = {key: [] for key in DOMAIN_KEYS}
     for _ in range(config.num_matching_layers):
@@ -119,6 +128,10 @@ def _sample_pools(
                 other = task.other_key(key)
                 inter[key].append(sampler.sample(task.non_overlap_indices(other)))
     return intra, inter
+
+
+# Backwards-compatible private alias (pre-sharding name).
+_sample_pools = sample_matching_pools
 
 
 def batch_index_arrays(
@@ -248,16 +261,22 @@ def finalize_subgraph_plan(
     return SubgraphPlan(domains=domains, settings=settings)
 
 
-def build_subgraph_plan(
+def build_subgraph_plan_from_pools(
     task: CDRTask,
     config: NMCDRConfig,
     batches: Dict[str, Optional[Batch]],
-    sampler: MatchingNeighborSampler,
+    intra_pools: Dict[str, list],
+    inter_pools: Dict[str, list],
     settings: SubgraphSettings,
     caches: Dict[str, SubgraphCache],
 ) -> SubgraphPlan:
-    """Sample pools, extract both domains' induced subgraphs and localise ids."""
-    intra_pools, inter_pools = _sample_pools(task, config, sampler)
+    """Build a step plan from pre-drawn matching pools (no sampler rng).
+
+    This is :func:`build_subgraph_plan` with the pool draws factored out:
+    the sharded executor draws pools once per step in the parent process
+    (:func:`sample_matching_pools`) and every shard worker localises its own
+    micro-batch around the *same* pools, consuming no rng of its own.
+    """
     batch_users, batch_items = batch_index_arrays(batches)
 
     # Seed users: batch rows, this domain's intra pools, and the pools of this
@@ -280,4 +299,19 @@ def build_subgraph_plan(
         inter_pools,
         settings,
         caches,
+    )
+
+
+def build_subgraph_plan(
+    task: CDRTask,
+    config: NMCDRConfig,
+    batches: Dict[str, Optional[Batch]],
+    sampler: MatchingNeighborSampler,
+    settings: SubgraphSettings,
+    caches: Dict[str, SubgraphCache],
+) -> SubgraphPlan:
+    """Sample pools, extract both domains' induced subgraphs and localise ids."""
+    intra_pools, inter_pools = sample_matching_pools(task, config, sampler)
+    return build_subgraph_plan_from_pools(
+        task, config, batches, intra_pools, inter_pools, settings, caches
     )

@@ -8,7 +8,7 @@ model and every baseline consume exactly the same training signal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -71,6 +71,15 @@ class CDRTrainer:
             lr=self.config.learning_rate,
             weight_decay=self.config.weight_decay,
         )
+        if self._executor is None and self.config.executor == "sharded":
+            from .sharded import ShardedStepExecutor
+
+            self._executor = ShardedStepExecutor(
+                model,
+                self.optimizer,
+                grad_clip_norm=self.config.grad_clip_norm,
+                n_shards=self.config.n_shards,
+            )
         rng = np.random.default_rng(self.config.seed)
         self._loaders = {
             key: InteractionDataLoader(

@@ -8,7 +8,6 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from .negative_sampling import NegativeSampler
-from .schema import DomainData
 from .split import DomainSplit
 
 __all__ = ["Batch", "InteractionDataLoader", "build_training_examples"]

@@ -17,7 +17,7 @@ preserved:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .schema import CDRDataset
 from .synthetic import DomainSpec, ScenarioSpec, generate_scenario

@@ -16,7 +16,7 @@ against it (the numeric-parity suite) remain reproducible.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 import numpy as np
 

@@ -39,6 +39,7 @@ import queue
 import sys
 import threading
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Optional
 
@@ -54,6 +55,68 @@ __all__ = [
 
 #: Queue item kinds used by the prefetch worker.
 _STEP, _ERROR = 0, 2
+
+
+def _release_worker(stop_event: threading.Event, step_queue: "queue.Queue") -> None:
+    """Unblock and stop a prefetch worker without a pipeline reference.
+
+    Registered through ``weakref.finalize`` when the worker starts, so a
+    pipeline that is abandoned without :meth:`DataPipeline.close` — a crashed
+    executor mid-epoch, a dropped trainer — still releases its thread at
+    garbage collection or interpreter exit instead of leaving it spinning
+    against a full queue.
+    """
+    stop_event.set()
+    try:
+        while True:
+            step_queue.get_nowait()
+    except queue.Empty:
+        pass
+
+
+def _queue_put(stop_event: threading.Event, step_queue: "queue.Queue", item) -> bool:
+    """Enqueue unless shutdown was requested; never blocks forever."""
+    while not stop_event.is_set():
+        try:
+            step_queue.put(item, timeout=0.05)
+            return True
+        except queue.Full:
+            continue
+    return False
+
+
+def _prefetch_worker(pipeline_ref, stop_event, step_queue, num_epochs: int) -> None:
+    """Worker-thread loop of :class:`PrefetchDataPipeline`.
+
+    A module-level function on purpose: the thread must not hold a strong
+    reference to the pipeline while it blocks on a full queue, otherwise an
+    abandoned pipeline could never be garbage collected and its
+    ``weakref.finalize`` cleanup could never fire.  The pipeline is re-taken
+    from the weakref only for the duration of one epoch's materialisation.
+    """
+    try:
+        for epoch in range(num_epochs):
+            pipeline = pipeline_ref()
+            if pipeline is None or stop_event.is_set():
+                return
+            # Materialise the whole epoch before enqueueing: the list build
+            # (not the queue put) is where the epoch-boundary cost lives,
+            # and it overlaps with the consumer's training steps.  Each
+            # epoch's prep time travels with its payload and is only folded
+            # into the stats when the consumer receives the epoch — prep
+            # spent on epochs an early-stopped run never trains must not
+            # inflate the recorded data cost.
+            prep_before = pipeline.stats.prep_seconds
+            steps = list(pipeline._produce_epoch())
+            epoch_prep = pipeline.stats.prep_seconds - prep_before
+            pipeline.stats.prep_seconds = prep_before
+            del pipeline  # the put below may block; don't pin the pipeline
+            if not _queue_put(stop_event, step_queue, (_STEP, epoch, steps, epoch_prep)):
+                return
+    except BaseException:  # noqa: BLE001 — forwarded verbatim to the consumer
+        # Hand the *live* exception (with its traceback) to the consumer
+        # instead of letting the queue starve it.
+        _queue_put(stop_event, step_queue, (_ERROR, -1, sys.exc_info()))
 
 
 @dataclass
@@ -191,43 +254,18 @@ class PrefetchDataPipeline(DataPipeline):
         self._failure = None
 
     # -- worker side ----------------------------------------------------
-    def _put(self, item) -> bool:
-        """Enqueue unless shutdown was requested; never blocks forever."""
-        while not self._stop.is_set():
-            try:
-                self._queue.put(item, timeout=0.05)
-                return True
-            except queue.Full:
-                continue
-        return False
-
-    def _worker(self) -> None:
-        try:
-            for epoch in range(self.num_epochs):
-                # Materialise the whole epoch before enqueueing: the list
-                # build (not the queue put) is where the epoch-boundary cost
-                # lives, and it overlaps with the consumer's training steps.
-                # Each epoch's prep time travels with its payload and is only
-                # folded into the stats when the consumer receives the epoch
-                # — prep spent on epochs an early-stopped run never trains
-                # must not inflate the recorded data cost.
-                prep_before = self.stats.prep_seconds
-                steps = list(self._produce_epoch())
-                epoch_prep = self.stats.prep_seconds - prep_before
-                self.stats.prep_seconds = prep_before
-                if not self._put((_STEP, epoch, steps, epoch_prep)):
-                    return
-        except BaseException:  # noqa: BLE001 — forwarded verbatim to the consumer
-            # Hand the *live* exception (with its traceback) to the consumer
-            # instead of letting the queue starve it.
-            self._put((_ERROR, -1, sys.exc_info()))
-
     def _ensure_started(self) -> None:
         if self._thread is None:
             self._thread = threading.Thread(
-                target=self._worker, name="repro-data-prefetch", daemon=True
+                target=_prefetch_worker,
+                args=(weakref.ref(self), self._stop, self._queue, self.num_epochs),
+                name="repro-data-prefetch",
+                daemon=True,
             )
             self._thread.start()
+            # Last-resort cleanup for abandoned pipelines; close() remains
+            # the deterministic path (and is idempotent with this).
+            weakref.finalize(self, _release_worker, self._stop, self._queue)
 
     # -- consumer side --------------------------------------------------
     def _get(self):

@@ -12,7 +12,7 @@ manipulation used throughout the paper's evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np

@@ -10,7 +10,6 @@ excluded from evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

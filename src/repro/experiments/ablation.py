@@ -11,10 +11,9 @@ and compares per-domain NDCG@10 / HR@10.  The paper's qualitative findings:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence
 
-from ..core.variants import VARIANT_NAMES
 from .paper_reference import TABLE9_ABLATION
 from .reporting import format_metric_rows
 from .runner import ExperimentSettings, ScenarioResult, run_scenario

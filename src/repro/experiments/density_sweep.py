@@ -12,7 +12,7 @@ models are retrained at each density.  The paper's qualitative claims:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .paper_reference import DENSITY_RATIOS
 from .runner import ExperimentSettings, ScenarioResult, run_scenario

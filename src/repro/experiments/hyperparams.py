@@ -11,7 +11,7 @@ reports the per-domain NDCG@10 / HR@10 series.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core import CDRTrainer, NMCDR, build_task
 from .runner import ExperimentSettings, prepare_dataset

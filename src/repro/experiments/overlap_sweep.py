@@ -13,7 +13,7 @@ against the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .paper_reference import OVERLAP_RATIOS, nmcdr_reference_row
 from .reporting import format_overlap_table

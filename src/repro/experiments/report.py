@@ -9,7 +9,7 @@ as a single artifact.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 __all__ = ["REPORT_ORDER", "collect_reports", "build_markdown_report", "write_markdown_report"]
 

@@ -8,7 +8,6 @@ into the autograd graph with the correct transpose rule for the backward pass.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

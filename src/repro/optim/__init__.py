@@ -1,13 +1,14 @@
 """Optimisers and learning-rate schedulers."""
 
 from .adam import Adam
-from .optimizer import Optimizer, clip_grad_norm
+from .optimizer import Optimizer, clip_grad_norm, reduce_gradient_shards
 from .scheduler import SCHEDULER_NAMES, ExponentialLR, LRScheduler, StepLR, build_scheduler
 from .sgd import SGD
 
 __all__ = [
     "Optimizer",
     "clip_grad_norm",
+    "reduce_gradient_shards",
     "SGD",
     "Adam",
     "LRScheduler",

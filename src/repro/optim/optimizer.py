@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 import numpy as np
 
 from ..nn.module import Parameter
 
-__all__ = ["Optimizer", "clip_grad_norm"]
+__all__ = ["Optimizer", "clip_grad_norm", "reduce_gradient_shards"]
 
 
 class Optimizer:
@@ -55,6 +55,34 @@ class Optimizer:
 
     def _update(self, index: int, parameter: Parameter, grad: np.ndarray) -> None:
         raise NotImplementedError
+
+
+def reduce_gradient_shards(
+    parameters: Iterable[Parameter],
+    shard_gradients,
+    present_masks,
+) -> None:
+    """All-reduce-style fixed-order gradient sum for data-parallel steps.
+
+    ``shard_gradients[s][i]`` is shard ``s``'s gradient array for parameter
+    ``i`` and ``present_masks[s][i]`` says whether the shard actually
+    produced one.  Contributions are summed **in shard order** (the
+    deterministic reduction the sharded executor's equivalence gates rely
+    on) into a fresh ``parameter.grad`` buffer; parameters no shard touched
+    keep ``grad=None`` so optimisers skip them exactly like a serial
+    backward would (Adam's moment buffers must not advance on phantom
+    zero gradients).
+    """
+    for index, parameter in enumerate(parameters):
+        accumulated = None
+        for shard_index, gradients in enumerate(shard_gradients):
+            if not present_masks[shard_index][index]:
+                continue
+            if accumulated is None:
+                accumulated = np.array(gradients[index], copy=True)
+            else:
+                accumulated += gradients[index]
+        parameter.grad = accumulated
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

@@ -751,6 +751,7 @@ def binary_cross_entropy_probs(
     weights: Optional[np.ndarray] = None,
     reduction: str = "mean",
     eps: float = 1e-7,
+    return_terms: bool = False,
 ) -> Tensor:
     """Fused binary cross-entropy on probabilities (Eq. 21), one graph node.
 
@@ -758,6 +759,15 @@ def binary_cross_entropy_probs(
     ``clip`` to ``[eps, 1 - eps]``, optionally scaled elementwise by the
     constant ``weights``, then reduced.  Replaces the nine-node clip/log/
     mul/add chain the losses module would otherwise build per call.
+
+    ``return_terms=True`` additionally returns the already-materialised
+    pre-reduction term array as ``(tensor, terms)`` — same values the
+    reduction consumed, in their *natural* dtype (the promotion of
+    probabilities against targets, typically float64 labels), at zero
+    extra cost.  The sharded executor ships these raw terms to the parent
+    process, which reassembles them in canonical batch order and applies
+    this kernel's reduction; keeping the terms pre-cast is what makes that
+    reduction bit-identical to the serial loss under the float32 engine.
     """
     probabilities = as_tensor(probabilities)
     target_data = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
@@ -787,7 +797,10 @@ def binary_cross_entropy_probs(
             base *= weights
         probabilities._accumulate(base * (np.asarray(grad) * scale))
 
-    return Tensor._build(out_data, (probabilities,), backward, "binary_cross_entropy_probs")
+    node = Tensor._build(out_data, (probabilities,), backward, "binary_cross_entropy_probs")
+    if return_terms:
+        return node, loss
+    return node
 
 
 def broadcast_rows(row: ArrayLike, num_rows: int) -> Tensor:

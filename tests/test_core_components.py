@@ -12,7 +12,6 @@ from repro.core import (
     NMCDRConfig,
     PredictionHead,
     TrainerConfig,
-    build_task,
 )
 from repro.graph import HeadTailPartition, InteractionGraph, MatchingNeighborSampler
 from repro.tensor import Tensor

@@ -6,7 +6,6 @@ import pytest
 from repro.core import (
     CDRTrainer,
     NMCDR,
-    NMCDRConfig,
     TrainerConfig,
     VARIANT_NAMES,
     build_variant,

@@ -125,6 +125,37 @@ class TestPrefetchLifecycle:
         pipeline.close()
         assert not live_workers()
 
+    def test_close_before_start_and_after_exhaustion(self, tiny_task):
+        never_started = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=2)
+        never_started.close()
+        never_started.close()
+        pipeline = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=1, depth=1)
+        collect_epochs(pipeline, 1)
+        pipeline.close()
+        pipeline.close()
+        assert not live_workers()
+
+    def test_abandoned_pipeline_releases_worker_on_gc(self, tiny_task):
+        """The weakref finalizer stops the thread when close() never ran.
+
+        This is the safety net for the sharded path: an executor crash
+        mid-epoch unwinds the trainer without necessarily reaching close(),
+        and the worker must not keep spinning against the full queue.
+        """
+        import gc
+        import time as time_module
+
+        pipeline = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=8, depth=1)
+        iterator = pipeline.epoch(0)
+        next(iterator)
+        assert live_workers()
+        del iterator, pipeline
+        gc.collect()
+        deadline = time_module.monotonic() + 5.0
+        while live_workers() and time_module.monotonic() < deadline:
+            time_module.sleep(0.02)
+        assert not live_workers()
+
     def test_prep_time_counts_only_consumed_epochs(self, tiny_task):
         """Lookahead prep for epochs an early stop never trains is excluded."""
         pipeline = PrefetchDataPipeline(make_loaders(tiny_task), num_epochs=4, depth=3)

@@ -52,6 +52,7 @@ def fit_history(task, model_name, **config_overrides):
     return trainer.fit()
 
 
+@pytest.mark.slow
 class TestFixedSeedEquivalence:
     """Float64 gate: every execution mode replays the serial batch stream."""
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data import leave_one_out_split
 from repro.metrics import (
     RankingEvaluator,
     auc,

@@ -8,7 +8,6 @@ merely approximately right.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import NMCDR, NMCDRConfig, build_task
 from repro.data import load_scenario

@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.core import NMCDR, NMCDRConfig, build_task
-from repro.core.plan_schedule import PlanSchedule
 from repro.core.subgraph_plan import build_subgraph_plan
 from repro.data import load_scenario
 from repro.data.dataloader import InteractionDataLoader

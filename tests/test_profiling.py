@@ -88,6 +88,37 @@ class TestProfileCLI:
         assert "profiled NMCDR for 2 training steps" in out
         assert "train/forward" in out
 
+    def test_cli_profile_sharded_executor(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "profile",
+                "--batches",
+                "2",
+                "--scale",
+                "0.3",
+                "--epochs",
+                "1",
+                "--no-instrument",
+                "--executor",
+                "sharded",
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executor=sharded(n_shards=2)" in out
+        assert "train/shard_wait" in out
+        import multiprocessing
+
+        assert not [
+            process
+            for process in multiprocessing.active_children()
+            if process.name.startswith("repro-shard")
+        ]
+
 
 class TestTrainerIntegration:
     def test_trainer_profile_flag_produces_report(self, tiny_task, tiny_nmcdr_config):

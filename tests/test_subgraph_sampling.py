@@ -160,6 +160,7 @@ class TestSubgraphCache:
         assert len(cache) == 2
 
 
+@pytest.mark.slow
 class TestNMCDREquivalence:
     @pytest.mark.parametrize(
         "config_kwargs",
@@ -316,6 +317,7 @@ class TestNMCDREquivalence:
         )
 
 
+@pytest.mark.slow
 class TestGraphBaselineEquivalence:
     @pytest.mark.parametrize("name", ["GA-DTCDR", "HeroGraph"])
     def test_sampled_training_matches_full_graph(self, name):

@@ -9,9 +9,8 @@ those out (and skips all-empty steps) instead of relying on every model's
 import numpy as np
 
 from repro.core import CDRTrainer, TrainerConfig
-from repro.data.dataloader import Batch, InteractionDataLoader
+from repro.data.dataloader import Batch
 from repro.nn import Module, Parameter
-from repro.tensor import Tensor
 
 
 class StrictModel(Module):
