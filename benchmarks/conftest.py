@@ -84,4 +84,10 @@ def write_report(name: str, content: str) -> Path:
 
 def run_once(benchmark, function, *args, **kwargs):
     """Run an expensive experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    return benchmark.pedantic(
+        function,
+        args=args,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )

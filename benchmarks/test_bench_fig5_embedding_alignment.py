@@ -74,7 +74,10 @@ def test_bench_fig5_embedding_alignment(benchmark):
         by_stage = {score.stage: score for score in scores}
         for metric in ("mmd", "centroid_distance"):
             total += 1
-            if getattr(by_stage["user_g4"], metric) <= getattr(by_stage["user_g1"], metric) * 1.25:
+            if getattr(
+                by_stage["user_g4"],
+                metric,
+            ) <= getattr(by_stage["user_g1"], metric) * 1.25:
                 improvements += 1
     assert improvements >= total / 2, "head/tail alignment should not degrade through the pipeline"
     assert np.all(np.isfinite(projection["coordinates"]))

@@ -9,7 +9,10 @@ from repro.experiments.ablation import ABLATION_MODEL_NAMES
 
 
 def _run():
-    scenarios = ("cloth_sport",) if fast_mode() else ("music_movie", "cloth_sport", "phone_elec", "loan_fund")
+    if fast_mode():
+        scenarios = ("cloth_sport",)
+    else:
+        scenarios = ("music_movie", "cloth_sport", "phone_elec", "loan_fund")
     return {
         scenario: run_ablation(
             scenario,

@@ -21,13 +21,23 @@ from repro.core import CDRTrainer, NMCDR, NMCDRConfig, TrainerConfig, build_task
 from repro.data import CDRDataset, DomainData, preprocess_scenario
 
 
-def build_toy_domain(name: str, num_users: int, num_items: int, global_ids, seed: int) -> DomainData:
+def build_toy_domain(
+    name: str,
+    num_users: int,
+    num_items: int,
+    global_ids,
+    seed: int,
+) -> DomainData:
     """Fabricate an interaction log; replace this with your CSV/parquet reader."""
     rng = np.random.default_rng(seed)
     users, items, timestamps = [], [], []
     for user in range(num_users):
         history_length = int(rng.integers(5, 15))
-        chosen = rng.choice(num_items, size=min(history_length, num_items), replace=False)
+        chosen = rng.choice(
+            num_items,
+            size=min(history_length, num_items),
+            replace=False,
+        )
         users.extend([user] * chosen.size)
         items.extend(chosen.tolist())
         timestamps.extend(rng.uniform(0, 1, size=chosen.size).tolist())
@@ -57,7 +67,11 @@ def main() -> None:
     task = build_task(dataset, head_threshold=7)
 
     model = NMCDR(task, NMCDRConfig(embedding_dim=32, seed=0))
-    trainer = CDRTrainer(model, task, TrainerConfig(num_epochs=8, num_eval_negatives=50, seed=0))
+    trainer = CDRTrainer(
+        model,
+        task,
+        TrainerConfig(num_epochs=8, num_eval_negatives=50, seed=0),
+    )
     history = trainer.fit()
     metrics = trainer.evaluate()
 

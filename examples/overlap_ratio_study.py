@@ -32,7 +32,12 @@ def main(scenario: str = "phone_elec") -> None:
     ratios = (0.1, 0.5, 0.9)
 
     print(f"Running the overlap sweep on '{scenario}' (models: {', '.join(models)}) ...\n")
-    sweep = run_overlap_sweep(scenario, model_names=models, overlap_ratios=ratios, settings=settings)
+    sweep = run_overlap_sweep(
+        scenario,
+        model_names=models,
+        overlap_ratios=ratios,
+        settings=settings,
+    )
 
     for domain_key in ("a", "b"):
         print(sweep.format_table(domain_key))

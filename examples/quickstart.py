@@ -32,7 +32,12 @@ def main() -> None:
     print(task.summary(), "\n")
 
     # 3. Models: NMCDR and an LR baseline trained by the same joint trainer.
-    trainer_config = TrainerConfig(num_epochs=10, batch_size=256, num_eval_negatives=99, seed=7)
+    trainer_config = TrainerConfig(
+        num_epochs=10,
+        batch_size=256,
+        num_eval_negatives=99,
+        seed=7,
+    )
 
     nmcdr = NMCDR(task, NMCDRConfig(embedding_dim=32, head_threshold=7, seed=7))
     nmcdr_history = CDRTrainer(nmcdr, task, trainer_config).fit()
@@ -44,7 +49,10 @@ def main() -> None:
 
     # 4. Results.
     print(f"NMCDR final training loss: {nmcdr_history.final_loss:.4f}")
-    for key, domain_name in (("a", dataset.domain_a.name), ("b", dataset.domain_b.name)):
+    for key, domain_name in (
+        ("a", dataset.domain_a.name),
+        ("b", dataset.domain_b.name),
+    ):
         ours = nmcdr_metrics[key]
         theirs = baseline_metrics[key]
         print(

@@ -34,7 +34,12 @@ from repro.metrics import RankingEvaluator
 def per_group_ndcg(model, task, domain_key: str) -> dict:
     """NDCG@10 computed separately over head users and tail users."""
     split = task.domain(domain_key).split
-    evaluator = RankingEvaluator(split, domain_key, num_negatives=99, rng=np.random.default_rng(0))
+    evaluator = RankingEvaluator(
+        split,
+        domain_key,
+        num_negatives=99,
+        rng=np.random.default_rng(0),
+    )
     scores = evaluator.score_matrix(model)
     partition = task.domain(domain_key).partition
     head_mask = np.isin(evaluator.users, partition.head_users)
@@ -48,10 +53,18 @@ def per_group_ndcg(model, task, domain_key: str) -> dict:
 
 
 def main() -> None:
-    dataset = preprocess_scenario(load_scenario("cloth_sport", scale=0.5, seed=7), min_interactions=3)
+    dataset = preprocess_scenario(
+        load_scenario("cloth_sport", scale=0.5, seed=7),
+        min_interactions=3,
+    )
     dataset = dataset.with_overlap_ratio(0.5, rng=np.random.default_rng(7))
     task = build_task(dataset, head_threshold=7)
-    trainer_config = TrainerConfig(num_epochs=10, batch_size=256, num_eval_negatives=99, seed=7)
+    trainer_config = TrainerConfig(
+        num_epochs=10,
+        batch_size=256,
+        num_eval_negatives=99,
+        seed=7,
+    )
     base_config = NMCDRConfig(embedding_dim=32, head_threshold=7, seed=7)
 
     print("Training the full NMCDR model ...")

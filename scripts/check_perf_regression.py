@@ -125,7 +125,14 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
         replica = next((p for p in points if p.get("n_shards") == 1), None)
         if replica and serial_wall:
             ratio = replica["fit_wall_s"] / serial_wall
-            rows.append(("sharded n=1 wall vs serial", serial_wall, replica["fit_wall_s"], ratio - 1.0))
+            rows.append(
+                (
+                    "sharded n=1 wall vs serial",
+                    serial_wall,
+                    replica["fit_wall_s"],
+                    ratio - 1.0,
+                ),
+            )
             if ratio > 3.0:
                 failures.append(
                     f"sharded executor: single-shard overhead {ratio:.2f}x serial (limit 3.0x)"
@@ -165,6 +172,107 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
             if change > threshold:
                 failures.append(
                     f"sharded n={point['n_shards']}: fit wall regressed {change * 100:+.1f}%"
+                )
+
+    base_pool = baseline.get("sharded_pool_scaling")
+    fresh_pool = fresh.get("sharded_pool_scaling")
+    if fresh_pool:
+        # Structural claims, baseline-independent.  The float64 canary must
+        # keep matching the replicated executor at the PR-4 tolerances, and
+        # the per-shard subgraph (the quantity encoder cost follows) must
+        # stay decoupled from the pool size.
+        equivalence = fresh_pool.get("equivalence") or {}
+        if not equivalence.get("metrics_bit_identical", True):
+            failures.append(
+                "pool sharding: validation metrics diverged from the replicated executor"
+            )
+        loss_err = equivalence.get("loss_max_rel_err")
+        if loss_err is not None and loss_err > 1e-11:
+            failures.append(
+                f"pool sharding: losses beyond ulp tolerance ({loss_err:.2e} rel err)"
+            )
+        pool_points = fresh_pool.get("points") or []
+        if len(pool_points) >= 2:
+            smallest, largest = pool_points[0], pool_points[-1]
+            replicated_growth = (
+                largest["replicated_max_shard_nodes"]
+                / smallest["replicated_max_shard_nodes"]
+            )
+            pooled_growth = (
+                largest["pool_sharded_max_shard_nodes"]
+                / smallest["pool_sharded_max_shard_nodes"]
+            )
+            rows.append(
+                (
+                    "pool sharding: per-shard node growth",
+                    replicated_growth,
+                    pooled_growth,
+                    pooled_growth / replicated_growth - 1.0,
+                )
+            )
+            # Expected slope ratio ≈ 1/n_shards plus micro-batch overlap
+            # (measured ≈ 0.6 at n=2); 0.75 catches "decoupling lost".
+            if replicated_growth > 1.15 and (pooled_growth - 1.0) > 0.75 * (
+                replicated_growth - 1.0
+            ):
+                failures.append(
+                    "pool sharding: per-shard subgraph no longer decoupled from "
+                    f"the pool ({pooled_growth:.2f}x growth vs replicated "
+                    f"{replicated_growth:.2f}x)"
+                )
+            # The activation exchange must stay a bounded slice of the step,
+            # and — a total-work claim valid on any core count — replacing
+            # n_shards pool encodes with one must not cost more than IPC
+            # noise at the largest pool.
+            pooled_wall = largest.get("pool_sharded_fit_wall_s")
+            gather = largest.get("gather_overhead_s")
+            if pooled_wall and gather and gather > 0.6 * pooled_wall:
+                failures.append(
+                    f"pool sharding: exchange overhead {gather:.2f}s dominates the "
+                    f"{pooled_wall:.2f}s fit wall (limit 60%)"
+                )
+            replicated_wall = largest.get("replicated_fit_wall_s")
+            if pooled_wall and replicated_wall:
+                ratio = pooled_wall / replicated_wall
+                rows.append(
+                    (
+                        "pool-sharded vs replicated wall (largest pool)",
+                        replicated_wall,
+                        pooled_wall,
+                        ratio - 1.0,
+                    )
+                )
+                if ratio > 1.25:
+                    failures.append(
+                        f"pool sharding slower than replicating the pool: "
+                        f"{pooled_wall:.2f}s vs {replicated_wall:.2f}s at the "
+                        "largest pool size"
+                    )
+    if (
+        base_pool
+        and fresh_pool
+        and base_pool.get("cpu_count") == fresh_pool.get("cpu_count")
+    ):
+        base_points = {p.get("pool_size"): p for p in base_pool.get("points") or []}
+        for point in fresh_pool.get("points") or []:
+            base_point = base_points.get(point.get("pool_size"))
+            if not base_point:
+                continue
+            base_time = base_point["pool_sharded_fit_wall_s"]
+            fresh_time = point["pool_sharded_fit_wall_s"]
+            change = fresh_time / base_time - 1.0
+            rows.append(
+                (
+                    f"pool-sharded pool={point['pool_size']} fit wall",
+                    base_time,
+                    fresh_time,
+                    change,
+                )
+            )
+            if change > threshold:
+                failures.append(
+                    f"pool-sharded pool={point['pool_size']}: fit wall regressed "
+                    f"{change * 100:+.1f}%"
                 )
 
     print(f"perf gate (threshold: +{threshold * 100:.0f}% train s/batch)")

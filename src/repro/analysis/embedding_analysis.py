@@ -22,7 +22,12 @@ import numpy as np
 from ..core.nmcdr import NMCDR, STAGES
 from .tsne import pairwise_squared_distances, tsne
 
-__all__ = ["AlignmentScores", "head_tail_alignment", "stagewise_alignment", "tsne_projection"]
+__all__ = [
+    "AlignmentScores",
+    "head_tail_alignment",
+    "stagewise_alignment",
+    "tsne_projection",
+]
 
 
 @dataclass
@@ -43,7 +48,11 @@ class AlignmentScores:
         }
 
 
-def _gaussian_mmd(x: np.ndarray, y: np.ndarray, bandwidth: Optional[float] = None) -> float:
+def _gaussian_mmd(
+    x: np.ndarray,
+    y: np.ndarray,
+    bandwidth: Optional[float] = None,
+) -> float:
     """Unbiased-ish Gaussian-kernel MMD² estimate between two samples."""
     combined = np.vstack([x, y])
     distances = pairwise_squared_distances(combined)
@@ -73,7 +82,9 @@ def head_tail_alignment(
     tail = embeddings[tail_indices]
 
     scale = float(np.linalg.norm(embeddings.std(axis=0)) + 1e-12)
-    centroid_distance = float(np.linalg.norm(head.mean(axis=0) - tail.mean(axis=0))) / scale
+    centroid_distance = float(
+        np.linalg.norm(head.mean(axis=0) - tail.mean(axis=0)),
+    ) / scale
 
     mmd = _gaussian_mmd(head, tail)
 
@@ -117,7 +128,9 @@ def stagewise_alignment(
     representations = model.stage_representations(domain_key)
     scores = []
     for stage in ("user_g1", "user_g3", "user_g4"):
-        scores.append(head_tail_alignment(representations[stage], head, tail, stage=stage))
+        scores.append(
+            head_tail_alignment(representations[stage], head, tail, stage=stage),
+        )
     return scores
 
 

@@ -15,7 +15,13 @@ import numpy as np
 
 from ..core.trainer import TrainingHistory
 
-__all__ = ["moving_average", "convergence_epoch", "relative_improvement", "ConvergenceReport", "analyze_history"]
+__all__ = [
+    "moving_average",
+    "convergence_epoch",
+    "relative_improvement",
+    "ConvergenceReport",
+    "analyze_history",
+]
 
 
 def moving_average(values: Sequence[float], window: int = 3) -> List[float]:
@@ -82,7 +88,10 @@ class ConvergenceReport:
         }
 
 
-def analyze_history(history: TrainingHistory, tolerance: float = 0.01) -> ConvergenceReport:
+def analyze_history(
+    history: TrainingHistory,
+    tolerance: float = 0.01,
+) -> ConvergenceReport:
     """Build a :class:`ConvergenceReport` from a trainer's :class:`TrainingHistory`."""
     losses = history.epoch_losses
     if not losses:

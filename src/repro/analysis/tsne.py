@@ -26,7 +26,11 @@ def pairwise_squared_distances(points: np.ndarray) -> np.ndarray:
     return np.maximum(distances, 0.0)
 
 
-def _conditional_probabilities(distances: np.ndarray, perplexity: float, tol: float = 1e-4) -> np.ndarray:
+def _conditional_probabilities(
+    distances: np.ndarray,
+    perplexity: float,
+    tol: float = 1e-4,
+) -> np.ndarray:
     """Binary-search per-point precisions so each row's entropy matches ``perplexity``."""
     n = distances.shape[0]
     target_entropy = np.log(perplexity)

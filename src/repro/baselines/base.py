@@ -125,7 +125,12 @@ class BaselineModel(Module):
     # ------------------------------------------------------------------
     # subclass interface
     # ------------------------------------------------------------------
-    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+    def batch_scores(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
         """Return interaction probabilities (shape ``(n, 1)`` or ``(n,)``)."""
         raise NotImplementedError
 
@@ -172,6 +177,18 @@ class BaselineModel(Module):
             type(self).domain_batch_loss is BaselineModel.domain_batch_loss
             and type(self).compute_batch_loss is BaselineModel.compute_batch_loss
         )
+
+    def plan_pool_exchange(self, pools, n_shards: int):
+        """Pool-sharded protocol hook: pointwise baselines have no pools.
+
+        Returning ``None`` tells :class:`repro.core.sharded.
+        PoolShardedStepExecutor` there is nothing to exchange — its steps
+        then degenerate to the replicated single-phase protocol (the
+        baselines' graph work is already a pure function of the micro-batch
+        closure, so there is no Amdahl floor to shard away).
+        """
+        del pools, n_shards
+        return None
 
     def compute_shard_loss(
         self,
@@ -250,7 +267,12 @@ class BaselineModel(Module):
         """Hook called after each optimiser step; default restores train mode."""
         self.train()
 
-    def score(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+    def score(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> np.ndarray:
         with no_grad():
             predictions = self.batch_scores(domain_key, users, items)
         return predictions.data.reshape(-1)

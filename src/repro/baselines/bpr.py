@@ -37,12 +37,22 @@ class BPRModel(BaselineModel):
                 f"item_embedding_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
             )
 
-    def _raw_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+    def _raw_scores(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
         user_vectors = getattr(self, f"user_embedding_{domain_key}")(users)
         item_vectors = getattr(self, f"item_embedding_{domain_key}")(items)
         return (user_vectors * item_vectors).sum(axis=1, keepdims=True)
 
-    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+    def batch_scores(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
         return ops.sigmoid(self._raw_scores(domain_key, users, items))
 
     def domain_batch_loss(self, domain_key: str, batch: Batch) -> Tensor:

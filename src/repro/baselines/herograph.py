@@ -87,7 +87,12 @@ class HeroGraphModel(SubgraphSamplingMixin, BaselineModel):
             np.concatenate(items),
         )
 
-    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+    def batch_scores(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         global_user_ids = self._global_index[domain_key][users]

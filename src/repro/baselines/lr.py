@@ -39,11 +39,22 @@ class LRModel(BaselineModel):
             self.add_module(
                 f"item_embedding_{key}", Embedding(domain.num_items, embedding_dim, rng=rng)
             )
-            self.register_parameter(f"user_bias_{key}", Parameter(init.zeros((domain.num_users, 1))))
-            self.register_parameter(f"item_bias_{key}", Parameter(init.zeros((domain.num_items, 1))))
+            self.register_parameter(
+                f"user_bias_{key}",
+                Parameter(init.zeros((domain.num_users, 1))),
+            )
+            self.register_parameter(
+                f"item_bias_{key}",
+                Parameter(init.zeros((domain.num_items, 1))),
+            )
             self.add_module(f"linear_{key}", Linear(2 * embedding_dim, 1, rng=rng))
 
-    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+    def batch_scores(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         user_vectors = getattr(self, f"user_embedding_{domain_key}")(users)
@@ -51,5 +62,7 @@ class LRModel(BaselineModel):
         user_bias = ops.gather_rows(getattr(self, f"user_bias_{domain_key}"), users)
         item_bias = ops.gather_rows(getattr(self, f"item_bias_{domain_key}"), items)
         linear = getattr(self, f"linear_{domain_key}")
-        logits = linear(ops.concat([user_vectors, item_vectors], axis=1)) + user_bias + item_bias
+        logits = linear(
+            ops.concat([user_vectors, item_vectors], axis=1),
+        ) + user_bias + item_bias
         return ops.sigmoid(logits)

@@ -56,7 +56,12 @@ class NeuMFModel(BaselineModel):
             fusion_in = embedding_dim + int(mlp_hidden[-1])
             self.add_module(f"fusion_{key}", Linear(fusion_in, 1, rng=rng))
 
-    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+    def batch_scores(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         gmf = getattr(self, f"gmf_user_{domain_key}")(users) * getattr(
@@ -70,5 +75,8 @@ class NeuMFModel(BaselineModel):
             axis=1,
         )
         mlp_hidden = getattr(self, f"mlp_{domain_key}")(mlp_input)
-        fused = getattr(self, f"fusion_{domain_key}")(ops.concat([gmf, mlp_hidden], axis=1))
+        fused = getattr(
+            self,
+            f"fusion_{domain_key}",
+        )(ops.concat([gmf, mlp_hidden], axis=1))
         return ops.sigmoid(fused)

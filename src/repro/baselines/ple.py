@@ -77,13 +77,23 @@ class PLEModel(BaselineModel):
                 f"tower_{key}", MLP([expert_out, *tower_hidden, 1], activation="relu", rng=rng)
             )
 
-    def _input_features(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+    def _input_features(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
         global_users = self._global_index[domain_key][np.asarray(users, dtype=np.int64)]
         user_vectors = self.shared_user_embedding(global_users)
         item_vectors = getattr(self, f"item_embedding_{domain_key}")(items)
         return ops.concat([user_vectors, item_vectors], axis=1)
 
-    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+    def batch_scores(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
         features = self._input_features(domain_key, users, items)
         expert_outputs = [expert(features) for expert in self.shared_experts]
         expert_outputs += [

@@ -37,7 +37,12 @@ class RandomModel(BaselineModel):
         self.register_parameter("dummy", Parameter(init.zeros((1,))))
         self._score_rng = np.random.default_rng(seed)
 
-    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+    def batch_scores(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
         draws = self._score_rng.random((len(users), 1))
         return Tensor(draws) + self.dummy * 0.0
 
@@ -57,7 +62,10 @@ class PopularityModel(BaselineModel):
         self._popularity: Dict[str, np.ndarray] = {}
         for key in ("a", "b"):
             split = task.domain(key).split
-            counts = np.bincount(split.train_items, minlength=task.domain(key).num_items)
+            counts = np.bincount(
+                split.train_items,
+                minlength=task.domain(key).num_items,
+            )
             total = max(counts.sum(), 1)
             self._popularity[key] = counts / total
 
@@ -65,7 +73,12 @@ class PopularityModel(BaselineModel):
         """Normalised training popularity of every item in the domain."""
         return self._popularity[domain_key]
 
-    def batch_scores(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> Tensor:
+    def batch_scores(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
         scores = self._popularity[domain_key][np.asarray(items, dtype=np.int64)]
         return Tensor(scores.reshape(-1, 1)) + self.dummy * 0.0
 

@@ -159,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="worker-process count for --executor sharded",
     )
+    profile.add_argument(
+        "--pool-sharding",
+        action="store_true",
+        help=(
+            "with --executor sharded: partition the matching-pool closure "
+            "across shards and all-gather the pool activations each step"
+        ),
+    )
 
     return parser
 
@@ -295,6 +303,7 @@ def _command_profile(args: argparse.Namespace) -> str:
             scheduled_subgraph_plans=args.scheduled_plans,
             executor=args.executor,
             n_shards=args.shards,
+            pool_sharding=args.pool_sharding,
         )
         trainer = CDRTrainer(model, task, config)
         training_engine = trainer.build_engine()
@@ -302,7 +311,8 @@ def _command_profile(args: argparse.Namespace) -> str:
         with profile_context(instrument=not args.no_instrument):
             history = training_engine.fit(pipeline, max_steps=args.batches)
         executor_note = (
-            f", executor=sharded(n_shards={args.shards})"
+            f", executor=sharded(n_shards={args.shards}"
+            f"{', pool-sharded' if args.pool_sharding else ''})"
             if args.executor == "sharded"
             else ""
         )

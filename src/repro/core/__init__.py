@@ -11,16 +11,19 @@ from .engine import (
     StepExecutor,
     TrainingEngine,
 )
-from .plan_schedule import PlanSchedule, PlanScheduleStats
+from .plan_schedule import PlanSchedule, PlanScheduleStats, PoolShardedPlanner
 from .inter_matching import InterNodeMatching
 from .intra_matching import IntraNodeMatching
 from .nmcdr import NMCDR, DomainRepresentations
 from .prediction import PredictionHead
-from .sharded import ShardedStepExecutor, ShardLoss
+from .sharded import PoolShardedStepExecutor, ShardedStepExecutor, ShardLoss
 from .subgraph_plan import (
     DomainSubgraphPlan,
+    PoolExchange,
     SubgraphPlan,
     SubgraphSettings,
+    build_pool_exchange,
+    build_pool_sharded_plan,
     build_subgraph_plan,
 )
 from .stability import (
@@ -53,7 +56,12 @@ __all__ = [
     "TrainingEngine",
     "StepExecutor",
     "ShardedStepExecutor",
+    "PoolShardedStepExecutor",
     "ShardLoss",
+    "PoolExchange",
+    "PoolShardedPlanner",
+    "build_pool_exchange",
+    "build_pool_sharded_plan",
     "EngineContext",
     "Callback",
     "EarlyStoppingCallback",

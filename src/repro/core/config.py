@@ -80,7 +80,9 @@ class NMCDRConfig:
         if self.head_threshold < 0:
             raise ValueError("head_threshold must be non-negative")
         if len(self.companion_weights) != 4:
-            raise ValueError("companion_weights must have exactly four entries (w1..w4)")
+            raise ValueError(
+                "companion_weights must have exactly four entries (w1..w4)",
+            )
         if len(self.loss_weights) != 4:
             raise ValueError("loss_weights must have exactly four entries (w5..w8)")
 
@@ -162,6 +164,16 @@ class TrainerConfig:
     #: ``executor="serial"``).  ``1`` is the serial-replica mode: bit-exact
     #: against the serial executor while exercising the full process path.
     n_shards: int = 1
+    #: Partition the matching-pool closure across the shards instead of
+    #: replicating it into every shard's subgraph (requires
+    #: ``executor="sharded"``).  Each step then runs the two-phase protocol
+    #: of :class:`~repro.core.sharded.PoolShardedStepExecutor` — encode →
+    #: activation all-gather → match/backward → gradient scatter → reduce —
+    #: so per-shard cost follows ``batch + pool/n_shards`` at the price of
+    #: one extra IPC round trip per step.  Replicated mode (the default)
+    #: wins for small pools; pool sharding wins once the pool closure
+    #: dominates per-shard work (see README "Distributed training").
+    pool_sharding: bool = False
     #: Learning-rate schedule applied once per epoch: ``None`` keeps the
     #: fixed rate of the paper, ``"step"`` decays by ``lr_gamma`` every
     #: ``lr_step_size`` epochs, ``"exponential"`` decays by ``lr_gamma``
@@ -190,6 +202,8 @@ class TrainerConfig:
             raise ValueError("executor must be 'serial' or 'sharded'")
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
+        if self.pool_sharding and self.executor != "sharded":
+            raise ValueError("pool_sharding requires executor='sharded'")
         if self.lr_scheduler is not None:
             from ..optim.scheduler import SCHEDULER_NAMES
 

@@ -121,7 +121,12 @@ class Callback:
 
     def on_step_end(self, context: EngineContext, step: int, loss: float) -> None: ...
 
-    def on_epoch_end(self, context: EngineContext, epoch: int, epoch_loss: float) -> None: ...
+    def on_epoch_end(
+        self,
+        context: EngineContext,
+        epoch: int,
+        epoch_loss: float,
+    ) -> None: ...
 
     def on_evaluation(
         self, context: EngineContext, epoch: int, metrics: Dict[str, Dict[str, float]]
@@ -307,7 +312,9 @@ class TrainingEngine:
                             epoch_truncated = True
                             break
 
-                    history.epoch_wall_seconds.append(time.perf_counter() - epoch_started)
+                    history.epoch_wall_seconds.append(
+                        time.perf_counter() - epoch_started,
+                    )
                     if epoch_truncated:
                         # A max_steps cap cut the epoch short: recording a
                         # partial mean as an epoch loss (or advancing the LR

@@ -34,7 +34,12 @@ __all__ = ["InterNodeMatching"]
 class InterNodeMatching(Module):
     """Per-domain parameters and forward pass of the inter node matching step."""
 
-    def __init__(self, in_dim: int, out_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         super().__init__()
         if in_dim != out_dim:
             raise ValueError(
@@ -98,7 +103,9 @@ class InterNodeMatching(Module):
         pool = sampler.sample(other_non_overlap_indices)
         if pool.size:
             pooled = ops.gather_rows(other_user_repr, pool)
-            other_message = ops.relu(self.other_transform(pooled.mean(axis=0, keepdims=True)))
+            other_message = ops.relu(
+                self.other_transform(pooled.mean(axis=0, keepdims=True)),
+            )
         else:
             other_message = Tensor(np.zeros((1, dim)))
 

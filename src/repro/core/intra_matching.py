@@ -36,7 +36,12 @@ class IntraNodeMatching(Module):
         residual connection of Eq. 11; validated at construction time.
     """
 
-    def __init__(self, in_dim: int, out_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         super().__init__()
         if in_dim != out_dim:
             raise ValueError(
@@ -70,7 +75,9 @@ class IntraNodeMatching(Module):
             head_pool, tail_pool = pools
         else:
             if partition is None:
-                raise ValueError("intra matching needs either a partition or explicit pools")
+                raise ValueError(
+                    "intra matching needs either a partition or explicit pools",
+                )
             sampler = sampler or MatchingNeighborSampler()
             head_pool, tail_pool = sampler.sample_partition(partition)
 
@@ -85,7 +92,12 @@ class IntraNodeMatching(Module):
         num_users = user_repr.shape[0]
         return ops.broadcast_rows(fused, num_users) + user_repr  # Eq. 11 residual
 
-    def _group_message(self, user_repr: Tensor, pool: np.ndarray, transform: Linear) -> Tensor:
+    def _group_message(
+        self,
+        user_repr: Tensor,
+        pool: np.ndarray,
+        transform: Linear,
+    ) -> Tensor:
         """Eq. 8–9: transformed mean of the pooled users, ReLU-activated."""
         if pool.size == 0:
             return Tensor(np.zeros((1, self.out_dim)))

@@ -19,18 +19,23 @@ construction incremental across the steps of an epoch:
   cached and only the small per-batch part is recomputed between consecutive
   steps.  With deterministic pools (``max_matching_neighbors=None``) the
   static closure is computed once and reused for the whole run.
-* **Incremental k-hop expansion.**  Without a fanout cap the k-hop node set
-  also distributes over seed unions, so the static closure's expansion is
-  computed once (on its first reuse) and each step only expands the batch
-  delta — O(batch) frontier work instead of O(pools + batch).
+* **Incremental k-hop expansion.**  The k-hop node set distributes over seed
+  unions, so the static closure's expansion is computed once (on its first
+  reuse) and each step only expands the batch delta — O(batch) frontier work
+  instead of O(pools + batch).  This holds for fanout-capped expansion too:
+  capped draws use the signature-stable per-node reservoir of
+  :func:`repro.graph.sampling.sample_khop_nodes` (each node's kept neighbour
+  subset is a pure hash of the node), so delta expansion no longer falls
+  back to full per-step expansion when a fanout is set.
 * **CSR-native extraction.**  The induced subgraph is assembled straight from
   the parent adjacency's CSR slices (:func:`repro.graph.induced_subgraph`),
   bypassing the scipy fancy-indexing path and the COO→CSR canonicalisation.
 
-Fanout-capped sampling is *not* union-decomposable (the per-node neighbour
-draw depends on the whole frontier signature), so with ``fanout`` set the
-schedule keeps the single-pass expansion and still benefits from pool reuse
-and the CSR-native extraction.
+:class:`PoolShardedPlanner` applies the same incremental machinery inside a
+pool-sharded shard worker: the *owned slice* of the step's pool exchange
+plays the static closure's role (cached by content digest — the exchange
+arrays arrive freshly unpickled every step, so identity keying would never
+hit), and only the micro-batch delta is expanded per step.
 
 Equivalence is structural, not approximate: for the same rng state and batch
 sequence, :meth:`PlanSchedule.plan_for` returns plans whose arrays are
@@ -50,16 +55,18 @@ from ..graph import MatchingNeighborSampler, SubgraphCache
 from ..graph.sampling import sample_khop_nodes
 from .config import NMCDRConfig
 from .subgraph_plan import (
+    PoolExchange,
     SubgraphPlan,
     SubgraphSettings,
     _sample_pools,
     batch_index_arrays,
+    build_pool_sharded_plan,
     close_seed_users,
     finalize_subgraph_plan,
 )
 from .task import CDRTask, DOMAIN_KEYS
 
-__all__ = ["PlanScheduleStats", "PlanSchedule"]
+__all__ = ["PlanScheduleStats", "PlanSchedule", "PoolShardedPlanner"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -90,7 +97,7 @@ class _StaticClosure:
     pool_refs: Tuple[np.ndarray, ...]
     seed_users: Dict[str, np.ndarray]
     #: Per-domain k-hop (user_ids, item_ids) of the static seeds; populated
-    #: lazily on the first reuse (fanout-free settings only).
+    #: lazily on the first reuse.
     node_sets: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
 
 
@@ -151,16 +158,18 @@ class PlanSchedule:
             and all(a is b for a, b in zip(cached.pool_refs, refs))
         ):
             self.stats.static_closure_reuses += 1
-            if cached.node_sets is None and self.settings.fanout is None:
+            if cached.node_sets is None:
                 # First reuse: the pools are stable, so the one-off expansion
                 # of the static seeds now pays for itself every later step.
+                # Valid under a fanout cap too: the per-node reservoir makes
+                # capped expansion distribute over seed unions.
                 cached.node_sets = {
                     key: sample_khop_nodes(
                         self.task.domain(key).train_graph,
                         cached.seed_users[key],
                         _EMPTY,
                         num_hops=self.settings.num_hops,
-                        fanout=None,
+                        fanout=self.settings.fanout,
                     )
                     for key in DOMAIN_KEYS
                 }
@@ -192,7 +201,7 @@ class PlanSchedule:
         )
 
         node_sets: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
-        if static.node_sets is not None and self.settings.fanout is None:
+        if static.node_sets is not None:
             # Every active domain gets explicit node sets below, so the
             # finalisation only reads the seed arrays for the is-this-domain
             # -active check — hand it a non-empty representative instead of
@@ -207,7 +216,10 @@ class PlanSchedule:
             }
             # Delta expansion: k-hop distance to (S ∪ B) is the min of the
             # distances to S and to B, so the union of the two expansions is
-            # exactly the single-pass expansion of the union.
+            # exactly the single-pass expansion of the union.  With a fanout
+            # cap the same identity holds on the per-node reservoir's subset
+            # digraph (each node's capped neighbour draw is frontier- and
+            # seed-independent).
             node_sets = {}
             for key in DOMAIN_KEYS:
                 if seed_users[key].size == 0 and batch_items[key].size == 0:
@@ -220,7 +232,7 @@ class PlanSchedule:
                     delta_users,
                     batch_items[key],
                     num_hops=self.settings.num_hops,
-                    fanout=None,
+                    fanout=self.settings.fanout,
                 )
                 static_users, static_items = static.node_sets[key]
                 merged_users = np.union1d(static_users, delta[0])
@@ -253,4 +265,121 @@ class PlanSchedule:
             self.settings,
             self.caches,
             node_sets=node_sets,
+        )
+
+
+class PoolShardedPlanner:
+    """Incremental builder of pool-sharded per-step plans (worker-side).
+
+    Mirrors :class:`PlanSchedule` for the pool-sharded execution mode: the
+    shard's *owned slice* of the pool exchange is the static part — its
+    k-hop expansion is cached and reused while the owned user set repeats
+    (deterministic pools repeat it every step; random pools rebuild it,
+    which is exactly the cost the per-step path would pay anyway) — and only
+    the micro-batch closure is expanded per step.  Valid under a fanout cap
+    too (the per-node reservoir makes capped expansion distribute over seed
+    unions).  For the same exchange and batches the produced plans are
+    byte-identical to :func:`~repro.core.subgraph_plan.build_pool_sharded_plan`
+    without ``node_sets`` (gated in ``tests/test_pool_sharded_executor.py``).
+    """
+
+    def __init__(
+        self,
+        task: CDRTask,
+        config: NMCDRConfig,
+        settings: SubgraphSettings,
+        caches: Dict[str, SubgraphCache],
+        shard_index: int,
+    ) -> None:
+        self.task = task
+        self.config = config
+        self.settings = settings
+        self.caches = caches
+        self.shard_index = int(shard_index)
+        self.stats = PlanScheduleStats()
+        self._static_digest: Optional[Tuple[bytes, ...]] = None
+        self._static_nodes: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _static_node_sets(
+        self, owned: Dict[str, np.ndarray]
+    ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        digest = tuple(owned[key].tobytes() for key in DOMAIN_KEYS)
+        if digest == self._static_digest:
+            self.stats.static_closure_reuses += 1
+            return self._static_nodes
+        self._static_nodes = {
+            key: sample_khop_nodes(
+                self.task.domain(key).train_graph,
+                owned[key],
+                _EMPTY,
+                num_hops=self.settings.num_hops,
+                fanout=self.settings.fanout,
+            )
+            for key in DOMAIN_KEYS
+        }
+        self._static_digest = digest
+        return self._static_nodes
+
+    def plan_for(
+        self,
+        batches: Dict[str, Optional[Batch]],
+        intra_pools: Dict[str, list],
+        inter_pools: Dict[str, list],
+        exchange: PoolExchange,
+    ) -> SubgraphPlan:
+        """Build this shard's pool-sharded plan for one step."""
+        owned = {
+            key: exchange.owned_users(key, self.shard_index) for key in DOMAIN_KEYS
+        }
+        static_nodes = self._static_node_sets(owned)
+
+        batch_users, batch_items = batch_index_arrays(batches)
+        batch_closed = close_seed_users(
+            self.task, {key: [batch_users[key]] for key in DOMAIN_KEYS}
+        )
+
+        node_sets: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for key in DOMAIN_KEYS:
+            if (
+                owned[key].size == 0
+                and batch_closed[key].size == 0
+                and batch_items[key].size == 0
+            ):
+                continue
+            delta_users = np.setdiff1d(
+                batch_closed[key], owned[key], assume_unique=True
+            )
+            delta = sample_khop_nodes(
+                self.task.domain(key).train_graph,
+                delta_users,
+                batch_items[key],
+                num_hops=self.settings.num_hops,
+                fanout=self.settings.fanout,
+            )
+            static_users, static_items = static_nodes[key]
+            merged_users = np.union1d(static_users, delta[0])
+            merged_items = np.union1d(static_items, delta[1])
+            # A union the same size as the static set *is* the static set;
+            # reusing the same array objects lets the subgraph cache's
+            # identity fast path skip even the node-set hashing.
+            if merged_users.size == static_users.size:
+                merged_users = static_users
+            if merged_items.size == static_items.size:
+                merged_items = static_items
+            node_sets[key] = (merged_users, merged_items)
+        self.stats.delta_expansions += 1
+        self.stats.plans_built += 1
+
+        return build_pool_sharded_plan(
+            self.task,
+            self.config,
+            batches,
+            intra_pools,
+            inter_pools,
+            exchange,
+            self.shard_index,
+            self.settings,
+            self.caches,
+            node_sets=node_sets,
+            batch_closed=batch_closed,
         )

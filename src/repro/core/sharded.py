@@ -80,7 +80,7 @@ from ..profiling import profiler
 from .engine import StepExecutor
 from .task import DOMAIN_KEYS
 
-__all__ = ["ShardLoss", "ShardedStepExecutor"]
+__all__ = ["ShardLoss", "ShardedStepExecutor", "PoolShardedStepExecutor"]
 
 #: Wire commands of the parent → worker pipe protocol.
 _STEP, _STOP = "step", "stop"
@@ -160,6 +160,76 @@ def _shutdown_workers(workers, connections) -> None:
             pass
 
 
+def _attach_worker(model, parameters, param_views, localize) -> None:
+    """Alias parameters onto the shared block and configure localisation.
+
+    Runs in a forked child, so ``model`` and ``parameters`` are inherited
+    object references; the parameter data is re-aliased onto the shared
+    block so parent-side updates become visible without copies.  With
+    ``localize`` each shard runs exactness-depth subgraph localisation so
+    its step cost follows its micro-batch, not the graph (the parent model
+    stays untouched — this is the fork's private copy).
+    """
+    for parameter, view in zip(parameters, param_views):
+        parameter.data = view
+    if (
+        localize
+        and hasattr(model, "configure_subgraph_sampling")
+        and not getattr(model, "subgraph_sampling_enabled", False)
+    ):
+        model.configure_subgraph_sampling(True)
+
+
+def _publish_worker_gradients(parameters, grad_views: Sequence[np.ndarray]) -> np.ndarray:
+    """Copy parameter gradients into the shard's shm block; return presence."""
+    present = np.zeros(len(parameters), dtype=bool)
+    for index, (parameter, view) in enumerate(zip(parameters, grad_views)):
+        if parameter.grad is not None:
+            np.copyto(view, parameter.grad)
+            present[index] = True
+    return present
+
+
+def _single_phase_step(
+    shard_index: int,
+    connection,
+    model,
+    parameters,
+    grad_views: Sequence[np.ndarray],
+    micro_batches,
+    pools,
+    full_sizes,
+    localize: bool,
+) -> None:
+    """One PR-4 single-phase step: forward/backward → publish → done message.
+
+    The single wire format both worker loops share — :func:`_worker_main`
+    for every step, :func:`_pool_worker_main` for the pool-free fallback —
+    so :meth:`ShardedStepExecutor._collect_single_phase` can parse either.
+    """
+    for parameter in parameters:
+        parameter.zero_grad()
+    result = model.compute_shard_loss(
+        micro_batches,
+        pools=pools,
+        full_sizes=full_sizes,
+        localize=localize,
+        include_extra=shard_index == 0,
+    )
+    if result.loss is not None:
+        result.loss.backward()
+    connection.send(
+        (
+            "done",
+            result.terms,
+            result.reductions,
+            result.extra,
+            result.value_dtype,
+            _publish_worker_gradients(parameters, grad_views),
+        )
+    )
+
+
 def _worker_main(
     shard_index: int,
     connection,
@@ -169,24 +239,9 @@ def _worker_main(
     grad_views: Sequence[np.ndarray],
     localize: bool,
 ) -> None:
-    """Shard worker loop: recv step → forward/backward → publish gradients.
-
-    Runs in a forked child, so ``model`` and ``parameters`` are inherited
-    object references; the parameter data is re-aliased onto the shared
-    block so parent-side updates become visible without copies.
-    """
+    """Shard worker loop: recv step → forward/backward → publish gradients."""
     try:
-        for parameter, view in zip(parameters, param_views):
-            parameter.data = view
-        if (
-            localize
-            and hasattr(model, "configure_subgraph_sampling")
-            and not getattr(model, "subgraph_sampling_enabled", False)
-        ):
-            # Exactness-depth localisation so each shard's step cost follows
-            # its micro-batch, not the graph (parent model stays untouched —
-            # this is the fork's private copy).
-            model.configure_subgraph_sampling(True)
+        _attach_worker(model, parameters, param_views, localize)
         while True:
             try:
                 message = connection.recv()
@@ -196,31 +251,16 @@ def _worker_main(
                 return
             _, micro_batches, pools, full_sizes = message
             try:
-                for parameter in parameters:
-                    parameter.zero_grad()
-                result = model.compute_shard_loss(
+                _single_phase_step(
+                    shard_index,
+                    connection,
+                    model,
+                    parameters,
+                    grad_views,
                     micro_batches,
-                    pools=pools,
-                    full_sizes=full_sizes,
-                    localize=localize,
-                    include_extra=shard_index == 0,
-                )
-                if result.loss is not None:
-                    result.loss.backward()
-                present = np.zeros(len(parameters), dtype=bool)
-                for index, (parameter, view) in enumerate(zip(parameters, grad_views)):
-                    if parameter.grad is not None:
-                        np.copyto(view, parameter.grad)
-                        present[index] = True
-                connection.send(
-                    (
-                        "done",
-                        result.terms,
-                        result.reductions,
-                        result.extra,
-                        result.value_dtype,
-                        present,
-                    )
+                    pools,
+                    full_sizes,
+                    localize,
                 )
             except BaseException as error:  # noqa: BLE001 — forwarded to the parent
                 connection.send(("error", repr(error), traceback.format_exc()))
@@ -327,7 +367,7 @@ class ShardedStepExecutor(StepExecutor):
             for shard_index in range(self.n_shards):
                 parent_end, child_end = context.Pipe(duplex=True)
                 worker = context.Process(
-                    target=_worker_main,
+                    target=self._worker_target(),
                     args=(
                         shard_index,
                         child_end,
@@ -372,6 +412,10 @@ class ShardedStepExecutor(StepExecutor):
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _worker_target(self):
+        """The worker-process entry point (overridden by the pool executor)."""
+        return _worker_main
+
     # ------------------------------------------------------------------
     # the step
     # ------------------------------------------------------------------
@@ -403,6 +447,31 @@ class ShardedStepExecutor(StepExecutor):
                 f"shard worker {shard_index} closed its pipe mid-step"
             ) from error
 
+    def _raise_worker_failure(self, shard_index: int, message) -> None:
+        raise RuntimeError(
+            f"shard worker {shard_index} failed: {message[1]}\n"
+            f"--- worker traceback ---\n{message[2]}"
+        )
+
+    def _collect_single_phase(self) -> List[ShardLoss]:
+        """Receive every shard's one-shot step result (the PR-4 protocol)."""
+        results: List[ShardLoss] = []
+        for shard_index in range(self.n_shards):
+            message = self._receive(shard_index)
+            if message[0] == "error":
+                self._raise_worker_failure(shard_index, message)
+            _, terms, reductions, extra, value_dtype, present = message
+            results.append(
+                ShardLoss(
+                    terms=terms,
+                    reductions=reductions,
+                    extra=extra,
+                    value_dtype=value_dtype,
+                    present=present,
+                )
+            )
+        return results
+
     def run_step(self, batches) -> float:
         self.open()
         try:
@@ -422,25 +491,8 @@ class ShardedStepExecutor(StepExecutor):
                             f"shard worker {shard_index} is gone (exit code "
                             f"{self._workers[shard_index].exitcode}); cannot dispatch step"
                         ) from error
-            results: List[ShardLoss] = []
             with profiler.scope("train/shard_wait"):
-                for shard_index in range(self.n_shards):
-                    message = self._receive(shard_index)
-                    if message[0] == "error":
-                        raise RuntimeError(
-                            f"shard worker {shard_index} failed: {message[1]}\n"
-                            f"--- worker traceback ---\n{message[2]}"
-                        )
-                    _, terms, reductions, extra, value_dtype, present = message
-                    results.append(
-                        ShardLoss(
-                            terms=terms,
-                            reductions=reductions,
-                            extra=extra,
-                            value_dtype=value_dtype,
-                            present=present,
-                        )
-                    )
+                results = self._collect_single_phase()
             with profiler.scope("train/reduce"):
                 reduce_gradient_shards(
                     self.optimizer.parameters,
@@ -511,3 +563,279 @@ class ShardedStepExecutor(StepExecutor):
         if total is None:
             raise ValueError("run_step needs at least one non-empty batch")
         return float(total)
+
+
+def _pool_worker_main(
+    shard_index: int,
+    connection,
+    model,
+    parameters,
+    param_views: Sequence[np.ndarray],
+    grad_views: Sequence[np.ndarray],
+    localize: bool,
+) -> None:
+    """Pool-sharded worker loop: encode → gather → match → scatter → finish.
+
+    Each step runs the two-phase protocol of
+    :class:`PoolShardedStepExecutor`: phase 1 encodes the micro-batch
+    closure plus this shard's *owned* slice of the pool exchange and ships
+    the owned encoder activations; after the parent's all-gather, phase 2
+    runs the matching stages against the full activation table, backwards up
+    to the boundary and returns the table gradients; after the parent's
+    mirrored scatter, phase 3 backwards the received owned-row gradients
+    through the encoder and publishes the combined parameter gradients.
+
+    Steps of models without matching pools (``exchange is None``) fall back
+    to the single-phase protocol of :func:`_worker_main` unchanged (the
+    shared :func:`_single_phase_step` helper keeps the wire formats one).
+    """
+    try:
+        _attach_worker(model, parameters, param_views, localize)
+        while True:
+            try:
+                message = connection.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == _STOP:
+                return
+            _, micro_batches, pools, full_sizes, exchange = message
+            try:
+                if exchange is None:
+                    _single_phase_step(
+                        shard_index,
+                        connection,
+                        model,
+                        parameters,
+                        grad_views,
+                        micro_batches,
+                        pools,
+                        full_sizes,
+                        localize,
+                    )
+                    continue
+                for parameter in parameters:
+                    parameter.zero_grad()
+                state, activations = model.encode_shard_step(
+                    micro_batches,
+                    pools=pools,
+                    exchange=exchange,
+                    shard_index=shard_index,
+                    full_sizes=full_sizes,
+                )
+                connection.send(("enc", activations))
+                message = connection.recv()
+                if message[0] == _STOP:
+                    return
+                result, boundary = model.match_shard_step(
+                    state, message[1], include_extra=shard_index == 0
+                )
+                connection.send(
+                    (
+                        "match",
+                        result.terms,
+                        result.reductions,
+                        result.extra,
+                        result.value_dtype,
+                        boundary,
+                    )
+                )
+                message = connection.recv()
+                if message[0] == _STOP:
+                    return
+                model.finish_shard_step(state, message[1])
+                connection.send(
+                    ("done", _publish_worker_gradients(parameters, grad_views))
+                )
+            except BaseException as error:  # noqa: BLE001 — forwarded to the parent
+                connection.send(("error", repr(error), traceback.format_exc()))
+    finally:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class PoolShardedStepExecutor(ShardedStepExecutor):
+    """Sharded executor with a partitioned matching-pool closure.
+
+    The replicated :class:`ShardedStepExecutor` folds the whole pool closure
+    into every shard's subgraph, so per-shard step cost carries a fixed
+    O(pool) term — the Amdahl floor of ``BENCH_efficiency.json:
+    sharded_scaling``.  This executor partitions the pool closure across
+    shards instead and exchanges only the pool users' *encoder activations*
+    through one extra IPC round per step, with the mirrored gradient
+    exchange on the way back.  Per-shard cost then follows
+    ``batch + pool/n_shards``.
+
+    Step protocol (strict lock-step, liveness-polled at every phase)::
+
+        parent: publish params → draw pools → partition pool closure
+                → dispatch (micro-batch, pools, full sizes, exchange)
+        shard:  phase 1 — encode batch closure + owned pool slice,
+                send owned activations
+        parent: all-gather into per-domain tables, broadcast
+        shard:  phase 2 — matching stages over local rows + table,
+                backward to the boundary, send loss terms + table grads
+        parent: sum table grads in fixed shard order, scatter owned rows
+        shard:  phase 3 — encoder backward seeded with the summed owned
+                gradients, publish parameter gradients
+        parent: fixed-order reduce → clip → one optimiser update
+
+    Determinism matches the replicated executor's contract: pools are drawn
+    once in the parent (identical rng stream and mid-training evaluation),
+    losses reduce in canonical batch order, table gradients and parameter
+    gradients sum in fixed shard order.  Loss values are bit-identical per
+    step given equal parameters; the gradient sum re-associates across the
+    boundary, so epoch losses track the replicated executor at float64 ulp
+    level while validation metrics stay bit-identical (gated in
+    ``tests/test_pool_sharded_executor.py``).
+
+    Models without matching pools (``plan_pool_exchange`` missing or
+    returning ``None`` — the pointwise baselines) degenerate to the
+    replicated single-phase protocol unchanged.
+    """
+
+    def _worker_target(self):
+        return _pool_worker_main
+
+    def run_step(self, batches) -> float:
+        self.open()
+        try:
+            with profiler.scope("train/publish"):
+                self._publish_parameters()
+            pool_sampler = getattr(self.model, "sample_step_pools", None)
+            pools = pool_sampler() if callable(pool_sampler) else None
+            plan_exchange = getattr(self.model, "plan_pool_exchange", None)
+            exchange = (
+                plan_exchange(pools, self.n_shards)
+                if pools is not None and callable(plan_exchange)
+                else None
+            )
+            split = split_joint_batch(batches, self.n_shards)
+            with profiler.scope("train/dispatch"):
+                for shard_index, connection in enumerate(self._connections):
+                    try:
+                        connection.send(
+                            (
+                                _STEP,
+                                split.micro_batches[shard_index],
+                                pools,
+                                split.full_sizes,
+                                exchange,
+                            )
+                        )
+                    except (BrokenPipeError, OSError) as error:
+                        raise RuntimeError(
+                            f"shard worker {shard_index} is gone (exit code "
+                            f"{self._workers[shard_index].exitcode}); cannot dispatch step"
+                        ) from error
+            if exchange is None:
+                with profiler.scope("train/shard_wait"):
+                    results = self._collect_single_phase()
+            else:
+                results = self._run_exchange_phases(exchange)
+            with profiler.scope("train/reduce"):
+                reduce_gradient_shards(
+                    self.optimizer.parameters,
+                    self._grad_views,
+                    [result.present for result in results],
+                )
+            with profiler.scope("train/optimizer"):
+                if self.grad_clip_norm is not None:
+                    clip_grad_norm(self.model.parameters(), self.grad_clip_norm)
+                self.optimizer.step()
+            self.model.invalidate_cache()
+            return self._assemble_loss(split, results)
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # the two-phase exchange
+    # ------------------------------------------------------------------
+    def _broadcast(self, message) -> None:
+        for shard_index, connection in enumerate(self._connections):
+            try:
+                connection.send(message)
+            except (BrokenPipeError, OSError) as error:
+                raise RuntimeError(
+                    f"shard worker {shard_index} is gone (exit code "
+                    f"{self._workers[shard_index].exitcode}); cannot continue the step"
+                ) from error
+
+    def _run_exchange_phases(self, exchange) -> List[ShardLoss]:
+        # Phase 1: gather the owned encoder activations into full tables.
+        with profiler.scope("train/pool_gather"):
+            shard_activations = []
+            for shard_index in range(self.n_shards):
+                message = self._receive(shard_index)
+                if message[0] == "error":
+                    self._raise_worker_failure(shard_index, message)
+                shard_activations.append(message[1])
+            tables: Dict[str, np.ndarray] = {}
+            for key in DOMAIN_KEYS:
+                reference = shard_activations[0][key]
+                table = np.empty(
+                    (exchange.size(key), reference.shape[1]), dtype=reference.dtype
+                )
+                for shard_index in range(self.n_shards):
+                    positions = exchange.owned_positions(key, shard_index)
+                    if positions.size:
+                        table[positions] = shard_activations[shard_index][key]
+                tables[key] = table
+            self._broadcast(("tables", tables))
+
+        # Phase 2: per-shard matching results + boundary (table) gradients.
+        results: List[ShardLoss] = []
+        boundaries: List[Dict[str, np.ndarray]] = []
+        with profiler.scope("train/shard_wait"):
+            for shard_index in range(self.n_shards):
+                message = self._receive(shard_index)
+                if message[0] == "error":
+                    self._raise_worker_failure(shard_index, message)
+                _, terms, reductions, extra, value_dtype, boundary = message
+                results.append(
+                    ShardLoss(
+                        terms=terms,
+                        reductions=reductions,
+                        extra=extra,
+                        value_dtype=value_dtype,
+                    )
+                )
+                boundaries.append(boundary)
+
+        # Mirrored backward exchange: sum the table gradients in fixed shard
+        # order (the deterministic reduction the equivalence gates rely on)
+        # and scatter each row's total back to its owning shard.
+        with profiler.scope("train/pool_scatter"):
+            summed: Dict[str, np.ndarray] = {}
+            for key in DOMAIN_KEYS:
+                total = np.zeros_like(tables[key])
+                for boundary in boundaries:
+                    grads = boundary.get(key)
+                    if grads is not None and grads.size:
+                        total += grads
+                summed[key] = total
+            for shard_index, connection in enumerate(self._connections):
+                owned = {
+                    key: np.ascontiguousarray(
+                        summed[key][exchange.owned_positions(key, shard_index)]
+                    )
+                    for key in DOMAIN_KEYS
+                }
+                try:
+                    connection.send(("grads", owned))
+                except (BrokenPipeError, OSError) as error:
+                    raise RuntimeError(
+                        f"shard worker {shard_index} is gone (exit code "
+                        f"{self._workers[shard_index].exitcode}); cannot continue the step"
+                    ) from error
+
+        # Phase 3: encoder backwards complete; collect gradient presence.
+        with profiler.scope("train/shard_wait"):
+            for shard_index in range(self.n_shards):
+                message = self._receive(shard_index)
+                if message[0] == "error":
+                    self._raise_worker_failure(shard_index, message)
+                results[shard_index].present = message[1]
+        return results

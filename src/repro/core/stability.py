@@ -133,8 +133,16 @@ def empirical_prediction_deviation(
     params = model._params(domain_key)
     domain_task = model.task.domain(domain_key)
 
-    users = rng.choice(domain_task.num_users, size=min(num_users, domain_task.num_users), replace=False)
-    items = rng.choice(domain_task.num_items, size=min(num_items, domain_task.num_items), replace=False)
+    users = rng.choice(
+        domain_task.num_users,
+        size=min(num_users, domain_task.num_users),
+        replace=False,
+    )
+    items = rng.choice(
+        domain_task.num_items,
+        size=min(num_items, domain_task.num_items),
+        replace=False,
+    )
     pair_users = np.repeat(users, items.size)
     pair_items = np.tile(items, users.size)
 

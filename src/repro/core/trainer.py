@@ -72,9 +72,14 @@ class CDRTrainer:
             weight_decay=self.config.weight_decay,
         )
         if self._executor is None and self.config.executor == "sharded":
-            from .sharded import ShardedStepExecutor
+            from .sharded import PoolShardedStepExecutor, ShardedStepExecutor
 
-            self._executor = ShardedStepExecutor(
+            executor_cls = (
+                PoolShardedStepExecutor
+                if self.config.pool_sharding
+                else ShardedStepExecutor
+            )
+            self._executor = executor_cls(
                 model,
                 self.optimizer,
                 grad_clip_norm=self.config.grad_clip_norm,

@@ -35,6 +35,10 @@ def variant_config(name: str, base: Optional[NMCDRConfig] = None) -> NMCDRConfig
     return base.variant(**_VARIANT_OVERRIDES[name])
 
 
-def build_variant(name: str, task: CDRTask, base: Optional[NMCDRConfig] = None) -> NMCDR:
+def build_variant(
+    name: str,
+    task: CDRTask,
+    base: Optional[NMCDRConfig] = None,
+) -> NMCDR:
     """Instantiate the named ablation variant for a task."""
     return NMCDR(task, variant_config(name, base))

@@ -84,23 +84,63 @@ def scenario_spec(name: str, scale: float = 1.0, seed: int = 7) -> ScenarioSpec:
         return max(25, int(round(count * scale)))
 
     if key == "music_movie":
-        domain_a = DomainSpec("Music", _users(420), _items(240), mean_interactions_per_user=10.0)
-        domain_b = DomainSpec("Movie", _users(520), _items(170), mean_interactions_per_user=13.0)
+        domain_a = DomainSpec(
+            "Music",
+            _users(420),
+            _items(240),
+            mean_interactions_per_user=10.0,
+        )
+        domain_b = DomainSpec(
+            "Movie",
+            _users(520),
+            _items(170),
+            mean_interactions_per_user=13.0,
+        )
         overlap = max(10, int(round(130 * scale)))
         return ScenarioSpec("music_movie", domain_a, domain_b, overlap, seed=seed)
     if key == "cloth_sport":
-        domain_a = DomainSpec("Cloth", _users(320), _items(130), mean_interactions_per_user=7.0)
-        domain_b = DomainSpec("Sport", _users(540), _items(260), mean_interactions_per_user=8.0)
+        domain_a = DomainSpec(
+            "Cloth",
+            _users(320),
+            _items(130),
+            mean_interactions_per_user=7.0,
+        )
+        domain_b = DomainSpec(
+            "Sport",
+            _users(540),
+            _items(260),
+            mean_interactions_per_user=8.0,
+        )
         overlap = max(10, int(round(150 * scale)))
         return ScenarioSpec("cloth_sport", domain_a, domain_b, overlap, seed=seed + 1)
     if key == "phone_elec":
-        domain_a = DomainSpec("Phone", _users(360), _items(190), mean_interactions_per_user=7.0)
-        domain_b = DomainSpec("Elec", _users(310), _items(150), mean_interactions_per_user=8.0)
+        domain_a = DomainSpec(
+            "Phone",
+            _users(360),
+            _items(190),
+            mean_interactions_per_user=7.0,
+        )
+        domain_b = DomainSpec(
+            "Elec",
+            _users(310),
+            _items(150),
+            mean_interactions_per_user=8.0,
+        )
         overlap = max(10, int(round(90 * scale)))
         return ScenarioSpec("phone_elec", domain_a, domain_b, overlap, seed=seed + 2)
     if key == "loan_fund":
-        domain_a = DomainSpec("Loan", _users(600), _items(45), mean_interactions_per_user=11.0)
-        domain_b = DomainSpec("Fund", _users(340), _items(38), mean_interactions_per_user=8.0)
+        domain_a = DomainSpec(
+            "Loan",
+            _users(600),
+            _items(45),
+            mean_interactions_per_user=11.0,
+        )
+        domain_b = DomainSpec(
+            "Fund",
+            _users(340),
+            _items(38),
+            mean_interactions_per_user=8.0,
+        )
         overlap = max(10, int(round(70 * scale)))
         return ScenarioSpec("loan_fund", domain_a, domain_b, overlap, seed=seed + 3)
     raise KeyError(f"unknown scenario '{name}'; known: {SCENARIO_NAMES}")

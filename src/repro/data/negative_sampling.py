@@ -35,7 +35,11 @@ _MAX_REJECTION_ROUNDS = 32
 class NegativeSampler:
     """Sample negative items uniformly from each user's non-interacted items."""
 
-    def __init__(self, domain: DomainData, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        domain: DomainData,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         self.num_items = domain.num_items
         self.num_users = domain.num_users
         self._rng = rng or np.random.default_rng(0)
@@ -47,8 +51,13 @@ class NegativeSampler:
         keys = np.unique(users * np.int64(self.num_items) + items)
         seen_users = keys // self.num_items
         self._seen_items = (keys % self.num_items).astype(np.int64)
-        self._seen_counts = np.bincount(seen_users, minlength=self.num_users).astype(np.int64)
-        self._indptr = np.concatenate(([0], np.cumsum(self._seen_counts))).astype(np.int64)
+        self._seen_counts = np.bincount(
+            seen_users,
+            minlength=self.num_users,
+        ).astype(np.int64)
+        self._indptr = np.concatenate(
+            ([0], np.cumsum(self._seen_counts)),
+        ).astype(np.int64)
         #: Sorted combined (user, item) keys for O(log E) membership tests.
         self._seen_keys = keys
 
@@ -57,7 +66,9 @@ class NegativeSampler:
         user = int(user)
         if not 0 <= user < self.num_users:
             return set()
-        return set(self._seen_items[self._indptr[user] : self._indptr[user + 1]].tolist())
+        return set(
+            self._seen_items[self._indptr[user] : self._indptr[user + 1]].tolist(),
+        )
 
     def seen_counts(self, users: np.ndarray) -> np.ndarray:
         """Per-user interaction counts (vectorised ``len(interacted(u))``)."""
@@ -75,7 +86,9 @@ class NegativeSampler:
         seen = self.interacted(user)
         available = self.num_items - len(seen)
         if available <= 0:
-            raise ValueError(f"user {user} has interacted with every item; cannot sample negatives")
+            raise ValueError(
+                f"user {user} has interacted with every item; cannot sample negatives",
+            )
         if count <= 0:
             raise ValueError("count must be positive")
 
@@ -90,7 +103,11 @@ class NegativeSampler:
         # Rejection sampling is fast because catalogues are much larger than
         # per-user histories in every scenario we generate.
         while len(negatives) < count:
-            draws = self._rng.integers(0, self.num_items, size=2 * (count - len(negatives)))
+            draws = self._rng.integers(
+                0,
+                self.num_items,
+                size=2 * (count - len(negatives)),
+            )
             for item in draws:
                 item = int(item)
                 if item not in seen and item not in negatives:
@@ -141,7 +158,9 @@ class NegativeSampler:
         seen_counts = self._seen_counts[users]
         if ((self.num_items - seen_counts) <= 0).any():
             bad = int(users[(self.num_items - seen_counts) <= 0][0])
-            raise ValueError(f"user {bad} has interacted with every item; cannot sample negatives")
+            raise ValueError(
+                f"user {bad} has interacted with every item; cannot sample negatives",
+            )
 
         # Near-saturated rows go straight to the exact complement draw; the
         # rejection loop would thrash exactly where the complement is small.
@@ -156,10 +175,18 @@ class NegativeSampler:
         if rows.size == 0:
             return out
         batch_users = users[rows]
-        candidates = self._rng.integers(0, self.num_items, size=(rows.size, count), dtype=np.int64)
+        candidates = self._rng.integers(
+            0,
+            self.num_items,
+            size=(rows.size, count),
+            dtype=np.int64,
+        )
         pending = np.ones(rows.size, dtype=bool)
         for _ in range(_MAX_REJECTION_ROUNDS):
-            keys = batch_users[pending, None] * np.int64(self.num_items) + candidates[pending]
+            keys = batch_users[
+                pending,
+                None,
+            ] * np.int64(self.num_items) + candidates[pending]
             position = np.searchsorted(self._seen_keys, keys)
             position = np.minimum(position, max(self._seen_keys.size - 1, 0))
             collision = (
@@ -234,5 +261,8 @@ def build_ranking_candidates(
         negatives = sampler.sample_for_user(int(user), num_negatives)
         candidate_rows.append(np.concatenate([[positive], negatives[:num_negatives]]))
     if not candidate_rows:
-        return np.zeros(0, dtype=np.int64), np.zeros((0, num_negatives + 1), dtype=np.int64)
+        return np.zeros(
+            0,
+            dtype=np.int64,
+        ), np.zeros((0, num_negatives + 1), dtype=np.int64)
     return np.asarray(users, dtype=np.int64), np.asarray(candidate_rows, dtype=np.int64)

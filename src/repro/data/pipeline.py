@@ -111,7 +111,11 @@ def _prefetch_worker(pipeline_ref, stop_event, step_queue, num_epochs: int) -> N
             epoch_prep = pipeline.stats.prep_seconds - prep_before
             pipeline.stats.prep_seconds = prep_before
             del pipeline  # the put below may block; don't pin the pipeline
-            if not _queue_put(stop_event, step_queue, (_STEP, epoch, steps, epoch_prep)):
+            if not _queue_put(
+                stop_event,
+                step_queue,
+                (_STEP, epoch, steps, epoch_prep),
+            ):
                 return
     except BaseException:  # noqa: BLE001 — forwarded verbatim to the consumer
         # Hand the *live* exception (with its traceback) to the consumer
@@ -240,7 +244,12 @@ class PrefetchDataPipeline(DataPipeline):
         Queue capacity in *epochs* ahead of the one being consumed.
     """
 
-    def __init__(self, loaders: Mapping[str, object], num_epochs: int, depth: int = 1) -> None:
+    def __init__(
+        self,
+        loaders: Mapping[str, object],
+        num_epochs: int,
+        depth: int = 1,
+    ) -> None:
         super().__init__(loaders)
         if num_epochs < 1:
             raise ValueError("num_epochs must be positive")
@@ -287,7 +296,9 @@ class PrefetchDataPipeline(DataPipeline):
 
     def epoch(self, epoch_index: int) -> Iterator[Dict[str, Batch]]:
         if epoch_index >= self.num_epochs:
-            raise IndexError(f"epoch {epoch_index} outside the {self.num_epochs}-epoch plan")
+            raise IndexError(
+                f"epoch {epoch_index} outside the {self.num_epochs}-epoch plan",
+            )
         if self._stop.is_set():
             # A closed pipeline must fail fast: restarting the worker here
             # would spin against the stop flag and silently burn loader rng.

@@ -17,7 +17,10 @@ from .schema import CDRDataset, DomainData
 __all__ = ["filter_min_interactions", "compact_items", "preprocess_scenario"]
 
 
-def filter_min_interactions(domain: DomainData, min_interactions: int = 5) -> DomainData:
+def filter_min_interactions(
+    domain: DomainData,
+    min_interactions: int = 5,
+) -> DomainData:
     """Drop users with fewer than ``min_interactions`` interactions and reindex."""
     if min_interactions < 0:
         raise ValueError("min_interactions must be non-negative")

@@ -157,7 +157,11 @@ class CDRDataset:
     # ------------------------------------------------------------------
     # Ku / Ds manipulations (Sections III.A.2 and III.B.5)
     # ------------------------------------------------------------------
-    def with_overlap_ratio(self, ratio: float, rng: Optional[np.random.Generator] = None) -> "CDRDataset":
+    def with_overlap_ratio(
+        self,
+        ratio: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "CDRDataset":
         """Keep only ``ratio`` of the overlapped users linked across domains.
 
         The remaining formerly-overlapped users in domain B are assigned fresh
@@ -186,7 +190,12 @@ class CDRDataset:
         metadata["overlap_ratio"] = ratio
         return CDRDataset(self.name, self.domain_a.copy(), new_b, metadata)
 
-    def with_density(self, ratio: float, min_interactions: int = 3, rng: Optional[np.random.Generator] = None) -> "CDRDataset":
+    def with_density(
+        self,
+        ratio: float,
+        min_interactions: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "CDRDataset":
         """Downsample both domains' interactions to ``ratio`` of their volume.
 
         Every user keeps at least ``min_interactions`` interactions so the

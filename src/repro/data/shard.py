@@ -104,7 +104,11 @@ def split_joint_batch(
         if batch is None or len(batch) == 0:
             continue
         full_sizes[key] = len(batch)
-        assignments = shard_assignments(batch.users, n_shards, salt=domain_shard_salt(key))
+        assignments = shard_assignments(
+            batch.users,
+            n_shards,
+            salt=domain_shard_salt(key),
+        )
         positions[key] = []
         for shard in range(n_shards):
             rows = np.flatnonzero(assignments == shard)

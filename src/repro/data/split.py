@@ -55,7 +55,10 @@ class DomainSplit:
         )
 
 
-def leave_one_out_split(domain: DomainData, min_eval_interactions: int = 3) -> DomainSplit:
+def leave_one_out_split(
+    domain: DomainData,
+    min_eval_interactions: int = 3,
+) -> DomainSplit:
     """Split one domain with the leave-one-out protocol.
 
     Parameters

@@ -72,7 +72,11 @@ class ScenarioSpec:
             raise ValueError("cross_domain_correlation must be in [0, 1]")
 
 
-def _power_law_weights(count: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
+def _power_law_weights(
+    count: int,
+    exponent: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
     """Zipf-like weights over ``count`` entities, randomly permuted."""
     ranks = np.arange(1, count + 1, dtype=np.float64)
     weights = ranks ** (-exponent)

@@ -21,7 +21,13 @@ from .runner import ExperimentSettings, ScenarioResult, run_scenario
 __all__ = ["AblationResult", "run_ablation", "ABLATION_MODEL_NAMES"]
 
 #: Registry names of the ablation variants (order matches Table IX columns).
-ABLATION_MODEL_NAMES = ("NMCDR/w/o-Igm", "NMCDR/w/o-Cgm", "NMCDR/w/o-Inc", "NMCDR/w/o-Sup", "NMCDR")
+ABLATION_MODEL_NAMES = (
+    "NMCDR/w/o-Igm",
+    "NMCDR/w/o-Cgm",
+    "NMCDR/w/o-Inc",
+    "NMCDR/w/o-Sup",
+    "NMCDR",
+)
 
 
 @dataclass
@@ -31,15 +37,29 @@ class AblationResult:
     scenario: str
     scenario_result: ScenarioResult
 
-    def variant_metric(self, variant: str, domain_key: str, metric: str = "ndcg@10") -> float:
+    def variant_metric(
+        self,
+        variant: str,
+        domain_key: str,
+        metric: str = "ndcg@10",
+    ) -> float:
         return self.scenario_result.results[variant].metric(domain_key, metric)
 
-    def full_beats_variant(self, variant: str, domain_key: str, metric: str = "ndcg@10") -> bool:
+    def full_beats_variant(
+        self,
+        variant: str,
+        domain_key: str,
+        metric: str = "ndcg@10",
+    ) -> bool:
         return self.variant_metric("NMCDR", domain_key, metric) >= self.variant_metric(
             variant, domain_key, metric
         )
 
-    def component_contributions(self, domain_key: str, metric: str = "ndcg@10") -> Dict[str, float]:
+    def component_contributions(
+        self,
+        domain_key: str,
+        metric: str = "ndcg@10",
+    ) -> Dict[str, float]:
         """Drop in the metric when each component is removed (larger = more important)."""
         full = self.variant_metric("NMCDR", domain_key, metric)
         return {

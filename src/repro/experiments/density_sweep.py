@@ -60,7 +60,11 @@ class DensitySweepResult:
         header = f"{'Model':<16}" + "".join(
             f"{f'Ds={ratio:.0%}':>18}" for ratio in self.density_ratios
         )
-        lines = [f"{self.scenario} — {domain_name} (NDCG@10 / HR@10, %)", header, "-" * len(header)]
+        lines = [
+            f"{self.scenario} — {domain_name} (NDCG@10 / HR@10, %)",
+            header,
+            "-" * len(header),
+        ]
         for name in self.model_names:
             cells = "".join(
                 f"{f'{ndcg * 100:6.2f}/{hr * 100:6.2f}':>18}"

@@ -37,29 +37,63 @@ def write_csv(content: str, path: Optional[Union[str, Path]]) -> Optional[Path]:
     return path
 
 
-def overlap_sweep_to_csv(sweep: OverlapSweepResult, path: Optional[Union[str, Path]] = None) -> str:
+def overlap_sweep_to_csv(
+    sweep: OverlapSweepResult,
+    path: Optional[Union[str, Path]] = None,
+) -> str:
     """CSV with one row per (model, domain, overlap ratio)."""
     buffer = io.StringIO()
     writer = csv.writer(buffer)
-    writer.writerow(["scenario", "model", "domain", "overlap_ratio", "ndcg@10", "hr@10"])
+    writer.writerow(
+        ["scenario", "model", "domain", "overlap_ratio", "ndcg@10", "hr@10"],
+    )
     for model_name in sweep.model_names:
         for domain_key in ("a", "b"):
-            for ratio, (ndcg, hr) in zip(sweep.overlap_ratios, sweep.series(model_name, domain_key)):
-                writer.writerow([sweep.scenario, model_name, domain_key, ratio, f"{ndcg:.6f}", f"{hr:.6f}"])
+            for ratio, (
+                ndcg,
+                hr,
+            ) in zip(sweep.overlap_ratios, sweep.series(model_name, domain_key)):
+                writer.writerow(
+                    [
+                        sweep.scenario,
+                        model_name,
+                        domain_key,
+                        ratio,
+                        f"{ndcg:.6f}",
+                        f"{hr:.6f}",
+                    ],
+                )
     content = buffer.getvalue()
     write_csv(content, path)
     return content
 
 
-def density_sweep_to_csv(sweep: DensitySweepResult, path: Optional[Union[str, Path]] = None) -> str:
+def density_sweep_to_csv(
+    sweep: DensitySweepResult,
+    path: Optional[Union[str, Path]] = None,
+) -> str:
     """CSV with one row per (model, domain, density ratio)."""
     buffer = io.StringIO()
     writer = csv.writer(buffer)
-    writer.writerow(["scenario", "model", "domain", "density_ratio", "ndcg@10", "hr@10"])
+    writer.writerow(
+        ["scenario", "model", "domain", "density_ratio", "ndcg@10", "hr@10"],
+    )
     for model_name in sweep.model_names:
         for domain_key in ("a", "b"):
-            for ratio, (ndcg, hr) in zip(sweep.density_ratios, sweep.series(model_name, domain_key)):
-                writer.writerow([sweep.scenario, model_name, domain_key, ratio, f"{ndcg:.6f}", f"{hr:.6f}"])
+            for ratio, (
+                ndcg,
+                hr,
+            ) in zip(sweep.density_ratios, sweep.series(model_name, domain_key)):
+                writer.writerow(
+                    [
+                        sweep.scenario,
+                        model_name,
+                        domain_key,
+                        ratio,
+                        f"{ndcg:.6f}",
+                        f"{hr:.6f}",
+                    ],
+                )
     content = buffer.getvalue()
     write_csv(content, path)
     return content
@@ -102,13 +136,19 @@ def hyperparameter_sweep_to_csv(
     return content
 
 
-def projection_to_csv(projection: Dict[str, np.ndarray], path: Optional[Union[str, Path]] = None) -> str:
+def projection_to_csv(
+    projection: Dict[str, np.ndarray],
+    path: Optional[Union[str, Path]] = None,
+) -> str:
     """CSV of a t-SNE projection (Fig. 5): user index, x, y, head flag."""
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["user_index", "x", "y", "is_head"])
     coordinates = projection["coordinates"]
-    for user, (x, y), is_head in zip(projection["user_indices"], coordinates, projection["is_head"]):
+    for user, (
+        x,
+        y,
+    ), is_head in zip(projection["user_indices"], coordinates, projection["is_head"]):
         writer.writerow([int(user), f"{x:.6f}", f"{y:.6f}", int(bool(is_head))])
     content = buffer.getvalue()
     write_csv(content, path)

@@ -58,16 +58,26 @@ class HyperparameterSweepResult:
         header = f"{self.parameter_name:<24}" + "".join(
             f"{value:>12g}" for value in self.parameter_values
         )
-        lines = [f"{self.scenario}: NMCDR sensitivity to {self.parameter_name}", header, "-" * len(header)]
+        lines = [
+            f"{self.scenario}: NMCDR sensitivity to {self.parameter_name}",
+            header,
+            "-" * len(header),
+        ]
         for metric in ("ndcg@10", "hr@10"):
             cells = "".join(f"{value:>12.4f}" for value in self.average_series(metric))
             lines.append(f"{('avg ' + metric):<24}{cells}")
         return "\n".join(lines)
 
 
-def _run_single_nmcdr(settings: ExperimentSettings, nmcdr_overrides: Dict) -> Dict[str, Dict[str, float]]:
+def _run_single_nmcdr(
+    settings: ExperimentSettings,
+    nmcdr_overrides: Dict,
+) -> Dict[str, Dict[str, float]]:
     dataset = prepare_dataset(settings)
-    task = build_task(dataset, head_threshold=nmcdr_overrides.get("head_threshold", settings.head_threshold))
+    task = build_task(
+        dataset,
+        head_threshold=nmcdr_overrides.get("head_threshold", settings.head_threshold),
+    )
     config = settings.nmcdr_config().variant(**nmcdr_overrides)
     model = NMCDR(task, config)
     trainer = CDRTrainer(model, task, settings.trainer_config())
@@ -90,7 +100,9 @@ def run_matching_neighbors_sweep(
         parameter_values=[float(count) for count in neighbor_counts],
     )
     for count in neighbor_counts:
-        result.metrics.append(_run_single_nmcdr(base, {"max_matching_neighbors": int(count)}))
+        result.metrics.append(
+            _run_single_nmcdr(base, {"max_matching_neighbors": int(count)}),
+        )
     return result
 
 
@@ -109,5 +121,7 @@ def run_head_threshold_sweep(
         parameter_values=[float(threshold) for threshold in thresholds],
     )
     for threshold in thresholds:
-        result.metrics.append(_run_single_nmcdr(base, {"head_threshold": int(threshold)}))
+        result.metrics.append(
+            _run_single_nmcdr(base, {"head_threshold": int(threshold)}),
+        )
     return result

@@ -87,7 +87,10 @@ def nmcdr_reference_row(scenario: str, domain_name: str) -> List[Tuple[float, fl
     return list(_NMCDR_ROWS[scenario][domain_name])
 
 
-def improvement_reference_row(scenario: str, domain_name: str) -> List[Tuple[float, float]]:
+def improvement_reference_row(
+    scenario: str,
+    domain_name: str,
+) -> List[Tuple[float, float]]:
     """NMCDR's improvement over the second-best baseline per overlap ratio."""
     return list(_IMPROVEMENT_ROWS[scenario][domain_name])
 

@@ -11,7 +11,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Union
 
-__all__ = ["REPORT_ORDER", "collect_reports", "build_markdown_report", "write_markdown_report"]
+__all__ = [
+    "REPORT_ORDER",
+    "collect_reports",
+    "build_markdown_report",
+    "write_markdown_report",
+]
 
 #: Display order and titles of the known experiment reports.
 REPORT_ORDER = (
@@ -40,7 +45,10 @@ def collect_reports(results_dir: Union[str, Path]) -> Dict[str, str]:
     return {path.stem: path.read_text().rstrip() for path in sorted(results_dir.glob("*.txt"))}
 
 
-def build_markdown_report(results_dir: Union[str, Path], title: str = "NMCDR reproduction results") -> str:
+def build_markdown_report(
+    results_dir: Union[str, Path],
+    title: str = "NMCDR reproduction results",
+) -> str:
     """Build one markdown document from all available bench reports."""
     reports = collect_reports(results_dir)
     lines: List[str] = [f"# {title}", ""]

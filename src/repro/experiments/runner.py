@@ -20,7 +20,13 @@ from ..baselines import build_model
 from ..core import CDRTask, CDRTrainer, NMCDRConfig, TrainerConfig, build_task
 from ..data import CDRDataset, load_scenario, preprocess_scenario
 
-__all__ = ["ExperimentSettings", "ModelResult", "ScenarioResult", "run_scenario", "fast_mode"]
+__all__ = [
+    "ExperimentSettings",
+    "ModelResult",
+    "ScenarioResult",
+    "run_scenario",
+    "fast_mode",
+]
 
 
 def fast_mode() -> bool:
@@ -102,7 +108,11 @@ class ScenarioResult:
         }
         return max(scored, key=scored.get)
 
-    def improvement_over_best_baseline(self, domain_key: str, metric: str = "ndcg@10") -> float:
+    def improvement_over_best_baseline(
+        self,
+        domain_key: str,
+        metric: str = "ndcg@10",
+    ) -> float:
         """NMCDR's relative improvement (%) over the best non-NMCDR model."""
         if "NMCDR" not in self.results:
             raise KeyError("scenario was run without NMCDR")

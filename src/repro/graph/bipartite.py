@@ -93,7 +93,8 @@ class InteractionGraph:
             raise ValueError("graph requires at least one user and one item")
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
-        if indptr.shape != (num_users + 1,) or indptr[0] != 0 or indptr[-1] != indices.size:
+        bad_shape = indptr.shape != (num_users + 1,)
+        if bad_shape or indptr[0] != 0 or indptr[-1] != indices.size:
             raise ValueError("indptr does not describe a CSR over the given shape")
         if indices.size and (indices.min() < 0 or indices.max() >= num_items):
             raise ValueError("item index out of range")
@@ -202,7 +203,12 @@ class InteractionGraph:
 
         def build() -> sp.csr_matrix:
             degrees = self.user_degrees()
-            inverse = np.divide(1.0, degrees, out=np.zeros_like(degrees), where=degrees > 0)
+            inverse = np.divide(
+                1.0,
+                degrees,
+                out=np.zeros_like(degrees),
+                where=degrees > 0,
+            )
             return sp.diags(inverse) @ self._adjacency
 
         return self._cached_operator("user_aggregation", build)
@@ -212,7 +218,12 @@ class InteractionGraph:
 
         def build() -> sp.csr_matrix:
             degrees = self.item_degrees()
-            inverse = np.divide(1.0, degrees, out=np.zeros_like(degrees), where=degrees > 0)
+            inverse = np.divide(
+                1.0,
+                degrees,
+                out=np.zeros_like(degrees),
+                where=degrees > 0,
+            )
             return sp.diags(inverse) @ self._adjacency.T.tocsr()
 
         return self._cached_operator("item_aggregation", build)
@@ -289,7 +300,9 @@ class InteractionGraph:
 
         def build() -> sp.csr_matrix:
             # Edges are user-major sorted, so each user's edges are contiguous.
-            indptr = np.concatenate(([0], np.cumsum(self.user_degrees()))).astype(np.int64)
+            indptr = np.concatenate(
+                ([0], np.cumsum(self.user_degrees())),
+            ).astype(np.int64)
             return sp.csr_matrix(
                 (
                     np.ones(self.num_edges),

@@ -84,9 +84,14 @@ class MatchingNeighborSampler:
         candidates = np.asarray(candidates, dtype=np.int64)
         if self.max_neighbors is None or candidates.size <= self.max_neighbors:
             return candidates
-        chosen = get_rng(self._rng).choice(candidates, size=self.max_neighbors, replace=False)
+        chosen = get_rng(
+            self._rng,
+        ).choice(candidates, size=self.max_neighbors, replace=False)
         return np.sort(chosen)
 
-    def sample_partition(self, partition: HeadTailPartition) -> Tuple[np.ndarray, np.ndarray]:
+    def sample_partition(
+        self,
+        partition: HeadTailPartition,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Sample the head and tail pools of an intra-domain matching graph."""
         return self.sample(partition.head_users), self.sample(partition.tail_users)

@@ -29,7 +29,12 @@ class VanillaGNNConv(Module):
     messages, followed by ReLU.  The item update mirrors it.
     """
 
-    def __init__(self, in_dim: int, out_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         super().__init__()
         self.in_dim = int(in_dim)
         self.out_dim = int(out_dim)
@@ -57,7 +62,12 @@ class VanillaGNNConv(Module):
 class GCNConv(Module):
     """GCN-style kernel with symmetric ``D^{-1/2} A D^{-1/2}`` normalisation."""
 
-    def __init__(self, in_dim: int, out_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         super().__init__()
         self.in_dim = int(in_dim)
         self.out_dim = int(out_dim)
@@ -87,7 +97,12 @@ class GATConv(Module):
     used to weight neighbour messages.
     """
 
-    def __init__(self, in_dim: int, out_dim: int, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         super().__init__()
         self.in_dim = int(in_dim)
         self.out_dim = int(out_dim)
@@ -150,7 +165,12 @@ _KERNELS = {
 }
 
 
-def kernel_by_name(name: str, in_dim: int, out_dim: int, rng: Optional[np.random.Generator] = None) -> Module:
+def kernel_by_name(
+    name: str,
+    in_dim: int,
+    out_dim: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Module:
     """Instantiate a GNN kernel by its lowercase name."""
     key = name.lower()
     if key not in _KERNELS:

@@ -32,8 +32,13 @@ correct depth per configuration.
 With a ``fanout`` cap high-degree frontier nodes pull in at most ``fanout``
 neighbours per hop, which bounds the subgraph size at the cost of truncated
 neighbourhoods (the standard accuracy/cost dial of neighbour sampling).
-Fanout sampling is deterministic in the seed signature, so a cached subgraph
-and a freshly sampled one for the same key are identical by construction.
+Capped draws use a *signature-stable per-node reservoir* (each node's kept
+neighbour subset is a pure hash of the node, independent of the frontier and
+the seed set), so fanout expansion is deterministic — a cached subgraph and a
+freshly sampled one for the same key are identical by construction — **and**
+distributes over seed unions, which lets the incremental plan schedule delta-
+expand batches under a fanout cap instead of falling back to full per-step
+expansion.
 
 :class:`SubgraphCache` memoises :class:`DomainSubgraph` objects keyed by the
 seed sets and sampling settings: repeated batch signatures (common with small
@@ -69,14 +74,39 @@ def _as_node_ids(ids, size: int, label: str) -> np.ndarray:
     return np.unique(ids)
 
 
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finaliser: a stateless, vectorised uint64 bit mixer."""
+    mixed = values.astype(np.uint64, copy=True)
+    mixed ^= mixed >> np.uint64(30)
+    mixed *= np.uint64(0xBF58476D1CE4E5B9)
+    mixed ^= mixed >> np.uint64(27)
+    mixed *= np.uint64(0x94D049BB133111EB)
+    mixed ^= mixed >> np.uint64(31)
+    return mixed
+
+
 def _gather_neighbors(
     indptr: np.ndarray,
     indices: np.ndarray,
     frontier: np.ndarray,
     fanout: Optional[int],
-    rng: Optional[np.random.Generator],
+    side: int,
 ) -> np.ndarray:
-    """All (or up to ``fanout`` per node) neighbours of the frontier nodes."""
+    """All (or up to ``fanout`` per node) neighbours of the frontier nodes.
+
+    The capped draw is a **signature-stable per-node reservoir**: every edge
+    gets a pseudo-random key mixed from its owning node's id and its rank
+    within the node's (canonically sorted) adjacency row, and each node keeps
+    its ``fanout`` smallest-keyed edges.  A node's kept subset is therefore a
+    pure function of the node itself — independent of which other nodes share
+    the frontier, of the hop at which it is reached and of the seed set that
+    reached it.  That is exactly the property that makes capped k-hop
+    expansion distribute over seed unions (``khop(S ∪ B) = khop(S) ∪
+    khop(B)``, the delta-expansion contract of
+    :class:`repro.core.plan_schedule.PlanSchedule`), which whole-frontier rng
+    draws — the pre-reservoir implementation — could not provide.  ``side``
+    decorrelates the user→item and item→user draws of nodes sharing an id.
+    """
     if frontier.size == 0:
         return np.empty(0, dtype=np.int64)
     starts = indptr[frontier]
@@ -90,11 +120,18 @@ def _gather_neighbors(
     if fanout is None or not (counts > fanout).any():
         return indices[flat].astype(np.int64)
 
-    # Per-node sampling without replacement, fully vectorised: give every
-    # edge a random key, order edges by (owning node, key) and keep each
-    # node's first ``fanout`` — a per-segment uniform random subset.
+    # Per-node sampling without replacement, fully vectorised: order edges by
+    # (owning node, per-node-stable key) and keep each node's first
+    # ``fanout`` — a per-segment pseudo-random subset.  Keeping the *k*
+    # smallest keys also nests subsets across fanout values.
     segments = np.repeat(np.arange(frontier.size), counts)
-    order = np.lexsort((rng.random(total), segments))
+    owner_ids = np.repeat(frontier.astype(np.uint64), counts)
+    keys = _mix64(
+        owner_ids * np.uint64(0x9E3779B97F4A7C15)
+        + offsets.astype(np.uint64)
+        + np.uint64(side) * np.uint64(0xD1B54A32D192ED03)
+    )
+    order = np.lexsort((keys, segments))
     segment_starts = np.repeat(np.cumsum(counts) - counts, counts)
     ranks = np.arange(total) - segment_starts
     return indices[flat[order[ranks < fanout]]].astype(np.int64)
@@ -106,7 +143,7 @@ def _signature(
     num_hops: int,
     fanout: Optional[int],
 ) -> bytes:
-    """Stable digest of the sampling inputs (cache key and fanout rng seed)."""
+    """Stable digest of the sampling inputs (the subgraph-cache key)."""
     digest = hashlib.blake2b(digest_size=16)
     digest.update(np.int64(num_hops).tobytes())
     digest.update(np.int64(-1 if fanout is None else fanout).tobytes())
@@ -122,15 +159,16 @@ def sample_khop_nodes(
     seed_items,
     num_hops: int = 1,
     fanout: Optional[int] = None,
-    rng: Optional[np.random.Generator] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Node sets of the k-hop neighbourhood around the seed users/items.
 
     One hop expands the user frontier to its items and the item frontier to
     its users simultaneously; ``fanout`` caps how many neighbours a single
-    frontier node may contribute per hop.  Returns sorted global
-    ``(user_ids, item_ids)``.  Isolated seed nodes are kept (they simply add
-    no neighbours).
+    frontier node may contribute per hop via the signature-stable per-node
+    reservoir of :func:`_gather_neighbors`, so the capped expansion is a
+    deterministic, union-decomposable function of the seeds.  Returns sorted
+    global ``(user_ids, item_ids)``.  Isolated seed nodes are kept (they
+    simply add no neighbours).
     """
     if num_hops < 1:
         raise ValueError("num_hops must be >= 1")
@@ -138,11 +176,6 @@ def sample_khop_nodes(
         raise ValueError("fanout must be positive or None")
     seed_users = _as_node_ids(seed_users, graph.num_users, "seed user")
     seed_items = _as_node_ids(seed_items, graph.num_items, "seed item")
-    if fanout is not None and rng is None:
-        seed_int = int.from_bytes(
-            _signature(seed_users, seed_items, num_hops, fanout)[:8], "little"
-        )
-        rng = np.random.default_rng(seed_int)
 
     csr = graph.adjacency()
     csc = graph.adjacency_item_major()
@@ -153,8 +186,8 @@ def sample_khop_nodes(
     user_frontier, item_frontier = seed_users, seed_items
 
     for _ in range(num_hops):
-        next_items = _gather_neighbors(csr.indptr, csr.indices, user_frontier, fanout, rng)
-        next_users = _gather_neighbors(csc.indptr, csc.indices, item_frontier, fanout, rng)
+        next_items = _gather_neighbors(csr.indptr, csr.indices, user_frontier, fanout, side=0)
+        next_users = _gather_neighbors(csc.indptr, csc.indices, item_frontier, fanout, side=1)
         next_items = np.unique(next_items[~item_mask[next_items]]) if next_items.size else next_items
         next_users = np.unique(next_users[~user_mask[next_users]]) if next_users.size else next_users
         if next_items.size == 0 and next_users.size == 0:

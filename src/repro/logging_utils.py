@@ -67,14 +67,22 @@ class ExperimentLogger:
 
     def log(self, event: str, **fields) -> Dict:
         """Append one record; returns it for convenience."""
-        record = {"event": event, "elapsed_s": round(time.time() - self._started, 3), **fields}
+        record = {
+            "event": event,
+            "elapsed_s": round(time.time() - self._started, 3),
+            **fields,
+        }
         self.records.append(record)
         if self.verbose:
             printable = ", ".join(f"{key}={value}" for key, value in fields.items())
             print(f"[{self.name}] {event}: {printable}")
         return record
 
-    def log_metrics(self, model_name: str, metrics: Dict[str, Dict[str, float]]) -> Dict:
+    def log_metrics(
+        self,
+        model_name: str,
+        metrics: Dict[str, Dict[str, float]],
+    ) -> Dict:
         """Convenience wrapper flattening a per-domain metrics dict."""
         flat = {
             f"{domain}/{metric}": value

@@ -29,7 +29,11 @@ def auc(labels: np.ndarray, scores: np.ndarray) -> float:
     ranks[order] = np.arange(1, labels.size + 1)
     # average ranks over ties
     sorted_scores = scores[order]
-    unique, start_index, counts = np.unique(sorted_scores, return_index=True, return_counts=True)
+    unique, start_index, counts = np.unique(
+        sorted_scores,
+        return_index=True,
+        return_counts=True,
+    )
     for start, count in zip(start_index, counts):
         if count > 1:
             tie_positions = order[start : start + count]
@@ -41,7 +45,11 @@ def auc(labels: np.ndarray, scores: np.ndarray) -> float:
 def log_loss(labels: np.ndarray, probabilities: np.ndarray) -> float:
     """Average binary cross-entropy of predicted probabilities."""
     labels = np.asarray(labels, dtype=np.float64).ravel()
-    probabilities = np.clip(np.asarray(probabilities, dtype=np.float64).ravel(), _EPS, 1 - _EPS)
+    probabilities = np.clip(
+        np.asarray(probabilities, dtype=np.float64).ravel(),
+        _EPS,
+        1 - _EPS,
+    )
     if labels.shape != probabilities.shape:
         raise ValueError("labels and probabilities must have the same shape")
     return float(

@@ -21,7 +21,12 @@ __all__ = ["Scorer", "RankingEvaluator", "evaluate_split"]
 class Scorer(Protocol):
     """Minimal scoring interface every recommender in this repo implements."""
 
-    def score(self, domain_key: str, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+    def score(
+        self,
+        domain_key: str,
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> np.ndarray:
         """Return an affinity score per (user, item) pair, higher is better."""
         ...
 

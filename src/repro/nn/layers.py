@@ -76,7 +76,9 @@ class Linear(Module):
             raise ValueError("Linear requires strictly positive feature sizes")
         self.in_features = int(in_features)
         self.out_features = int(out_features)
-        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng))
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, out_features), rng=rng),
+        )
         self.bias: Optional[Parameter]
         if bias:
             self.bias = Parameter(init.zeros((out_features,)))
@@ -117,7 +119,9 @@ class Embedding(Module):
             raise ValueError("Embedding requires strictly positive sizes")
         self.num_embeddings = int(num_embeddings)
         self.embedding_dim = int(embedding_dim)
-        self.weight = Parameter(init.embedding_normal((num_embeddings, embedding_dim), std=std, rng=rng))
+        self.weight = Parameter(
+            init.embedding_normal((num_embeddings, embedding_dim), std=std, rng=rng),
+        )
 
     def forward(self, indices: Union[np.ndarray, Sequence[int]]) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)
@@ -147,7 +151,11 @@ class Embedding(Module):
 class Dropout(Module):
     """Inverted dropout; a no-op in evaluation mode."""
 
-    def __init__(self, p: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        p: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         super().__init__()
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")

@@ -67,14 +67,22 @@ def binary_cross_entropy_with_logits(
     return _reduce(loss, reduction)
 
 
-def bpr_loss(positive_scores: Tensor, negative_scores: Tensor, reduction: str = "mean") -> Tensor:
+def bpr_loss(
+    positive_scores: Tensor,
+    negative_scores: Tensor,
+    reduction: str = "mean",
+) -> Tensor:
     """Bayesian personalised ranking loss: ``-log sigmoid(pos - neg)``."""
     diff = as_tensor(positive_scores) - as_tensor(negative_scores)
     loss = ops.softplus(-1.0 * diff)
     return _reduce(loss, reduction)
 
 
-def mse_loss(predictions: Tensor, targets: Union[Tensor, np.ndarray], reduction: str = "mean") -> Tensor:
+def mse_loss(
+    predictions: Tensor,
+    targets: Union[Tensor, np.ndarray],
+    reduction: str = "mean",
+) -> Tensor:
     """Mean squared error, used by DML's metric-learning regulariser."""
     diff = as_tensor(predictions) - as_tensor(targets)
     loss = diff * diff

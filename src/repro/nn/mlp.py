@@ -61,7 +61,10 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         last = len(self.linears) - 1
-        fused = self._fused_activation if isinstance(x, Tensor) and x.data.ndim == 2 else None
+        fused = self._fused_activation if isinstance(
+            x,
+            Tensor,
+        ) and x.data.ndim == 2 else None
         for index, linear in enumerate(self.linears):
             if index < last:
                 if fused is not None:

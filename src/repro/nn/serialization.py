@@ -13,7 +13,11 @@ from .module import Module
 __all__ = ["save_module", "load_module", "Checkpoint"]
 
 
-def save_module(module: Module, path: Union[str, Path], metadata: Optional[Dict] = None) -> Path:
+def save_module(
+    module: Module,
+    path: Union[str, Path],
+    metadata: Optional[Dict] = None,
+) -> Path:
     """Write ``module.state_dict()`` (plus optional JSON metadata) to ``path``."""
     path = Path(path)
     if path.suffix != ".npz":
@@ -40,7 +44,9 @@ def load_module(module: Module, path: Union[str, Path], strict: bool = True) -> 
         raise FileNotFoundError(f"checkpoint not found: {path}")
 
     with np.load(path) as archive:
-        metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8") or "{}")
+        metadata = json.loads(
+            bytes(archive["metadata"].tobytes()).decode("utf-8") or "{}",
+        )
         state = {
             key[len("param::"):]: archive[key]
             for key in archive.files
@@ -58,7 +64,12 @@ class Checkpoint:
         self.higher_is_better = bool(higher_is_better)
         self.best_score: Optional[float] = None
 
-    def update(self, module: Module, score: float, metadata: Optional[Dict] = None) -> bool:
+    def update(
+        self,
+        module: Module,
+        score: float,
+        metadata: Optional[Dict] = None,
+    ) -> bool:
         """Persist the module if ``score`` improves on the best seen; returns whether it did."""
         improved = (
             self.best_score is None

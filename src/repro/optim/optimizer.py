@@ -25,7 +25,12 @@ class Optimizer:
         decay is not needed for the experiments in the paper).
     """
 
-    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0) -> None:
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float,
+        weight_decay: float = 0.0,
+    ) -> None:
         self.parameters: List[Parameter] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received an empty parameter list")

@@ -11,7 +11,13 @@ from typing import Optional
 
 from .optimizer import Optimizer
 
-__all__ = ["LRScheduler", "StepLR", "ExponentialLR", "build_scheduler", "SCHEDULER_NAMES"]
+__all__ = [
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "build_scheduler",
+    "SCHEDULER_NAMES",
+]
 
 
 class LRScheduler:
@@ -36,7 +42,12 @@ class LRScheduler:
 class StepLR(LRScheduler):
     """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
 
-    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        step_size: int,
+        gamma: float = 0.5,
+    ) -> None:
         super().__init__(optimizer)
         if step_size <= 0:
             raise ValueError("step_size must be positive")
@@ -81,4 +92,6 @@ def build_scheduler(
         return StepLR(optimizer, step_size=step_size, gamma=gamma)
     if name == "exponential":
         return ExponentialLR(optimizer, gamma=gamma)
-    raise ValueError(f"unknown lr scheduler '{name}'; expected one of {SCHEDULER_NAMES} or None")
+    raise ValueError(
+        f"unknown lr scheduler '{name}'; expected one of {SCHEDULER_NAMES} or None",
+    )

@@ -65,7 +65,9 @@ def set_dtype(dtype) -> np.dtype:
     global _dtype
     if isinstance(dtype, str):
         if dtype not in _DTYPES:
-            raise ValueError(f"unknown engine dtype '{dtype}'; known: {sorted(_DTYPES)}")
+            raise ValueError(
+                f"unknown engine dtype '{dtype}'; known: {sorted(_DTYPES)}",
+            )
         resolved = np.dtype(_DTYPES[dtype])
     else:
         resolved = np.dtype(dtype)
@@ -139,7 +141,9 @@ class GradientBufferPool:
 buffer_pool = GradientBufferPool()
 
 
-def set_op_hook(hook: Optional[Callable[[str], None]]) -> Optional[Callable[[str], None]]:
+def set_op_hook(
+    hook: Optional[Callable[[str], None]],
+) -> Optional[Callable[[str], None]]:
     """Install (or clear with ``None``) the per-node op hook; returns the old one."""
     global _op_hook
     previous = _op_hook

@@ -218,7 +218,9 @@ class Tensor:
             one, matching PyTorch semantics.
         """
         if not self.requires_grad:
-            raise RuntimeError("backward() called on a tensor that does not require grad")
+            raise RuntimeError(
+                "backward() called on a tensor that does not require grad",
+            )
         if grad is None:
             if self.data.size != 1:
                 raise ValueError(

@@ -29,7 +29,12 @@ def tiny_task(tiny_dataset):
 
 @pytest.fixture(scope="session")
 def tiny_nmcdr_config():
-    return NMCDRConfig(embedding_dim=16, max_matching_neighbors=32, head_threshold=5, seed=0)
+    return NMCDRConfig(
+        embedding_dim=16,
+        max_matching_neighbors=32,
+        head_threshold=5,
+        seed=0,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -57,7 +57,12 @@ class TestTSNE:
 class TestAlignment:
     def test_identical_distributions_have_low_scores(self, rng):
         embeddings = rng.normal(size=(60, 8))
-        scores = head_tail_alignment(embeddings, np.arange(30), np.arange(30, 60), stage="x")
+        scores = head_tail_alignment(
+            embeddings,
+            np.arange(30),
+            np.arange(30, 60),
+            stage="x",
+        )
         assert scores.centroid_distance < 0.5
         assert scores.mmd < 0.1
 
@@ -98,7 +103,13 @@ class TestEfficiency:
         from repro.baselines import LRModel
 
         model = LRModel(tiny_task, embedding_dim=8)
-        report = measure_efficiency(model, tiny_task, batch_size=64, num_train_batches=2, num_test_batches=2)
+        report = measure_efficiency(
+            model,
+            tiny_task,
+            batch_size=64,
+            num_train_batches=2,
+            num_test_batches=2,
+        )
         assert report.num_parameters == model.num_parameters()
         assert report.train_seconds_per_batch > 0
         assert report.test_seconds_per_batch > 0
@@ -109,6 +120,12 @@ class TestEfficiency:
         from repro.core import NMCDR
 
         model = NMCDR(tiny_task, tiny_nmcdr_config)
-        report = measure_efficiency(model, tiny_task, batch_size=64, num_train_batches=2, num_test_batches=2)
+        report = measure_efficiency(
+            model,
+            tiny_task,
+            batch_size=64,
+            num_train_batches=2,
+            num_test_batches=2,
+        )
         assert report.num_parameters > 0
         assert np.isfinite(report.train_seconds_per_batch)

@@ -84,7 +84,11 @@ class TestPopularityAndOverlap:
 
     def test_report_keys(self):
         recommendations = np.array([[0, 1], [1, 2]])
-        report = beyond_accuracy_report(recommendations, num_items=5, item_popularity=np.ones(5))
+        report = beyond_accuracy_report(
+            recommendations,
+            num_items=5,
+            item_popularity=np.ones(5),
+        )
         assert {"catalog_coverage", "gini_concentration", "intra_list_overlap", "popularity_lift"} == set(
             report
         )
@@ -121,7 +125,10 @@ class TestTrainingCurves:
         assert relative_improvement([0.0, 0.0]) == 0.0
 
     def test_analyze_history(self):
-        history = TrainingHistory(epoch_losses=[3.0, 2.0, 1.5], train_seconds_per_batch=0.01)
+        history = TrainingHistory(
+            epoch_losses=[3.0, 2.0, 1.5],
+            train_seconds_per_batch=0.01,
+        )
         report = analyze_history(history, tolerance=0.1)
         assert report.num_epochs == 3
         assert report.initial_loss == 3.0

@@ -53,7 +53,11 @@ class TestSimpleBaselines:
         popularity = model.item_popularity("a")
         most_popular = int(np.argmax(popularity))
         least_popular = int(np.argmin(popularity))
-        scores = model.score("a", np.array([0, 0]), np.array([most_popular, least_popular]))
+        scores = model.score(
+            "a",
+            np.array([0, 0]),
+            np.array([most_popular, least_popular]),
+        )
         assert scores[0] >= scores[1]
 
     def test_simple_models_trainable_without_error(self, tiny_task):
@@ -98,7 +102,9 @@ class TestFigureExports:
 class TestCLI:
     def test_parser_commands(self):
         parser = build_parser()
-        args = parser.parse_args(["overlap", "--scenario", "loan_fund", "--ratios", "0.5"])
+        args = parser.parse_args(
+            ["overlap", "--scenario", "loan_fund", "--ratios", "0.5"],
+        )
         assert args.command == "overlap"
         assert args.scenario == "loan_fund"
         with pytest.raises(SystemExit):

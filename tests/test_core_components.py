@@ -99,7 +99,11 @@ def toy_graph():
 class TestEncoder:
     def test_output_shapes(self, toy_graph, rng):
         encoder = HeterogeneousGraphEncoder(8, 6, num_layers=2, rng=rng)
-        users, items = encoder(toy_graph, Tensor(rng.normal(size=(4, 8))), Tensor(rng.normal(size=(4, 8))))
+        users, items = encoder(
+            toy_graph,
+            Tensor(rng.normal(size=(4, 8))),
+            Tensor(rng.normal(size=(4, 8))),
+        )
         assert users.shape == (4, 6)
         assert items.shape == (4, 6)
 
@@ -118,7 +122,11 @@ class TestEncoder:
 
     def test_kernel_selection(self, toy_graph, rng):
         encoder = HeterogeneousGraphEncoder(4, 4, kernel="gcn", rng=rng)
-        users, _ = encoder(toy_graph, Tensor(rng.normal(size=(4, 4))), Tensor(rng.normal(size=(4, 4))))
+        users, _ = encoder(
+            toy_graph,
+            Tensor(rng.normal(size=(4, 4))),
+            Tensor(rng.normal(size=(4, 4))),
+        )
         assert users.shape == (4, 4)
 
 
@@ -184,15 +192,32 @@ class TestInterNodeMatching:
 
     def test_overlapped_users_receive_partner_information(self, rng):
         matching_a, matching_b, repr_a, repr_b, own, other, non = self._setup(rng)
-        baseline = matching_a(repr_a, repr_b, own, other, non, matching_b.cross).data.copy()
+        baseline = matching_a(
+            repr_a,
+            repr_b,
+            own,
+            other,
+            non,
+            matching_b.cross,
+        ).data.copy()
         # perturb the partner of overlapped user 0 only
         perturbed_b = Tensor(repr_b.data.copy())
         perturbed_b.data[0] += 10.0
-        changed = matching_a(repr_a, perturbed_b, own, other, non, matching_b.cross).data
+        changed = matching_a(
+            repr_a,
+            perturbed_b,
+            own,
+            other,
+            non,
+            matching_b.cross,
+        ).data
         assert not np.allclose(baseline[0], changed[0])
 
     def test_no_overlap_still_works(self, rng):
-        matching_a, matching_b, repr_a, repr_b, _, _, _ = self._setup(rng, num_overlap=0)
+        matching_a, matching_b, repr_a, repr_b, _, _, _ = self._setup(
+            rng,
+            num_overlap=0,
+        )
         empty = np.zeros(0, dtype=np.int64)
         out = matching_a(repr_a, repr_b, empty, empty, np.arange(5), matching_b.cross)
         assert np.all(np.isfinite(out.data))
@@ -244,7 +269,10 @@ class TestPredictionHead:
 
     def test_logits_unbounded(self, rng):
         head = PredictionHead(4, 4, rng=rng)
-        logits = head.logits(Tensor(rng.normal(size=(5, 4))), Tensor(rng.normal(size=(5, 4))))
+        logits = head.logits(
+            Tensor(rng.normal(size=(5, 4))),
+            Tensor(rng.normal(size=(5, 4))),
+        )
         assert logits.shape == (5, 1)
 
     def test_misaligned_batches_rejected(self, rng):

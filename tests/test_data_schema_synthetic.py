@@ -15,7 +15,14 @@ from repro.data import (
 )
 
 
-def make_domain(name="D", num_users=4, num_items=3, users=(0, 0, 1, 2), items=(0, 1, 1, 2), gids=None):
+def make_domain(
+    name="D",
+    num_users=4,
+    num_items=3,
+    users=(0, 0, 1, 2),
+    items=(0, 1, 1, 2),
+    gids=None,
+):
     users = np.asarray(users)
     items = np.asarray(items)
     gids = np.arange(num_users) if gids is None else np.asarray(gids)
@@ -45,7 +52,15 @@ class TestDomainData:
         with pytest.raises(ValueError):
             make_domain(items=(0, 9), users=(0, 1))
         with pytest.raises(ValueError):
-            DomainData("X", 2, 2, np.array([0]), np.array([0, 1]), np.zeros(1), np.arange(2))
+            DomainData(
+                "X",
+                2,
+                2,
+                np.array([0]),
+                np.array([0, 1]),
+                np.zeros(1),
+                np.arange(2),
+            )
         with pytest.raises(ValueError):
             make_domain(gids=np.arange(3))
 
@@ -168,9 +183,20 @@ class TestSyntheticGenerator:
         with pytest.raises(ValueError):
             DomainSpec("A", 0, 10)
         with pytest.raises(ValueError):
-            DomainSpec("A", 10, 10, mean_interactions_per_user=1.0, min_interactions_per_user=5)
+            DomainSpec(
+                "A",
+                10,
+                10,
+                mean_interactions_per_user=1.0,
+                min_interactions_per_user=5,
+            )
         with pytest.raises(ValueError):
-            ScenarioSpec("x", DomainSpec("A", 10, 10), DomainSpec("B", 10, 10), num_overlap=50)
+            ScenarioSpec(
+                "x",
+                DomainSpec("A", 10, 10),
+                DomainSpec("B", 10, 10),
+                num_overlap=50,
+            )
 
 
 class TestPreprocessing:

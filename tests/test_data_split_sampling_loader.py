@@ -142,7 +142,12 @@ class TestVectorizedNegativeSampler:
 
     def test_exact_fallback_rows_are_unseen_and_distinct(self):
         # 16 of 20 items seen -> far past the saturation threshold.
-        domain = make_domain(num_users=3, num_items=20, interactions_per_user=16, seed=2)
+        domain = make_domain(
+            num_users=3,
+            num_items=20,
+            interactions_per_user=16,
+            seed=2,
+        )
         sampler = NegativeSampler(domain, rng=np.random.default_rng(3))
         users = np.repeat(np.arange(3), 20)
         out = sampler.sample_pairs(users, negatives_per_positive=2, vectorized=True)
@@ -150,7 +155,11 @@ class TestVectorizedNegativeSampler:
 
     def test_both_paths_are_deterministic_under_a_seed(self):
         for interactions in (6, 16):
-            domain = make_domain(num_users=4, num_items=20, interactions_per_user=interactions)
+            domain = make_domain(
+                num_users=4,
+                num_items=20,
+                interactions_per_user=interactions,
+            )
             users = np.repeat(np.arange(4), 8)
             draws = [
                 NegativeSampler(domain, rng=np.random.default_rng(7)).sample_pairs(
@@ -166,18 +175,29 @@ class TestVectorizedNegativeSampler:
         users = np.zeros(4000, dtype=np.int64)
         out = sampler.sample_pairs(users, negatives_per_positive=1, vectorized=True)
         counts = np.bincount(out.ravel(), minlength=domain.num_items)
-        unseen = np.setdiff1d(np.arange(domain.num_items), sorted(sampler.interacted(0)))
+        unseen = np.setdiff1d(
+            np.arange(domain.num_items),
+            sorted(sampler.interacted(0)),
+        )
         assert counts[list(sampler.interacted(0))].sum() == 0
         expected = len(users) / unseen.size
         assert np.all(np.abs(counts[unseen] - expected) < 5 * np.sqrt(expected))
 
     def test_fallback_distribution_is_uniform_over_unseen(self):
-        domain = make_domain(num_users=1, num_items=20, interactions_per_user=15, seed=6)
+        domain = make_domain(
+            num_users=1,
+            num_items=20,
+            interactions_per_user=15,
+            seed=6,
+        )
         sampler = NegativeSampler(domain, rng=np.random.default_rng(8))
         users = np.zeros(3000, dtype=np.int64)
         out = sampler.sample_pairs(users, negatives_per_positive=1, vectorized=True)
         counts = np.bincount(out.ravel(), minlength=domain.num_items)
-        unseen = np.setdiff1d(np.arange(domain.num_items), sorted(sampler.interacted(0)))
+        unseen = np.setdiff1d(
+            np.arange(domain.num_items),
+            sorted(sampler.interacted(0)),
+        )
         assert counts[list(sampler.interacted(0))].sum() == 0
         expected = len(users) / unseen.size
         assert np.all(np.abs(counts[unseen] - expected) < 5 * np.sqrt(expected))
@@ -204,21 +224,33 @@ class TestVectorizedNegativeSampler:
         )
         sampler = NegativeSampler(domain)
         with pytest.raises(ValueError):
-            sampler.sample_pairs(np.array([0]), negatives_per_positive=1, vectorized=True)
+            sampler.sample_pairs(
+                np.array([0]),
+                negatives_per_positive=1,
+                vectorized=True,
+            )
 
 
 class TestRankingCandidates:
     def test_shapes_and_positive_first(self):
         domain = make_domain(num_items=40)
         split = leave_one_out_split(domain)
-        users, candidates = build_ranking_candidates(split, num_negatives=10, rng=np.random.default_rng(0))
+        users, candidates = build_ranking_candidates(
+            split,
+            num_negatives=10,
+            rng=np.random.default_rng(0),
+        )
         assert candidates.shape == (split.num_eval_users, 11)
         assert np.array_equal(candidates[:, 0], split.test_items)
 
     def test_negatives_exclude_all_interactions(self):
         domain = make_domain(num_items=40)
         split = leave_one_out_split(domain)
-        users, candidates = build_ranking_candidates(split, num_negatives=10, rng=np.random.default_rng(0))
+        users, candidates = build_ranking_candidates(
+            split,
+            num_negatives=10,
+            rng=np.random.default_rng(0),
+        )
         sampler = NegativeSampler(domain)
         for user, row in zip(users, candidates):
             assert len(set(row[1:].tolist()) & sampler.interacted(int(user))) == 0
@@ -232,7 +264,11 @@ class TestRankingCandidates:
     def test_valid_subset(self):
         domain = make_domain()
         split = leave_one_out_split(domain)
-        users, candidates = build_ranking_candidates(split, num_negatives=5, subset="valid")
+        users, candidates = build_ranking_candidates(
+            split,
+            num_negatives=5,
+            subset="valid",
+        )
         assert np.array_equal(candidates[:, 0], split.valid_items)
         with pytest.raises(ValueError):
             build_ranking_candidates(split, subset="train")
@@ -249,7 +285,11 @@ class TestDataLoader:
     def test_loader_covers_all_examples(self):
         domain = make_domain()
         split = leave_one_out_split(domain)
-        loader = InteractionDataLoader(split, batch_size=7, rng=np.random.default_rng(0))
+        loader = InteractionDataLoader(
+            split,
+            batch_size=7,
+            rng=np.random.default_rng(0),
+        )
         total = sum(len(batch) for batch in loader)
         assert total == split.num_train * 2
         assert len(loader) == int(np.ceil(total / 7))
@@ -257,7 +297,11 @@ class TestDataLoader:
     def test_labels_are_binary(self):
         domain = make_domain()
         split = leave_one_out_split(domain)
-        loader = InteractionDataLoader(split, batch_size=16, rng=np.random.default_rng(0))
+        loader = InteractionDataLoader(
+            split,
+            batch_size=16,
+            rng=np.random.default_rng(0),
+        )
         for batch in loader:
             assert set(np.unique(batch.labels)).issubset({0.0, 1.0})
 
@@ -272,7 +316,11 @@ class TestDataLoader:
     def test_negative_resampling_changes_between_epochs(self):
         domain = make_domain()
         split = leave_one_out_split(domain)
-        loader = InteractionDataLoader(split, batch_size=1000, rng=np.random.default_rng(0))
+        loader = InteractionDataLoader(
+            split,
+            batch_size=1000,
+            rng=np.random.default_rng(0),
+        )
         first = np.sort(np.concatenate([batch.items for batch in loader]))
         second = np.sort(np.concatenate([batch.items for batch in loader]))
         assert not np.array_equal(first, second)

@@ -177,8 +177,15 @@ class TestModelEdgeCases:
     def test_nmcdr_trains_with_zero_overlap(self):
         task = self._no_overlap_task()
         assert task.num_overlapping == 0
-        model = NMCDR(task, NMCDRConfig(embedding_dim=8, max_matching_neighbors=8, seed=0))
-        batch = Batch(users=np.array([0, 1]), items=np.array([0, 1]), labels=np.array([1.0, 0.0]))
+        model = NMCDR(
+            task,
+            NMCDRConfig(embedding_dim=8, max_matching_neighbors=8, seed=0),
+        )
+        batch = Batch(
+            users=np.array([0, 1]),
+            items=np.array([0, 1]),
+            labels=np.array([1.0, 0.0]),
+        )
         loss = model.compute_batch_loss({"a": batch, "b": batch})
         assert np.isfinite(loss.item())
         loss.backward()

@@ -30,7 +30,10 @@ from repro.data import load_scenario
 
 
 def small_task(scale=0.3, seed=13):
-    return build_task(load_scenario("cloth_sport", scale=scale, seed=seed), head_threshold=7)
+    return build_task(
+        load_scenario("cloth_sport", scale=scale, seed=seed),
+        head_threshold=7,
+    )
 
 
 def build_for(name, task, seed=3):

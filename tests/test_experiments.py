@@ -89,7 +89,9 @@ class TestSweeps:
         assert np.isfinite(ablation.variant_metric("NMCDR", "a"))
         contributions = ablation.component_contributions("a")
         assert "NMCDR/w/o-Cgm" in contributions
-        assert "w/o-Cgm" in ablation.format_table("a") or "NMCDR" in ablation.format_table("a")
+        assert "w/o-Cgm" in ablation.format_table(
+            "a",
+        ) or "NMCDR" in ablation.format_table("a")
 
     def test_hyperparameter_sweeps(self):
         sweep = run_matching_neighbors_sweep(
@@ -168,7 +170,12 @@ class TestReportingAndReference:
         assert "paper NMCDR" in table
 
     def test_format_comparison_and_key_values(self):
-        comparison = format_comparison_table("eff", {"params": 0.5}, {"params": 0.4}, unit="M")
+        comparison = format_comparison_table(
+            "eff",
+            {"params": 0.5},
+            {"params": 0.4},
+            unit="M",
+        )
         assert "params" in comparison
         block = format_key_values("summary", {"a": 1.0, "b": 2})
         assert "summary" in block and "a" in block

@@ -47,7 +47,11 @@ class TestMarkdown:
         assert "No bench reports found" in markdown
 
     def test_write_markdown_report(self, results_dir, tmp_path):
-        output = write_markdown_report(results_dir, tmp_path / "report.md", title="Demo")
+        output = write_markdown_report(
+            results_dir,
+            tmp_path / "report.md",
+            title="Demo",
+        )
         assert output.exists()
         content = output.read_text()
         assert content.startswith("# Demo")

@@ -60,7 +60,9 @@ class TestAccessors:
         assert not small_graph.has_edge(3, 0)
 
     def test_edge_list_matches_input(self, small_graph):
-        assert set(small_graph.edge_list()) == {(0, 0), (0, 1), (0, 2), (1, 0), (2, 1), (2, 2)}
+        assert set(
+            small_graph.edge_list(),
+        ) == {(0, 0), (0, 1), (0, 2), (1, 0), (2, 1), (2, 2)}
 
     def test_to_networkx(self, small_graph):
         nx_graph = small_graph.to_networkx()

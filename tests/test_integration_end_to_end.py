@@ -18,7 +18,10 @@ class TestFullPipeline:
         dataset = dataset.with_overlap_ratio(0.5, rng=np.random.default_rng(0))
         task = build_task(dataset, head_threshold=5)
 
-        model = NMCDR(task, NMCDRConfig(embedding_dim=16, max_matching_neighbors=32, seed=0))
+        model = NMCDR(
+            task,
+            NMCDRConfig(embedding_dim=16, max_matching_neighbors=32, seed=0),
+        )
         trainer = CDRTrainer(
             model, task, TrainerConfig(num_epochs=4, batch_size=256, num_eval_negatives=30)
         )
@@ -69,7 +72,11 @@ class TestFullPipeline:
         assert high_score >= 0.6 * low_score
 
     def test_analysis_pipeline_on_trained_model(self, trained_nmcdr):
-        alignment = stagewise_alignment(trained_nmcdr, "a", rng=np.random.default_rng(0))
+        alignment = stagewise_alignment(
+            trained_nmcdr,
+            "a",
+            rng=np.random.default_rng(0),
+        )
         assert len(alignment) == 3
         report = stability_report(trained_nmcdr, "a", rng=np.random.default_rng(0))
         assert report.theoretical_bound_coefficient > 0
@@ -78,12 +85,19 @@ class TestFullPipeline:
         """Training a baseline must not corrupt the task used by another model."""
         before_users = tiny_task.domain_a.split.train_users.copy()
         model = build_model("HeroGraph", tiny_task, embedding_dim=8)
-        CDRTrainer(model, tiny_task, TrainerConfig(num_epochs=1, num_eval_negatives=10)).fit()
+        CDRTrainer(
+            model,
+            tiny_task,
+            TrainerConfig(num_epochs=1, num_eval_negatives=10),
+        ).fit()
         assert np.array_equal(before_users, tiny_task.domain_a.split.train_users)
 
     def test_reproducibility_of_training(self):
         settings = dict(embedding_dim=8, max_matching_neighbors=16, seed=3)
-        dataset = preprocess_scenario(load_scenario("loan_fund", scale=0.25, seed=2), min_interactions=3)
+        dataset = preprocess_scenario(
+            load_scenario("loan_fund", scale=0.25, seed=2),
+            min_interactions=3,
+        )
         task = build_task(dataset)
 
         def run():

@@ -145,14 +145,24 @@ class TestEvaluator:
 
     def test_random_scorer_near_chance(self, tiny_task):
         split = tiny_task.domain_a.split
-        evaluator = RankingEvaluator(split, "a", num_negatives=30, rng=np.random.default_rng(1))
+        evaluator = RankingEvaluator(
+            split,
+            "a",
+            num_negatives=30,
+            rng=np.random.default_rng(1),
+        )
         report = evaluator.evaluate(_RandomScorer())
         expected = 10.0 / evaluator.candidates.shape[1]
         assert report["hr@10"] == pytest.approx(expected, abs=0.12)
 
     def test_candidate_matrix_shared_across_models(self, tiny_task):
         split = tiny_task.domain_a.split
-        evaluator = RankingEvaluator(split, "a", num_negatives=20, rng=np.random.default_rng(3))
+        evaluator = RankingEvaluator(
+            split,
+            "a",
+            num_negatives=20,
+            rng=np.random.default_rng(3),
+        )
         first = evaluator.candidates.copy()
         evaluator.evaluate(_RandomScorer())
         assert np.array_equal(first, evaluator.candidates)

@@ -92,7 +92,10 @@ class TestGating:
 
     def test_gate_values_are_probabilities(self, rng):
         gate = FineGrainedGate(4, rng=rng)
-        values = gate.gate_values(Tensor(rng.normal(size=(3, 4))), Tensor(rng.normal(size=(3, 4))))
+        values = gate.gate_values(
+            Tensor(rng.normal(size=(3, 4))),
+            Tensor(rng.normal(size=(3, 4))),
+        )
         assert np.all(values.data > 0) and np.all(values.data < 1)
 
     def test_gate_invalid_dim(self):

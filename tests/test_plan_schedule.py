@@ -24,7 +24,10 @@ from repro.graph.sampling import (
 
 
 def small_task(scale=0.3, seed=13):
-    return build_task(load_scenario("cloth_sport", scale=scale, seed=seed), head_threshold=7)
+    return build_task(
+        load_scenario("cloth_sport", scale=scale, seed=seed),
+        head_threshold=7,
+    )
 
 
 def batch_stream(task, num_steps, batch_size=64):
@@ -52,8 +55,14 @@ def assert_plans_identical(left, right):
         assert plan_a.active == plan_b.active
         if not plan_a.active:
             continue
-        np.testing.assert_array_equal(plan_a.subgraph.user_ids, plan_b.subgraph.user_ids)
-        np.testing.assert_array_equal(plan_a.subgraph.item_ids, plan_b.subgraph.item_ids)
+        np.testing.assert_array_equal(
+            plan_a.subgraph.user_ids,
+            plan_b.subgraph.user_ids,
+        )
+        np.testing.assert_array_equal(
+            plan_a.subgraph.item_ids,
+            plan_b.subgraph.item_ids,
+        )
         assert plan_a.subgraph.graph.num_edges == plan_b.subgraph.graph.num_edges
         np.testing.assert_array_equal(
             plan_a.subgraph.graph.user_indices, plan_b.subgraph.graph.user_indices
@@ -62,7 +71,10 @@ def assert_plans_identical(left, right):
         np.testing.assert_array_equal(plan_a.batch_items, plan_b.batch_items)
         np.testing.assert_array_equal(plan_a.overlap_own, plan_b.overlap_own)
         np.testing.assert_array_equal(plan_a.overlap_other, plan_b.overlap_other)
-        for (head_a, tail_a), (head_b, tail_b) in zip(plan_a.intra_pools, plan_b.intra_pools):
+        for (
+            head_a,
+            tail_a,
+        ), (head_b, tail_b) in zip(plan_a.intra_pools, plan_b.intra_pools):
             np.testing.assert_array_equal(head_a, head_b)
             np.testing.assert_array_equal(tail_a, tail_b)
         for pool_a, pool_b in zip(plan_a.inter_pools, plan_b.inter_pools):
@@ -105,7 +117,12 @@ class TestScheduleEquivalence:
         per_step = NMCDR(task, config)
         scheduled = NMCDR(task, config)
         per_step.configure_subgraph_sampling(True, num_hops=1, fanout=4)
-        scheduled.configure_subgraph_sampling(True, num_hops=1, fanout=4, scheduled=True)
+        scheduled.configure_subgraph_sampling(
+            True,
+            num_hops=1,
+            fanout=4,
+            scheduled=True,
+        )
         for batches in batch_stream(task, 4):
             reference = build_subgraph_plan(
                 task,
@@ -117,6 +134,37 @@ class TestScheduleEquivalence:
             )
             incremental = scheduled.plan_schedule.plan_for(batches)
             assert_plans_identical(reference, incremental)
+
+    def test_fanout_mode_delta_expands_instead_of_falling_back(self):
+        """With signature-stable per-node reservoirs, capped expansion
+        distributes over seed unions, so stable pools delta-expand under a
+        fanout cap instead of triggering the historical full-expansion
+        fallback — and the plans stay byte-identical to per-step building."""
+        task = small_task()
+        config = NMCDRConfig(embedding_dim=16, seed=3, max_matching_neighbors=None)
+        per_step = NMCDR(task, config)
+        scheduled = NMCDR(task, config)
+        per_step.configure_subgraph_sampling(True, num_hops=1, fanout=4)
+        scheduled.configure_subgraph_sampling(
+            True,
+            num_hops=1,
+            fanout=4,
+            scheduled=True,
+        )
+        for batches in batch_stream(task, 4):
+            reference = build_subgraph_plan(
+                task,
+                config,
+                batches,
+                per_step._sampler,
+                per_step._subgraph_settings,
+                per_step._subgraph_caches,
+            )
+            incremental = scheduled.plan_schedule.plan_for(batches)
+            assert_plans_identical(reference, incremental)
+        stats = scheduled.plan_schedule.stats
+        assert stats.delta_expansions == 3  # steps after the first reuse
+        assert stats.full_expansions == 1
 
     def test_none_batch_domain_matches_per_step(self):
         """A ``None`` batch follows per-step semantics exactly (the partner
@@ -224,8 +272,14 @@ class TestCSRNativeExtraction:
         fast = induced_subgraph(graph, node_users, node_items)
         reference = induced_subgraph_scipy(graph, node_users, node_items)
         assert fast.graph.num_edges == reference.graph.num_edges
-        np.testing.assert_array_equal(fast.graph.user_indices, reference.graph.user_indices)
-        np.testing.assert_array_equal(fast.graph.item_indices, reference.graph.item_indices)
+        np.testing.assert_array_equal(
+            fast.graph.user_indices,
+            reference.graph.user_indices,
+        )
+        np.testing.assert_array_equal(
+            fast.graph.item_indices,
+            reference.graph.item_indices,
+        )
         # The propagation operators agree too (same CSR content).
         np.testing.assert_allclose(
             fast.graph.user_aggregation_matrix().toarray(),
@@ -244,7 +298,10 @@ class TestCSRNativeExtraction:
         fast = induced_subgraph(graph, node_users, node_items)
         reference = induced_subgraph_scipy(graph, node_users, node_items)
         assert fast.graph.num_edges == reference.graph.num_edges
-        np.testing.assert_array_equal(fast.graph.item_indices, reference.graph.item_indices)
+        np.testing.assert_array_equal(
+            fast.graph.item_indices,
+            reference.graph.item_indices,
+        )
 
     def test_isolated_seed_padding_preserved(self):
         graph = InteractionGraph(5, 4, [0, 0, 1, 2, 3], [0, 1, 1, 2, 3])

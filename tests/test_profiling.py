@@ -135,7 +135,11 @@ class TestTrainerIntegration:
         assert "train/forward" in history.profile_report
         assert not profiler.enabled
 
-    def test_trainer_disables_profiler_when_fit_raises(self, tiny_task, tiny_nmcdr_config):
+    def test_trainer_disables_profiler_when_fit_raises(
+        self,
+        tiny_task,
+        tiny_nmcdr_config,
+    ):
         from repro.core import CDRTrainer, NMCDR, TrainerConfig
         from repro.tensor import engine
 

@@ -7,7 +7,12 @@ from hypothesis.extra import numpy as hnp
 
 from repro.tensor import Tensor, ops
 
-finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+finite_floats = st.floats(
+    min_value=-10.0,
+    max_value=10.0,
+    allow_nan=False,
+    allow_infinity=False,
+)
 
 
 def arrays(shape):
@@ -40,7 +45,10 @@ class TestAlgebraicProperties:
     @given(matching_matrices())
     def test_sub_is_add_neg(self, pair):
         a, b = pair
-        assert np.allclose((Tensor(a) - Tensor(b)).data, (Tensor(a) + (-Tensor(b))).data)
+        assert np.allclose(
+            (Tensor(a) - Tensor(b)).data,
+            (Tensor(a) + (-Tensor(b))).data,
+        )
 
     @settings(max_examples=40, deadline=None)
     @given(arrays((4, 3)))

@@ -112,7 +112,13 @@ class TestSyntheticDataProperties:
         st.integers(min_value=0, max_value=15),
         st.integers(min_value=0, max_value=1000),
     )
-    def test_generated_scenarios_satisfy_invariants(self, users_a, users_b, overlap, seed):
+    def test_generated_scenarios_satisfy_invariants(
+        self,
+        users_a,
+        users_b,
+        overlap,
+        seed,
+    ):
         spec = ScenarioSpec(
             "prop",
             DomainSpec("A", users_a, 30, mean_interactions_per_user=6),

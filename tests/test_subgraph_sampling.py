@@ -31,7 +31,10 @@ from repro.graph import (
 
 
 def small_task(scale=0.3, seed=13):
-    return build_task(load_scenario("cloth_sport", scale=scale, seed=seed), head_threshold=7)
+    return build_task(
+        load_scenario("cloth_sport", scale=scale, seed=seed),
+        head_threshold=7,
+    )
 
 
 def first_batches(task, batch_size=64):
@@ -47,8 +50,12 @@ def first_batches(task, batch_size=64):
 def max_grad_difference(model_a, model_b):
     worst = 0.0
     for param_a, param_b in zip(model_a.parameters(), model_b.parameters()):
-        grad_a = np.zeros_like(param_a.data) if param_a.grad is None else np.asarray(param_a.grad)
-        grad_b = np.zeros_like(param_b.data) if param_b.grad is None else np.asarray(param_b.grad)
+        grad_a = np.zeros_like(
+            param_a.data,
+        ) if param_a.grad is None else np.asarray(param_a.grad)
+        grad_b = np.zeros_like(
+            param_b.data,
+        ) if param_b.grad is None else np.asarray(param_b.grad)
         worst = max(worst, float(np.max(np.abs(grad_a - grad_b))))
     return worst
 
@@ -99,14 +106,73 @@ class TestKhopExtraction:
         items = rng.integers(0, 30, size=300)
         graph = InteractionGraph(40, 30, users, items)
         full_users, full_items = sample_khop_nodes(graph, [0, 1], [], num_hops=1)
-        capped_users, capped_items = sample_khop_nodes(graph, [0, 1], [], num_hops=1, fanout=2)
+        capped_users, capped_items = sample_khop_nodes(
+            graph,
+            [0, 1],
+            [],
+            num_hops=1,
+            fanout=2,
+        )
         assert capped_items.size <= 2 * 2  # at most fanout items per seed user
         assert capped_items.size <= full_items.size
         assert np.isin(capped_items, full_items).all()
         # deterministic in the seed signature
-        again_users, again_items = sample_khop_nodes(graph, [0, 1], [], num_hops=1, fanout=2)
+        again_users, again_items = sample_khop_nodes(
+            graph,
+            [0, 1],
+            [],
+            num_hops=1,
+            fanout=2,
+        )
         assert np.array_equal(capped_items, again_items)
         assert np.array_equal(capped_users, again_users)
+
+    def dense_graph(self, seed=0, num_users=50, num_items=40, num_edges=600):
+        rng = np.random.default_rng(seed)
+        users = rng.integers(0, num_users, size=num_edges)
+        items = rng.integers(0, num_items, size=num_edges)
+        return InteractionGraph(num_users, num_items, users, items)
+
+    def test_fanout_reservoir_is_frontier_independent(self):
+        """A node's capped neighbour draw must not depend on which other
+        nodes share the frontier — the per-node reservoir contract."""
+        graph = self.dense_graph()
+        _, alone = sample_khop_nodes(graph, [3], [], num_hops=1, fanout=3)
+        _, crowded = sample_khop_nodes(
+            graph, [3, 7, 11, 19], [], num_hops=1, fanout=3
+        )
+        assert np.isin(alone, crowded).all()
+
+    def test_fanout_expansion_distributes_over_seed_unions(self):
+        """khop(S ∪ B) == khop(S) ∪ khop(B) under a fanout cap — the
+        identity the incremental plan schedule's delta expansion relies on
+        (pre-reservoir, whole-frontier rng draws violated it)."""
+        graph = self.dense_graph(seed=1)
+        static_seeds = np.array([0, 2, 4, 6, 8])
+        batch_seeds = np.array([1, 4, 9, 13])
+        batch_items = np.array([5, 17])
+        for num_hops in (1, 2):
+            joint = sample_khop_nodes(
+                graph,
+                np.union1d(static_seeds, batch_seeds),
+                batch_items,
+                num_hops=num_hops,
+                fanout=3,
+            )
+            static = sample_khop_nodes(
+                graph, static_seeds, [], num_hops=num_hops, fanout=3
+            )
+            delta = sample_khop_nodes(
+                graph, batch_seeds, batch_items, num_hops=num_hops, fanout=3
+            )
+            np.testing.assert_array_equal(joint[0], np.union1d(static[0], delta[0]))
+            np.testing.assert_array_equal(joint[1], np.union1d(static[1], delta[1]))
+
+    def test_fanout_reservoir_subsets_nest_across_caps(self):
+        graph = self.dense_graph(seed=2)
+        _, small = sample_khop_nodes(graph, [5], [], num_hops=1, fanout=2)
+        _, large = sample_khop_nodes(graph, [5], [], num_hops=1, fanout=4)
+        assert np.isin(small, large).all()
 
     def test_induced_subgraph_keeps_all_edges_between_included_nodes(self):
         graph = toy_graph()
@@ -296,7 +362,10 @@ class TestNMCDREquivalence:
     def test_fanout_mode_is_finite_and_bounded(self):
         """With a fanout cap the loss is approximate but well-defined."""
         task = small_task(scale=1.0)
-        model = NMCDR(task, NMCDRConfig(embedding_dim=16, seed=3, max_matching_neighbors=8))
+        model = NMCDR(
+            task,
+            NMCDRConfig(embedding_dim=16, seed=3, max_matching_neighbors=8),
+        )
         model.configure_subgraph_sampling(True, num_hops=1, fanout=4)
         batch_a, batch_b = first_batches(task, batch_size=32)
         loss = model.compute_batch_loss({"a": batch_a, "b": batch_b})
