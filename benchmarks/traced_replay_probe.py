@@ -1,0 +1,110 @@
+"""Fresh-process probe for the eager-vs-traced paired step-wall ratio.
+
+Run as a script (``python benchmarks/traced_replay_probe.py [scale]``) with
+``src`` on ``PYTHONPATH``; prints a JSON record to stdout.
+
+Why a subprocess instead of measuring inline in the bench suite: eager's
+step wall is sensitive to process history — the allocator state a long
+pytest run accumulates (adapted malloc thresholds, recycled large blocks,
+huge-page coalescing) changes what eager's per-step multi-megabyte
+temporaries cost, by tens of percent in either direction.  Traced replay
+never allocates per step (arena-backed slabs, capacity-grown scratch), so
+it is insensitive, and the *ratio* measured inside a warm suite process
+reflects the suite's allocator history rather than the regime a real
+training launch sees.  A fresh process per measurement makes the record
+reproducible regardless of what ran before it.
+
+Pairing is ABBA at block granularity (ET TE ET ...): both executors consume
+the same batch stream; alternating which mode runs first cancels slow drift
+in machine load.  Per-step interleaving would be wrong here — it evicts the
+traced program's resident slabs between every step, a cache state that
+never occurs in real training.  The first block-pair (trace recording plus
+cold caches) is dropped from the timing, not from the stats.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core import NMCDR, NMCDRConfig, build_task
+from repro.core.engine import StepExecutor
+from repro.data import load_scenario
+from repro.data.dataloader import InteractionDataLoader
+from repro.optim import Adam
+from repro.tensor import engine
+
+
+def paired_step_walls(task, sampled: bool, block: int = 6, num_blocks: int = 8):
+    """ABBA block-paired eager vs traced serial step walls on one task."""
+    executors = {}
+    for traced in (False, True):
+        model = NMCDR(task, NMCDRConfig(embedding_dim=32, seed=0))
+        if sampled:
+            model.configure_subgraph_sampling(True, num_hops=1, fanout=8)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        executor = StepExecutor(model, optimizer, traced=traced)
+        executor.open()
+        executors[traced] = executor
+    iterators = [
+        iter(
+            InteractionDataLoader(
+                task.domain(key).split,
+                batch_size=128,
+                rng=np.random.default_rng(index + 1),
+            )
+        )
+        for index, key in enumerate(("a", "b"))
+    ]
+    walls = {False: [], True: []}
+    losses_match = True
+    for pair in range(num_blocks):
+        batches = []
+        for _ in range(block):
+            batch_a, batch_b = (next(iterator, None) for iterator in iterators)
+            batches.append({"a": batch_a, "b": batch_b})
+        order = (False, True) if pair % 2 == 0 else (True, False)
+        results = {}
+        for traced in order:
+            executor = executors[traced]
+            started = time.perf_counter()
+            results[traced] = [executor.run_step(batch) for batch in batches]
+            walls[traced].append(time.perf_counter() - started)
+        losses_match = losses_match and results[False] == results[True]
+    stats = executors[True]._trace_runtime.stats.as_dict()
+    for executor in executors.values():
+        executor.close()
+    steps = (num_blocks - 1) * block
+    eager_wall, traced_wall = sum(walls[False][1:]), sum(walls[True][1:])
+    return {
+        "num_steps": steps,
+        "eager_s_per_step": eager_wall / steps,
+        "traced_s_per_step": traced_wall / steps,
+        "traced_step_ratio": traced_wall / eager_wall,
+        "losses_match": losses_match,
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "fallbacks": stats["fallbacks"],
+        "hit_rate": stats["hit_rate"],
+    }
+
+
+def main(argv):
+    scale = float(argv[1]) if len(argv) > 1 else 18.0
+    with engine.engine_dtype("float32"):
+        task = build_task(
+            load_scenario("cloth_sport", scale=scale, seed=13), head_threshold=7
+        )
+        record = {
+            "serial": paired_step_walls(task, sampled=False),
+            "serial_sampled": paired_step_walls(task, sampled=True),
+        }
+    json.dump(record, sys.stdout)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -275,6 +275,124 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                     f"{change * 100:+.1f}%"
                 )
 
+    base_traced = baseline.get("traced_replay")
+    fresh_traced = fresh.get("traced_replay")
+    if fresh_traced:
+        # Structural claims, baseline-independent.  Bit-exactness first:
+        # traced replay that drifts from eager is a correctness bug, not a
+        # perf trade.
+        equivalence = fresh_traced.get("equivalence") or {}
+        if not equivalence.get("metrics_bit_identical", True):
+            failures.append(
+                "traced replay: float64 validation metrics diverged from eager"
+            )
+        if not equivalence.get("losses_bit_identical", True):
+            failures.append("traced replay: float64 epoch losses diverged from eager")
+        serial = fresh_traced.get("serial") or {}
+        sampled = fresh_traced.get("serial_sampled") or {}
+        sharded = fresh_traced.get("sharded") or {}
+        for label, section in (("serial", serial), ("sampled", sampled), ("sharded", sharded)):
+            if section and not section.get("losses_match", True):
+                failures.append(
+                    f"traced replay ({label}): loss stream diverged from eager"
+                )
+        hit_rate = serial.get("hit_rate")
+        if hit_rate is not None and hit_rate < 0.95:
+            failures.append(
+                f"traced replay: cache barely serving after warmup "
+                f"(hit rate {hit_rate:.3f}, expected >= 0.95)"
+            )
+        if serial.get("fallbacks"):
+            failures.append(
+                f"traced replay: {serial['fallbacks']} guard fallbacks on a "
+                "homogeneous serial stream"
+            )
+        # The wall claims are *paired ratios* — eager and traced interleaved
+        # block-wise in one process on one machine — but the traced win is
+        # partly a cache-residency effect, so heavy external contention can
+        # compress it toward 1.0 even in a paired harness.  Mirror the
+        # cpu_count-gated sharded-speedup idiom: enforce the decisive-win
+        # bound on the full-graph (stable-shape) config only when the fresh
+        # run demonstrates comparable conditions (fresh eager wall within
+        # 25% of the baseline's eager wall), and keep an unconditional
+        # backstop that traced never slows a homogeneous stream down.  The
+        # sampled config rebinds edge-sized slots every step, so it is only
+        # held to "must not slow eager down" (guard + rebind overhead
+        # bounded, not a speedup claim); the sharded ratio covers just 12
+        # multiprocess fit steps and is too noisy for a speedup gate, so it
+        # gets a blow-up sanity bound only.
+        base_serial_eager = ((base_traced or {}).get("serial") or {}).get(
+            "eager_s_per_step"
+        )
+        fresh_serial_eager = serial.get("eager_s_per_step")
+        comparable = bool(
+            base_serial_eager
+            and fresh_serial_eager
+            and fresh_serial_eager <= base_serial_eager * 1.25
+        )
+        ratio = serial.get("traced_step_ratio")
+        if ratio is not None:
+            rows.append(
+                (
+                    "traced/eager step ratio (serial full)",
+                    serial.get("eager_s_per_step", 0.0),
+                    serial.get("traced_s_per_step", 0.0),
+                    ratio - 1.0,
+                )
+            )
+            if comparable and ratio > 0.9:
+                failures.append(
+                    f"traced replay: serial full-graph step ratio {ratio:.3f} "
+                    "(traced must stay <= 0.9x eager on comparable machines)"
+                )
+            if ratio > 1.05:
+                failures.append(
+                    f"traced replay: serial full-graph step ratio {ratio:.3f} "
+                    "(replay must never slow a stable-shape stream down)"
+                )
+        sharded_ratio = sharded.get("traced_step_ratio")
+        if sharded_ratio is not None:
+            rows.append(
+                (
+                    "traced/eager step ratio (sharded n=2)",
+                    sharded.get("eager_step_wall_s", 0.0),
+                    sharded.get("traced_step_wall_s", 0.0),
+                    sharded_ratio - 1.0,
+                )
+            )
+            if sharded_ratio > 1.25:
+                failures.append(
+                    f"traced replay: sharded n=2 step ratio {sharded_ratio:.3f} "
+                    "(traced must not blow up sharded fit wall)"
+                )
+        sampled_ratio = sampled.get("traced_step_ratio")
+        if sampled_ratio is not None:
+            rows.append(
+                (
+                    "traced/eager step ratio (serial sampled)",
+                    sampled.get("eager_s_per_step", 0.0),
+                    sampled.get("traced_s_per_step", 0.0),
+                    sampled_ratio - 1.0,
+                )
+            )
+            if sampled_ratio > 1.10:
+                failures.append(
+                    f"traced replay: sampled step ratio {sampled_ratio:.3f} "
+                    "(shape-polymorphic replay overhead must stay within 10% of eager)"
+                )
+    if base_traced and fresh_traced:
+        base_serial = (base_traced.get("serial") or {}).get("traced_s_per_step")
+        fresh_serial = (fresh_traced.get("serial") or {}).get("traced_s_per_step")
+        if base_serial and fresh_serial:
+            change = fresh_serial / base_serial - 1.0
+            rows.append(
+                ("traced serial step wall", base_serial, fresh_serial, change)
+            )
+            if change > threshold:
+                failures.append(
+                    f"traced replay: serial traced step wall regressed {change * 100:+.1f}%"
+                )
+
     print(f"perf gate (threshold: +{threshold * 100:.0f}% train s/batch)")
     for label, base_time, fresh_time, change in rows:
         print(f"  {label:<40} {base_time:.6f}s -> {fresh_time:.6f}s ({change * 100:+.1f}%)")

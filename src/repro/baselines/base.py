@@ -259,6 +259,26 @@ class BaselineModel(Module):
             value_dtype=value_dtype,
         )
 
+    # ------------------------------------------------------------------
+    # traced step replay hooks (repro.tensor.trace)
+    # ------------------------------------------------------------------
+    def trace_signature(self):
+        """Structural key component for traced step replay."""
+        return (
+            type(self).__name__,
+            getattr(self, "_subgraph_num_hops", None),
+            getattr(self, "_subgraph_fanout", None),
+        )
+
+    def trace_rng_sources(self):
+        """Generators a training step may consume (rewound on trace fallback)."""
+        sources = [self.rng] if isinstance(self.rng, np.random.Generator) else []
+        for sampler in self._negative_samplers.values():
+            rng = getattr(sampler, "rng", None) or getattr(sampler, "_rng", None)
+            if isinstance(rng, np.random.Generator):
+                sources.append(rng)
+        return tuple(sources)
+
     def prepare_for_evaluation(self) -> None:
         """Hook called before scoring; default switches to eval mode."""
         self.eval()

@@ -167,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
             "across shards and all-gather the pool activations each step"
         ),
     )
+    profile.add_argument(
+        "--traced",
+        action="store_true",
+        help=(
+            "record each step's autograd graph once per plan signature and "
+            "replay it as a flat buffer program (requires dropout=0)"
+        ),
+    )
 
     return parser
 
@@ -304,6 +312,7 @@ def _command_profile(args: argparse.Namespace) -> str:
             executor=args.executor,
             n_shards=args.shards,
             pool_sharding=args.pool_sharding,
+            traced_steps=args.traced,
         )
         trainer = CDRTrainer(model, task, config)
         training_engine = trainer.build_engine()
@@ -320,7 +329,7 @@ def _command_profile(args: argparse.Namespace) -> str:
             f"profiled {args.profile_model} for {history.num_batches} training steps "
             f"(dtype={args.dtype}, batch_size={settings.batch_size}, "
             f"prefetch={args.prefetch}, sampled={args.sampled}, "
-            f"scheduled_plans={args.scheduled_plans}{executor_note})"
+            f"scheduled_plans={args.scheduled_plans}, traced={args.traced}{executor_note})"
         )
         phases = (
             f"phase totals: data wait {history.data_wait_seconds_total * 1e3:.1f} ms | "

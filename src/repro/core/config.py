@@ -174,6 +174,17 @@ class TrainerConfig:
     #: wins for small pools; pool sharding wins once the pool closure
     #: dominates per-shard work (see README "Distributed training").
     pool_sharding: bool = False
+    #: Record each step's forward+backward into a flat replay program (one
+    #: per plan signature) and replay it on subsequent steps instead of
+    #: rebuilding the autograd graph: no per-step ``Tensor`` node allocation,
+    #: no topological re-sort, activations/gradients reuse arena slabs.  A
+    #: per-op guard falls back to eager execution and re-traces whenever a
+    #: step diverges from its recording, so results are bit-identical to
+    #: eager training (asserted in float64 by the ``traced`` test suite).
+    #: Works with every executor — sharded workers each own a program cache.
+    #: Requires ``dropout=0.0`` (per-module dropout draws cannot be rewound
+    #: after a guard fallback).
+    traced_steps: bool = False
     #: Learning-rate schedule applied once per epoch: ``None`` keeps the
     #: fixed rate of the paper, ``"step"`` decays by ``lr_gamma`` every
     #: ``lr_step_size`` epochs, ``"exponential"`` decays by ``lr_gamma``

@@ -180,28 +180,86 @@ class StepExecutor:
     The executor owns everything between receiving a step's batches and the
     updated parameters: zero-grad, forward, backward, clipping, the optimiser
     update and the model's cache invalidation.
+
+    With ``traced=True`` the forward+backward of each step is recorded once
+    per section key (model structure × present domains × engine dtype) into
+    a flat replay program and replayed on subsequent steps — see
+    :mod:`repro.tensor.trace`.  Guarded replay is bit-identical to eager
+    execution; the optimiser update always runs eagerly.
     """
 
     def __init__(
-        self, model, optimizer: Optimizer, grad_clip_norm: Optional[float] = None
+        self,
+        model,
+        optimizer: Optimizer,
+        grad_clip_norm: Optional[float] = None,
+        traced: bool = False,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.grad_clip_norm = grad_clip_norm
+        self.traced = bool(traced)
+        self.trace_stats: Optional[Dict] = None
+        self._trace_runtime = None
 
-    def run_step(self, batches) -> float:
-        """Execute one training step and return the scalar loss."""
-        self.optimizer.zero_grad()
+    def open(self) -> None:
+        if not self.traced or self._trace_runtime is not None:
+            return
+        from ..tensor import trace
+
+        trace.check_traceable(self.model)
+        self._trace_runtime = trace.TraceRuntime()
+        self._trace_runtime.install()
+
+    def close(self) -> None:
+        runtime = self._trace_runtime
+        if runtime is None:
+            return
+        self.trace_stats = dict(runtime.stats.as_dict(), arena=runtime.arena.as_dict())
+        profiler.record_section("trace", self.trace_stats)
+        runtime.uninstall()
+        self._trace_runtime = None
+
+    def _forward_backward(self, batches) -> float:
         with profiler.scope("train/forward"):
             loss = self.model.compute_batch_loss(batches)
         with profiler.scope("train/backward"):
             loss.backward()
+        return float(loss.item())
+
+    def run_step(self, batches) -> float:
+        """Execute one training step and return the scalar loss."""
+        self.optimizer.zero_grad()
+        runtime = self._trace_runtime
+        if runtime is None:
+            loss_value = self._forward_backward(batches)
+        else:
+            from ..tensor import engine as tensor_engine
+            from ..tensor.trace import model_rng_sources, model_trace_signature
+
+            key = (
+                "step",
+                model_trace_signature(self.model),
+                tuple(
+                    sorted(
+                        key
+                        for key, batch in batches.items()
+                        if batch is not None and len(batch) > 0
+                    )
+                ),
+                tensor_engine.get_dtype().str,
+            )
+            loss_value = runtime.run_section(
+                key,
+                lambda: self._forward_backward(batches),
+                rng_sources=model_rng_sources(self.model),
+            )
         with profiler.scope("train/optimizer"):
             if self.grad_clip_norm is not None:
                 clip_grad_norm(self.model.parameters(), self.grad_clip_norm)
             self.optimizer.step()
         self.model.invalidate_cache()
-        return float(loss.item())
+        return loss_value
 
 
 class TrainingEngine:
@@ -221,7 +279,10 @@ class TrainingEngine:
         self.config = config
         self.evaluate_fn = evaluate_fn
         self.executor = executor or StepExecutor(
-            model, optimizer, grad_clip_norm=config.grad_clip_norm
+            model,
+            optimizer,
+            grad_clip_norm=config.grad_clip_norm,
+            traced=config.traced_steps,
         )
         self.callbacks: List[Callback] = []
         if config.eval_every and evaluate_fn is not None:

@@ -35,7 +35,7 @@ from .config import NMCDRConfig
 from .encoder import HeterogeneousGraphEncoder
 from .inter_matching import InterNodeMatching
 from .intra_matching import IntraNodeMatching
-from .plan_schedule import PlanSchedule, PoolShardedPlanner
+from .plan_schedule import PlanSchedule, PoolShardedPlanner, plan_structure_key
 from .prediction import PredictionHead
 from .sharded import ShardLoss
 from .subgraph_plan import (
@@ -281,6 +281,25 @@ class NMCDR(Module):
         """Training-engine epoch hook: advance the plan schedule's epoch."""
         if self._plan_schedule is not None:
             self._plan_schedule.begin_epoch(epoch)
+
+    # ------------------------------------------------------------------
+    # traced step replay hooks (repro.tensor.trace)
+    # ------------------------------------------------------------------
+    def trace_signature(self) -> Tuple:
+        """Structural key component for traced step replay (not per-batch)."""
+        return (
+            type(self).__name__,
+            plan_structure_key(
+                self._subgraph_settings,
+                scheduled=self._plan_schedule is not None,
+                pool_sharded=self._pool_planner is not None,
+            ),
+        )
+
+    def trace_rng_sources(self) -> Tuple:
+        """Generators a training step consumes (rewound on trace fallback)."""
+        rng = self._sampler._rng
+        return (rng,) if isinstance(rng, np.random.Generator) else ()
 
     # ------------------------------------------------------------------
     # forward pipeline

@@ -66,9 +66,40 @@ from .subgraph_plan import (
 )
 from .task import CDRTask, DOMAIN_KEYS
 
-__all__ = ["PlanScheduleStats", "PlanSchedule", "PoolShardedPlanner"]
+__all__ = [
+    "PlanScheduleStats",
+    "PlanSchedule",
+    "PoolShardedPlanner",
+    "plan_structure_key",
+]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+
+def plan_structure_key(
+    settings: Optional[SubgraphSettings],
+    scheduled: bool = False,
+    pool_sharded: bool = False,
+) -> Tuple:
+    """Structural signature of the plan pipeline a model trains through.
+
+    Used as the trace-section key component for traced step replay
+    (:mod:`repro.tensor.trace`): two steps with the same structure key build
+    autograd graphs with identical op sequences, so replay programs keyed on
+    it get near-perfect hit rates.  Per-batch content (node sets, pool draws)
+    deliberately stays out of the key — the trace guard re-validates every
+    replayed op, so a key collision can only cost a re-trace, never
+    correctness.
+    """
+    if settings is None:
+        return ("full-graph",)
+    return (
+        "sampled",
+        settings.num_hops,
+        settings.fanout,
+        bool(scheduled),
+        bool(pool_sharded),
+    )
 
 
 @dataclass

@@ -190,6 +190,40 @@ def _publish_worker_gradients(parameters, grad_views: Sequence[np.ndarray]) -> n
     return present
 
 
+def _make_worker_runtime(model, traced: bool):
+    """Per-worker trace runtime (each shard owns its own program cache)."""
+    if not traced:
+        return None
+    from ..tensor import trace
+
+    trace.check_traceable(model)
+    runtime = trace.TraceRuntime()
+    runtime.install()
+    return runtime
+
+
+def _runtime_stats(runtime) -> Optional[Dict]:
+    """Cumulative stats payload piggybacked on each step's done message."""
+    if runtime is None:
+        return None
+    return dict(runtime.stats.as_dict(), arena=runtime.arena.as_dict())
+
+
+def _trace_section_key(phase: str, model, micro_batches) -> Tuple:
+    """Section key for one worker phase: structure, not per-batch content."""
+    from ..tensor import engine as tensor_engine
+    from ..tensor.trace import model_trace_signature
+
+    present = tuple(
+        sorted(
+            key
+            for key, batch in micro_batches.items()
+            if batch is not None and len(batch) > 0
+        )
+    )
+    return (phase, model_trace_signature(model), present, tensor_engine.get_dtype().str)
+
+
 def _single_phase_step(
     shard_index: int,
     connection,
@@ -200,24 +234,41 @@ def _single_phase_step(
     pools,
     full_sizes,
     localize: bool,
+    runtime=None,
 ) -> None:
     """One PR-4 single-phase step: forward/backward → publish → done message.
 
     The single wire format both worker loops share — :func:`_worker_main`
     for every step, :func:`_pool_worker_main` for the pool-free fallback —
     so :meth:`ShardedStepExecutor._collect_single_phase` can parse either.
+    With a trace ``runtime``, the forward+backward runs as one traced
+    section; zero-grad and the gradient publish stay eager.
     """
     for parameter in parameters:
         parameter.zero_grad()
-    result = model.compute_shard_loss(
-        micro_batches,
-        pools=pools,
-        full_sizes=full_sizes,
-        localize=localize,
-        include_extra=shard_index == 0,
-    )
-    if result.loss is not None:
-        result.loss.backward()
+
+    def forward_backward():
+        result = model.compute_shard_loss(
+            micro_batches,
+            pools=pools,
+            full_sizes=full_sizes,
+            localize=localize,
+            include_extra=shard_index == 0,
+        )
+        if result.loss is not None:
+            result.loss.backward()
+        return result
+
+    if runtime is None:
+        result = forward_backward()
+    else:
+        from ..tensor.trace import model_rng_sources
+
+        result = runtime.run_section(
+            _trace_section_key("shard", model, micro_batches),
+            forward_backward,
+            rng_sources=model_rng_sources(model),
+        )
     connection.send(
         (
             "done",
@@ -226,6 +277,7 @@ def _single_phase_step(
             result.extra,
             result.value_dtype,
             _publish_worker_gradients(parameters, grad_views),
+            _runtime_stats(runtime),
         )
     )
 
@@ -238,10 +290,12 @@ def _worker_main(
     param_views: Sequence[np.ndarray],
     grad_views: Sequence[np.ndarray],
     localize: bool,
+    traced: bool = False,
 ) -> None:
     """Shard worker loop: recv step → forward/backward → publish gradients."""
     try:
         _attach_worker(model, parameters, param_views, localize)
+        runtime = _make_worker_runtime(model, traced)
         while True:
             try:
                 message = connection.recv()
@@ -261,6 +315,7 @@ def _worker_main(
                     pools,
                     full_sizes,
                     localize,
+                    runtime,
                 )
             except BaseException as error:  # noqa: BLE001 — forwarded to the parent
                 connection.send(("error", repr(error), traceback.format_exc()))
@@ -298,8 +353,17 @@ class ShardedStepExecutor(StepExecutor):
         grad_clip_norm: Optional[float] = None,
         n_shards: int = 2,
         step_timeout: float = 600.0,
+        traced: bool = False,
     ) -> None:
         super().__init__(model, optimizer, grad_clip_norm)
+        # Tracing happens inside the workers (each owns a program cache);
+        # the parent never installs a runtime, it only aggregates stats.
+        self.traced = bool(traced)
+        self._shard_trace_stats: Dict[int, Dict] = {}
+        if self.traced:
+            from ..tensor.trace import check_traceable
+
+            check_traceable(model)
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if not hasattr(model, "compute_shard_loss"):
@@ -376,6 +440,7 @@ class ShardedStepExecutor(StepExecutor):
                         self._param_views,
                         self._grad_views[shard_index],
                         localize,
+                        self.traced,
                     ),
                     name=f"repro-shard-{shard_index}",
                     daemon=True,
@@ -399,6 +464,12 @@ class ShardedStepExecutor(StepExecutor):
 
     def close(self) -> None:
         """Shut every worker down; idempotent and safe to call at any time."""
+        if self._shard_trace_stats:
+            from ..tensor.trace import TraceStats
+
+            self.trace_stats = TraceStats.merge(self._shard_trace_stats.values())
+            profiler.record_section("trace", self.trace_stats)
+            self._shard_trace_stats = {}
         finalizer, self._finalizer = self._finalizer, None
         self._workers, self._connections = [], []
         self._grad_views, self._param_views, self._blocks = [], [], []
@@ -460,7 +531,9 @@ class ShardedStepExecutor(StepExecutor):
             message = self._receive(shard_index)
             if message[0] == "error":
                 self._raise_worker_failure(shard_index, message)
-            _, terms, reductions, extra, value_dtype, present = message
+            _, terms, reductions, extra, value_dtype, present, trace_stats = message
+            if trace_stats is not None:
+                self._shard_trace_stats[shard_index] = trace_stats
             results.append(
                 ShardLoss(
                     terms=terms,
@@ -573,6 +646,7 @@ def _pool_worker_main(
     param_views: Sequence[np.ndarray],
     grad_views: Sequence[np.ndarray],
     localize: bool,
+    traced: bool = False,
 ) -> None:
     """Pool-sharded worker loop: encode → gather → match → scatter → finish.
 
@@ -588,9 +662,16 @@ def _pool_worker_main(
     Steps of models without matching pools (``exchange is None``) fall back
     to the single-phase protocol of :func:`_worker_main` unchanged (the
     shared :func:`_single_phase_step` helper keeps the wire formats one).
+
+    With tracing enabled each phase records/replays as its *own* program
+    (``encode`` has no backward event; ``match`` and ``finish`` each carry
+    one).  The finish surrogate chains through the encode program's recycled
+    nodes, so an encode-side re-trace invalidates the finish program's
+    guards on the same step and both self-heal together.
     """
     try:
         _attach_worker(model, parameters, param_views, localize)
+        runtime = _make_worker_runtime(model, traced)
         while True:
             try:
                 message = connection.recv()
@@ -611,24 +692,52 @@ def _pool_worker_main(
                         pools,
                         full_sizes,
                         localize,
+                        runtime,
                     )
                     continue
                 for parameter in parameters:
                     parameter.zero_grad()
-                state, activations = model.encode_shard_step(
-                    micro_batches,
-                    pools=pools,
-                    exchange=exchange,
-                    shard_index=shard_index,
-                    full_sizes=full_sizes,
-                )
+
+                def encode_phase():
+                    return model.encode_shard_step(
+                        micro_batches,
+                        pools=pools,
+                        exchange=exchange,
+                        shard_index=shard_index,
+                        full_sizes=full_sizes,
+                    )
+
+                if runtime is None:
+                    state, activations = encode_phase()
+                    rng_sources = ()
+                else:
+                    from ..tensor.trace import model_rng_sources
+
+                    rng_sources = model_rng_sources(model)
+                    state, activations = runtime.run_section(
+                        _trace_section_key("encode", model, micro_batches),
+                        encode_phase,
+                        rng_sources=rng_sources,
+                    )
                 connection.send(("enc", activations))
                 message = connection.recv()
                 if message[0] == _STOP:
                     return
-                result, boundary = model.match_shard_step(
-                    state, message[1], include_extra=shard_index == 0
-                )
+                tables = message[1]
+
+                def match_phase():
+                    return model.match_shard_step(
+                        state, tables, include_extra=shard_index == 0
+                    )
+
+                if runtime is None:
+                    result, boundary = match_phase()
+                else:
+                    result, boundary = runtime.run_section(
+                        _trace_section_key("match", model, micro_batches),
+                        match_phase,
+                        rng_sources=rng_sources,
+                    )
                 connection.send(
                     (
                         "match",
@@ -642,9 +751,21 @@ def _pool_worker_main(
                 message = connection.recv()
                 if message[0] == _STOP:
                     return
-                model.finish_shard_step(state, message[1])
+                owned_grads = message[1]
+                if runtime is None:
+                    model.finish_shard_step(state, owned_grads)
+                else:
+                    runtime.run_section(
+                        _trace_section_key("finish", model, micro_batches),
+                        lambda: model.finish_shard_step(state, owned_grads),
+                        rng_sources=rng_sources,
+                    )
                 connection.send(
-                    ("done", _publish_worker_gradients(parameters, grad_views))
+                    (
+                        "done",
+                        _publish_worker_gradients(parameters, grad_views),
+                        _runtime_stats(runtime),
+                    )
                 )
             except BaseException as error:  # noqa: BLE001 — forwarded to the parent
                 connection.send(("error", repr(error), traceback.format_exc()))
@@ -838,4 +959,7 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
                 if message[0] == "error":
                     self._raise_worker_failure(shard_index, message)
                 results[shard_index].present = message[1]
+                trace_stats = message[2]
+                if trace_stats is not None:
+                    self._shard_trace_stats[shard_index] = trace_stats
         return results

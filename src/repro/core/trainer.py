@@ -84,6 +84,7 @@ class CDRTrainer:
                 self.optimizer,
                 grad_clip_norm=self.config.grad_clip_norm,
                 n_shards=self.config.n_shards,
+                traced=self.config.traced_steps,
             )
         rng = np.random.default_rng(self.config.seed)
         self._loaders = {

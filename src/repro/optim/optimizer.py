@@ -43,8 +43,22 @@ class Optimizer:
         self.step_count = 0
 
     def zero_grad(self) -> None:
-        """Clear gradients of all managed parameters."""
+        """Clear gradients, recycling the arrays through the engine's pool.
+
+        The optimiser owns the last reference to each step's gradient
+        buffers once the update is applied, so this is the one safe place
+        to hand them back to :data:`repro.tensor.engine.buffer_pool` for
+        the next backward pass (``Tensor.zero_grad`` itself stays pure —
+        shard workers call it on tensors whose gradients alias shared
+        memory).  ``release`` refuses views and read-only arrays, so
+        aliased gradients are dropped, not recycled.
+        """
+        from ..tensor import engine
+
+        pool = engine.buffer_pool
         for parameter in self.parameters:
+            if parameter.grad is not None:
+                pool.release(parameter.grad)
             parameter.zero_grad()
 
     def step(self) -> None:

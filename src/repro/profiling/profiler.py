@@ -58,6 +58,9 @@ class Profiler:
         self.forward_counts: Dict[str, int] = defaultdict(int)
         self.forward_ops: Dict[str, OpStats] = defaultdict(OpStats)
         self.backward_ops: Dict[str, OpStats] = defaultdict(OpStats)
+        #: Free-form structured payloads from subsystems (trace stats, …).
+        self.extra_sections: Dict[str, Dict] = {}
+        self._pool_baseline = (0, 0)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -78,6 +81,9 @@ class Profiler:
         self.forward_counts.clear()
         self.forward_ops.clear()
         self.backward_ops.clear()
+        self.extra_sections.clear()
+        pool = engine.buffer_pool
+        self._pool_baseline = (pool.hits, pool.misses)
 
     # ------------------------------------------------------------------
     # collection
@@ -90,6 +96,20 @@ class Profiler:
 
     def record_forward_time(self, op: str, seconds: float) -> None:
         self.forward_ops[op].record(seconds)
+
+    def record_section(self, name: str, payload: Dict) -> None:
+        """Attach a structured payload (e.g. trace-replay stats) to the report."""
+        self.extra_sections[name] = payload
+
+    def buffer_pool_stats(self) -> Dict[str, int]:
+        """Gradient-buffer-pool counters since the last :meth:`reset`."""
+        pool = engine.buffer_pool
+        base_hits, base_misses = self._pool_baseline
+        return {
+            "hits": pool.hits - base_hits,
+            "misses": pool.misses - base_misses,
+            "retained": pool.num_buffered(),
+        }
 
     @contextmanager
     def scope(self, name: str) -> Iterator[None]:
@@ -106,7 +126,7 @@ class Profiler:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def as_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+    def as_dict(self) -> Dict[str, Dict]:
         """Machine-readable snapshot of everything collected so far."""
 
         def stats_dict(table: Dict[str, OpStats]) -> Dict[str, Dict[str, float]]:
@@ -115,14 +135,18 @@ class Profiler:
                 for name, stats in table.items()
             }
 
-        return {
+        snapshot = {
             "scopes": stats_dict(self.scopes),
             "forward_counts": {
                 name: {"calls": count} for name, count in self.forward_counts.items()
             },
             "forward_ops": stats_dict(self.forward_ops),
             "backward_ops": stats_dict(self.backward_ops),
+            "buffer_pool": self.buffer_pool_stats(),
         }
+        if self.extra_sections:
+            snapshot.update(self.extra_sections)
+        return snapshot
 
     def report(self) -> str:
         """Human-readable tables: scopes, then per-op forward/backward cost."""
@@ -163,7 +187,36 @@ class Profiler:
                     f"{backward.calls if backward else 0:>11}"
                     f"{backward.seconds * 1e3 if backward else 0.0:>10.2f}"
                 )
+        pool_stats = self.buffer_pool_stats()
+        if any(pool_stats.values()):
+            lines.append("")
+            lines.append(
+                "gradient buffer pool: "
+                f"hits={pool_stats['hits']} misses={pool_stats['misses']} "
+                f"retained={pool_stats['retained']}"
+            )
+        for name, payload in self.extra_sections.items():
+            lines.append("")
+            lines.append(f"{name}: " + _render_payload(payload))
         return "\n".join(lines) if lines else "(profiler collected no data)"
+
+
+def _render_payload(payload: Dict) -> str:
+    """One-line ``key=value`` rendering of a nested stats payload."""
+    parts = []
+    for key, value in payload.items():
+        if isinstance(value, dict):
+            inner = " ".join(f"{k}={_format_number(v)}" for k, v in value.items())
+            parts.append(f"{key}[{inner}]")
+        else:
+            parts.append(f"{key}={_format_number(value)}")
+    return " ".join(parts)
+
+
+def _format_number(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
 
 
 #: Process-wide profiler used by the trainer and the ``repro profile`` CLI.

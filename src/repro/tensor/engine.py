@@ -33,6 +33,7 @@ __all__ = [
     "set_op_hook",
     "get_op_hook",
     "set_backward_hook",
+    "set_trace_backward_hook",
 ]
 
 _DTYPES = {
@@ -47,6 +48,11 @@ _op_hook: Optional[Callable[[str], None]] = None
 
 #: Optional ``fn(op_name, seconds)`` invoked after each node's backward rule.
 _backward_hook: Optional[Callable[[str, float], None]] = None
+
+#: Optional ``fn(tensor, grad) -> bool`` consulted at the top of
+#: ``Tensor.backward``.  Returning True means the hook handled the whole
+#: backward pass (traced replay); False falls through to the eager walk.
+_trace_backward_hook = None
 
 
 def get_dtype() -> np.dtype:
@@ -162,4 +168,12 @@ def set_backward_hook(
     global _backward_hook
     previous = _backward_hook
     _backward_hook = hook
+    return previous
+
+
+def set_trace_backward_hook(hook):
+    """Install (or clear) the traced-replay backward interposer; returns the old one."""
+    global _trace_backward_hook
+    previous = _trace_backward_hook
+    _trace_backward_hook = hook
     return previous

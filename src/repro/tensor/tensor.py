@@ -221,20 +221,31 @@ class Tensor:
             raise RuntimeError(
                 "backward() called on a tensor that does not require grad",
             )
+        trace_hook = engine._trace_backward_hook
+        if trace_hook is not None and trace_hook(self, grad):
+            return
+        pool = engine.buffer_pool
         if grad is None:
             if self.data.size != 1:
                 raise ValueError(
                     "backward() without an explicit gradient requires a scalar tensor, "
                     f"got shape {self.data.shape}"
                 )
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
-        if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).copy()
+            if self.grad is None:
+                # The all-ones seed can be written straight into a pooled
+                # buffer instead of allocating ``np.ones_like`` per step.
+                buffer = pool.acquire(self.data.shape, self.data.dtype)
+                buffer.fill(1.0)
+                self.grad = buffer
+            else:
+                self._accumulate(np.ones_like(self.data))
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                grad = np.broadcast_to(grad, self.data.shape).copy()
+            self._accumulate(grad)
 
-        pool = engine.buffer_pool
         timing_hook = engine._backward_hook
-        self._accumulate(grad)
         for node in reversed(self._topological_order()):
             node_backward = node._backward
             if node_backward is not None and node.grad is not None:
