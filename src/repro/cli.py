@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli online-ab --impressions 1500
     python -m repro.cli efficiency
     python -m repro.cli profile --profile-model NMCDR --batches 20
+    python -m repro.cli train  --checkpoint-dir runs/demo --checkpoint-every 1
+    python -m repro.cli resume --checkpoint-dir runs/demo
 
 Every subcommand prints a table to stdout and, with ``--output DIR``, writes a
 CSV export next to it.  These are the same code paths the benchmarks use; the
@@ -20,6 +22,7 @@ CLI exists so a downstream user can rerun any experiment without pytest.
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -174,6 +177,72 @@ def build_parser() -> argparse.ArgumentParser:
             "record each step's autograd graph once per plan signature and "
             "replay it as a flat buffer program (requires dropout=0)"
         ),
+    )
+
+    train = subparsers.add_parser(
+        "train",
+        help="one fault-tolerant training run with checkpointing (resumable)",
+    )
+    train.add_argument("--scenario", default="cloth_sport", choices=SCENARIO_NAMES)
+    train.add_argument("--scale", type=float, default=0.6, help="dataset scale factor")
+    train.add_argument("--epochs", type=int, default=12)
+    train.add_argument("--negatives", type=int, default=99)
+    train.add_argument("--embedding-dim", type=int, default=32)
+    train.add_argument("--seed", type=int, default=7)
+    train.add_argument("--batch-size", type=int, default=256)
+    train.add_argument("--eval-every", type=int, default=1)
+    train.add_argument("--train-model", default="NMCDR", help="model registry name")
+    train.add_argument("--executor", choices=("serial", "sharded"), default="serial")
+    train.add_argument("--shards", type=int, default=2)
+    train.add_argument("--pool-sharding", action="store_true")
+    train.add_argument("--traced", action="store_true")
+    train.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="directory for checkpoints + run.json provenance (enables `repro resume`)",
+    )
+    train.add_argument("--checkpoint-every", type=int, default=1, help="epochs between checkpoints")
+    train.add_argument(
+        "--checkpoint-every-steps", type=int, default=0, help="steps between checkpoints (0 = off)"
+    )
+    train.add_argument(
+        "--checkpoint-keep", type=int, default=3, help="retained checkpoints (0 = all)"
+    )
+    train.add_argument(
+        "--worker-max-retries",
+        type=int,
+        default=0,
+        help="respawn attempts per step before a dead/hung shard worker is fatal",
+    )
+    train.add_argument("--worker-retry-backoff", type=float, default=0.05)
+    train.add_argument("--worker-step-timeout", type=float, default=600.0)
+    train.add_argument(
+        "--degrade-on-failure",
+        action="store_true",
+        help="after exhausted retries, rebuild at fewer shards instead of raising",
+    )
+    train.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection spec string (REPRO_FAULTS grammar) for recovery drills",
+    )
+
+    resume = subparsers.add_parser(
+        "resume",
+        help="resume a killed `repro train` run from its newest checkpoint",
+    )
+    resume.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        required=True,
+        help="the directory `repro train --checkpoint-dir` wrote into",
+    )
+    resume.add_argument(
+        "--from-checkpoint",
+        type=Path,
+        default=None,
+        help="resume from this specific checkpoint file instead of the newest",
     )
 
     return parser
@@ -339,6 +408,120 @@ def _command_profile(args: argparse.Namespace) -> str:
         return header + "\n" + phases + "\n\n" + profiler.report()
 
 
+def _training_from_run(run: dict):
+    """Rebuild the exact trainer a ``run.json`` describes.
+
+    Shared by ``train`` (which authors the dict) and ``resume`` (which reads
+    it back), so a resumed process reconstructs the identical dataset, model
+    and config; the checkpoint's config fingerprint double-checks the match.
+    """
+    from .core import CDRTrainer, TrainerConfig
+
+    settings = ExperimentSettings(**run["settings"])
+    dataset = prepare_dataset(settings)
+    task = build_task(dataset, head_threshold=settings.head_threshold)
+    model = build_model(
+        run["model"], task, embedding_dim=settings.embedding_dim, seed=settings.seed
+    )
+    return CDRTrainer(model, task, TrainerConfig(**run["trainer"]))
+
+
+def _format_training_summary(history, resumed: bool = False) -> str:
+    lines = []
+    if resumed and history.resumed_from:
+        lines.append(f"resumed from {history.resumed_from}")
+    lines.append(
+        f"trained {len(history.epoch_losses)} epochs; "
+        f"final loss {history.epoch_losses[-1]:.6f}"
+        if history.epoch_losses
+        else "nothing left to train (checkpoint already covers the run)"
+    )
+    if history.validation_metrics:
+        final = history.validation_metrics[-1]
+        for domain, metrics in final.items():
+            formatted = ", ".join(f"{k}={v:.4f}" for k, v in metrics.items())
+            lines.append(f"valid [{domain}]: {formatted}")
+    if history.checkpoints_written:
+        lines.append(
+            f"checkpoints written: {history.checkpoints_written} "
+            f"(latest: {history.last_checkpoint})"
+        )
+    recovery = {
+        "worker deaths": history.worker_deaths,
+        "worker timeouts": history.worker_timeouts,
+        "respawns": history.worker_respawns,
+        "degradations": history.executor_degradations,
+    }
+    if any(recovery.values()):
+        lines.append(
+            "recovery events: "
+            + ", ".join(f"{name} {count}" for name, count in recovery.items() if count)
+        )
+    return "\n".join(lines)
+
+
+def _command_train(args: argparse.Namespace) -> str:
+    run = {
+        "model": args.train_model,
+        "settings": {
+            "scenario": args.scenario,
+            "scale": args.scale,
+            "overlap_ratio": 0.5,
+            "embedding_dim": args.embedding_dim,
+            "num_epochs": args.epochs,
+            "batch_size": args.batch_size,
+            "num_eval_negatives": args.negatives,
+            "seed": args.seed,
+        },
+        "trainer": {
+            "num_epochs": args.epochs,
+            "batch_size": args.batch_size,
+            "num_eval_negatives": args.negatives,
+            "eval_every": args.eval_every,
+            "seed": args.seed,
+            "executor": args.executor,
+            "n_shards": args.shards,
+            "pool_sharding": args.pool_sharding,
+            "traced_steps": args.traced,
+            "checkpoint_dir": str(args.checkpoint_dir) if args.checkpoint_dir else None,
+            "checkpoint_every": args.checkpoint_every,
+            "checkpoint_every_steps": args.checkpoint_every_steps,
+            "checkpoint_keep": args.checkpoint_keep,
+            "worker_max_retries": args.worker_max_retries,
+            "worker_retry_backoff": args.worker_retry_backoff,
+            "worker_step_timeout": args.worker_step_timeout,
+            "degrade_on_failure": args.degrade_on_failure,
+        },
+    }
+    if args.faults:
+        from .core import faults
+
+        faults.load_env(args.faults)
+    trainer = _training_from_run(run)
+    if args.checkpoint_dir is not None:
+        # Written before training starts so even a killed run can resume.
+        directory = Path(args.checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "run.json").write_text(json.dumps(run, indent=2) + "\n")
+    history = trainer.fit()
+    return _format_training_summary(history)
+
+
+def _command_resume(args: argparse.Namespace) -> str:
+    directory = Path(args.checkpoint_dir)
+    run_file = directory / "run.json"
+    if not run_file.exists():
+        raise SystemExit(
+            f"no run.json in {directory}; start the run with "
+            "`repro train --checkpoint-dir` to make it resumable"
+        )
+    run = json.loads(run_file.read_text())
+    trainer = _training_from_run(run)
+    source = args.from_checkpoint if args.from_checkpoint is not None else directory
+    history = trainer.fit(resume_from=str(source))
+    return _format_training_summary(history, resumed=True)
+
+
 _COMMANDS = {
     "stats": _command_stats,
     "overlap": _command_overlap,
@@ -349,6 +532,8 @@ _COMMANDS = {
     "online-ab": _command_online_ab,
     "efficiency": _command_efficiency,
     "profile": _command_profile,
+    "train": _command_train,
+    "resume": _command_resume,
 }
 
 

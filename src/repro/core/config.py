@@ -192,6 +192,35 @@ class TrainerConfig:
     lr_scheduler: Optional[str] = None
     lr_step_size: int = 5
     lr_gamma: float = 0.5
+    #: Directory for training checkpoints (``None`` disables checkpointing).
+    #: Each checkpoint snapshots the *complete* training state — parameters,
+    #: Adam moments, scheduler/early-stopping state, every rng stream and the
+    #: history — so a killed run resumed via ``CDRTrainer.fit(resume_from=...)``
+    #: (or ``repro resume``) replays the uninterrupted run bit-identically.
+    checkpoint_dir: Optional[str] = None
+    #: Epoch cadence of checkpoint writes (every N completed epochs, after
+    #: that epoch's evaluation); ``0`` disables epoch-boundary checkpoints.
+    checkpoint_every: int = 1
+    #: Step cadence of mid-epoch checkpoints (every N global steps);
+    #: ``0`` (default) disables mid-epoch checkpoints.
+    checkpoint_every_steps: int = 0
+    #: Retention: keep only the newest K checkpoint files (``0`` keeps all).
+    checkpoint_keep: int = 3
+    #: Supervised sharded execution: how many times a dead or hung shard
+    #: worker is respawned (with the in-flight step replayed from the
+    #: parent's retained dispatch) before the failure is considered
+    #: persistent.  ``0`` (default) keeps the PR-4 fail-fast contract: any
+    #: worker death or hang raises immediately.
+    worker_max_retries: int = 0
+    #: Base backoff between respawn attempts, doubled per retry.
+    worker_retry_backoff: float = 0.05
+    #: Seconds the parent waits for one shard's step result before treating
+    #: the worker as hung.
+    worker_step_timeout: float = 600.0
+    #: After the retry budget is exhausted, rebuild the executor at fewer
+    #: shards (halving down to serial in-parent execution) from the last
+    #: consistent state instead of raising — training completes, degraded.
+    degrade_on_failure: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -226,6 +255,26 @@ class TrainerConfig:
             raise ValueError("lr_step_size must be >= 1")
         if self.lr_gamma <= 0:
             raise ValueError("lr_gamma must be positive")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_every_steps < 0:
+            raise ValueError("checkpoint_every_steps must be >= 0")
+        if self.checkpoint_keep < 0:
+            raise ValueError("checkpoint_keep must be >= 0")
+        if (
+            self.checkpoint_dir is not None
+            and not self.checkpoint_every
+            and not self.checkpoint_every_steps
+        ):
+            raise ValueError(
+                "checkpoint_dir is set but both checkpoint cadences are 0"
+            )
+        if self.worker_max_retries < 0:
+            raise ValueError("worker_max_retries must be >= 0")
+        if self.worker_retry_backoff < 0:
+            raise ValueError("worker_retry_backoff must be >= 0")
+        if self.worker_step_timeout <= 0:
+            raise ValueError("worker_step_timeout must be positive")
 
     def variant(self, **overrides) -> "TrainerConfig":
         """Return a copy with the given fields replaced."""

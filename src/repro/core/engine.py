@@ -80,6 +80,18 @@ class TrainingHistory:
     epoch_wall_seconds: List[float] = field(default_factory=list)
     #: Learning rate in effect at the start of each epoch.
     learning_rates: List[float] = field(default_factory=list)
+    #: Fault-tolerance counters, filled by the supervised sharded executors:
+    #: how many shard workers died / hit their step deadline, how many were
+    #: respawned, and how many times the executor degraded to fewer shards.
+    worker_deaths: int = 0
+    worker_timeouts: int = 0
+    worker_respawns: int = 0
+    executor_degradations: int = 0
+    #: Checkpoints written during this run, and the newest file's path.
+    checkpoints_written: int = 0
+    last_checkpoint: Optional[str] = None
+    #: Path of the checkpoint this history was restored from (resume runs).
+    resumed_from: Optional[str] = None
 
     @property
     def final_loss(self) -> float:
@@ -101,6 +113,12 @@ class EngineContext:
     history: TrainingHistory
     epoch: int = 0
     stop_requested: bool = False
+    #: The data pipeline driving the current fit (checkpoint callbacks read
+    #: its per-epoch loader-rng snapshots).
+    pipeline: Optional[DataPipeline] = None
+    #: The :class:`~repro.core.checkpoint.ResumeState` this fit restarted
+    #: from (``None`` for a fresh run).
+    resume: Optional[object] = None
 
     def request_stop(self) -> None:
         """Ask the engine to stop after the current epoch's bookkeeping."""
@@ -131,6 +149,11 @@ class Callback:
     def on_evaluation(
         self, context: EngineContext, epoch: int, metrics: Dict[str, Dict[str, float]]
     ) -> None: ...
+
+    def on_epoch_complete(self, context: EngineContext, epoch: int) -> None:
+        """After *all* of an epoch's bookkeeping — loss recording, epoch-end
+        callbacks and evaluation — so state snapshotted here (checkpoints)
+        matches a consistent epoch boundary."""
 
     def on_fit_end(self, context: EngineContext) -> None: ...
 
@@ -296,13 +319,34 @@ class TrainingEngine:
         if scheduler is not None:
             self.callbacks.append(LRSchedulerCallback(scheduler))
         self.callbacks.extend(callbacks)
+        if config.checkpoint_dir:
+            from .checkpoint import CheckpointCallback
 
-    def build_pipeline(self, loaders) -> DataPipeline:
+            self.callbacks.append(CheckpointCallback(self))
+
+    @property
+    def scheduler(self):
+        """The LR scheduler driven by this engine's callbacks (or ``None``)."""
+        for callback in self.callbacks:
+            if isinstance(callback, LRSchedulerCallback):
+                return callback.scheduler
+        return None
+
+    @property
+    def early_stopper(self) -> Optional[EarlyStoppingCallback]:
+        """The early-stopping callback, when evaluation is configured."""
+        for callback in self.callbacks:
+            if isinstance(callback, EarlyStoppingCallback):
+                return callback
+        return None
+
+    def build_pipeline(self, loaders, start_epoch: int = 0) -> DataPipeline:
         """Default pipeline for the configured prefetch depth."""
         return build_pipeline(
             loaders,
             num_epochs=self.config.num_epochs,
             prefetch_epochs=self.config.prefetch_epochs,
+            start_epoch=start_epoch,
         )
 
     # ------------------------------------------------------------------
@@ -313,6 +357,7 @@ class TrainingEngine:
         pipeline: DataPipeline,
         history: Optional[TrainingHistory] = None,
         max_steps: Optional[int] = None,
+        resume=None,
     ) -> TrainingHistory:
         """Run the training loop over the pipeline's epochs.
 
@@ -320,14 +365,29 @@ class TrainingEngine:
         smoke runs); the loop stops cleanly once it is reached.  The pipeline
         is always closed on exit — normal return, early stop or exception —
         so no worker thread outlives this call.
+
+        ``resume`` (a :class:`~repro.core.checkpoint.ResumeState`, paired
+        with a ``history`` restored by the checkpoint module and a pipeline
+        built with the matching ``start_epoch``) continues a checkpointed
+        run: the loop enters at ``resume.next_epoch``, replays the epoch's
+        already-trained step prefix without executing it (the restored
+        loader rng regenerates the identical batch stream), and carries the
+        checkpointed partial epoch-loss sum — the completed run is
+        bit-identical to one that was never interrupted.
         """
         history = history if history is not None else TrainingHistory()
         context = EngineContext(
-            model=self.model, optimizer=self.optimizer, config=self.config, history=history
+            model=self.model,
+            optimizer=self.optimizer,
+            config=self.config,
+            history=history,
+            pipeline=pipeline,
+            resume=resume,
         )
         config = self.config
         fit_started = time.perf_counter()
-        total_steps = 0
+        total_steps = resume.total_steps if resume is not None else 0
+        start_epoch = resume.next_epoch if resume is not None else 0
         try:
             # Executors with external resources (the sharded executor's
             # worker processes) open *before* the pipeline starts any worker
@@ -340,9 +400,19 @@ class TrainingEngine:
             for callback in self.callbacks:
                 callback.on_fit_start(context)
             with pipeline:
-                for epoch in range(config.num_epochs):
+                for epoch in range(start_epoch, config.num_epochs):
                     context.epoch = epoch
-                    history.learning_rates.append(self.optimizer.lr)
+                    # A mid-epoch resume re-enters the epoch the killed run
+                    # was in: its learning-rate entry is already in the
+                    # restored history, and the already-trained step prefix
+                    # is replayed (batches discarded) instead of re-run.
+                    resuming_mid_epoch = (
+                        resume is not None
+                        and epoch == resume.next_epoch
+                        and resume.steps_into_epoch > 0
+                    )
+                    if not resuming_mid_epoch:
+                        history.learning_rates.append(self.optimizer.lr)
                     epoch_started = time.perf_counter()
                     model_hook = getattr(self.model, "on_epoch_start", None)
                     if callable(model_hook):
@@ -350,10 +420,16 @@ class TrainingEngine:
                     for callback in self.callbacks:
                         callback.on_epoch_start(context, epoch)
 
-                    epoch_loss = 0.0
-                    epoch_steps = 0
+                    epoch_loss = resume.epoch_loss if resuming_mid_epoch else 0.0
+                    epoch_steps = resume.steps_into_epoch if resuming_mid_epoch else 0
                     epoch_truncated = False
                     steps = pipeline.epoch(epoch)
+                    for _ in range(resume.steps_into_epoch if resuming_mid_epoch else 0):
+                        if next(steps, None) is None:
+                            raise RuntimeError(
+                                "resume position beyond the epoch's step count; "
+                                "the checkpoint does not match this data pipeline"
+                            )
                     while True:
                         with profiler.scope("data/wait"):
                             batches = next(steps, None)
@@ -402,6 +478,9 @@ class TrainingEngine:
                         for callback in self.callbacks:
                             callback.on_evaluation(context, epoch, metrics)
 
+                    for callback in self.callbacks:
+                        callback.on_epoch_complete(context, epoch)
+
                     if context.stop_requested:
                         break
         finally:
@@ -412,6 +491,12 @@ class TrainingEngine:
             executor_close = getattr(self.executor, "close", None)
             if callable(executor_close):
                 executor_close()
+            fault_events = getattr(self.executor, "fault_events", None)
+            if fault_events:
+                history.worker_deaths += fault_events.get("deaths", 0)
+                history.worker_timeouts += fault_events.get("timeouts", 0)
+                history.worker_respawns += fault_events.get("respawns", 0)
+                history.executor_degradations += fault_events.get("degradations", 0)
             history.data_prep_seconds_total = pipeline.stats.prep_seconds
             history.data_wait_seconds_total = pipeline.stats.wait_seconds
             history.fit_wall_seconds = time.perf_counter() - fit_started

@@ -59,17 +59,41 @@ the worker traceback attached.  :meth:`ShardedStepExecutor.close` is
 idempotent, runs via ``weakref.finalize`` at garbage collection and
 interpreter exit (so an executor crash mid-epoch cannot leak processes),
 and escalates join → terminate → kill.  Workers are daemonic as a last
-line of defence.
+line of defence.  Parameter and gradient blocks are *named* POSIX shared
+memory, each with its own ``weakref.finalize`` (which doubles as an atexit
+hook) unlinking it from the creating process — an abandoned executor, a
+``KeyboardInterrupt`` or an injected parent crash leaves no orphaned
+``/dev/shm`` segment, and a hard ``SIGKILL`` is mopped up by Python's
+``multiprocessing.resource_tracker``.
+
+Supervision (opt-in)
+--------------------
+
+With ``max_retries > 0`` the fail-fast checks above become a *worker
+supervisor*: a dead or hung shard worker is killed, re-forked (re-aliasing
+the shared parameter block exactly like the original fork) and the
+in-flight step is replayed from the parent's retained per-shard dispatch
+log — the parent's rng and dispatch are authoritative, so the respawned
+worker's step result is bit-identical to the never-failed one.  Retries
+back off exponentially and are capped per shard per step; with
+``degrade_on_failure`` an exhausted budget rebuilds the executor at half
+the shards (down to one, and finally to in-parent serial execution) from
+the last consistent state — parameters only ever advance after a fully
+collected step, so no partial update can leak into the degraded run.
+Every recovery event is counted in :attr:`fault_events` (surfaced in
+``TrainingHistory`` and the profiling report).
 """
 
 from __future__ import annotations
 
-import ctypes
+import itertools
 import multiprocessing
+import os
 import time
 import traceback
 import weakref
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -77,10 +101,25 @@ import numpy as np
 from ..data.shard import ShardSplit, split_joint_batch
 from ..optim import Optimizer, clip_grad_norm, reduce_gradient_shards
 from ..profiling import profiler
+from . import faults
 from .engine import StepExecutor
 from .task import DOMAIN_KEYS
 
-__all__ = ["ShardLoss", "ShardedStepExecutor", "PoolShardedStepExecutor"]
+__all__ = [
+    "ShardLoss",
+    "WorkerDied",
+    "WorkerTimeout",
+    "ShardedStepExecutor",
+    "PoolShardedStepExecutor",
+]
+
+
+class WorkerDied(RuntimeError):
+    """A shard worker exited (or broke its pipe) mid-step."""
+
+
+class WorkerTimeout(RuntimeError):
+    """A shard worker blew through the step deadline (presumed hung)."""
 
 #: Wire commands of the parent → worker pipe protocol.
 _STEP, _STOP = "step", "stop"
@@ -118,22 +157,81 @@ class ShardLoss:
     present: Optional[np.ndarray] = None
 
 
-def _allocate_block(context, specs: List[Tuple[Tuple[int, ...], np.dtype]]):
-    """One anonymous shared-memory block with 64-byte-aligned array views."""
-    offsets = []
-    cursor = 0
-    for shape, dtype in specs:
-        cursor = (cursor + 63) & ~63
-        offsets.append(cursor)
-        cursor += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
-    block = context.RawArray(ctypes.c_char, max(int(cursor), 1))
-    views = [
-        np.frombuffer(
-            block, dtype=dtype, count=int(np.prod(shape, dtype=np.int64)), offset=offset
-        ).reshape(shape)
-        for (shape, dtype), offset in zip(specs, offsets)
-    ]
-    return block, views
+#: Monotonic suffix keeping this process's shm segment names unique.
+_shm_counter = itertools.count()
+
+
+def _release_shm(shm: shared_memory.SharedMemory, creator_pid: int) -> None:
+    """Close (best-effort) and unlink one shm segment; creator-only unlink.
+
+    Runs from ``weakref.finalize`` — at explicit release, at garbage
+    collection, or at interpreter exit — and must therefore tolerate every
+    ordering: ``close()`` may raise ``BufferError`` while numpy views are
+    still exported (the segment is unlinked regardless; the mapping lives
+    until process death), and forked children inherit the finalizer but
+    must never unlink the parent's segment.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        # Numpy views still alias the mapping.  The exported buffers keep
+        # the underlying mmap object alive, so the mapping survives until
+        # the views die — but detach it from the SharedMemory handle so
+        # its ``__del__`` does not retry the close and emit an unraisable
+        # BufferError at garbage collection; the retried close() below
+        # then just releases the file descriptor.
+        shm._buf = None
+        shm._mmap = None
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover — fd already gone
+            pass
+    if os.getpid() == creator_pid:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class _SharedBlock:
+    """One named shared-memory block with 64-byte-aligned array views.
+
+    Forked workers inherit the mapping (and the views built over it)
+    directly — nothing is pickled or re-attached, exactly like the
+    anonymous blocks this replaces — but the segment is *named*, so its
+    lifetime is observable and cleanup is enforceable: the creating process
+    unlinks it via :meth:`release`, via ``weakref.finalize`` when the
+    executor is dropped, and via the finalizer's atexit hook on interpreter
+    exit; a SIGKILLed parent is cleaned up by the resource tracker.
+    """
+
+    def __init__(self, specs: List[Tuple[Tuple[int, ...], np.dtype]]) -> None:
+        offsets = []
+        cursor = 0
+        for shape, dtype in specs:
+            cursor = (cursor + 63) & ~63
+            offsets.append(cursor)
+            cursor += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        name = f"repro-shm-{os.getpid()}-{next(_shm_counter)}"
+        self.shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(int(cursor), 1)
+        )
+        self.name = self.shm.name
+        self.views = [
+            np.frombuffer(
+                self.shm.buf,
+                dtype=dtype,
+                count=int(np.prod(shape, dtype=np.int64)),
+                offset=offset,
+            ).reshape(shape)
+            for (shape, dtype), offset in zip(specs, offsets)
+        ]
+        self._finalizer = weakref.finalize(self, _release_shm, self.shm, os.getpid())
+
+    def release(self) -> None:
+        """Unlink the segment now; idempotent (the finalizer runs once)."""
+        self.views = []
+        self._finalizer()
 
 
 def _shutdown_workers(workers, connections) -> None:
@@ -282,9 +380,24 @@ def _single_phase_step(
     )
 
 
+def _close_inherited_fds(parent_fds: Sequence[int]) -> None:
+    """Close fork-inherited parent-side pipe fds (worker startup hygiene).
+
+    A worker holding a copy of any parent-end fd — its own or an earlier
+    shard's — keeps that pipe readable after the training parent dies, so
+    recv() never raises EOFError and the worker leaks (with its shm).
+    """
+    for fd in parent_fds:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover — fd already gone
+            pass
+
+
 def _worker_main(
     shard_index: int,
     connection,
+    parent_fds: Sequence[int],
     model,
     parameters,
     param_views: Sequence[np.ndarray],
@@ -294,8 +407,10 @@ def _worker_main(
 ) -> None:
     """Shard worker loop: recv step → forward/backward → publish gradients."""
     try:
+        _close_inherited_fds(parent_fds)
         _attach_worker(model, parameters, param_views, localize)
         runtime = _make_worker_runtime(model, traced)
+        step_counter = 0
         while True:
             try:
                 message = connection.recv()
@@ -304,6 +419,10 @@ def _worker_main(
             if message[0] == _STOP:
                 return
             _, micro_batches, pools, full_sizes = message
+            # Worker-local step index (restarts at 0 in a respawned worker,
+            # so one-shot step-matched faults cannot re-fire during replay).
+            faults.worker_step(shard_index, step_counter)
+            step_counter += 1
             try:
                 _single_phase_step(
                     shard_index,
@@ -354,6 +473,9 @@ class ShardedStepExecutor(StepExecutor):
         n_shards: int = 2,
         step_timeout: float = 600.0,
         traced: bool = False,
+        max_retries: int = 0,
+        retry_backoff: float = 0.05,
+        degrade_on_failure: bool = False,
     ) -> None:
         super().__init__(model, optimizer, grad_clip_norm)
         # Tracing happens inside the workers (each owns a program cache);
@@ -384,12 +506,38 @@ class ShardedStepExecutor(StepExecutor):
             )
         self.n_shards = int(n_shards)
         self.step_timeout = float(step_timeout)
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.degrade_on_failure = bool(degrade_on_failure)
+        #: Recovery counters, merged into ``TrainingHistory`` by the engine
+        #: and into the profiling report at close.  Never reset by open() so
+        #: degrade-and-reopen cycles keep accumulating.
+        self.fault_events: Dict[str, int] = {
+            "deaths": 0,
+            "timeouts": 0,
+            "respawns": 0,
+            "degradations": 0,
+        }
         self._workers: List = []
         self._connections: List = []
         self._param_views: List[np.ndarray] = []
         self._grad_views: List[List[np.ndarray]] = []
-        self._blocks: List = []  # keep RawArrays alive alongside their views
+        self._blocks: List[_SharedBlock] = []
         self._finalizer = None
+        self._context = None
+        self._localize = False
+        #: Per-shard parent→worker message log and response count for the
+        #: step in flight — the replay source for respawned workers.
+        self._step_log: List[List[tuple]] = []
+        self._responses: List[int] = []
+        self._step_retries: List[int] = []
+        #: Final cumulative trace-stat snapshots of workers that no longer
+        #: run (died + respawned, or torn down by a degrade), kept so the
+        #: merged ``repro profile --traced`` report neither loses nor
+        #: double-counts a replaced worker's counters.
+        self._retired_trace_stats: List[Dict] = []
+        #: After the degrade ladder bottoms out: run steps in-parent.
+        self._serial_fallback = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -414,39 +562,28 @@ class ShardedStepExecutor(StepExecutor):
             raise RuntimeError(
                 "ShardedStepExecutor requires the fork start method (POSIX)"
             ) from error
+        self._context = context
         parameters = self.optimizer.parameters
         specs = [(p.data.shape, p.data.dtype) for p in parameters]
-        block, self._param_views = _allocate_block(context, specs)
-        self._blocks = [block]
+        param_block = _SharedBlock(specs)
+        self._param_views = param_block.views
+        self._blocks = [param_block]
         self._grad_views = []
         for _ in range(self.n_shards):
-            grad_block, views = _allocate_block(context, specs)
+            grad_block = _SharedBlock(specs)
             self._blocks.append(grad_block)
-            self._grad_views.append(views)
+            self._grad_views.append(grad_block.views)
         self._publish_parameters()
 
-        localize = self.n_shards > 1
+        self._localize = self.n_shards > 1
         workers, connections = [], []
+        # Published before the fork loop so _fork_worker can hand every
+        # already-started shard's parent-end fd to the next fork for
+        # closing (see the fd-hygiene note there).
+        self._workers, self._connections = workers, connections
         try:
             for shard_index in range(self.n_shards):
-                parent_end, child_end = context.Pipe(duplex=True)
-                worker = context.Process(
-                    target=self._worker_target(),
-                    args=(
-                        shard_index,
-                        child_end,
-                        self.model,
-                        parameters,
-                        self._param_views,
-                        self._grad_views[shard_index],
-                        localize,
-                        self.traced,
-                    ),
-                    name=f"repro-shard-{shard_index}",
-                    daemon=True,
-                )
-                worker.start()
-                child_end.close()
+                worker, parent_end = self._fork_worker(shard_index)
                 workers.append(worker)
                 connections.append(parent_end)
         except BaseException:
@@ -455,26 +592,88 @@ class ShardedStepExecutor(StepExecutor):
             # `if self._workers` guard above would treat a partial set as
             # fully open and run_step would dispatch short.
             _shutdown_workers(workers, connections)
+            for shared_block in self._blocks:
+                shared_block.release()
             self._param_views, self._grad_views, self._blocks = [], [], []
+            self._workers, self._connections = [], []
             raise
-        self._workers, self._connections = workers, connections
+        self._step_log = [[] for _ in range(self.n_shards)]
+        self._responses = [0] * self.n_shards
+        self._step_retries = [0] * self.n_shards
+        # The finalizer holds the *live* list objects (not copies): a
+        # respawn replaces entries in place, so cleanup at GC/exit always
+        # targets the current worker set, never a dead predecessor's.
         self._finalizer = weakref.finalize(
-            self, _shutdown_workers, list(workers), list(connections)
+            self, _shutdown_workers, workers, connections
         )
+
+    def _fork_worker(self, shard_index: int):
+        """Fork one shard worker; shared by open() and respawn."""
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        # Every parent-side pipe fd open at fork time is inherited by the
+        # child, *including a copy of this worker's own parent end* (the
+        # local above).  The child must close those copies at startup:
+        # otherwise a worker blocked in recv() keeps its own pipe's peer
+        # alive and never sees EOF when the training parent is killed —
+        # an orphaned worker pinning its shm segments forever.
+        parent_fds = [parent_end.fileno()]
+        for connection in self._connections:
+            try:
+                parent_fds.append(connection.fileno())
+            except OSError:  # pragma: no cover — already closed
+                pass
+        worker = self._context.Process(
+            target=self._worker_target(),
+            args=(
+                shard_index,
+                child_end,
+                parent_fds,
+                self.model,
+                self.optimizer.parameters,
+                self._param_views,
+                self._grad_views[shard_index],
+                self._localize,
+                self.traced,
+            ),
+            name=f"repro-shard-{shard_index}",
+            daemon=True,
+        )
+        worker.start()
+        child_end.close()
+        return worker, parent_end
+
+    def _retire_trace_stats(self) -> None:
+        """Move live per-shard cumulative snapshots to the retired list."""
+        self._retired_trace_stats.extend(self._shard_trace_stats.values())
+        self._shard_trace_stats = {}
+
+    def _teardown_workers(self) -> None:
+        """Stop workers and release shm without finalising stats (degrade path)."""
+        self._retire_trace_stats()
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer()  # weakref.finalize runs at most once
+        self._workers, self._connections = [], []
+        self._grad_views, self._param_views = [], []
+        blocks, self._blocks = self._blocks, []
+        for shared_block in blocks:
+            shared_block.release()
 
     def close(self) -> None:
         """Shut every worker down; idempotent and safe to call at any time."""
-        if self._shard_trace_stats:
+        self._teardown_workers()
+        if self._retired_trace_stats:
             from ..tensor.trace import TraceStats
 
-            self.trace_stats = TraceStats.merge(self._shard_trace_stats.values())
+            # One snapshot per worker *incarnation*: each is that worker's
+            # own cumulative count, so summing never double-counts, and a
+            # died worker's last done-message snapshot is retained rather
+            # than overwritten by its (fresh-started) replacement.
+            self.trace_stats = TraceStats.merge(self._retired_trace_stats)
             profiler.record_section("trace", self.trace_stats)
-            self._shard_trace_stats = {}
-        finalizer, self._finalizer = self._finalizer, None
-        self._workers, self._connections = [], []
-        self._grad_views, self._param_views, self._blocks = [], [], []
-        if finalizer is not None:
-            finalizer()  # weakref.finalize runs at most once
+            self._retired_trace_stats = []
+        if any(self.fault_events.values()):
+            profiler.record_section("faults", dict(self.fault_events))
 
     def __enter__(self) -> "ShardedStepExecutor":
         self.open()
@@ -502,21 +701,174 @@ class ShardedStepExecutor(StepExecutor):
         deadline = time.monotonic() + self.step_timeout
         while not connection.poll(0.05):
             if not worker.is_alive():
-                raise RuntimeError(
+                raise WorkerDied(
                     f"shard worker {shard_index} died (exit code "
                     f"{worker.exitcode}) without returning a step result"
                 )
             if time.monotonic() > deadline:
-                raise RuntimeError(
+                raise WorkerTimeout(
                     f"shard worker {shard_index} timed out after "
                     f"{self.step_timeout:.0f}s"
                 )
         try:
             return connection.recv()
         except (EOFError, OSError) as error:
-            raise RuntimeError(
+            raise WorkerDied(
                 f"shard worker {shard_index} closed its pipe mid-step"
             ) from error
+
+    # ------------------------------------------------------------------
+    # the worker supervisor
+    # ------------------------------------------------------------------
+    def _begin_step(self) -> None:
+        """Reset the per-step replay log and retry budget."""
+        self._step_log = [[] for _ in range(self.n_shards)]
+        self._responses = [0] * self.n_shards
+        self._step_retries = [0] * self.n_shards
+
+    def _send_supervised(self, shard_index: int, message: tuple) -> None:
+        """Log and send one parent→worker message, recovering on a dead pipe."""
+        self._step_log[shard_index].append(message)
+        try:
+            self._connections[shard_index].send(message)
+            return
+        except (BrokenPipeError, OSError):
+            error = WorkerDied(
+                f"shard worker {shard_index} is gone (exit code "
+                f"{self._workers[shard_index].exitcode}); cannot dispatch step"
+            )
+        while True:
+            self._prepare_respawn(shard_index, error)
+            try:
+                # The failed message is already in the log, so a successful
+                # replay leaves it delivered and unanswered — exactly the
+                # state a plain send would have produced.
+                self._replay_step(shard_index)
+                return
+            except (WorkerDied, WorkerTimeout) as next_error:
+                error = next_error
+
+    def _receive_supervised(self, shard_index: int):
+        """Receive one worker response, respawning and replaying on failure."""
+        pending_replay = False
+        while True:
+            try:
+                if pending_replay:
+                    self._replay_step(shard_index)
+                    pending_replay = False
+                message = self._receive(shard_index)
+                self._responses[shard_index] += 1
+                return message
+            except (WorkerDied, WorkerTimeout) as error:
+                self._prepare_respawn(shard_index, error)
+                pending_replay = True
+
+    def _prepare_respawn(self, shard_index: int, error: Exception) -> None:
+        """Count the failure and fork a replacement, or re-raise over budget."""
+        self.fault_events[
+            "timeouts" if isinstance(error, WorkerTimeout) else "deaths"
+        ] += 1
+        attempt = self._step_retries[shard_index]
+        if attempt >= self.max_retries:
+            raise error
+        self._step_retries[shard_index] = attempt + 1
+        if self.retry_backoff:
+            time.sleep(self.retry_backoff * (2**attempt))
+        # Respawned workers inherit the fault module's state through fork;
+        # advancing the generation keeps one-shot injected faults from
+        # re-firing in the replacement (see repro.core.faults).
+        faults.mark_respawn()
+        old_worker = self._workers[shard_index]
+        if old_worker.is_alive():
+            old_worker.terminate()
+            old_worker.join(timeout=2.0)
+            if old_worker.is_alive():  # pragma: no cover — terminate suffices
+                old_worker.kill()
+                old_worker.join(timeout=2.0)
+        try:
+            self._connections[shard_index].close()
+        except OSError:  # pragma: no cover — already closed
+            pass
+        # Retire the dead incarnation's last cumulative trace snapshot so
+        # the replacement's (restarting-from-zero) counters don't overwrite
+        # it in the merged report.
+        stats = self._shard_trace_stats.pop(shard_index, None)
+        if stats is not None:
+            self._retired_trace_stats.append(stats)
+        worker, parent_end = self._fork_worker(shard_index)
+        # In-place so the close finalizer's captured lists stay current.
+        self._workers[shard_index] = worker
+        self._connections[shard_index] = parent_end
+        self.fault_events["respawns"] += 1
+
+    def _replay_step(self, shard_index: int) -> None:
+        """Re-drive the in-flight step on a freshly respawned worker.
+
+        The parent's retained dispatch log is authoritative: every logged
+        message is re-sent in order and the responses the parent had
+        already consumed before the failure are received again and
+        discarded (the recomputation is bit-identical — same shared
+        parameters, same parent-drawn pools, same micro-batch).  The strict
+        1:1 send/receive alternation of both wire protocols makes the
+        interleaving deadlock-free: at most one response is ever
+        outstanding.  On return the worker is exactly where its predecessor
+        was when it failed.
+        """
+        log = self._step_log[shard_index]
+        drained = self._responses[shard_index]
+        connection = self._connections[shard_index]
+        for index, message in enumerate(log):
+            try:
+                connection.send(message)
+            except (BrokenPipeError, OSError) as error:
+                raise WorkerDied(
+                    f"shard worker {shard_index} died again during step replay"
+                ) from error
+            if index < drained:
+                reply = self._receive(shard_index)
+                if reply[0] == "error":
+                    self._raise_worker_failure(shard_index, reply)
+
+    def _degrade(self) -> None:
+        """Drop to fewer shards (ultimately in-parent serial) and reopen.
+
+        Parameters only advance after a fully collected step, so the
+        executor state at this point is the last consistent one; the
+        in-flight step is re-run at the reduced width from identical
+        parameters and the already-drawn pools.
+        """
+        self.fault_events["degradations"] += 1
+        self._teardown_workers()
+        if self.n_shards > 1:
+            self.n_shards = max(1, self.n_shards // 2)
+            self.open()
+        else:
+            self._serial_fallback = True
+
+    def _run_serial_step(self, batches, pools) -> float:
+        """In-parent execution — the degrade ladder's final rung.
+
+        Replays the serial executor's semantics through the shard protocol
+        with one full-width micro-batch, so loss assembly and gradient
+        handling stay on the exact code path the equivalence gates cover.
+        """
+        split = split_joint_batch(batches, 1)
+        self.optimizer.zero_grad()
+        result = self.model.compute_shard_loss(
+            split.micro_batches[0],
+            pools=pools,
+            full_sizes=split.full_sizes,
+            localize=False,
+            include_extra=True,
+        )
+        if result.loss is not None:
+            result.loss.backward()
+        with profiler.scope("train/optimizer"):
+            if self.grad_clip_norm is not None:
+                clip_grad_norm(self.model.parameters(), self.grad_clip_norm)
+            self.optimizer.step()
+        self.model.invalidate_cache()
+        return self._assemble_loss(split, [result])
 
     def _raise_worker_failure(self, shard_index: int, message) -> None:
         raise RuntimeError(
@@ -528,7 +880,7 @@ class ShardedStepExecutor(StepExecutor):
         """Receive every shard's one-shot step result (the PR-4 protocol)."""
         results: List[ShardLoss] = []
         for shard_index in range(self.n_shards):
-            message = self._receive(shard_index)
+            message = self._receive_supervised(shard_index)
             if message[0] == "error":
                 self._raise_worker_failure(shard_index, message)
             _, terms, reductions, extra, value_dtype, present, trace_stats = message
@@ -546,44 +898,58 @@ class ShardedStepExecutor(StepExecutor):
         return results
 
     def run_step(self, batches) -> float:
-        self.open()
         try:
-            with profiler.scope("train/publish"):
-                self._publish_parameters()
+            if not self._serial_fallback:
+                self.open()
+            # Pools are drawn exactly once per step, *before* any attempt:
+            # retries and degrades re-use them, so the parent rng stream —
+            # and everything downstream of it — is independent of failures.
             pool_sampler = getattr(self.model, "sample_step_pools", None)
             pools = pool_sampler() if callable(pool_sampler) else None
-            split = split_joint_batch(batches, self.n_shards)
-            with profiler.scope("train/dispatch"):
-                for shard_index, connection in enumerate(self._connections):
-                    try:
-                        connection.send(
-                            (_STEP, split.micro_batches[shard_index], pools, split.full_sizes)
-                        )
-                    except (BrokenPipeError, OSError) as error:
-                        raise RuntimeError(
-                            f"shard worker {shard_index} is gone (exit code "
-                            f"{self._workers[shard_index].exitcode}); cannot dispatch step"
-                        ) from error
-            with profiler.scope("train/shard_wait"):
-                results = self._collect_single_phase()
-            with profiler.scope("train/reduce"):
-                reduce_gradient_shards(
-                    self.optimizer.parameters,
-                    self._grad_views,
-                    [result.present for result in results],
-                )
-            with profiler.scope("train/optimizer"):
-                if self.grad_clip_norm is not None:
-                    clip_grad_norm(self.model.parameters(), self.grad_clip_norm)
-                self.optimizer.step()
-            self.model.invalidate_cache()
-            return self._assemble_loss(split, results)
+            while True:
+                if self._serial_fallback:
+                    return self._run_serial_step(batches, pools)
+                with profiler.scope("train/publish"):
+                    self._publish_parameters()
+                self._begin_step()
+                try:
+                    return self._attempt_step(batches, pools)
+                except (WorkerDied, WorkerTimeout):
+                    if not self.degrade_on_failure:
+                        raise
+                    # The retry budget for this step is exhausted; rebuild
+                    # narrower from the last consistent state and re-run it.
+                    self._degrade()
         except Exception:
             # Leave no worker behind when a step fails; the engine's finally
             # block would close us anyway, but callers driving the executor
             # directly (profiling, tests) must not leak processes either.
             self.close()
             raise
+
+    def _attempt_step(self, batches, pools) -> float:
+        """One supervised execution of the single-phase (PR-4) protocol."""
+        split = split_joint_batch(batches, self.n_shards)
+        with profiler.scope("train/dispatch"):
+            for shard_index in range(self.n_shards):
+                self._send_supervised(
+                    shard_index,
+                    (_STEP, split.micro_batches[shard_index], pools, split.full_sizes),
+                )
+        with profiler.scope("train/shard_wait"):
+            results = self._collect_single_phase()
+        with profiler.scope("train/reduce"):
+            reduce_gradient_shards(
+                self.optimizer.parameters,
+                self._grad_views,
+                [result.present for result in results],
+            )
+        with profiler.scope("train/optimizer"):
+            if self.grad_clip_norm is not None:
+                clip_grad_norm(self.model.parameters(), self.grad_clip_norm)
+            self.optimizer.step()
+        self.model.invalidate_cache()
+        return self._assemble_loss(split, results)
 
     def _assemble_loss(self, split: ShardSplit, results: Sequence[ShardLoss]) -> float:
         """Reduce per-shard loss terms in canonical (serial) batch order.
@@ -641,6 +1007,7 @@ class ShardedStepExecutor(StepExecutor):
 def _pool_worker_main(
     shard_index: int,
     connection,
+    parent_fds: Sequence[int],
     model,
     parameters,
     param_views: Sequence[np.ndarray],
@@ -670,8 +1037,10 @@ def _pool_worker_main(
     guards on the same step and both self-heal together.
     """
     try:
+        _close_inherited_fds(parent_fds)
         _attach_worker(model, parameters, param_views, localize)
         runtime = _make_worker_runtime(model, traced)
+        step_counter = 0
         while True:
             try:
                 message = connection.recv()
@@ -680,8 +1049,11 @@ def _pool_worker_main(
             if message[0] == _STOP:
                 return
             _, micro_batches, pools, full_sizes, exchange = message
+            step_index = step_counter
+            step_counter += 1
             try:
                 if exchange is None:
+                    faults.worker_step(shard_index, step_index)
                     _single_phase_step(
                         shard_index,
                         connection,
@@ -695,6 +1067,7 @@ def _pool_worker_main(
                         runtime,
                     )
                     continue
+                faults.worker_step(shard_index, step_index, "enc")
                 for parameter in parameters:
                     parameter.zero_grad()
 
@@ -724,6 +1097,7 @@ def _pool_worker_main(
                 if message[0] == _STOP:
                     return
                 tables = message[1]
+                faults.worker_step(shard_index, step_index, "match")
 
                 def match_phase():
                     return model.match_shard_step(
@@ -752,6 +1126,7 @@ def _pool_worker_main(
                 if message[0] == _STOP:
                     return
                 owned_grads = message[1]
+                faults.worker_step(shard_index, step_index, "finish")
                 if runtime is None:
                     model.finish_shard_step(state, owned_grads)
                 else:
@@ -819,77 +1194,58 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
     def _worker_target(self):
         return _pool_worker_main
 
-    def run_step(self, batches) -> float:
-        self.open()
-        try:
-            with profiler.scope("train/publish"):
-                self._publish_parameters()
-            pool_sampler = getattr(self.model, "sample_step_pools", None)
-            pools = pool_sampler() if callable(pool_sampler) else None
-            plan_exchange = getattr(self.model, "plan_pool_exchange", None)
-            exchange = (
-                plan_exchange(pools, self.n_shards)
-                if pools is not None and callable(plan_exchange)
-                else None
-            )
-            split = split_joint_batch(batches, self.n_shards)
-            with profiler.scope("train/dispatch"):
-                for shard_index, connection in enumerate(self._connections):
-                    try:
-                        connection.send(
-                            (
-                                _STEP,
-                                split.micro_batches[shard_index],
-                                pools,
-                                split.full_sizes,
-                                exchange,
-                            )
-                        )
-                    except (BrokenPipeError, OSError) as error:
-                        raise RuntimeError(
-                            f"shard worker {shard_index} is gone (exit code "
-                            f"{self._workers[shard_index].exitcode}); cannot dispatch step"
-                        ) from error
-            if exchange is None:
-                with profiler.scope("train/shard_wait"):
-                    results = self._collect_single_phase()
-            else:
-                results = self._run_exchange_phases(exchange)
-            with profiler.scope("train/reduce"):
-                reduce_gradient_shards(
-                    self.optimizer.parameters,
-                    self._grad_views,
-                    [result.present for result in results],
+    def _attempt_step(self, batches, pools) -> float:
+        """One supervised execution of the pool-exchange (PR-5) protocol."""
+        plan_exchange = getattr(self.model, "plan_pool_exchange", None)
+        exchange = (
+            plan_exchange(pools, self.n_shards)
+            if pools is not None and callable(plan_exchange)
+            else None
+        )
+        split = split_joint_batch(batches, self.n_shards)
+        with profiler.scope("train/dispatch"):
+            for shard_index in range(self.n_shards):
+                self._send_supervised(
+                    shard_index,
+                    (
+                        _STEP,
+                        split.micro_batches[shard_index],
+                        pools,
+                        split.full_sizes,
+                        exchange,
+                    ),
                 )
-            with profiler.scope("train/optimizer"):
-                if self.grad_clip_norm is not None:
-                    clip_grad_norm(self.model.parameters(), self.grad_clip_norm)
-                self.optimizer.step()
-            self.model.invalidate_cache()
-            return self._assemble_loss(split, results)
-        except Exception:
-            self.close()
-            raise
+        if exchange is None:
+            with profiler.scope("train/shard_wait"):
+                results = self._collect_single_phase()
+        else:
+            results = self._run_exchange_phases(exchange)
+        with profiler.scope("train/reduce"):
+            reduce_gradient_shards(
+                self.optimizer.parameters,
+                self._grad_views,
+                [result.present for result in results],
+            )
+        with profiler.scope("train/optimizer"):
+            if self.grad_clip_norm is not None:
+                clip_grad_norm(self.model.parameters(), self.grad_clip_norm)
+            self.optimizer.step()
+        self.model.invalidate_cache()
+        return self._assemble_loss(split, results)
 
     # ------------------------------------------------------------------
     # the two-phase exchange
     # ------------------------------------------------------------------
     def _broadcast(self, message) -> None:
-        for shard_index, connection in enumerate(self._connections):
-            try:
-                connection.send(message)
-            except (BrokenPipeError, OSError) as error:
-                raise RuntimeError(
-                    f"shard worker {shard_index} is gone (exit code "
-                    f"{self._workers[shard_index].exitcode}); cannot continue the step"
-                ) from error
+        for shard_index in range(self.n_shards):
+            self._send_supervised(shard_index, message)
 
     def _run_exchange_phases(self, exchange) -> List[ShardLoss]:
         # Phase 1: gather the owned encoder activations into full tables.
         with profiler.scope("train/pool_gather"):
             shard_activations = []
             for shard_index in range(self.n_shards):
-                message = self._receive(shard_index)
+                message = self._receive_supervised(shard_index)
                 if message[0] == "error":
                     self._raise_worker_failure(shard_index, message)
                 shard_activations.append(message[1])
@@ -911,7 +1267,7 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
         boundaries: List[Dict[str, np.ndarray]] = []
         with profiler.scope("train/shard_wait"):
             for shard_index in range(self.n_shards):
-                message = self._receive(shard_index)
+                message = self._receive_supervised(shard_index)
                 if message[0] == "error":
                     self._raise_worker_failure(shard_index, message)
                 _, terms, reductions, extra, value_dtype, boundary = message
@@ -937,25 +1293,19 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
                     if grads is not None and grads.size:
                         total += grads
                 summed[key] = total
-            for shard_index, connection in enumerate(self._connections):
+            for shard_index in range(self.n_shards):
                 owned = {
                     key: np.ascontiguousarray(
                         summed[key][exchange.owned_positions(key, shard_index)]
                     )
                     for key in DOMAIN_KEYS
                 }
-                try:
-                    connection.send(("grads", owned))
-                except (BrokenPipeError, OSError) as error:
-                    raise RuntimeError(
-                        f"shard worker {shard_index} is gone (exit code "
-                        f"{self._workers[shard_index].exitcode}); cannot continue the step"
-                    ) from error
+                self._send_supervised(shard_index, ("grads", owned))
 
         # Phase 3: encoder backwards complete; collect gradient presence.
         with profiler.scope("train/shard_wait"):
             for shard_index in range(self.n_shards):
-                message = self._receive(shard_index)
+                message = self._receive_supervised(shard_index)
                 if message[0] == "error":
                     self._raise_worker_failure(shard_index, message)
                 results[shard_index].present = message[1]

@@ -85,6 +85,10 @@ class CDRTrainer:
                 grad_clip_norm=self.config.grad_clip_norm,
                 n_shards=self.config.n_shards,
                 traced=self.config.traced_steps,
+                step_timeout=self.config.worker_step_timeout,
+                max_retries=self.config.worker_max_retries,
+                retry_backoff=self.config.worker_retry_backoff,
+                degrade_on_failure=self.config.degrade_on_failure,
             )
         rng = np.random.default_rng(self.config.seed)
         self._loaders = {
@@ -112,18 +116,56 @@ class CDRTrainer:
             callbacks=self._callbacks,
         )
 
-    def fit(self) -> TrainingHistory:
-        """Train for ``num_epochs`` epochs and return the training history."""
-        history = TrainingHistory()
+    def fit(self, resume_from: Optional[str] = None) -> TrainingHistory:
+        """Train for ``num_epochs`` epochs and return the training history.
+
+        ``resume_from`` names a checkpoint file (or a checkpoint directory,
+        resolved to its newest file) written by a run with an equivalent
+        config: the complete training state — parameters, Adam moments,
+        scheduler/early-stopping state, every rng stream, history — is
+        restored and the loop continues from the recorded position, bit-
+        identical to a run that was never interrupted.
+        """
         engine = self.build_engine()
+        history = TrainingHistory()
+        resume = None
+        start_epoch = 0
+        if resume_from is not None:
+            from pathlib import Path
+
+            from .checkpoint import (
+                CheckpointError,
+                latest_checkpoint,
+                load_checkpoint,
+                restore_training_state,
+            )
+
+            path = Path(resume_from)
+            if path.is_dir():
+                path = latest_checkpoint(path)
+                if path is None:
+                    raise CheckpointError(f"no checkpoint found in {resume_from}")
+            history, resume = restore_training_state(
+                load_checkpoint(path),
+                model=self.model,
+                optimizer=self.optimizer,
+                loaders=self._loaders,
+                config=self.config,
+                scheduler=engine.scheduler,
+                early_stopping=engine.early_stopper,
+            )
+            start_epoch = resume.next_epoch
+            if start_epoch >= self.config.num_epochs:
+                # The checkpoint already covers the full run; nothing to do.
+                return history
         # The pipeline is built at fit time from the live loader dict so a
         # caller may swap loaders in between construction and training.
-        pipeline = engine.build_pipeline(self._loaders)
+        pipeline = engine.build_pipeline(self._loaders, start_epoch=start_epoch)
         if self.config.profile:
             profiler.reset()
             profiler.enable()
         try:
-            engine.fit(pipeline, history=history)
+            engine.fit(pipeline, history=history, resume=resume)
         finally:
             # The profiler installs process-wide engine hooks; they must come
             # off even when training is interrupted mid-epoch.

@@ -39,6 +39,7 @@ import queue
 import sys
 import threading
 import time
+import warnings
 import weakref
 from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Optional
@@ -85,7 +86,9 @@ def _queue_put(stop_event: threading.Event, step_queue: "queue.Queue", item) -> 
     return False
 
 
-def _prefetch_worker(pipeline_ref, stop_event, step_queue, num_epochs: int) -> None:
+def _prefetch_worker(
+    pipeline_ref, stop_event, step_queue, num_epochs: int, start_epoch: int = 0
+) -> None:
     """Worker-thread loop of :class:`PrefetchDataPipeline`.
 
     A module-level function on purpose: the thread must not hold a strong
@@ -95,7 +98,7 @@ def _prefetch_worker(pipeline_ref, stop_event, step_queue, num_epochs: int) -> N
     from the weakref only for the duration of one epoch's materialisation.
     """
     try:
-        for epoch in range(num_epochs):
+        for epoch in range(start_epoch, num_epochs):
             pipeline = pipeline_ref()
             if pipeline is None or stop_event.is_set():
                 return
@@ -105,16 +108,22 @@ def _prefetch_worker(pipeline_ref, stop_event, step_queue, num_epochs: int) -> N
             # epoch's prep time travels with its payload and is only folded
             # into the stats when the consumer receives the epoch — prep
             # spent on epochs an early-stopped run never trains must not
-            # inflate the recorded data cost.
+            # inflate the recorded data cost.  The loader-rng snapshots
+            # bracketing materialisation travel with the payload too: only
+            # the worker may read the generators (it runs ahead of the
+            # consumer), and a checkpoint needs the state *this* epoch was
+            # drawn from, not wherever the lookahead currently is.
             prep_before = pipeline.stats.prep_seconds
+            rng_before = pipeline._loader_rng_snapshot()
             steps = list(pipeline._produce_epoch())
+            rng_after = pipeline._loader_rng_snapshot()
             epoch_prep = pipeline.stats.prep_seconds - prep_before
             pipeline.stats.prep_seconds = prep_before
             del pipeline  # the put below may block; don't pin the pipeline
             if not _queue_put(
                 stop_event,
                 step_queue,
-                (_STEP, epoch, steps, epoch_prep),
+                (_STEP, epoch, steps, epoch_prep, rng_before, rng_after),
             ):
                 return
     except BaseException:  # noqa: BLE001 — forwarded verbatim to the consumer
@@ -154,6 +163,32 @@ class DataPipeline:
     def __init__(self, loaders: Mapping[str, object]) -> None:
         self.loaders = dict(loaders)
         self.stats = PipelineStats()
+        #: Loader rng states captured around the epoch currently being
+        #: consumed: ``epoch_rng_before`` is the state the epoch's batch
+        #: stream was generated from (a checkpoint that stores it plus a
+        #: step count can replay the epoch exactly), ``epoch_rng_after`` is
+        #: the state once the epoch was fully produced (the next epoch's
+        #: ``before``).  For the prefetch pipeline these are captured on the
+        #: worker thread around materialisation, so lookahead production
+        #: never leaks into the snapshot of the epoch being trained.
+        self.epoch_rng_before: Optional[Dict[str, dict]] = None
+        self.epoch_rng_after: Optional[Dict[str, dict]] = None
+
+    def _loader_rng_snapshot(self) -> Dict[str, dict]:
+        """JSON-safe rng state of every rng-backed loader (fresh dicts).
+
+        Best-effort by design: duck-typed loader stand-ins without an
+        ``_rng`` (test doubles, deterministic replay loaders) are simply
+        omitted.  Checkpoint *restore* compares the stored keys against the
+        live loader dict and fails loudly on a mismatch, so a partial
+        snapshot can never silently resume wrong.
+        """
+        states: Dict[str, dict] = {}
+        for key, loader in self.loaders.items():
+            rng = getattr(loader, "_rng", None)
+            if rng is not None:
+                states[key] = rng.bit_generator.state
+        return states
 
     # -- interface ------------------------------------------------------
     def epoch(self, epoch_index: int) -> Iterator[Dict[str, Batch]]:
@@ -210,12 +245,15 @@ class SerialDataPipeline(DataPipeline):
 
     def epoch(self, epoch_index: int) -> Iterator[Dict[str, Batch]]:
         self.stats.epochs_started += 1
+        self.epoch_rng_before = self._loader_rng_snapshot()
+        self.epoch_rng_after = None
         for step in self._produce_epoch():
             # Serial production *is* the consumer's wait: everything the
             # producer spent, the training loop stood still for.
             self.stats.wait_seconds = self.stats.prep_seconds
             yield step
         self.stats.wait_seconds = self.stats.prep_seconds
+        self.epoch_rng_after = self._loader_rng_snapshot()
 
 
 class PrefetchDataPipeline(DataPipeline):
@@ -249,13 +287,17 @@ class PrefetchDataPipeline(DataPipeline):
         loaders: Mapping[str, object],
         num_epochs: int,
         depth: int = 1,
+        start_epoch: int = 0,
     ) -> None:
         super().__init__(loaders)
         if num_epochs < 1:
             raise ValueError("num_epochs must be positive")
         if depth < 1:
             raise ValueError("depth must be positive")
+        if not 0 <= start_epoch < num_epochs:
+            raise ValueError("start_epoch must be in [0, num_epochs)")
         self.num_epochs = int(num_epochs)
+        self.start_epoch = int(start_epoch)
         self.depth = int(depth)
         self._queue: "queue.Queue" = queue.Queue(maxsize=self.depth)
         self._stop = threading.Event()
@@ -267,7 +309,13 @@ class PrefetchDataPipeline(DataPipeline):
         if self._thread is None:
             self._thread = threading.Thread(
                 target=_prefetch_worker,
-                args=(weakref.ref(self), self._stop, self._queue, self.num_epochs),
+                args=(
+                    weakref.ref(self),
+                    self._stop,
+                    self._queue,
+                    self.num_epochs,
+                    self.start_epoch,
+                ),
                 name="repro-data-prefetch",
                 daemon=True,
             )
@@ -308,19 +356,33 @@ class PrefetchDataPipeline(DataPipeline):
         item = self._get()
         if item[0] == _ERROR:
             self._failure = item[2]
+            # close() is non-raising by contract (see below), so the
+            # worker's original exception — re-raised with its own traceback
+            # next — can never be masked by a shutdown failure.
             self.close()
             _, error, traceback = item[2]
             raise error.with_traceback(traceback)
-        _, epoch, payload, epoch_prep = item
+        _, epoch, payload, epoch_prep, rng_before, rng_after = item
         if epoch != epoch_index:
             raise RuntimeError(
                 f"pipeline epochs must be consumed in order: got epoch {epoch} "
                 f"while iterating epoch {epoch_index}"
             )
         self.stats.prep_seconds += epoch_prep
+        self.epoch_rng_before = rng_before
+        self.epoch_rng_after = rng_after
         yield from payload
 
     def close(self) -> None:
+        """Stop the worker and drain the queue; idempotent, never raises.
+
+        ``close`` runs on every engine exit path *including* the one where
+        the worker already crashed and its exception is propagating — so a
+        shutdown problem here must never replace that traceback.  A worker
+        that ignores the stop flag past the deadline (it cannot: every queue
+        put is stop-checked) is reported as a warning, and the thread
+        handle is dropped either way so repeated closes stay no-ops.
+        """
         self._stop.set()
         thread = self._thread
         if thread is None:
@@ -335,21 +397,36 @@ class PrefetchDataPipeline(DataPipeline):
                 pass
             thread.join(timeout=0.05)
         if thread.is_alive():  # pragma: no cover — defensive, should not happen
-            raise RuntimeError("prefetch worker failed to shut down")
+            warnings.warn(
+                "prefetch worker failed to shut down within 10s; "
+                "abandoning the daemon thread",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._thread = None
 
 
 def build_pipeline(
-    loaders: Mapping[str, object], num_epochs: int, prefetch_epochs: int = 0
+    loaders: Mapping[str, object],
+    num_epochs: int,
+    prefetch_epochs: int = 0,
+    start_epoch: int = 0,
 ) -> DataPipeline:
     """Pipeline factory used by the training engine.
 
     ``prefetch_epochs=0`` selects the serial (seed-parity) pipeline; any
     positive value enables the background worker buffering that many epochs
-    ahead (``1`` = classic double buffering).
+    ahead (``1`` = classic double buffering).  ``start_epoch`` makes the
+    producer begin at a later epoch (checkpoint resume); the serial pipeline
+    needs no configuration for this — its epochs are produced on demand.
     """
     if prefetch_epochs < 0:
         raise ValueError("prefetch_epochs must be >= 0")
     if prefetch_epochs == 0:
         return SerialDataPipeline(loaders)
-    return PrefetchDataPipeline(loaders, num_epochs=num_epochs, depth=prefetch_epochs)
+    return PrefetchDataPipeline(
+        loaders,
+        num_epochs=num_epochs,
+        depth=prefetch_epochs,
+        start_epoch=start_epoch,
+    )
