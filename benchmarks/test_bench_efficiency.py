@@ -884,6 +884,228 @@ def test_bench_sharded_pool_scaling(benchmark):
     )
 
 
+def _run_shm_exchange():
+    """Exchange-plane transport cost: shm plane vs pickled pipes.
+
+    Sweeps the matching-pool size — the quantity every data-plane payload
+    scales with — and fits short pool-sharded runs under both transports,
+    eager and traced.  Per point the record carries the fit/step walls, the
+    parent's ``train/pool_gather`` + ``train/pool_scatter`` scope seconds
+    (the same counters ``repro profile`` prints, so the gate and the
+    profiler read one source of truth) and the executor's comms counters:
+    data-plane bytes through shared memory vs pickled over pipes, pipe
+    fallbacks, and parent-side copy seconds.
+
+    The float64 canary fits the exactness configuration under both
+    transports, eager and traced: the plane is a transport, so losses and
+    validation metrics must be **bit-identical**, not merely close.
+    """
+    import os
+
+    from repro.profiling import profiler
+
+    scale = SCALING_SCALES[-1]
+    batch_size = 512
+    max_steps = 10
+    n_shards = 2
+    cpu_count = (
+        len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    )
+
+    def fit(pool_size, shm, traced, task):
+        model = NMCDR(
+            task,
+            NMCDRConfig(embedding_dim=32, seed=0, max_matching_neighbors=pool_size),
+        )
+        config = TrainerConfig(
+            num_epochs=1,
+            batch_size=batch_size,
+            seed=5,
+            sampled_subgraph_training=True,
+            subgraph_num_hops=1,
+            subgraph_fanout=8,
+            executor="sharded",
+            n_shards=n_shards,
+            pool_sharding=True,
+            traced_steps=traced,
+            shm_exchange=shm,
+        )
+        trainer = CDRTrainer(model, task, config)
+        training_engine = trainer.build_engine()
+        pipeline = training_engine.build_pipeline(trainer._loaders)
+        profiler.reset()
+        profiler.enable()
+        try:
+            history = training_engine.fit(pipeline, max_steps=max_steps)
+        finally:
+            scopes = {
+                name: stats["seconds"]
+                for name, stats in profiler.as_dict()["scopes"].items()
+            }
+            profiler.disable()
+        stats = trainer._executor.comms_stats
+        return {
+            "fit_wall_s": history.fit_wall_seconds,
+            "step_wall_s": history.step_seconds_total / max(history.num_batches, 1),
+            "exchange_overhead_s": scopes.get("train/pool_gather", 0.0)
+            + scopes.get("train/pool_scatter", 0.0),
+            "data_plane_shm_bytes": int(stats.total("shm_bytes")),
+            "data_plane_pipe_bytes": int(stats.total("pipe_bytes")),
+            "pipe_fallbacks": stats.pipe_fallbacks,
+            "fallback_data_bytes": stats.fallback_data_bytes,
+            "copy_s": stats.copy_seconds(),
+            "region_grows": stats.grows,
+        }
+
+    points = []
+    with engine.engine_dtype("float32"):
+        dataset = load_scenario("cloth_sport", scale=scale, seed=13)
+        task = build_task(dataset, head_threshold=7)
+        for pool_size in POOL_SWEEP:
+            for traced in (False, True):
+                points.append(
+                    {
+                        "pool_size": pool_size,
+                        "traced": traced,
+                        "shm": fit(pool_size, True, traced, task),
+                        "pickled": fit(pool_size, False, traced, task),
+                    }
+                )
+
+    with engine.engine_dtype("float64"):
+        canary_task = build_task(
+            load_scenario("cloth_sport", scale=0.3, seed=13), head_threshold=7
+        )
+
+        def canary_fit(shm, traced):
+            model = NMCDR(canary_task, NMCDRConfig(embedding_dim=16, seed=3))
+            config = TrainerConfig(
+                num_epochs=2,
+                batch_size=128,
+                seed=11,
+                eval_every=1,
+                num_eval_negatives=20,
+                executor="sharded",
+                n_shards=2,
+                pool_sharding=True,
+                traced_steps=traced,
+                shm_exchange=shm,
+            )
+            return CDRTrainer(model, canary_task, config).fit()
+
+        equivalence = {"dtype": "float64", "n_shards": 2}
+        for traced in (False, True):
+            shm_hist = canary_fit(True, traced)
+            piped_hist = canary_fit(False, traced)
+            equivalence["traced" if traced else "eager"] = {
+                "losses_bit_identical": shm_hist.epoch_losses
+                == piped_hist.epoch_losses,
+                "metrics_bit_identical": shm_hist.validation_metrics
+                == piped_hist.validation_metrics,
+            }
+
+    return {
+        "scale": scale,
+        "batch_size": batch_size,
+        "max_steps": max_steps,
+        "n_shards": n_shards,
+        "subgraph": "1 hop, fanout 8",
+        "cpu_count": cpu_count,
+        "points": points,
+        "equivalence": equivalence,
+    }
+
+
+def test_bench_shm_exchange(benchmark):
+    """Shm exchange plane: bit-identical transport, zero pickled data bytes.
+
+    Hard assertions stay machine-independent: the float64 canary must be
+    bit-identical across transports (eager and traced), the plane runs must
+    move zero data-plane bytes over pipes, and the pickled runs zero over
+    shared memory.  The wall comparison — plane gather+scatter overhead
+    strictly below the pickled transport's at the largest pool — is paired
+    (both transports timed back to back in this process), with the
+    cross-machine version gated cpu-aware in
+    ``scripts/check_perf_regression.py``.
+    """
+    record = run_once(benchmark, _run_shm_exchange)
+
+    lines = [
+        "Shm exchange plane vs pickled pipes: pool-sharded transport cost "
+        f"(scale {record['scale']}, batch {record['batch_size']}, "
+        f"n_shards={record['n_shards']}, {record['subgraph']})",
+        "",
+        f"cpu_count={record['cpu_count']}  canary (float64): "
+        + "  ".join(
+            f"{mode}: losses bit-identical={record['equivalence'][mode]['losses_bit_identical']}"
+            for mode in ("eager", "traced")
+        ),
+    ]
+    for point in record["points"]:
+        shm, piped = point["shm"], point["pickled"]
+        mode = "traced" if point["traced"] else "eager "
+        lines.append(
+            f"pool={point['pool_size']:>5} {mode}: exchange overhead "
+            f"{shm['exchange_overhead_s'] * 1e3:7.1f} ms shm vs "
+            f"{piped['exchange_overhead_s'] * 1e3:7.1f} ms pickled | "
+            f"data plane {shm['data_plane_shm_bytes'] / 1e6:8.1f} MB shm+"
+            f"{shm['data_plane_pipe_bytes'] / 1e6:.1f} MB pipe vs "
+            f"{piped['data_plane_pipe_bytes'] / 1e6:8.1f} MB pipe"
+        )
+    write_report("efficiency_shm_exchange", "\n".join(lines))
+    _update_bench_json(
+        {
+            "shm_exchange": {
+                "engine_dtype": "float32",
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                **record,
+            }
+        }
+    )
+
+    for mode in ("eager", "traced"):
+        canary = record["equivalence"][mode]
+        assert canary["losses_bit_identical"], (
+            f"shm exchange changed the {mode} loss stream (transports must be "
+            "bit-identical)"
+        )
+        assert canary["metrics_bit_identical"], (
+            f"shm exchange changed the {mode} validation metrics"
+        )
+    for point in record["points"]:
+        label = f"pool={point['pool_size']} traced={point['traced']}"
+        shm, piped = point["shm"], point["pickled"]
+        assert shm["data_plane_pipe_bytes"] == 0, (
+            f"{label}: plane run moved {shm['data_plane_pipe_bytes']} data-plane "
+            "bytes over pipes (steady state must be zero)"
+        )
+        assert shm["fallback_data_bytes"] == 0, (
+            f"{label}: plane run hit {shm['pipe_fallbacks']} pipe fallbacks"
+        )
+        assert shm["data_plane_shm_bytes"] > 0, f"{label}: comms metering lost"
+        assert piped["data_plane_shm_bytes"] == 0, (
+            f"{label}: pickled run unexpectedly used shared memory"
+        )
+        assert piped["data_plane_pipe_bytes"] > 0, f"{label}: pipe metering lost"
+    # Paired wall claim at the largest pool (both transports timed in this
+    # process): eliminating pickling must make the exchange rounds cheaper.
+    largest_eager = next(
+        p
+        for p in record["points"]
+        if p["pool_size"] == POOL_SWEEP[-1] and not p["traced"]
+    )
+    assert (
+        largest_eager["shm"]["exchange_overhead_s"]
+        < largest_eager["pickled"]["exchange_overhead_s"]
+    ), (
+        "shm exchange overhead not below the pickled transport at pool "
+        f"{POOL_SWEEP[-1]}: "
+        f"{largest_eager['shm']['exchange_overhead_s'] * 1e3:.1f} ms vs "
+        f"{largest_eager['pickled']['exchange_overhead_s'] * 1e3:.1f} ms"
+    )
+
+
 def _run_traced_replay():
     """Eager vs traced step wall at the scale-18 config, serial + n_shards=2.
 

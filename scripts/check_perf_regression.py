@@ -275,6 +275,108 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                     f"{change * 100:+.1f}%"
                 )
 
+    base_xchg = baseline.get("shm_exchange")
+    fresh_xchg = fresh.get("shm_exchange")
+    if fresh_xchg:
+        # Structural claims, baseline-independent and robust to noisy
+        # hardware.  Bit-exactness first: the plane is a transport, so any
+        # drift from the pickled protocol is a correctness bug.
+        equivalence = fresh_xchg.get("equivalence") or {}
+        for mode in ("eager", "traced"):
+            canary = equivalence.get(mode) or {}
+            if not canary.get("losses_bit_identical", True):
+                failures.append(
+                    f"shm exchange: {mode} float64 losses diverged from the "
+                    "pickled transport"
+                )
+            if not canary.get("metrics_bit_identical", True):
+                failures.append(
+                    f"shm exchange: {mode} float64 validation metrics diverged "
+                    "from the pickled transport"
+                )
+        for point in fresh_xchg.get("points") or []:
+            label = f"pool={point.get('pool_size')} traced={point.get('traced')}"
+            shm = point.get("shm") or {}
+            if shm.get("data_plane_pipe_bytes", 0):
+                failures.append(
+                    f"shm exchange ({label}): {shm['data_plane_pipe_bytes']} "
+                    "data-plane bytes rode the pipes (steady state must be zero)"
+                )
+            if shm.get("fallback_data_bytes", 0):
+                failures.append(
+                    f"shm exchange ({label}): worker replies fell back to "
+                    "pickled pipes (reply bound lost)"
+                )
+            # The exchange rounds must stay a bounded slice of the step —
+            # the same train/pool_gather+pool_scatter counters the profiler
+            # prints.
+            wall = shm.get("fit_wall_s")
+            overhead = shm.get("exchange_overhead_s")
+            if wall and overhead and overhead > 0.6 * wall:
+                failures.append(
+                    f"shm exchange ({label}): exchange overhead {overhead:.2f}s "
+                    f"dominates the {wall:.2f}s fit wall (limit 60%)"
+                )
+    if (
+        base_xchg
+        and fresh_xchg
+        and base_xchg.get("cpu_count") == fresh_xchg.get("cpu_count")
+    ):
+        # Machine-comparable wall claims.  The headline: the plane's
+        # gather+scatter overhead at the largest pool must stay strictly
+        # below the *committed pickled baseline* — the number the plane
+        # exists to beat.
+        def sweep_point(record, traced):
+            points = [
+                p
+                for p in record.get("points") or []
+                if p.get("traced") is traced
+            ]
+            return max(points, key=lambda p: p.get("pool_size", 0), default=None)
+
+        base_point = sweep_point(base_xchg, False)
+        fresh_point = sweep_point(fresh_xchg, False)
+        if (
+            base_point
+            and fresh_point
+            and base_point.get("pool_size") == fresh_point.get("pool_size")
+        ):
+            base_pickled = (base_point.get("pickled") or {}).get("exchange_overhead_s")
+            fresh_shm = (fresh_point.get("shm") or {}).get("exchange_overhead_s")
+            if base_pickled and fresh_shm:
+                rows.append(
+                    (
+                        f"shm vs pickled-baseline exchange overhead "
+                        f"(pool={fresh_point['pool_size']})",
+                        base_pickled,
+                        fresh_shm,
+                        fresh_shm / base_pickled - 1.0,
+                    )
+                )
+                if fresh_shm >= base_pickled:
+                    failures.append(
+                        f"shm exchange: gather+scatter overhead {fresh_shm:.3f}s "
+                        f"not below the committed pickled baseline "
+                        f"{base_pickled:.3f}s at pool {fresh_point['pool_size']}"
+                    )
+            fresh_shm_wall = (fresh_point.get("shm") or {}).get("fit_wall_s")
+            base_shm_wall = (base_point.get("shm") or {}).get("fit_wall_s")
+            if base_shm_wall and fresh_shm_wall:
+                change = fresh_shm_wall / base_shm_wall - 1.0
+                rows.append(
+                    (
+                        f"shm exchange pool={fresh_point['pool_size']} fit wall",
+                        base_shm_wall,
+                        fresh_shm_wall,
+                        change,
+                    )
+                )
+                if change > threshold:
+                    failures.append(
+                        f"shm exchange: fit wall regressed {change * 100:+.1f}% "
+                        f"at pool {fresh_point['pool_size']}"
+                    )
+
     base_traced = baseline.get("traced_replay")
     fresh_traced = fresh.get("traced_replay")
     if fresh_traced:

@@ -178,6 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
             "replay it as a flat buffer program (requires dropout=0)"
         ),
     )
+    profile.add_argument(
+        "--pickled-pipes",
+        action="store_true",
+        help=(
+            "with --executor sharded: disable the shared-memory exchange "
+            "plane and pickle the data-plane payloads over the worker pipes "
+            "(the pre-PR-8 protocol; useful for comparing the comms section)"
+        ),
+    )
 
     train = subparsers.add_parser(
         "train",
@@ -196,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--shards", type=int, default=2)
     train.add_argument("--pool-sharding", action="store_true")
     train.add_argument("--traced", action="store_true")
+    train.add_argument("--pickled-pipes", action="store_true")
     train.add_argument(
         "--checkpoint-dir",
         type=Path,
@@ -382,6 +392,7 @@ def _command_profile(args: argparse.Namespace) -> str:
             n_shards=args.shards,
             pool_sharding=args.pool_sharding,
             traced_steps=args.traced,
+            shm_exchange=not args.pickled_pipes,
         )
         trainer = CDRTrainer(model, task, config)
         training_engine = trainer.build_engine()
@@ -398,7 +409,8 @@ def _command_profile(args: argparse.Namespace) -> str:
             f"profiled {args.profile_model} for {history.num_batches} training steps "
             f"(dtype={args.dtype}, batch_size={settings.batch_size}, "
             f"prefetch={args.prefetch}, sampled={args.sampled}, "
-            f"scheduled_plans={args.scheduled_plans}, traced={args.traced}{executor_note})"
+            f"scheduled_plans={args.scheduled_plans}, traced={args.traced}, "
+            f"shm_exchange={not args.pickled_pipes}{executor_note})"
         )
         phases = (
             f"phase totals: data wait {history.data_wait_seconds_total * 1e3:.1f} ms | "
@@ -483,6 +495,7 @@ def _command_train(args: argparse.Namespace) -> str:
             "n_shards": args.shards,
             "pool_sharding": args.pool_sharding,
             "traced_steps": args.traced,
+            "shm_exchange": not args.pickled_pipes,
             "checkpoint_dir": str(args.checkpoint_dir) if args.checkpoint_dir else None,
             "checkpoint_every": args.checkpoint_every,
             "checkpoint_every_steps": args.checkpoint_every_steps,

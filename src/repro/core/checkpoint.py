@@ -86,6 +86,10 @@ _VOLATILE_CONFIG_FIELDS = frozenset(
         "worker_retry_backoff",
         "worker_step_timeout",
         "degrade_on_failure",
+        # Pure IPC-transport choice: shm and pickled pipes carry the same
+        # payloads through the same fixed-order reductions, so a run may be
+        # resumed under either without perturbing the numerics.
+        "shm_exchange",
     }
 )
 

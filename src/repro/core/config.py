@@ -185,6 +185,14 @@ class TrainerConfig:
     #: Requires ``dropout=0.0`` (per-module dropout draws cannot be rewound
     #: after a guard fallback).
     traced_steps: bool = False
+    #: Carry the sharded executors' steady-state data-plane payloads —
+    #: dispatch index sets, activation tables, summed table gradients, loss
+    #: terms — through pre-allocated double-buffered shared-memory exchange
+    #: blocks instead of pickling them over the worker pipes; pipes then
+    #: carry only tiny control headers.  Bit-identical to the pickled path
+    #: (same fixed-order reductions) and purely an IPC optimisation; set
+    #: ``False`` to fall back to the PR-4/PR-5 pickled-pipe protocol.
+    shm_exchange: bool = True
     #: Learning-rate schedule applied once per epoch: ``None`` keeps the
     #: fixed rate of the paper, ``"step"`` decays by ``lr_gamma`` every
     #: ``lr_step_size`` epochs, ``"exponential"`` decays by ``lr_gamma``

@@ -29,6 +29,11 @@ Injection points
 ``parent_exit``
     The training parent process exits hard at an epoch/step boundary (after
     any due checkpoint), simulating a kill for resume tests.
+``exchange_overflow``
+    The sharded executor's shm exchange plane force-regrows every region at
+    the matching step's begin (fresh segments, bumped generations) as if the
+    step's payload had overflowed — workers must re-attach mid-epoch and the
+    training stream must stay bit-identical.
 
 Respawn semantics
 -----------------
@@ -45,6 +50,7 @@ retry budgets to exhaustion and test graceful degradation.
 
     REPRO_FAULTS="worker_exit:shard=1:step=2,worker_slow:delay=0.2"
     REPRO_FAULTS="worker_exit:shard=0:refire,parent_exit:epoch=2"
+    REPRO_FAULTS="exchange_overflow:step=3"
 """
 
 from __future__ import annotations
@@ -75,7 +81,12 @@ FAULT_EXIT_CODE = 23
 ENV_VAR = "REPRO_FAULTS"
 
 _WORKER_POINTS = ("worker_exit", "worker_hang", "worker_slow")
-_POINTS = _WORKER_POINTS + ("checkpoint_crash", "checkpoint_corrupt", "parent_exit")
+_POINTS = _WORKER_POINTS + (
+    "checkpoint_crash",
+    "checkpoint_corrupt",
+    "parent_exit",
+    "exchange_overflow",
+)
 
 
 @dataclass

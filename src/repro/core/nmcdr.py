@@ -728,6 +728,20 @@ class NMCDR(Module):
         intra_pools, inter_pools = pools
         return build_pool_exchange(self.task, intra_pools, inter_pools, n_shards)
 
+    def exchange_table_spec(self):
+        """``(row_dim, dtype_str)`` the shm exchange sizes activation tables by."""
+        return int(self.config.resolved_hge_dim), np.dtype(get_dtype()).str
+
+    def exchange_plane_hints(self) -> Dict[str, int]:
+        """Per-domain table-row capacity hints for the shm exchange plane.
+
+        A domain's pool closure can never exceed its user population, so
+        sizing the per-domain activation/gradient tables at ``num_users``
+        rows up front makes steady-state regrows structurally impossible
+        (the pages are virtual until written).
+        """
+        return {key: int(self.task.domain(key).num_users) for key in DOMAIN_KEYS}
+
     def encode_shard_step(
         self,
         batches: Dict[str, Optional[Batch]],
@@ -736,6 +750,7 @@ class NMCDR(Module):
         exchange: PoolExchange,
         shard_index: int,
         full_sizes: Optional[Dict[str, int]] = None,
+        publish=None,
     ):
         """Phase 1 of a pool-sharded step: encode, extract owned activations.
 
@@ -745,6 +760,12 @@ class NMCDR(Module):
         opaque step state together with the owned exchange users' encoder
         activations, ``{key: (n_owned, D) float array}``, for the parent's
         all-gather.
+
+        With ``publish`` set (the shm exchange plane's table publisher),
+        ``publish(key, user_g1, owned_local)`` is called per active domain —
+        the publisher gathers the owned rows straight into its shared
+        activation table — and ``publish(key, None, None)`` for domains with
+        no owned rows; the returned activations dict is then ``None``.
         """
         if pools is None:
             raise ValueError("pool-sharded steps need the parent-drawn matching pools")
@@ -771,6 +792,17 @@ class NMCDR(Module):
         plan = planner.plan_for(batches, intra_pools, inter_pools, exchange)
         reps = self.encode_representations(plan)
         dtype = get_dtype()
+        state = _PoolShardStepState(
+            plan=plan, reps=reps, batches=batches, full_sizes=full_sizes
+        )
+        if publish is not None:
+            for key in DOMAIN_KEYS:
+                domain_plan = plan.domain(key)
+                if key in reps and domain_plan.owned_local.size:
+                    publish(key, reps[key]["user_g1"], domain_plan.owned_local)
+                else:
+                    publish(key, None, None)
+            return state, None
         activations: Dict[str, np.ndarray] = {}
         for key in DOMAIN_KEYS:
             domain_plan = plan.domain(key)
@@ -782,9 +814,6 @@ class NMCDR(Module):
                 activations[key] = np.zeros(
                     (0, self.config.resolved_hge_dim), dtype=dtype
                 )
-        state = _PoolShardStepState(
-            plan=plan, reps=reps, batches=batches, full_sizes=full_sizes
-        )
         return state, activations
 
     def match_shard_step(
@@ -793,6 +822,7 @@ class NMCDR(Module):
         tables: Dict[str, np.ndarray],
         *,
         include_extra: bool = True,
+        boundary_out: Optional[Dict[str, np.ndarray]] = None,
     ):
         """Phase 2: matching stages over local rows + the gathered pool table.
 
@@ -838,7 +868,17 @@ class NMCDR(Module):
             result.loss = None
         boundary: Dict[str, np.ndarray] = {}
         for key, leaf in table_leaves.items():
-            if leaf.grad is not None:
+            dest = None if boundary_out is None else boundary_out.get(key)
+            if dest is not None:
+                # Exchange-plane path: the caller pre-allocated the gradient
+                # buffer (a shm reply-slot view), so the boundary never takes
+                # an extra heap copy on its way to the wire.
+                if leaf.grad is not None:
+                    np.copyto(dest, leaf.grad)
+                else:
+                    dest[...] = 0.0
+                boundary[key] = dest
+            elif leaf.grad is not None:
                 boundary[key] = np.array(leaf.grad, copy=True)
             else:
                 boundary[key] = np.zeros(leaf.data.shape, dtype=leaf.data.dtype)

@@ -103,6 +103,13 @@ from ..optim import Optimizer, clip_grad_norm, reduce_gradient_shards
 from ..profiling import profiler
 from . import faults
 from .engine import StepExecutor
+from .exchange import (
+    CommsStats,
+    ExchangeClient,
+    ExchangePlane,
+    _release_shm,
+    tree_array_bytes,
+)
 from .task import DOMAIN_KEYS
 
 __all__ = [
@@ -121,8 +128,11 @@ class WorkerDied(RuntimeError):
 class WorkerTimeout(RuntimeError):
     """A shard worker blew through the step deadline (presumed hung)."""
 
-#: Wire commands of the parent → worker pipe protocol.
-_STEP, _STOP = "step", "stop"
+#: Wire commands of the parent → worker pipe protocol.  ``_STEP``/``_STOP``
+#: are the legacy pickled-payload commands; ``_STEP_X`` dispatches a step as
+#: a tiny control envelope whose data-plane payloads live in the shm
+#: exchange plane (see :mod:`repro.core.exchange`).
+_STEP, _STOP, _STEP_X = "step", "stop", "stepx"
 
 
 @dataclass
@@ -158,39 +168,9 @@ class ShardLoss:
 
 
 #: Monotonic suffix keeping this process's shm segment names unique.
+#: (``_release_shm`` — the view-tolerant close + creator-only unlink shared
+#: with the exchange plane's regions — now lives in :mod:`.exchange`.)
 _shm_counter = itertools.count()
-
-
-def _release_shm(shm: shared_memory.SharedMemory, creator_pid: int) -> None:
-    """Close (best-effort) and unlink one shm segment; creator-only unlink.
-
-    Runs from ``weakref.finalize`` — at explicit release, at garbage
-    collection, or at interpreter exit — and must therefore tolerate every
-    ordering: ``close()`` may raise ``BufferError`` while numpy views are
-    still exported (the segment is unlinked regardless; the mapping lives
-    until process death), and forked children inherit the finalizer but
-    must never unlink the parent's segment.
-    """
-    try:
-        shm.close()
-    except BufferError:
-        # Numpy views still alias the mapping.  The exported buffers keep
-        # the underlying mmap object alive, so the mapping survives until
-        # the views die — but detach it from the SharedMemory handle so
-        # its ``__del__`` does not retry the close and emit an unraisable
-        # BufferError at garbage collection; the retried close() below
-        # then just releases the file descriptor.
-        shm._buf = None
-        shm._mmap = None
-        try:
-            shm.close()
-        except OSError:  # pragma: no cover — fd already gone
-            pass
-    if os.getpid() == creator_pid:
-        try:
-            shm.unlink()
-        except FileNotFoundError:
-            pass
 
 
 class _SharedBlock:
@@ -322,6 +302,93 @@ def _trace_section_key(phase: str, model, micro_batches) -> Tuple:
     return (phase, model_trace_signature(model), present, tensor_engine.get_dtype().str)
 
 
+class _TablePublisher:
+    """Worker-side zero-copy publisher of owned activation-table rows.
+
+    One instance lives for the worker's whole life and is handed to
+    ``encode_shard_step`` as its ``publish`` hook.  :meth:`bind` points it
+    at the current step's exchange (the client already tracks the current
+    slot and table generation), while the per-domain *pin providers* it
+    arms for the traced gather op are stable callables — a replayed encode
+    program re-resolves them every step, so the op's output slab is always
+    the current double-buffer slot's owned slice of the current table
+    segment (see :func:`repro.tensor.trace.pinned_output`).
+    """
+
+    def __init__(self, client: ExchangeClient, shard_index: int, runtime) -> None:
+        self._client = client
+        self._shard = int(shard_index)
+        self._runtime = runtime
+        self._exchange = None
+        self._providers: Dict[str, object] = {}
+
+    def bind(self, exchange) -> None:
+        self._exchange = exchange
+
+    def _dest(self, key: str) -> Optional[np.ndarray]:
+        """This shard's contiguous owned slice of one domain's table."""
+        exchange = self._exchange
+        owned = exchange.owned_range(key, self._shard)
+        if owned is None:
+            return None  # hand-built, non-owner-grouped exchange
+        table = self._client.table_view(key, exchange.size(key))
+        return table[owned[0] : owned[1]]
+
+    def _provider(self, key: str):
+        provider = self._providers.get(key)
+        if provider is None:
+
+            def provider(shape, dtype, _key=key):
+                return self._dest(_key)
+
+            self._providers[key] = provider
+        return provider
+
+    def __call__(self, key: str, user_g1, owned_local) -> None:
+        if user_g1 is None:
+            return  # domain inactive on this shard: nothing owned to publish
+        rows = np.asarray(owned_local, dtype=np.int64)
+        dest = self._dest(key)
+        if dest is None:
+            # Non-grouped layout: plain fancy-index write (re-executed on
+            # every traced replay like any other raw-numpy statement).
+            table = self._client.table_view(key, self._exchange.size(key))
+            table[self._exchange.owned_positions(key, self._shard)] = (
+                user_g1.data[rows]
+            )
+            return
+        runtime = self._runtime
+        if runtime is not None and runtime._mode is not None:
+            # Traced record/replay: run the gather as an op whose output
+            # slab *is* the shm slice — replays write straight into the
+            # current slot with zero serialization and zero copies.
+            from ..tensor import ops
+            from ..tensor.trace import pinned_output
+
+            with pinned_output(self._provider(key)):
+                ops.gather_rows(user_g1, rows)
+        else:
+            np.take(user_g1.data, rows, axis=0, out=dest, mode="clip")
+
+
+def _owned_signature(exchange, shard_index: int) -> Tuple[bool, ...]:
+    """Per-domain "this shard owns exchange rows" mask (trace-key component).
+
+    The zero-copy publish records a gather op per *owned* domain, so the
+    encode program's structure depends on this mask; folding it into the
+    section key turns what would be a guard-mismatch re-trace into a
+    separate cached program.
+    """
+    sig = []
+    for key in DOMAIN_KEYS:
+        owned = exchange.owned_range(key, shard_index)
+        if owned is None:
+            sig.append(bool(np.any(exchange.owners[key] == shard_index)))
+        else:
+            sig.append(owned[1] > owned[0])
+    return tuple(sig)
+
+
 def _single_phase_step(
     shard_index: int,
     connection,
@@ -333,6 +400,7 @@ def _single_phase_step(
     full_sizes,
     localize: bool,
     runtime=None,
+    client: Optional[ExchangeClient] = None,
 ) -> None:
     """One PR-4 single-phase step: forward/backward → publish → done message.
 
@@ -340,7 +408,9 @@ def _single_phase_step(
     for every step, :func:`_pool_worker_main` for the pool-free fallback —
     so :meth:`ShardedStepExecutor._collect_single_phase` can parse either.
     With a trace ``runtime``, the forward+backward runs as one traced
-    section; zero-grad and the gradient publish stay eager.
+    section; zero-grad and the gradient publish stay eager.  With an
+    exchange ``client`` the done message shrinks to a control header whose
+    term/presence arrays live in the shard's shm reply slot.
     """
     for parameter in parameters:
         parameter.zero_grad()
@@ -367,6 +437,21 @@ def _single_phase_step(
             forward_backward,
             rng_sources=model_rng_sources(model),
         )
+    present = _publish_worker_gradients(parameters, grad_views)
+    if client is not None:
+        header = client.pack_reply(
+            {
+                "terms": result.terms,
+                "reductions": result.reductions,
+                "extra": result.extra,
+                "value_dtype": result.value_dtype,
+                "present": present,
+            }
+        )
+        connection.send(
+            ("done", header, _runtime_stats(runtime), client.take_grow_request())
+        )
+        return
     connection.send(
         (
             "done",
@@ -374,7 +459,7 @@ def _single_phase_step(
             result.reductions,
             result.extra,
             result.value_dtype,
-            _publish_worker_gradients(parameters, grad_views),
+            present,
             _runtime_stats(runtime),
         )
     )
@@ -404,8 +489,10 @@ def _worker_main(
     grad_views: Sequence[np.ndarray],
     localize: bool,
     traced: bool = False,
+    use_exchange: bool = False,
 ) -> None:
     """Shard worker loop: recv step → forward/backward → publish gradients."""
+    client = ExchangeClient() if use_exchange else None
     try:
         _close_inherited_fds(parent_fds)
         _attach_worker(model, parameters, param_views, localize)
@@ -418,7 +505,20 @@ def _worker_main(
                 return
             if message[0] == _STOP:
                 return
-            _, micro_batches, pools, full_sizes = message
+            if message[0] == _STEP_X:
+                env = message[1]
+                client.begin_step(env)
+                # Dispatch payloads are copied out of the slot: plan caches
+                # retain batch/pool index arrays across steps, past the
+                # slot's double-buffer lifetime.
+                micro_batches = client.unpack(env["micro"], copy=True)
+                bcast = env["bcast"]
+                pools = (
+                    client.unpack(bcast, copy=True) if bcast is not None else None
+                )
+                full_sizes = env["full_sizes"]
+            else:
+                _, micro_batches, pools, full_sizes = message
             # Worker-local step index (restarts at 0 in a respawned worker,
             # so one-shot step-matched faults cannot re-fire during replay).
             faults.worker_step(shard_index, step_counter)
@@ -435,10 +535,13 @@ def _worker_main(
                     full_sizes,
                     localize,
                     runtime,
+                    client if message[0] == _STEP_X else None,
                 )
             except BaseException as error:  # noqa: BLE001 — forwarded to the parent
                 connection.send(("error", repr(error), traceback.format_exc()))
     finally:
+        if client is not None:
+            client.close()
         try:
             connection.close()
         except OSError:  # pragma: no cover
@@ -476,6 +579,7 @@ class ShardedStepExecutor(StepExecutor):
         max_retries: int = 0,
         retry_backoff: float = 0.05,
         degrade_on_failure: bool = False,
+        shm_exchange: bool = True,
     ) -> None:
         super().__init__(model, optimizer, grad_clip_norm)
         # Tracing happens inside the workers (each owns a program cache);
@@ -531,6 +635,18 @@ class ShardedStepExecutor(StepExecutor):
         self._step_log: List[List[tuple]] = []
         self._responses: List[int] = []
         self._step_retries: List[int] = []
+        #: Shared-memory exchange plane (the zero-copy data plane); pipes
+        #: carry only control headers while it is on.  Lives from open() to
+        #: _teardown_workers(); the stats object outlives it (degrade-and-
+        #: reopen cycles keep accumulating into one ``comms`` section).
+        self.shm_exchange = bool(shm_exchange)
+        self.comms_stats = CommsStats()
+        self._plane: Optional[ExchangePlane] = None
+        #: Executor-global step counter: drives the exchange plane's
+        #: double-buffer flip and the ``exchange_overflow`` fault point.
+        self._global_step = 0
+        self._table_spec: Optional[Tuple[int, str]] = None
+        self._table_hints: Optional[Dict[str, int]] = None
         #: Final cumulative trace-stat snapshots of workers that no longer
         #: run (died + respawned, or torn down by a degrade), kept so the
         #: merged ``repro profile --traced`` report neither loses nor
@@ -574,6 +690,9 @@ class ShardedStepExecutor(StepExecutor):
             self._blocks.append(grad_block)
             self._grad_views.append(grad_block.views)
         self._publish_parameters()
+        if self.shm_exchange:
+            self._plane = ExchangePlane(self.n_shards, self.comms_stats)
+            self._plane.open()
 
         self._localize = self.n_shards > 1
         workers, connections = [], []
@@ -594,6 +713,9 @@ class ShardedStepExecutor(StepExecutor):
             _shutdown_workers(workers, connections)
             for shared_block in self._blocks:
                 shared_block.release()
+            if self._plane is not None:
+                self._plane.close()
+                self._plane = None
             self._param_views, self._grad_views, self._blocks = [], [], []
             self._workers, self._connections = [], []
             raise
@@ -634,6 +756,7 @@ class ShardedStepExecutor(StepExecutor):
                 self._grad_views[shard_index],
                 self._localize,
                 self.traced,
+                self._plane is not None,
             ),
             name=f"repro-shard-{shard_index}",
             daemon=True,
@@ -658,6 +781,9 @@ class ShardedStepExecutor(StepExecutor):
         blocks, self._blocks = self._blocks, []
         for shared_block in blocks:
             shared_block.release()
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
 
     def close(self) -> None:
         """Shut every worker down; idempotent and safe to call at any time."""
@@ -674,6 +800,10 @@ class ShardedStepExecutor(StepExecutor):
             self._retired_trace_stats = []
         if any(self.fault_events.values()):
             profiler.record_section("faults", dict(self.fault_events))
+        if any(
+            entry["messages"] for entry in self.comms_stats.rounds.values()
+        ):
+            profiler.record_section("comms", self.comms_stats.as_section())
 
     def __enter__(self) -> "ShardedStepExecutor":
         self.open()
@@ -877,13 +1007,31 @@ class ShardedStepExecutor(StepExecutor):
         )
 
     def _collect_single_phase(self) -> List[ShardLoss]:
-        """Receive every shard's one-shot step result (the PR-4 protocol)."""
+        """Receive every shard's one-shot step result (the PR-4 protocol).
+
+        Parses both wire forms: the legacy 7-tuple with pickled payloads and
+        the exchange plane's 4-tuple ``("done", header, trace_stats, grow)``
+        whose arrays live in the shard's shm reply slot.
+        """
         results: List[ShardLoss] = []
         for shard_index in range(self.n_shards):
             message = self._receive_supervised(shard_index)
             if message[0] == "error":
                 self._raise_worker_failure(shard_index, message)
-            _, terms, reductions, extra, value_dtype, present, trace_stats = message
+            if len(message) == 4:
+                _, header, trace_stats, grow = message
+                self._plane.request_grow(grow)
+                payload = self._plane.unpack(header, "loss")
+                terms = payload["terms"]
+                reductions = payload["reductions"]
+                extra = payload["extra"]
+                value_dtype = payload["value_dtype"]
+                present = payload["present"]
+            else:
+                _, terms, reductions, extra, value_dtype, present, trace_stats = message
+                self.comms_stats.record(
+                    "loss", pipe_bytes=tree_array_bytes((terms, present))
+                )
             if trace_stats is not None:
                 self._shard_trace_stats[shard_index] = trace_stats
             results.append(
@@ -927,15 +1075,82 @@ class ShardedStepExecutor(StepExecutor):
             self.close()
             raise
 
+    def _begin_plane_step(self, reply_bound: Optional[int] = None) -> int:
+        """Advance the plane to this step's buffer slot; apply regrows.
+
+        Runs before any message of the step is sent (the respawn-replay log
+        must never reference a replaced segment) and services the
+        ``exchange_overflow`` fault point by force-regrowing every region —
+        fresh segment names, bumped generations — mid-epoch.
+        """
+        step_index = self._global_step
+        self._global_step += 1
+        forced = faults.fire("exchange_overflow", step=step_index) is not None
+        self._plane.begin_step(
+            step_index, reply_bound=reply_bound, force_regrow=forced
+        )
+        return step_index
+
+    def _dispatch_plane(self, split: ShardSplit, step_index: int, bcast_payload,
+                        tables_env) -> None:
+        """Send every shard its step envelope (control header over the pipe)."""
+        plane = self._plane
+        bcast = (
+            plane.pack("bcast", bcast_payload, "broadcast")
+            if bcast_payload is not None
+            else None
+        )
+        for shard_index in range(self.n_shards):
+            env = {
+                "step": step_index,
+                "slot": plane.slot,
+                "micro": plane.pack(
+                    f"p2w{shard_index}",
+                    split.micro_batches[shard_index],
+                    "dispatch",
+                ),
+                "bcast": bcast,
+                "full_sizes": split.full_sizes,
+                "reply": plane.descriptor(f"w2p{shard_index}"),
+                "tables": tables_env,
+            }
+            self._send_supervised(shard_index, (_STEP_X, env))
+
+    def _single_phase_reply_bound(self, split: ShardSplit) -> int:
+        """Generous upper bound on one shard's reply-slot bytes.
+
+        Loss-term layouts are model-private (stage-blocked for NMCDR), so
+        the bound assumes up to 16 blocks of 8-byte terms over the *full*
+        batch per domain plus the presence mask and alignment slack.  An
+        underestimate is not an error — the reply rides the pipe once and
+        the region regrows at the next step begin.
+        """
+        bound = 8192 + 64 * (len(self.optimizer.parameters) + 1)
+        for size in split.full_sizes.values():
+            bound += 128 * (int(size) + 8)
+        return bound
+
     def _attempt_step(self, batches, pools) -> float:
         """One supervised execution of the single-phase (PR-4) protocol."""
         split = split_joint_batch(batches, self.n_shards)
         with profiler.scope("train/dispatch"):
-            for shard_index in range(self.n_shards):
-                self._send_supervised(
-                    shard_index,
-                    (_STEP, split.micro_batches[shard_index], pools, split.full_sizes),
+            if self._plane is not None:
+                step_index = self._begin_plane_step(
+                    self._single_phase_reply_bound(split)
                 )
+                self._dispatch_plane(split, step_index, pools, None)
+            else:
+                for shard_index in range(self.n_shards):
+                    message = (
+                        _STEP,
+                        split.micro_batches[shard_index],
+                        pools,
+                        split.full_sizes,
+                    )
+                    self.comms_stats.record(
+                        "dispatch", pipe_bytes=tree_array_bytes(message)
+                    )
+                    self._send_supervised(shard_index, message)
         with profiler.scope("train/shard_wait"):
             results = self._collect_single_phase()
         with profiler.scope("train/reduce"):
@@ -1014,6 +1229,7 @@ def _pool_worker_main(
     grad_views: Sequence[np.ndarray],
     localize: bool,
     traced: bool = False,
+    use_exchange: bool = False,
 ) -> None:
     """Pool-sharded worker loop: encode → gather → match → scatter → finish.
 
@@ -1036,6 +1252,8 @@ def _pool_worker_main(
     nodes, so an encode-side re-trace invalidates the finish program's
     guards on the same step and both self-heal together.
     """
+    client = ExchangeClient() if use_exchange else None
+    publisher: Optional[_TablePublisher] = None
     try:
         _close_inherited_fds(parent_fds)
         _attach_worker(model, parameters, param_views, localize)
@@ -1048,7 +1266,20 @@ def _pool_worker_main(
                 return
             if message[0] == _STOP:
                 return
-            _, micro_batches, pools, full_sizes, exchange = message
+            plane_step = message[0] == _STEP_X
+            if plane_step:
+                env = message[1]
+                client.begin_step(env)
+                micro_batches = client.unpack(env["micro"], copy=True)
+                bcast = env["bcast"]
+                pools, exchange = (
+                    client.unpack(bcast, copy=True)
+                    if bcast is not None
+                    else (None, None)
+                )
+                full_sizes = env["full_sizes"]
+            else:
+                _, micro_batches, pools, full_sizes, exchange = message
             step_index = step_counter
             step_counter += 1
             try:
@@ -1065,11 +1296,18 @@ def _pool_worker_main(
                         full_sizes,
                         localize,
                         runtime,
+                        client if plane_step else None,
                     )
                     continue
                 faults.worker_step(shard_index, step_index, "enc")
                 for parameter in parameters:
                     parameter.zero_grad()
+                publish = None
+                if plane_step:
+                    if publisher is None:
+                        publisher = _TablePublisher(client, shard_index, runtime)
+                    publisher.bind(exchange)
+                    publish = publisher
 
                 def encode_phase():
                     return model.encode_shard_step(
@@ -1078,6 +1316,7 @@ def _pool_worker_main(
                         exchange=exchange,
                         shard_index=shard_index,
                         full_sizes=full_sizes,
+                        publish=publish,
                     )
 
                 if runtime is None:
@@ -1086,22 +1325,52 @@ def _pool_worker_main(
                 else:
                     from ..tensor.trace import model_rng_sources
 
+                    section_key = _trace_section_key("encode", model, micro_batches)
+                    if publish is not None:
+                        # The zero-copy publish records one gather op per
+                        # *owned* domain, so the program structure depends
+                        # on the ownership mask too.
+                        section_key += (_owned_signature(exchange, shard_index),)
                     rng_sources = model_rng_sources(model)
                     state, activations = runtime.run_section(
-                        _trace_section_key("encode", model, micro_batches),
+                        section_key,
                         encode_phase,
                         rng_sources=rng_sources,
                     )
-                connection.send(("enc", activations))
+                if plane_step:
+                    # Owned table rows were written in place; the reply is a
+                    # bare barrier tag (plus any piggybacked grow request).
+                    connection.send(("enc", None, client.take_grow_request()))
+                else:
+                    connection.send(("enc", activations))
                 message = connection.recv()
                 if message[0] == _STOP:
                     return
-                tables = message[1]
+                if plane_step:
+                    tables = {
+                        key: client.table_view(key, exchange.size(key))
+                        for key in DOMAIN_KEYS
+                    }
+                    # Boundary-gradient buffers are staged in the reply slot
+                    # *before* the phase runs so the model's copyto is the
+                    # only copy the gradients ever take.
+                    boundary_out = {
+                        key: client.alloc_reply(
+                            tables[key].shape, tables[key].dtype
+                        )
+                        for key in DOMAIN_KEYS
+                    }
+                else:
+                    tables = message[1]
+                    boundary_out = None
                 faults.worker_step(shard_index, step_index, "match")
 
                 def match_phase():
                     return model.match_shard_step(
-                        state, tables, include_extra=shard_index == 0
+                        state,
+                        tables,
+                        include_extra=shard_index == 0,
+                        boundary_out=boundary_out,
                     )
 
                 if runtime is None:
@@ -1112,20 +1381,48 @@ def _pool_worker_main(
                         match_phase,
                         rng_sources=rng_sources,
                     )
-                connection.send(
-                    (
-                        "match",
-                        result.terms,
-                        result.reductions,
-                        result.extra,
-                        result.value_dtype,
-                        boundary,
+                if plane_step:
+                    header = client.pack_reply(
+                        {
+                            "terms": result.terms,
+                            "reductions": result.reductions,
+                            "extra": result.extra,
+                            "value_dtype": result.value_dtype,
+                            "boundary": boundary,
+                        }
                     )
-                )
+                    connection.send(("match", header, client.take_grow_request()))
+                else:
+                    connection.send(
+                        (
+                            "match",
+                            result.terms,
+                            result.reductions,
+                            result.extra,
+                            result.value_dtype,
+                            boundary,
+                        )
+                    )
                 message = connection.recv()
                 if message[0] == _STOP:
                     return
-                owned_grads = message[1]
+                if plane_step:
+                    # The summed gradients live in the shared "summed"
+                    # region; this shard reads its owned slice directly.
+                    owned_grads = {}
+                    for key in DOMAIN_KEYS:
+                        summed = client.table_view(
+                            key, exchange.size(key), which="summed"
+                        )
+                        owned = exchange.owned_range(key, shard_index)
+                        if owned is not None:
+                            owned_grads[key] = summed[owned[0] : owned[1]]
+                        else:
+                            owned_grads[key] = np.ascontiguousarray(
+                                summed[exchange.owned_positions(key, shard_index)]
+                            )
+                else:
+                    owned_grads = message[1]
                 faults.worker_step(shard_index, step_index, "finish")
                 if runtime is None:
                     model.finish_shard_step(state, owned_grads)
@@ -1135,16 +1432,24 @@ def _pool_worker_main(
                         lambda: model.finish_shard_step(state, owned_grads),
                         rng_sources=rng_sources,
                     )
-                connection.send(
-                    (
-                        "done",
-                        _publish_worker_gradients(parameters, grad_views),
-                        _runtime_stats(runtime),
+                present = _publish_worker_gradients(parameters, grad_views)
+                if plane_step:
+                    header = client.pack_reply({"present": present})
+                    connection.send(
+                        (
+                            "done",
+                            header,
+                            _runtime_stats(runtime),
+                            client.take_grow_request(),
+                        )
                     )
-                )
+                else:
+                    connection.send(("done", present, _runtime_stats(runtime)))
             except BaseException as error:  # noqa: BLE001 — forwarded to the parent
                 connection.send(("error", repr(error), traceback.format_exc()))
     finally:
+        if client is not None:
+            client.close()
         try:
             connection.close()
         except OSError:  # pragma: no cover
@@ -1194,6 +1499,22 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
     def _worker_target(self):
         return _pool_worker_main
 
+    def _load_table_spec(self) -> Tuple[int, str]:
+        """The model's (row dim, dtype) table spec + capacity hints, cached."""
+        if self._table_spec is None:
+            self._table_spec = tuple(self.model.exchange_table_spec())
+            hints = getattr(self.model, "exchange_plane_hints", None)
+            self._table_hints = hints() if callable(hints) else None
+        return self._table_spec
+
+    def _pool_reply_bound(self, split: ShardSplit, exchange, dim: int,
+                          itemsize: int) -> int:
+        """Single-phase bound plus the staged boundary-gradient tables."""
+        bound = self._single_phase_reply_bound(split)
+        for key in DOMAIN_KEYS:
+            bound += exchange.size(key) * dim * itemsize + 64
+        return bound
+
     def _attempt_step(self, batches, pools) -> float:
         """One supervised execution of the pool-exchange (PR-5) protocol."""
         plan_exchange = getattr(self.model, "plan_pool_exchange", None)
@@ -1203,21 +1524,63 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
             else None
         )
         split = split_joint_batch(batches, self.n_shards)
-        with profiler.scope("train/dispatch"):
-            for shard_index in range(self.n_shards):
-                self._send_supervised(
-                    shard_index,
-                    (
+        # The plane needs the model's table spec to lay the activation /
+        # summed-gradient regions out; a model without the hook (none in the
+        # repo) keeps the pickled protocol.
+        plane = self._plane
+        if (
+            plane is not None
+            and exchange is not None
+            and not callable(getattr(self.model, "exchange_table_spec", None))
+        ):
+            plane = None
+        if plane is not None:
+            if exchange is not None:
+                dim, dtype_str = self._load_table_spec()
+                reply_bound = self._pool_reply_bound(
+                    split, exchange, dim, np.dtype(dtype_str).itemsize
+                )
+            else:
+                reply_bound = self._single_phase_reply_bound(split)
+            step_index = self._begin_plane_step(reply_bound)
+            if exchange is not None:
+                # After begin_step: a forced regrow must not invalidate the
+                # table descriptors the envelope is about to carry.
+                plane.ensure_tables(
+                    {key: exchange.size(key) for key in DOMAIN_KEYS},
+                    dim,
+                    dtype_str,
+                    capacity_hint=self._table_hints,
+                )
+                tables_env = plane.tables_env()
+            else:
+                tables_env = None
+            bcast_payload = (
+                (pools, exchange)
+                if pools is not None or exchange is not None
+                else None
+            )
+            with profiler.scope("train/dispatch"):
+                self._dispatch_plane(split, step_index, bcast_payload, tables_env)
+        else:
+            with profiler.scope("train/dispatch"):
+                for shard_index in range(self.n_shards):
+                    message = (
                         _STEP,
                         split.micro_batches[shard_index],
                         pools,
                         split.full_sizes,
                         exchange,
-                    ),
-                )
+                    )
+                    self.comms_stats.record(
+                        "dispatch", pipe_bytes=tree_array_bytes(message)
+                    )
+                    self._send_supervised(shard_index, message)
         if exchange is None:
             with profiler.scope("train/shard_wait"):
                 results = self._collect_single_phase()
+        elif plane is not None:
+            results = self._run_exchange_phases_plane(exchange)
         else:
             results = self._run_exchange_phases(exchange)
         with profiler.scope("train/reduce"):
@@ -1240,6 +1603,94 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
         for shard_index in range(self.n_shards):
             self._send_supervised(shard_index, message)
 
+    def _run_exchange_phases_plane(self, exchange) -> List[ShardLoss]:
+        """The gather/broadcast/scatter rounds over the exchange plane.
+
+        Workers write their owned activation rows straight into the shared
+        ``tables`` region during encode, so the gather is a bare reply
+        barrier and the broadcast a bare go-ahead tag; the parent sums the
+        boundary gradients into the shared ``summed`` region (fixed shard
+        order — the deterministic reduction the equivalence gates rely on)
+        and the scatter is again just a tag, each shard reading its owned
+        slice in place.
+        """
+        plane = self._plane
+        stats = self.comms_stats
+        dim, dtype_str = self._table_spec
+        itemsize = np.dtype(dtype_str).itemsize
+        table_bytes = sum(
+            exchange.size(key) * dim * itemsize for key in DOMAIN_KEYS
+        )
+
+        # Phase 1 barrier: every shard has published its owned table rows.
+        with profiler.scope("train/pool_gather"):
+            for shard_index in range(self.n_shards):
+                message = self._receive_supervised(shard_index)
+                if message[0] == "error":
+                    self._raise_worker_failure(shard_index, message)
+                plane.request_grow(message[2])
+            stats.record(
+                "gather", messages=self.n_shards, shm_bytes=table_bytes
+            )
+            self._broadcast(("tables",))
+            stats.record(
+                "broadcast",
+                messages=self.n_shards,
+                shm_bytes=table_bytes * self.n_shards,
+            )
+
+        # Phase 2: per-shard loss terms + boundary gradients (shm headers).
+        results: List[ShardLoss] = []
+        boundaries: List[Dict[str, np.ndarray]] = []
+        with profiler.scope("train/shard_wait"):
+            for shard_index in range(self.n_shards):
+                message = self._receive_supervised(shard_index)
+                if message[0] == "error":
+                    self._raise_worker_failure(shard_index, message)
+                plane.request_grow(message[2])
+                payload = plane.unpack(message[1], "loss")
+                results.append(
+                    ShardLoss(
+                        terms=payload["terms"],
+                        reductions=payload["reductions"],
+                        extra=payload["extra"],
+                        value_dtype=payload["value_dtype"],
+                    )
+                )
+                boundaries.append(payload["boundary"])
+
+        # Mirrored backward exchange, summed in place in the shared region.
+        with profiler.scope("train/pool_scatter"):
+            started = time.perf_counter()
+            for key in DOMAIN_KEYS:
+                total = plane.table_view(key, exchange.size(key), which="summed")
+                total[...] = 0.0
+                for boundary in boundaries:
+                    grads = boundary.get(key)
+                    if grads is not None and grads.size:
+                        total += grads
+            stats.record(
+                "scatter",
+                messages=self.n_shards,
+                shm_bytes=table_bytes,
+                pack_s=time.perf_counter() - started,
+            )
+            self._broadcast(("grads",))
+
+        # Phase 3: encoder backwards complete; collect gradient presence.
+        with profiler.scope("train/shard_wait"):
+            for shard_index in range(self.n_shards):
+                message = self._receive_supervised(shard_index)
+                if message[0] == "error":
+                    self._raise_worker_failure(shard_index, message)
+                plane.request_grow(message[3])
+                payload = plane.unpack(message[1], "finish", copy=True)
+                results[shard_index].present = payload["present"]
+                trace_stats = message[2]
+                if trace_stats is not None:
+                    self._shard_trace_stats[shard_index] = trace_stats
+        return results
+
     def _run_exchange_phases(self, exchange) -> List[ShardLoss]:
         # Phase 1: gather the owned encoder activations into full tables.
         with profiler.scope("train/pool_gather"):
@@ -1249,6 +1700,9 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
                 if message[0] == "error":
                     self._raise_worker_failure(shard_index, message)
                 shard_activations.append(message[1])
+                self.comms_stats.record(
+                    "gather", pipe_bytes=tree_array_bytes(message[1])
+                )
             tables: Dict[str, np.ndarray] = {}
             for key in DOMAIN_KEYS:
                 reference = shard_activations[0][key]
@@ -1260,6 +1714,11 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
                     if positions.size:
                         table[positions] = shard_activations[shard_index][key]
                 tables[key] = table
+            self.comms_stats.record(
+                "broadcast",
+                messages=self.n_shards,
+                pipe_bytes=tree_array_bytes(tables) * self.n_shards,
+            )
             self._broadcast(("tables", tables))
 
         # Phase 2: per-shard matching results + boundary (table) gradients.
@@ -1271,6 +1730,9 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
                 if message[0] == "error":
                     self._raise_worker_failure(shard_index, message)
                 _, terms, reductions, extra, value_dtype, boundary = message
+                self.comms_stats.record(
+                    "loss", pipe_bytes=tree_array_bytes((terms, boundary))
+                )
                 results.append(
                     ShardLoss(
                         terms=terms,
@@ -1300,6 +1762,9 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
                     )
                     for key in DOMAIN_KEYS
                 }
+                self.comms_stats.record(
+                    "scatter", pipe_bytes=tree_array_bytes(owned)
+                )
                 self._send_supervised(shard_index, ("grads", owned))
 
         # Phase 3: encoder backwards complete; collect gradient presence.
@@ -1309,6 +1774,9 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
                 if message[0] == "error":
                     self._raise_worker_failure(shard_index, message)
                 results[shard_index].present = message[1]
+                self.comms_stats.record(
+                    "finish", pipe_bytes=tree_array_bytes(message[1])
+                )
                 trace_stats = message[2]
                 if trace_stats is not None:
                     self._shard_trace_stats[shard_index] = trace_stats

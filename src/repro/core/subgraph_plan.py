@@ -357,30 +357,89 @@ def build_subgraph_plan(
 class PoolExchange:
     """Shard partition of one step's matching-pool closure.
 
-    ``users[key]`` holds the sorted global ids of the *exchange set* of a
-    domain — every user whose representation the matching stages read
-    without it being reachable from a shard's own micro-batch: the step's
-    intra/inter pool users plus their overlap partners (one partner-closure
-    round, exactly :func:`close_seed_users` over the pools alone).
+    ``users[key]`` holds the global ids of the *exchange set* of a domain —
+    every user whose representation the matching stages read without it
+    being reachable from a shard's own micro-batch: the step's intra/inter
+    pool users plus their overlap partners (one partner-closure round,
+    exactly :func:`close_seed_users` over the pools alone).
     ``owners[key]`` assigns each exchange user to the single shard that
     encodes it (the same salted user-id modulo that routes micro-batches,
     so a pool user's examples and its encoder neighbourhood land on one
     shard).  Every shard's matching stage reads the *full* table of
     exchanged encoder activations; only the encoding (and the mirrored
     encoder backward) is partitioned.
+
+    :func:`build_pool_exchange` lays the table out **owner-grouped**: table
+    row order is (shard 0's users, shard 1's users, …), sorted within each
+    shard's block.  A shard's owned rows are then one contiguous range
+    (:meth:`owned_range`) — which is what lets the shared-memory exchange
+    plane publish activations by writing a single in-place slice, and ship
+    the gradient scatter as a bare row range.  Table rows are resolved by
+    value through :meth:`rows_for` (a sorted side lookup built once), so
+    nothing downstream depends on the row order itself; a hand-built
+    exchange with any other order still works, just without the contiguous
+    fast path.
     """
 
     users: Dict[str, np.ndarray]
     owners: Dict[str, np.ndarray]
     n_shards: int
 
+    def __post_init__(self) -> None:
+        # Sorted-value lookup (users need not be globally sorted) and, when
+        # the layout is owner-grouped, per-shard contiguous row ranges.
+        self._sorted_users: Dict[str, np.ndarray] = {}
+        self._sorted_rows: Dict[str, np.ndarray] = {}
+        self._owner_starts: Dict[str, Optional[np.ndarray]] = {}
+        for key, users in self.users.items():
+            order = np.argsort(users, kind="stable")
+            self._sorted_users[key] = users[order]
+            self._sorted_rows[key] = order.astype(np.int64)
+            owners = self.owners[key]
+            if owners.size and np.any(np.diff(owners) < 0):
+                self._owner_starts[key] = None  # not owner-grouped
+            else:
+                counts = np.bincount(owners, minlength=self.n_shards)
+                starts = np.zeros(self.n_shards + 1, dtype=np.int64)
+                np.cumsum(counts, out=starts[1:])
+                self._owner_starts[key] = starts
+
+    def owned_range(self, key: str, shard_index: int) -> Optional[Tuple[int, int]]:
+        """Contiguous table-row range of one shard, or None if not grouped."""
+        starts = self._owner_starts[key]
+        if starts is None:
+            return None
+        return int(starts[shard_index]), int(starts[shard_index + 1])
+
     def owned_positions(self, key: str, shard_index: int) -> np.ndarray:
         """Table-row positions of the exchange users ``shard_index`` owns."""
+        owned = self.owned_range(key, shard_index)
+        if owned is not None:
+            return np.arange(owned[0], owned[1], dtype=np.int64)
         return np.flatnonzero(self.owners[key] == shard_index)
 
     def owned_users(self, key: str, shard_index: int) -> np.ndarray:
-        """Global ids of the exchange users ``shard_index`` owns."""
+        """Global ids of the exchange users ``shard_index`` owns (sorted)."""
+        owned = self.owned_range(key, shard_index)
+        if owned is not None:
+            return self.users[key][owned[0] : owned[1]]
         return self.users[key][self.owners[key] == shard_index]
+
+    def rows_for(self, key: str, global_ids: np.ndarray) -> np.ndarray:
+        """Table rows of ``global_ids`` (every id must be in the exchange)."""
+        if global_ids.size == 0:
+            return _EMPTY
+        sorted_users = self._sorted_users[key]
+        positions = np.searchsorted(sorted_users, global_ids)
+        if positions.size and (
+            positions.max(initial=-1) >= sorted_users.size
+            or not np.array_equal(sorted_users[positions], global_ids)
+        ):
+            missing = np.setdiff1d(global_ids, sorted_users)[:5]
+            raise KeyError(
+                f"users {missing.tolist()} are not part of the pool exchange"
+            )
+        return self._sorted_rows[key][positions]
 
     def size(self, key: str) -> int:
         return int(self.users[key].size)
@@ -410,25 +469,25 @@ def build_pool_exchange(
         parts.extend(inter_pools[other])  # pools of `key`'s non-overlapped users
         seed_parts[key] = parts
     users = close_seed_users(task, seed_parts)
-    owners = {
-        key: shard_assignments(users[key], n_shards, salt=domain_shard_salt(key))
-        for key in DOMAIN_KEYS
-    }
+    owners: Dict[str, np.ndarray] = {}
+    for key in DOMAIN_KEYS:
+        assigned = shard_assignments(users[key], n_shards, salt=domain_shard_salt(key))
+        # Owner-grouped table layout: rows of one shard are contiguous, and
+        # the stable sort keeps each shard's block sorted by user id — so
+        # owned_users/owned_local alignment is unchanged from the sorted
+        # layout while owned rows become a single range (the zero-copy
+        # publish/scatter fast path of the shm exchange plane).
+        order = np.argsort(assigned, kind="stable")
+        users[key] = users[key][order]
+        owners[key] = assigned[order]
     return PoolExchange(users=users, owners=owners, n_shards=n_shards)
 
 
-def _table_rows(exchange_users: np.ndarray, global_ids: np.ndarray) -> np.ndarray:
-    """Positions of ``global_ids`` within the sorted exchange set (must exist)."""
-    if global_ids.size == 0:
-        return _EMPTY
-    positions = np.searchsorted(exchange_users, global_ids)
-    if positions.size and (
-        positions.max(initial=-1) >= exchange_users.size
-        or not np.array_equal(exchange_users[positions], global_ids)
-    ):
-        missing = np.setdiff1d(global_ids, exchange_users)[:5]
-        raise KeyError(f"users {missing.tolist()} are not part of the pool exchange")
-    return positions.astype(np.int64)
+def _table_rows(
+    exchange: PoolExchange, key: str, global_ids: np.ndarray
+) -> np.ndarray:
+    """Table rows of ``global_ids`` in a domain's exchange set (must exist)."""
+    return exchange.rows_for(key, global_ids)
 
 
 def build_pool_sharded_plan(
@@ -518,13 +577,13 @@ def build_pool_sharded_plan(
 
         plan.intra_pools = [
             (
-                base + _table_rows(exchange.users[key], head),
-                base + _table_rows(exchange.users[key], tail),
+                base + _table_rows(exchange, key, head),
+                base + _table_rows(exchange, key, tail),
             )
             for head, tail in intra_pools[key]
         ]
         plan.inter_pools = [
-            other_base + _table_rows(exchange.users[other], pool)
+            other_base + _table_rows(exchange, other, pool)
             for pool in inter_pools[key]
         ]
 
@@ -558,7 +617,7 @@ def build_pool_sharded_plan(
         if overlapped.any():
             table_own = base + np.flatnonzero(overlapped)
             table_other = other_base + _table_rows(
-                exchange.users[other], partners[overlapped]
+                exchange, other, partners[overlapped]
             )
         else:
             table_own = table_other = _EMPTY

@@ -85,6 +85,7 @@ class CDRTrainer:
                 grad_clip_norm=self.config.grad_clip_norm,
                 n_shards=self.config.n_shards,
                 traced=self.config.traced_steps,
+                shm_exchange=self.config.shm_exchange,
                 step_timeout=self.config.worker_step_timeout,
                 max_retries=self.config.worker_max_retries,
                 retry_backoff=self.config.worker_retry_backoff,

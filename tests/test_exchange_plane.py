@@ -1,0 +1,369 @@
+"""The shared-memory exchange plane: wire format, lifecycle, equivalence.
+
+Unit level, the :mod:`repro.core.exchange` pieces are exercised directly —
+pack/unpack round trips over nested container trees, in-place reply
+staging, overflow fallback plus grow-request handshake, double buffering,
+generation-counted regrow with lazy worker re-attach, and table layouts.
+
+Executor level, the headline gates of the plane ride here:
+
+* **Transport equivalence** — pool-sharded (and plain sharded) training
+  over the plane is *bit-identical* to the pickled-pipe protocol, eager
+  and traced, under the float64 default dtype.
+* **Zero pickled data-plane bytes** — in steady state every data-plane
+  payload crosses shared memory; the pipes carry control headers only
+  (structural assert on the executor's comms counters, independent of
+  machine speed).
+* **Leak-free teardown** — closing the executor (or dropping it) leaves
+  no ``repro-xp-*`` segment behind in ``/dev/shm``.
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CDRTrainer, NMCDR, NMCDRConfig, TrainerConfig, build_task
+from repro.core.exchange import (
+    PIPE_HEADER,
+    SHM_HEADER,
+    ExchangeClient,
+    ExchangePlane,
+    tree_array_bytes,
+)
+from repro.data import load_scenario
+from repro.data.dataloader import Batch
+
+
+@pytest.fixture(scope="module")
+def task():
+    return build_task(
+        load_scenario("cloth_sport", scale=0.3, seed=13),
+        head_threshold=7,
+    )
+
+
+def build_nmcdr(task, seed=3):
+    return NMCDR(task, NMCDRConfig(embedding_dim=16, seed=seed))
+
+
+def shm_segments(prefix="repro-xp-"):
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover — non-Linux fallback
+        return []
+    return [name for name in os.listdir(shm_dir) if name.startswith(prefix)]
+
+
+@pytest.fixture()
+def plane():
+    plane = ExchangePlane(n_shards=2)
+    plane.open(dispatch_bytes=1 << 12, reply_bytes=1 << 12)
+    client = ExchangeClient()
+    yield plane, client
+    client.close()
+    plane.close()
+
+
+def begin(plane, client, step, *, reply_bound=None, force_regrow=False):
+    plane.begin_step(step, reply_bound=reply_bound, force_regrow=force_regrow)
+    client.begin_step(
+        {
+            "slot": step % 2,
+            "reply": plane.descriptor("w2p0"),
+            "tables": None,
+        }
+    )
+
+
+def assert_tree_equal(actual, expected):
+    if isinstance(expected, np.ndarray):
+        assert isinstance(actual, np.ndarray)
+        assert actual.dtype == expected.dtype
+        np.testing.assert_array_equal(actual, expected)
+    elif isinstance(expected, dict):
+        assert list(actual) == list(expected)
+        for key in expected:
+            assert_tree_equal(actual[key], expected[key])
+    elif isinstance(expected, (tuple, list)):
+        assert type(actual) is type(expected) and len(actual) == len(expected)
+        for a, e in zip(actual, expected):
+            assert_tree_equal(a, e)
+    elif dataclasses.is_dataclass(expected):
+        assert type(actual) is type(expected)
+        for f in dataclasses.fields(expected):
+            assert_tree_equal(getattr(actual, f.name), getattr(expected, f.name))
+    else:
+        assert actual == expected
+
+
+# ----------------------------------------------------------------------
+# wire format: pack/unpack round trips
+# ----------------------------------------------------------------------
+class TestPackUnpack:
+    def payload(self):
+        rng = np.random.default_rng(0)
+        return {
+            "batch": Batch(
+                users=np.arange(7, dtype=np.int64),
+                items=rng.integers(0, 50, size=7),
+                labels=rng.random(7),
+            ),
+            "nested": (
+                [np.float32(rng.random((3, 4))), None, "tag"],
+                {"empty": np.empty((0, 8)), "scalar": 3},
+            ),
+        }
+
+    def test_dispatch_roundtrip_views_and_copies(self, plane):
+        plane, client = plane
+        payload = self.payload()
+        begin(plane, client, 0)
+        header = plane.pack("p2w0", payload, "dispatch")
+        assert header[0] == SHM_HEADER
+        for copy in (False, True):
+            out = client.unpack(header, copy=copy)
+            assert_tree_equal(out, payload)
+            assert out["batch"].users.flags["OWNDATA"] is copy
+
+    def test_tree_array_bytes_counts_only_arrays(self):
+        payload = self.payload()
+        expected = (
+            payload["batch"].users.nbytes
+            + payload["batch"].items.nbytes
+            + payload["batch"].labels.nbytes
+            + payload["nested"][0][0].nbytes
+        )
+        assert tree_array_bytes(payload) == expected
+
+    def test_reply_roundtrip_with_inplace_staging(self, plane):
+        plane, client = plane
+        begin(plane, client, 0)
+        staged = client.alloc_reply((16, 8), np.float64)
+        staged[...] = np.arange(128, dtype=np.float64).reshape(16, 8)
+        loose = np.full(5, 2.5)
+        header = client.pack_reply({"staged": staged, "loose": loose})
+        assert header[0] == SHM_HEADER
+        out = plane.unpack(header, "loss")
+        np.testing.assert_array_equal(out["staged"], staged)
+        np.testing.assert_array_equal(out["loose"], loose)
+        # The staged array was referenced in place: the parent view aliases
+        # the very bytes the worker wrote (no second copy).
+        staged[0, 0] = -1.0
+        assert out["staged"][0, 0] == -1.0
+
+    def test_double_buffer_keeps_previous_step_readable(self, plane):
+        plane, client = plane
+        even = {"x": np.arange(10)}
+        begin(plane, client, 0)
+        header_even = plane.pack("p2w0", even, "dispatch")
+        begin(plane, client, 1)
+        plane.pack("p2w0", {"x": np.arange(10) * -1}, "dispatch")
+        np.testing.assert_array_equal(
+            client.unpack(header_even, copy=False)["x"], even["x"]
+        )
+
+
+# ----------------------------------------------------------------------
+# growth: overflow fallback, grow requests, generations, re-attach
+# ----------------------------------------------------------------------
+class TestGrowth:
+    def test_reply_overflow_falls_back_to_pipe_and_requests_grow(self, plane):
+        plane, client = plane
+        begin(plane, client, 0)
+        big = np.ones(1 << 12, dtype=np.float64)  # 8x the reply slot
+        header = client.pack_reply({"big": big})
+        assert header[0] == PIPE_HEADER
+        request = client.take_grow_request()
+        assert request and request["w2p0"] >= big.nbytes
+        # The fallback still delivers the payload, and is metered as such.
+        out = plane.unpack(header, "loss")
+        np.testing.assert_array_equal(out["big"], big)
+        assert plane.stats.pipe_fallbacks == 1
+        assert plane.stats.fallback_data_bytes == big.nbytes
+
+        # Honored at the next begin_step: new generation, new name, and the
+        # same payload now fits in shared memory.
+        old_name = plane.descriptor("w2p0")[1]
+        plane.request_grow(request)
+        begin(plane, client, 1)
+        descriptor = plane.descriptor("w2p0")
+        assert descriptor[1] != old_name
+        assert descriptor[2] == 1  # generation bumped
+        assert plane.stats.grows == 1
+        header = client.pack_reply({"big": big})
+        assert header[0] == SHM_HEADER
+        np.testing.assert_array_equal(plane.unpack(header, "loss")["big"], big)
+
+    def test_alloc_reply_overflow_returns_heap_array(self, plane):
+        plane, client = plane
+        begin(plane, client, 0)
+        staged = client.alloc_reply((1 << 12,), np.float64)
+        assert staged.flags["OWNDATA"]  # heap fallback, not a slot view
+        assert client.grow_request
+
+    def test_parent_dispatch_overflow_grows_in_place(self, plane):
+        plane, client = plane
+        begin(plane, client, 0)
+        big = {"x": np.ones(1 << 12, dtype=np.float64)}
+        header = plane.pack("p2w0", big, "dispatch")
+        assert header[0] == SHM_HEADER
+        assert plane.stats.grows == 1
+        np.testing.assert_array_equal(client.unpack(header)["x"], big["x"])
+
+    def test_forced_regrow_replaces_every_region(self, plane):
+        plane, client = plane
+        begin(plane, client, 0)
+        names = {rid: plane.descriptor(rid)[1] for rid in plane.regions}
+        begin(plane, client, 1, force_regrow=True)
+        for rid, old_name in names.items():
+            descriptor = plane.descriptor(rid)
+            assert descriptor[1] != old_name
+            assert descriptor[2] == 1
+        assert plane.stats.forced_regrows == 1
+        # Old segments were unlinked immediately; only the new ones remain.
+        payload = {"x": np.arange(5)}
+        header = plane.pack("p2w0", payload, "dispatch")
+        np.testing.assert_array_equal(client.unpack(header)["x"], payload["x"])
+
+    def test_client_reattaches_only_on_name_change(self, plane):
+        plane, client = plane
+        begin(plane, client, 0)
+        header = plane.pack("p2w0", {"x": np.arange(3)}, "dispatch")
+        client.unpack(header)
+        first = client._attached["p2w0"]
+        client.unpack(header)
+        assert client._attached["p2w0"] is first  # cached mapping reused
+        begin(plane, client, 1, force_regrow=True)
+        header = plane.pack("p2w0", {"x": np.arange(3)}, "dispatch")
+        client.unpack(header)
+        assert client._attached["p2w0"] is not first
+
+
+# ----------------------------------------------------------------------
+# table regions
+# ----------------------------------------------------------------------
+class TestTables:
+    def test_layout_views_and_capacity_hint(self, plane):
+        plane, client = plane
+        plane.ensure_tables(
+            {"a": 10, "b": 4}, dim=8, dtype_str="<f8", capacity_hint={"a": 32, "b": 32}
+        )
+        name = plane.descriptor("tables")[1]
+        # Steps within the committed capacity never regrow the regions.
+        plane.ensure_tables({"a": 32, "b": 1}, dim=8, dtype_str="<f8")
+        assert plane.descriptor("tables")[1] == name
+
+        plane.begin_step(0)
+        env = plane.tables_env()
+        client.begin_step(
+            {"slot": 0, "reply": plane.descriptor("w2p0"), "tables": env}
+        )
+        for which in ("tables", "summed"):
+            parent = plane.table_view("a", 10, which=which)
+            parent[...] = np.arange(80, dtype=np.float64).reshape(10, 8)
+            worker = client.table_view("a", 10, which=which)
+            np.testing.assert_array_equal(worker, parent)
+            worker[3, 3] = -5.0  # both sides alias the same slot bytes
+            assert parent[3, 3] == -5.0
+
+    def test_outgrowing_capacity_bumps_generation(self, plane):
+        plane, _ = plane
+        plane.ensure_tables({"a": 4}, dim=8, dtype_str="<f8")
+        name = plane.descriptor("tables")[1]
+        plane.ensure_tables({"a": 4096}, dim=8, dtype_str="<f8")
+        descriptor = plane.descriptor("tables")
+        assert descriptor[1] != name and descriptor[2] == 1
+
+
+# ----------------------------------------------------------------------
+# lifecycle: nothing outlives the plane
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_close_unlinks_every_segment(self):
+        before = set(shm_segments())
+        plane = ExchangePlane(n_shards=3)
+        plane.open()
+        plane.ensure_tables({"a": 64}, dim=16, dtype_str="<f8")
+        created = set(shm_segments()) - before
+        assert len(created) == 2 * 3 + 1 + 2  # p2w/w2p per shard, bcast, tables pair
+        plane.close()
+        assert set(shm_segments()) & created == set()
+
+    def test_dropped_plane_is_finalized(self):
+        before = set(shm_segments())
+        plane = ExchangePlane(n_shards=1)
+        plane.open()
+        created = set(shm_segments()) - before
+        assert created
+        del plane  # weakref.finalize must fire without an explicit close()
+        assert set(shm_segments()) & created == set()
+
+
+# ----------------------------------------------------------------------
+# executor-level equivalence and the zero-pickled-bytes gate
+# ----------------------------------------------------------------------
+def fit_trainer(task, **config_overrides):
+    config = TrainerConfig(
+        num_epochs=2,
+        batch_size=128,
+        seed=11,
+        eval_every=1,
+        num_eval_negatives=20,
+        executor="sharded",
+        n_shards=2,
+        **config_overrides,
+    )
+    trainer = CDRTrainer(build_nmcdr(task), task, config)
+    history = trainer.fit()
+    return trainer, history
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("traced", [False, True], ids=["eager", "traced"])
+    def test_pool_sharded_plane_bit_identical_to_pickled(self, task, traced):
+        shm, shm_history = fit_trainer(
+            task, pool_sharding=True, traced_steps=traced, shm_exchange=True
+        )
+        piped, piped_history = fit_trainer(
+            task, pool_sharding=True, traced_steps=traced, shm_exchange=False
+        )
+        assert shm_history.epoch_losses == piped_history.epoch_losses
+        assert shm_history.validation_metrics == piped_history.validation_metrics
+        shm_params = shm.model.state_dict()
+        piped_params = piped.model.state_dict()
+        for name in piped_params:
+            assert np.array_equal(shm_params[name], piped_params[name]), name
+
+        # Structural steady-state gate: with the plane on, every data-plane
+        # payload crossed shared memory; with it off, none did.
+        stats = shm._executor.comms_stats
+        assert stats.pipe_fallbacks == 0
+        assert stats.fallback_data_bytes == 0
+        assert stats.total("pipe_bytes") == 0
+        assert stats.total("shm_bytes") > 0
+        for round_name in ("dispatch", "gather", "broadcast", "loss", "scatter"):
+            assert stats.rounds[round_name]["messages"] > 0, round_name
+        legacy = piped._executor.comms_stats
+        assert legacy.total("shm_bytes") == 0
+        assert legacy.total("pipe_bytes") > 0
+
+    def test_plain_sharded_plane_bit_identical_to_pickled(self, task):
+        shm, shm_history = fit_trainer(task, shm_exchange=True)
+        piped, piped_history = fit_trainer(task, shm_exchange=False)
+        assert shm_history.epoch_losses == piped_history.epoch_losses
+        assert shm_history.validation_metrics == piped_history.validation_metrics
+        stats = shm._executor.comms_stats
+        assert stats.total("pipe_bytes") == 0
+        assert stats.fallback_data_bytes == 0
+
+    def test_run_to_run_bit_reproducible_over_plane(self, task):
+        _, first = fit_trainer(task, pool_sharding=True, shm_exchange=True)
+        _, second = fit_trainer(task, pool_sharding=True, shm_exchange=True)
+        assert first.epoch_losses == second.epoch_losses
+        assert first.validation_metrics == second.validation_metrics
+
+    def test_executor_teardown_leaves_no_segments(self, task):
+        before = set(shm_segments())
+        _, _ = fit_trainer(task, pool_sharding=True, shm_exchange=True)
+        assert set(shm_segments()) <= before

@@ -56,11 +56,15 @@ def shard_children():
     ]
 
 
-def leaked_shm(prefix="repro-shm-"):
+def leaked_shm(prefixes=("repro-shm-", "repro-xp-")):
     shm_dir = "/dev/shm"
     if not os.path.isdir(shm_dir):  # pragma: no cover — non-Linux fallback
         return []
-    return [name for name in os.listdir(shm_dir) if name.startswith(prefix)]
+    if isinstance(prefixes, str):
+        prefixes = (prefixes,)
+    return [
+        name for name in os.listdir(shm_dir) if name.startswith(tuple(prefixes))
+    ]
 
 
 def assert_no_leaks(deadline=5.0):
@@ -221,6 +225,45 @@ class TestSupervisedRecovery:
         trainer = make_trainer(task, pool_sharding=True, worker_max_retries=2)
         history = trainer.fit()
         assert history.worker_deaths == 1
+        assert history.worker_respawns == 1
+        assert_bit_identical(trainer, history, task, pool_sharding=True)
+        assert_no_leaks()
+
+    def test_pool_sharded_death_mid_gather_recovered(self, task):
+        # Kill in the encode phase, after the victim may already have
+        # published owned rows into the shared activation table: the
+        # respawned worker must re-attach the exchange regions from the
+        # replayed dispatch headers and re-publish identical bytes.
+        faults.configure(faults.parse_spec("worker_exit:shard=0:step=3:phase=enc"))
+        trainer = make_trainer(task, pool_sharding=True, worker_max_retries=2)
+        history = trainer.fit()
+        assert history.worker_deaths == 1
+        assert history.worker_respawns == 1
+        assert_bit_identical(trainer, history, task, pool_sharding=True)
+        assert_no_leaks()
+
+    def test_exchange_overflow_regrow_mid_epoch_bit_identical(self, task):
+        # Force-regrow every exchange region mid-epoch (fresh segments,
+        # bumped generations): workers re-attach lazily by name and the
+        # run must be bit-identical to the unfaulted reference.
+        faults.configure(faults.parse_spec("exchange_overflow:step=3"))
+        trainer = make_trainer(task, pool_sharding=True)
+        history = trainer.fit()
+        executor = trainer._executor
+        assert executor.comms_stats.forced_regrows == 1
+        assert executor.comms_stats.fallback_data_bytes == 0
+        assert_bit_identical(trainer, history, task, pool_sharding=True)
+        assert_no_leaks()
+
+    def test_exchange_overflow_with_respawn_interleaved(self, task):
+        # The two recovery paths compose: a forced regrow at one step and
+        # a worker death at a later step of the same run.
+        faults.configure(
+            faults.parse_spec("exchange_overflow:step=2"),
+            faults.parse_spec("worker_exit:shard=1:step=5:phase=enc"),
+        )
+        trainer = make_trainer(task, pool_sharding=True, worker_max_retries=2)
+        history = trainer.fit()
         assert history.worker_respawns == 1
         assert_bit_identical(trainer, history, task, pool_sharding=True)
         assert_no_leaks()
@@ -420,12 +463,12 @@ def wait_for_started(child, deadline=120.0):
 
 class TestParentKill:
     @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
-    def test_killed_parent_leaks_nothing(self, task, tmp_path, signum):
-        child = spawn_child(
-            tmp_path,
-            num_epochs=200,
-            extra_config='executor="sharded", n_shards=2,',
-        )
+    @pytest.mark.parametrize("pool_sharding", [False, True])
+    def test_killed_parent_leaks_nothing(self, task, tmp_path, signum, pool_sharding):
+        extra = 'executor="sharded", n_shards=2,'
+        if pool_sharding:
+            extra += " pool_sharding=True,"
+        child = spawn_child(tmp_path, num_epochs=200, extra_config=extra)
         try:
             wait_for_started(child)
             time.sleep(1.5)  # let the shard workers fork and run some steps
@@ -435,13 +478,16 @@ class TestParentKill:
             if child.poll() is None:  # pragma: no cover — emergency cleanup
                 child.kill()
                 child.wait()
-        # Every shared-memory segment the child created is named with its
-        # pid; the resource tracker may lag a moment behind the kill.
-        prefix = f"repro-shm-{child.pid}-"
+        # Every shared-memory segment the child created — parameter blocks
+        # and exchange-plane regions alike — is named with its pid; the
+        # resource tracker may lag a moment behind the kill.
+        prefixes = (f"repro-shm-{child.pid}-", f"repro-xp-{child.pid}-")
         end = time.monotonic() + 10.0
-        while time.monotonic() < end and leaked_shm(prefix):
+        while time.monotonic() < end and leaked_shm(prefixes):
             time.sleep(0.1)
-        assert not leaked_shm(prefix), f"child leaked shm segments: {leaked_shm(prefix)}"
+        assert not leaked_shm(prefixes), (
+            f"child leaked shm segments: {leaked_shm(prefixes)}"
+        )
 
     def test_parent_exit_fault_then_resume_bit_identical(self, task, tmp_path):
         """The full kill-and-resume drill, driven by the env grammar."""

@@ -114,18 +114,26 @@ class TestPoolExchange:
         for key in ("a", "b"):
             users = exchange.users[key]
             assert users.size > 0
-            np.testing.assert_array_equal(users, np.unique(users))
+            # Owner-grouped layout: no duplicates, rows sorted by owning
+            # shard so each shard's owned rows form one contiguous slice.
+            unique = np.unique(users)
+            assert unique.size == users.size
             np.testing.assert_array_equal(
                 exchange.owners[key],
                 shard_assignments(users, 3, salt=domain_shard_salt(key)),
             )
+            assert (np.diff(exchange.owners[key]) >= 0).all()
             slices = [exchange.owned_users(key, shard) for shard in range(3)]
-            recovered = np.sort(np.concatenate(slices))
-            np.testing.assert_array_equal(recovered, users)
-            positions = np.sort(
-                np.concatenate([exchange.owned_positions(key, s) for s in range(3)])
+            np.testing.assert_array_equal(np.concatenate(slices), users)
+            positions = np.concatenate(
+                [exchange.owned_positions(key, s) for s in range(3)]
             )
             np.testing.assert_array_equal(positions, np.arange(users.size))
+            for shard in range(3):
+                start, stop = exchange.owned_range(key, shard)
+                np.testing.assert_array_equal(
+                    exchange.owned_positions(key, shard), np.arange(start, stop)
+                )
 
     def test_exchange_covers_pools_and_their_partners(self, task):
         config = NMCDRConfig(embedding_dim=16, seed=3)
@@ -549,6 +557,7 @@ class _DiesDuringEncode(NMCDR):
         exchange,
         shard_index,
         full_sizes=None,
+        publish=None,
     ):
         if shard_index == 1:
             os._exit(13)
@@ -558,6 +567,7 @@ class _DiesDuringEncode(NMCDR):
             exchange=exchange,
             shard_index=shard_index,
             full_sizes=full_sizes,
+            publish=publish,
         )
 
 
@@ -572,6 +582,7 @@ class _HangsDuringEncode(NMCDR):
         exchange,
         shard_index,
         full_sizes=None,
+        publish=None,
     ):
         if shard_index == 1:
             time.sleep(600)
@@ -581,6 +592,7 @@ class _HangsDuringEncode(NMCDR):
             exchange=exchange,
             shard_index=shard_index,
             full_sizes=full_sizes,
+            publish=publish,
         )
 
 
