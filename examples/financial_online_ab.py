@@ -6,6 +6,11 @@ domains ("Loan" and "Fund"), then deployed as competing serving groups in a
 simulated impression stream; the measured conversion rate (CVR) per group and
 domain mirrors Table VIII.
 
+Every impression is answered through the production serving tier
+(:mod:`repro.serve`): NMCDR serves top-1 slates from its persistent
+representation store, the baselines through the scorer's micro-batched
+delegation path — the same code path ``repro serve`` exposes as a CLI.
+
 Run with::
 
     python examples/financial_online_ab.py

@@ -495,6 +495,68 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                     f"traced replay: serial traced step wall regressed {change * 100:+.1f}%"
                 )
 
+    base_serving = baseline.get("serving")
+    fresh_serving = fresh.get("serving")
+    if fresh_serving:
+        # Structural claims, baseline-independent.  Exactness first: a store
+        # that answers differently from full-model rescoring is a
+        # correctness bug, whatever its latency.
+        if not fresh_serving.get("exactness_canary", True):
+            failures.append(
+                "serving: store-backed top-K diverged from full-model rescoring"
+            )
+        if not fresh_serving.get("cold_requests_routed", 1):
+            failures.append(
+                "serving: no canary request exercised the cold-start "
+                "matching-module route"
+            )
+        if not fresh_serving.get("refresh_bit_identical", True):
+            failures.append(
+                "serving: incremental store refresh diverged from a full rebuild"
+            )
+        # Paired in-process walls: the one-domain incremental refresh exists
+        # to be cheaper than rebuilding both domains from scratch.
+        refresh_s = fresh_serving.get("incremental_refresh_s")
+        rebuild_s = fresh_serving.get("rebuild_s")
+        if refresh_s and rebuild_s and refresh_s >= rebuild_s:
+            failures.append(
+                f"serving: incremental refresh {refresh_s * 1e3:.1f}ms not "
+                f"below the paired full rebuild {rebuild_s * 1e3:.1f}ms"
+            )
+    if (
+        base_serving
+        and fresh_serving
+        and base_serving.get("cpu_count") == fresh_serving.get("cpu_count")
+    ):
+        # Machine-comparable wall claims: batched throughput and tail
+        # latency of the serving front end must not regress.
+        base_thr = base_serving.get("throughput_req_s")
+        fresh_thr = fresh_serving.get("throughput_req_s")
+        if base_thr and fresh_thr:
+            # Expressed as per-request wall so the shared +threshold
+            # "bigger is worse" convention applies.
+            change = base_thr / fresh_thr - 1.0
+            rows.append(
+                ("serving batched s/request", 1.0 / base_thr, 1.0 / fresh_thr, change)
+            )
+            if change > threshold:
+                failures.append(
+                    f"serving: batched throughput regressed {change * 100:+.1f}% "
+                    f"({base_thr:.0f} -> {fresh_thr:.0f} req/s)"
+                )
+        base_p95 = base_serving.get("latency_p95_ms")
+        fresh_p95 = fresh_serving.get("latency_p95_ms")
+        if base_p95 and fresh_p95:
+            change = fresh_p95 / base_p95 - 1.0
+            rows.append(
+                ("serving p95 latency", base_p95 / 1e3, fresh_p95 / 1e3, change)
+            )
+            if change > threshold:
+                failures.append(
+                    f"serving: p95 request latency regressed {change * 100:+.1f}% "
+                    f"({base_p95:.2f} -> {fresh_p95:.2f} ms)"
+                )
+
     print(f"perf gate (threshold: +{threshold * 100:.0f}% train s/batch)")
     for label, base_time, fresh_time, change in rows:
         print(f"  {label:<40} {base_time:.6f}s -> {fresh_time:.6f}s ({change * 100:+.1f}%)")

@@ -23,7 +23,7 @@ from ..data.dataloader import Batch
 from ..data.negative_sampling import NegativeSampler
 from ..graph import SubgraphCache
 from ..graph.sampling import DomainSubgraph, InteractionGraph
-from ..nn import Module, losses
+from ..nn import ModelCapabilities, Module, losses
 from ..tensor import Tensor, no_grad, ops
 
 __all__ = ["BaselineModel", "SubgraphSamplingMixin"]
@@ -77,9 +77,6 @@ class SubgraphSamplingMixin:
         self._subgraph_fanout = fanout
         self._subgraph_cache_size = int(cache_size)
         self._subgraph_caches = {}
-
-    def on_epoch_start(self, epoch: int) -> None:
-        """Training-engine epoch hook (pool-free models have no epoch state)."""
 
     @property
     def subgraph_sampling_enabled(self) -> bool:
@@ -160,6 +157,24 @@ class BaselineModel(Module):
         if extra is not None:
             total = total + extra
         return total
+
+    # ------------------------------------------------------------------
+    # capability declaration
+    # ------------------------------------------------------------------
+    def capabilities(self) -> ModelCapabilities:
+        """Declared protocol support: pool-free pointwise models.
+
+        ``sharding`` mirrors :meth:`supports_sharding` (subclasses that
+        override the pointwise loss lose it automatically);
+        ``subgraph_sampling`` is declared by mixing in
+        :class:`SubgraphSamplingMixin`.  Baselines draw no matching pools,
+        plan no pool exchange and have no encode/match split — their whole
+        forward is ``batch_scores``.
+        """
+        return ModelCapabilities(
+            sharding=self.supports_sharding(),
+            subgraph_sampling=isinstance(self, SubgraphSamplingMixin),
+        )
 
     # ------------------------------------------------------------------
     # sharded execution protocol

@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli profile --profile-model NMCDR --batches 20
     python -m repro.cli train  --checkpoint-dir runs/demo --checkpoint-every 1
     python -m repro.cli resume --checkpoint-dir runs/demo
+    python -m repro.cli serve  --checkpoint-dir runs/demo --requests reqs.jsonl
 
 Every subcommand prints a table to stdout and, with ``--output DIR``, writes a
 CSV export next to it.  These are the same code paths the benchmarks use; the
@@ -73,6 +74,64 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--models", nargs="+", default=list(_DEFAULT_MODELS))
     parser.add_argument("--output", type=Path, default=None, help="directory for CSV exports")
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Step-execution flags shared by every command that runs the engine.
+
+    Defined once so ``repro train``, ``repro profile`` (and any future
+    engine-driving command) expose the identical executor surface;
+    :func:`_execution_config_fields` is the single mapping from these flags
+    to :class:`~repro.core.TrainerConfig` fields.
+    """
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "sharded"),
+        default="serial",
+        help="step executor: in-process serial or the sharded data-parallel one",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker-process count for --executor sharded",
+    )
+    parser.add_argument(
+        "--pool-sharding",
+        action="store_true",
+        help=(
+            "with --executor sharded: partition the matching-pool closure "
+            "across shards and all-gather the pool activations each step"
+        ),
+    )
+    parser.add_argument(
+        "--traced",
+        action="store_true",
+        help=(
+            "record each step's autograd graph once per plan signature and "
+            "replay it as a flat buffer program (requires dropout=0)"
+        ),
+    )
+    parser.add_argument(
+        "--pickled-pipes",
+        action="store_true",
+        help=(
+            "with --executor sharded: disable the shared-memory exchange "
+            "plane and pickle the data-plane payloads over the worker pipes "
+            "(the pre-PR-8 protocol; useful for comparing the comms section)"
+        ),
+    )
+
+
+def _execution_config_fields(args: argparse.Namespace) -> dict:
+    """TrainerConfig fields described by the shared execution flags."""
+    return {
+        "executor": args.executor,
+        "n_shards": args.shards,
+        "pool_sharding": args.pool_sharding,
+        "traced_steps": args.traced,
+        "shm_exchange": not args.pickled_pipes,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -150,43 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --sampled: build plans through the incremental schedule",
     )
-    profile.add_argument(
-        "--executor",
-        choices=("serial", "sharded"),
-        default="serial",
-        help="step executor: in-process serial or the sharded data-parallel one",
-    )
-    profile.add_argument(
-        "--shards",
-        type=int,
-        default=2,
-        help="worker-process count for --executor sharded",
-    )
-    profile.add_argument(
-        "--pool-sharding",
-        action="store_true",
-        help=(
-            "with --executor sharded: partition the matching-pool closure "
-            "across shards and all-gather the pool activations each step"
-        ),
-    )
-    profile.add_argument(
-        "--traced",
-        action="store_true",
-        help=(
-            "record each step's autograd graph once per plan signature and "
-            "replay it as a flat buffer program (requires dropout=0)"
-        ),
-    )
-    profile.add_argument(
-        "--pickled-pipes",
-        action="store_true",
-        help=(
-            "with --executor sharded: disable the shared-memory exchange "
-            "plane and pickle the data-plane payloads over the worker pipes "
-            "(the pre-PR-8 protocol; useful for comparing the comms section)"
-        ),
-    )
+    _add_execution_arguments(profile)
 
     train = subparsers.add_parser(
         "train",
@@ -201,11 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--batch-size", type=int, default=256)
     train.add_argument("--eval-every", type=int, default=1)
     train.add_argument("--train-model", default="NMCDR", help="model registry name")
-    train.add_argument("--executor", choices=("serial", "sharded"), default="serial")
-    train.add_argument("--shards", type=int, default=2)
-    train.add_argument("--pool-sharding", action="store_true")
-    train.add_argument("--traced", action="store_true")
-    train.add_argument("--pickled-pipes", action="store_true")
+    _add_execution_arguments(train)
     train.add_argument(
         "--checkpoint-dir",
         type=Path,
@@ -253,6 +272,64 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="resume from this specific checkpoint file instead of the newest",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="answer top-K scoring requests from a trained checkpoint",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        required=True,
+        help="the directory `repro train --checkpoint-dir` wrote into",
+    )
+    serve.add_argument(
+        "--from-checkpoint",
+        type=Path,
+        default=None,
+        help="serve this specific checkpoint file instead of the newest",
+    )
+    serve.add_argument(
+        "--requests",
+        type=Path,
+        default=None,
+        help=(
+            "JSONL request file for one-shot serving; omit to read a "
+            "long-lived request loop from stdin"
+        ),
+    )
+    serve.add_argument("--topk", type=int, default=10, help="default slate size")
+    serve.add_argument(
+        "--max-staleness",
+        type=int,
+        default=0,
+        help="parameter updates the store may lag before reads raise",
+    )
+    serve.add_argument(
+        "--micro-batch-size",
+        type=int,
+        default=8192,
+        help="(user, item) pairs per prediction-head invocation",
+    )
+    serve.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="also persist the built representation store into this directory",
+    )
+    serve.add_argument(
+        "--final-params",
+        action="store_true",
+        help="serve the checkpoint's final parameters instead of the best state",
+    )
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "recompute every response against full-model rescoring and fail "
+            "on any divergence (the CI exactness smoke)"
+        ),
     )
 
     return parser
@@ -388,11 +465,7 @@ def _command_profile(args: argparse.Namespace) -> str:
             prefetch_epochs=args.prefetch,
             sampled_subgraph_training=args.sampled,
             scheduled_subgraph_plans=args.scheduled_plans,
-            executor=args.executor,
-            n_shards=args.shards,
-            pool_sharding=args.pool_sharding,
-            traced_steps=args.traced,
-            shm_exchange=not args.pickled_pipes,
+            **_execution_config_fields(args),
         )
         trainer = CDRTrainer(model, task, config)
         training_engine = trainer.build_engine()
@@ -424,17 +497,15 @@ def _training_from_run(run: dict):
     """Rebuild the exact trainer a ``run.json`` describes.
 
     Shared by ``train`` (which authors the dict) and ``resume`` (which reads
-    it back), so a resumed process reconstructs the identical dataset, model
-    and config; the checkpoint's config fingerprint double-checks the match.
+    it back); the dataset/task/model themselves come from the same
+    :func:`repro.serve.build_run_components` resolver ``repro serve`` uses,
+    so all three commands reconstruct the identical architecture and the
+    checkpoint's config fingerprint double-checks the match.
     """
     from .core import CDRTrainer, TrainerConfig
+    from .serve import build_run_components
 
-    settings = ExperimentSettings(**run["settings"])
-    dataset = prepare_dataset(settings)
-    task = build_task(dataset, head_threshold=settings.head_threshold)
-    model = build_model(
-        run["model"], task, embedding_dim=settings.embedding_dim, seed=settings.seed
-    )
+    model, task, _settings = build_run_components(run)
     return CDRTrainer(model, task, TrainerConfig(**run["trainer"]))
 
 
@@ -491,11 +562,7 @@ def _command_train(args: argparse.Namespace) -> str:
             "num_eval_negatives": args.negatives,
             "eval_every": args.eval_every,
             "seed": args.seed,
-            "executor": args.executor,
-            "n_shards": args.shards,
-            "pool_sharding": args.pool_sharding,
-            "traced_steps": args.traced,
-            "shm_exchange": not args.pickled_pipes,
+            **_execution_config_fields(args),
             "checkpoint_dir": str(args.checkpoint_dir) if args.checkpoint_dir else None,
             "checkpoint_every": args.checkpoint_every,
             "checkpoint_every_steps": args.checkpoint_every_steps,
@@ -535,6 +602,39 @@ def _command_resume(args: argparse.Namespace) -> str:
     return _format_training_summary(history, resumed=True)
 
 
+def _command_serve(args: argparse.Namespace) -> str:
+    """Answer JSONL top-K requests from a checkpoint; see ``repro.serve``.
+
+    Responses stream to stdout as they are produced (one JSON object per
+    line) in both modes — the one-shot ``--requests`` file and the
+    long-lived stdin loop; the closing summary goes to stderr so the
+    response stream stays machine-parseable.
+    """
+    import sys
+
+    from .serve import ServeSession
+
+    session = ServeSession.from_checkpoint_dir(
+        args.checkpoint_dir,
+        checkpoint=args.from_checkpoint,
+        max_staleness=args.max_staleness,
+        micro_batch_size=args.micro_batch_size,
+        use_best=not args.final_params,
+    )
+    if args.store_dir is not None and session.scorer.store is not None:
+        session.scorer.store.save(args.store_dir)
+    if args.requests is not None:
+        lines = Path(args.requests).read_text().splitlines()
+    else:
+        lines = sys.stdin
+    for response_line in session.serve_lines(
+        lines, default_k=args.topk, verify=args.verify
+    ):
+        print(response_line, flush=True)
+    print(session.summary(), file=sys.stderr)
+    return ""
+
+
 _COMMANDS = {
     "stats": _command_stats,
     "overlap": _command_overlap,
@@ -547,6 +647,7 @@ _COMMANDS = {
     "profile": _command_profile,
     "train": _command_train,
     "resume": _command_resume,
+    "serve": _command_serve,
 }
 
 
@@ -555,7 +656,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     output = _COMMANDS[args.command](args)
-    print(output)
+    if output:
+        print(output)
     return 0
 
 

@@ -16,6 +16,7 @@ from .inter_matching import InterNodeMatching
 from .intra_matching import IntraNodeMatching
 from .nmcdr import NMCDR, DomainRepresentations
 from .prediction import PredictionHead
+from .representation import ModelCapabilities, RepresentationModel
 from .sharded import PoolShardedStepExecutor, ShardedStepExecutor, ShardLoss
 from .subgraph_plan import (
     DomainSubgraphPlan,
@@ -47,6 +48,8 @@ __all__ = [
     "PredictionHead",
     "NMCDR",
     "DomainRepresentations",
+    "ModelCapabilities",
+    "RepresentationModel",
     "CDRTask",
     "DomainTask",
     "DOMAIN_KEYS",

@@ -320,12 +320,22 @@ def save_checkpoint(
     return final_path
 
 
-def load_checkpoint(path: Union[str, Path]) -> TrainingCheckpoint:
+def load_checkpoint(
+    path: Union[str, Path], *, params_only: bool = False
+) -> TrainingCheckpoint:
     """Parse and validate one checkpoint archive.
 
     Raises :class:`CheckpointError` on a missing file, a truncated or
     corrupted archive, an unknown format version or a digest mismatch — a
     checkpoint either restores completely or not at all.
+
+    ``params_only`` is the inference-tier loading mode (``repro serve``):
+    the optimizer moment buffers are neither materialised nor checked for
+    completeness, so an archive whose Adam payload was stripped for
+    deployment still loads — only the model parameters (and the
+    early-stopping best state, when present) are returned.  The payload
+    digest is always verified; a params-only load of a corrupted archive
+    fails with the same clear integrity error as a full load.
     """
     path = Path(path)
     if not path.exists():
@@ -365,21 +375,24 @@ def load_checkpoint(path: Union[str, Path]) -> TrainingCheckpoint:
         for name, value in arrays.items()
         if name.startswith("param::")
     }
-    adam = {}
-    for kind in ("adam_m", "adam_v"):
-        entries = {
-            int(name.split("::", 1)[1]): value
-            for name, value in arrays.items()
-            if name.startswith(f"{kind}::")
-        }
-        adam[kind] = [entries[index] for index in sorted(entries)]
+    adam: Dict[str, List[np.ndarray]] = {"adam_m": [], "adam_v": []}
+    if not params_only:
+        for kind in ("adam_m", "adam_v"):
+            entries = {
+                int(name.split("::", 1)[1]): value
+                for name, value in arrays.items()
+                if name.startswith(f"{kind}::")
+            }
+            adam[kind] = [entries[index] for index in sorted(entries)]
     best_state = {
         name[len("best::"):]: value
         for name, value in arrays.items()
         if name.startswith("best::")
     }
     expected = int(meta["optimizer"]["num_parameters"])
-    if len(adam["adam_m"]) != expected or len(adam["adam_v"]) != expected:
+    if not params_only and (
+        len(adam["adam_m"]) != expected or len(adam["adam_v"]) != expected
+    ):
         raise CheckpointError(
             f"checkpoint {path} is incomplete: expected {expected} Adam moment "
             f"pairs, found {len(adam['adam_m'])}/{len(adam['adam_v'])}"

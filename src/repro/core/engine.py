@@ -414,9 +414,7 @@ class TrainingEngine:
                     if not resuming_mid_epoch:
                         history.learning_rates.append(self.optimizer.lr)
                     epoch_started = time.perf_counter()
-                    model_hook = getattr(self.model, "on_epoch_start", None)
-                    if callable(model_hook):
-                        model_hook(epoch)
+                    self.model.on_epoch_start(epoch)
                     for callback in self.callbacks:
                         callback.on_epoch_start(context, epoch)
 

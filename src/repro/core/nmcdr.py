@@ -26,7 +26,7 @@ import numpy as np
 
 from ..data.dataloader import Batch
 from ..graph import MatchingNeighborSampler, SubgraphCache
-from ..nn import Embedding, Module, ModuleList
+from ..nn import Embedding, ModelCapabilities, Module, ModuleList
 from ..profiling import profiler
 from ..tensor import Tensor, no_grad, ops
 from ..tensor.engine import get_dtype
@@ -184,6 +184,19 @@ class NMCDR(Module):
         self._cache: Optional[Dict[str, Dict[str, np.ndarray]]] = None
 
     # ------------------------------------------------------------------
+    # capability declaration
+    # ------------------------------------------------------------------
+    def capabilities(self) -> ModelCapabilities:
+        """NMCDR implements every optional execution protocol in the repo."""
+        return ModelCapabilities(
+            encode_match_split=True,
+            sharding=True,
+            matching_pools=True,
+            pool_exchange=True,
+            subgraph_sampling=True,
+        )
+
+    # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     def _params(self, key: str) -> _DomainParameters:
@@ -310,7 +323,10 @@ class NMCDR(Module):
         )
 
     def encode_representations(
-        self, plan: Optional[SubgraphPlan] = None
+        self,
+        plan: Optional[SubgraphPlan] = None,
+        *,
+        keys: Optional[Tuple[str, ...]] = None,
     ) -> Dict[str, DomainRepresentations]:
         """Stages 0/1: look-up plus heterogeneous graph encoder, per domain.
 
@@ -320,10 +336,19 @@ class NMCDR(Module):
         domain that is active only through its exchange table (no local
         subgraph) gets empty zero-row tensors so the matching stage can
         concatenate the table uniformly.
+
+        ``keys`` restricts encoding to the named domains.  A domain's
+        encoder output depends only on that domain's embedding/encoder
+        parameters and its training graph, so a caller holding valid
+        encoder outputs for the other domain (the serving store's
+        incremental refresh) may recompute one domain alone and splice the
+        stored tensors back in before :meth:`match_representations`.
         """
         config = self.config
         reps: Dict[str, DomainRepresentations] = {}
         for key in self._active_keys(plan):
+            if keys is not None and key not in keys:
+                continue
             params = self._params(key)
             if plan is None:
                 graph = self.task.domain(key).train_graph
@@ -950,6 +975,21 @@ class NMCDR(Module):
             user_rows = Tensor(cache["user_g4"][users])
             item_rows = Tensor(cache["items"][items])
             probabilities = params.prediction(user_rows, item_rows)
+        return probabilities.data.ravel()
+
+    def score_pairs(
+        self, domain_key: str, user_rows: np.ndarray, item_rows: np.ndarray
+    ) -> np.ndarray:
+        """Prediction-head probabilities for already-gathered representation rows.
+
+        The serving tier gathers ``user_g4`` (or ``user_g3`` for cold-start
+        users) and item rows from its persistent store and scores them here —
+        the same head invocation :meth:`score` runs on its forward cache, so
+        store-backed scoring is bit-identical to full rescoring.
+        """
+        params = self._params(domain_key)
+        with no_grad():
+            probabilities = params.prediction(Tensor(user_rows), Tensor(item_rows))
         return probabilities.data.ravel()
 
     def stage_representations(self, domain_key: str) -> Dict[str, np.ndarray]:

@@ -252,8 +252,8 @@ def _attach_worker(model, parameters, param_views, localize) -> None:
         parameter.data = view
     if (
         localize
-        and hasattr(model, "configure_subgraph_sampling")
-        and not getattr(model, "subgraph_sampling_enabled", False)
+        and model.capabilities().subgraph_sampling
+        and not model.subgraph_sampling_enabled
     ):
         model.configure_subgraph_sampling(True)
 
@@ -592,16 +592,11 @@ class ShardedStepExecutor(StepExecutor):
             check_traceable(model)
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
-        if not hasattr(model, "compute_shard_loss"):
+        if not model.capabilities().sharding:
             raise TypeError(
-                f"{type(model).__name__} does not implement the shard protocol "
-                "(compute_shard_loss); use the serial StepExecutor"
-            )
-        supports = getattr(model, "supports_sharding", None)
-        if callable(supports) and not supports():
-            raise TypeError(
-                f"{type(model).__name__} overrides the pointwise loss and cannot "
-                "be sharded deterministically; use the serial StepExecutor"
+                f"{type(model).__name__} does not declare the sharding "
+                "capability (its loss cannot be decomposed into per-shard "
+                "losses deterministically); use the serial StepExecutor"
             )
         if getattr(getattr(model, "config", None), "dropout", 0.0):
             raise ValueError(
@@ -1052,8 +1047,11 @@ class ShardedStepExecutor(StepExecutor):
             # Pools are drawn exactly once per step, *before* any attempt:
             # retries and degrades re-use them, so the parent rng stream —
             # and everything downstream of it — is independent of failures.
-            pool_sampler = getattr(self.model, "sample_step_pools", None)
-            pools = pool_sampler() if callable(pool_sampler) else None
+            pools = (
+                self.model.sample_step_pools()
+                if self.model.capabilities().matching_pools
+                else None
+            )
             while True:
                 if self._serial_fallback:
                     return self._run_serial_step(batches, pools)
@@ -1503,8 +1501,7 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
         """The model's (row dim, dtype) table spec + capacity hints, cached."""
         if self._table_spec is None:
             self._table_spec = tuple(self.model.exchange_table_spec())
-            hints = getattr(self.model, "exchange_plane_hints", None)
-            self._table_hints = hints() if callable(hints) else None
+            self._table_hints = self.model.exchange_plane_hints()
         return self._table_spec
 
     def _pool_reply_bound(self, split: ShardSplit, exchange, dim: int,
@@ -1517,23 +1514,16 @@ class PoolShardedStepExecutor(ShardedStepExecutor):
 
     def _attempt_step(self, batches, pools) -> float:
         """One supervised execution of the pool-exchange (PR-5) protocol."""
-        plan_exchange = getattr(self.model, "plan_pool_exchange", None)
         exchange = (
-            plan_exchange(pools, self.n_shards)
-            if pools is not None and callable(plan_exchange)
+            self.model.plan_pool_exchange(pools, self.n_shards)
+            if pools is not None and self.model.capabilities().pool_exchange
             else None
         )
         split = split_joint_batch(batches, self.n_shards)
-        # The plane needs the model's table spec to lay the activation /
-        # summed-gradient regions out; a model without the hook (none in the
-        # repo) keeps the pickled protocol.
+        # A model that plans a pool exchange also provides the table spec the
+        # plane lays its activation / summed-gradient regions out from — the
+        # ``pool_exchange`` capability declares both halves of the contract.
         plane = self._plane
-        if (
-            plane is not None
-            and exchange is not None
-            and not callable(getattr(self.model, "exchange_table_spec", None))
-        ):
-            plane = None
         if plane is not None:
             if exchange is not None:
                 dim, dtype_str = self._load_table_spec()

@@ -55,9 +55,7 @@ class CDRTrainer:
         self.config = config or TrainerConfig()
         self._callbacks = list(callbacks)
         self._executor = executor
-        if self.config.sampled_subgraph_training and hasattr(
-            model, "configure_subgraph_sampling"
-        ):
+        if self.config.sampled_subgraph_training and model.capabilities().subgraph_sampling:
             # Models without graph propagation (most non-graph baselines) are
             # already O(batch) per step and simply train full-batch.
             model.configure_subgraph_sampling(

@@ -32,6 +32,7 @@ from ..core import CDRTrainer, TrainerConfig, build_task
 from ..data.schema import CDRDataset, DomainData
 from ..data.synthetic import DomainSpec, generate_domain
 from ..metrics import conversion_rate
+from ..serve import ScoreRequest, Scorer
 from .paper_reference import TABLE8_ONLINE_AB
 
 __all__ = [
@@ -190,16 +191,24 @@ class _PopularityPolicy:
 
 
 class _ModelPolicy:
-    """Serve the candidate with the highest model score."""
+    """Serve the candidate the serving tier ranks first.
 
-    def __init__(self, model, domain_key: str) -> None:
-        self.model = model
+    Each impression is a top-1 :class:`~repro.serve.ScoreRequest` over the
+    slate — the production serving path (representation store for NMCDR,
+    micro-batched delegation for the baselines).  ``exact_top_k`` breaks
+    ties toward the lowest index, the same winner the historical
+    ``np.argmax`` policy picked, so the rewire is numerically unchanged.
+    """
+
+    def __init__(self, scorer: Scorer, domain_key: str) -> None:
+        self.scorer = scorer
         self.domain_key = domain_key
 
     def choose(self, user: int, slate: np.ndarray) -> int:
-        users = np.full(slate.shape[0], user, dtype=np.int64)
-        scores = self.model.score(self.domain_key, users, slate)
-        return int(slate[np.argmax(scores)])
+        response = self.scorer.score(
+            ScoreRequest(self.domain_key, user, k=1, candidates=slate)
+        )
+        return int(response.items[0])
 
 
 def _train_group_models(
@@ -210,14 +219,19 @@ def _train_group_models(
     embedding_dim: int,
     seed: int,
 ) -> Dict[str, Dict[str, Tuple[object, str]]]:
-    """Train each group's model on domain pairs; returns group -> domain -> (model, key).
+    """Train each group's scorer on domain pairs; returns group -> domain -> (scorer, key).
 
     The first domain is paired with every other domain (the anchor pattern of
     the paper's platform where "Loan" is the largest domain); the anchor
-    domain itself is scored by the first pair's model.
+    domain itself is scored by the first pair's model.  Each trained model is
+    wrapped in the serving tier's :class:`~repro.serve.Scorer` —
+    ``Scorer.from_model`` builds the representation store with the same
+    post-training forward (and rng consumption) the historical
+    ``prepare_for_evaluation`` call ran, so impressions are answered from
+    store rows with bit-identical scores.
     """
     anchor = domain_names[0]
-    policies: Dict[str, Dict[str, Tuple[object, str]]] = {group: {} for group in groups}
+    policies: Dict[str, Dict[str, Tuple[Scorer, str]]] = {group: {} for group in groups}
     for other in domain_names[1:]:
         dataset = CDRDataset(
             name=f"online_{anchor.lower()}_{other.lower()}",
@@ -231,10 +245,10 @@ def _train_group_models(
             model = build_model(group if group != "NMCDR" else "NMCDR", task, embedding_dim=embedding_dim, seed=seed)
             trainer = CDRTrainer(model, task, trainer_config)
             trainer.fit()
-            model.prepare_for_evaluation()
-            policies[group][other] = (model, "b")
+            scorer = Scorer.from_model(model, task)
+            policies[group][other] = (scorer, "b")
             if anchor not in policies[group]:
-                policies[group][anchor] = (model, "a")
+                policies[group][anchor] = (scorer, "a")
     return policies
 
 
@@ -276,8 +290,8 @@ def run_online_ab(
             if group == "Control":
                 policy = _PopularityPolicy(popularity)
             else:
-                model, domain_key = model_policies[group][spec.name]
-                policy = _ModelPolicy(model, domain_key)
+                scorer, domain_key = model_policies[group][spec.name]
+                policy = _ModelPolicy(scorer, domain_key)
             conversions = np.zeros(impressions_per_domain)
             for index in range(impressions_per_domain):
                 user = int(impression_users[index])

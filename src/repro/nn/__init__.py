@@ -18,11 +18,12 @@ from .layers import (
     set_index_validation,
 )
 from .mlp import MLP
-from .module import Module, ModuleList, Parameter, Sequential
+from .module import ModelCapabilities, Module, ModuleList, Parameter, Sequential
 
 __all__ = [
     "init",
     "losses",
+    "ModelCapabilities",
     "Module",
     "ModuleList",
     "Sequential",

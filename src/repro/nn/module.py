@@ -9,13 +9,47 @@ Every model in :mod:`repro.core` and :mod:`repro.baselines` is built on it.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..tensor import Tensor
 
-__all__ = ["Parameter", "Module", "ModuleList", "Sequential"]
+__all__ = ["ModelCapabilities", "Parameter", "Module", "ModuleList", "Sequential"]
+
+
+@dataclass(frozen=True)
+class ModelCapabilities:
+    """Declared execution capabilities of a model (no ``hasattr`` probing).
+
+    Consumers — the trainer, the sharded executors and the serving tier —
+    branch on these flags instead of probing for method names, so a model
+    states explicitly which optional protocols it implements:
+
+    * ``encode_match_split`` — the model factors its forward into
+      ``encode_representations`` (per-user encoder outputs) and
+      ``match_representations`` (the matching/complementing stages) and
+      scores representation rows via ``score_pairs``.  This is the boundary
+      the pool-sharded executor exchanges activations across and the
+      serving tier persists as its representation store.
+    * ``sharding`` — the model decomposes a training step into per-shard
+      losses (``compute_shard_loss``) that sum to the full-batch loss.
+    * ``matching_pools`` — the model draws per-step matching pools from its
+      own rng (``sample_step_pools``), which the sharded executors must
+      draw parent-side so retries never perturb the rng stream.
+    * ``pool_exchange`` — the model can partition its pool closure across
+      shards (``plan_pool_exchange`` / ``exchange_table_spec`` /
+      ``exchange_plane_hints``).
+    * ``subgraph_sampling`` — the model supports restricted k-hop training
+      forwards (``configure_subgraph_sampling``).
+    """
+
+    encode_match_split: bool = False
+    sharding: bool = False
+    matching_pools: bool = False
+    pool_exchange: bool = False
+    subgraph_sampling: bool = False
 
 
 class Parameter(Tensor):
@@ -84,6 +118,16 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of scalar trainable parameters."""
         return int(sum(parameter.size for parameter in self.parameters()))
+
+    # ------------------------------------------------------------------
+    # capability declaration
+    # ------------------------------------------------------------------
+    def capabilities(self) -> ModelCapabilities:
+        """Declared optional-protocol support; all off unless overridden."""
+        return ModelCapabilities()
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Training-engine epoch hook; the default model has no epoch state."""
 
     # ------------------------------------------------------------------
     # training state

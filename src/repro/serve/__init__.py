@@ -1,0 +1,43 @@
+"""Online serving tier: persistent representation store + batched top-K scoring.
+
+The training side of the repo factors NMCDR's forward through the
+encode/match boundary (:class:`repro.core.RepresentationModel`); this
+package reuses the same protocol to answer recommendation requests without
+running a model forward per query:
+
+* :class:`RepresentationStore` — per-user encoder/matching outputs as a
+  persistent, versioned array table built from a checkpoint and refreshed
+  incrementally when parameters update (generation counter + staleness
+  bound, mirroring the exchange plane's generation-counted segments);
+* :class:`Scorer` — micro-batched request front end computing exact top-K
+  slates over store rows, with cold-start requests routed through the
+  matching-module output;
+* :class:`ServeSession` — the ``repro serve`` entry point: rebuilds the
+  model from a run manifest, loads a checkpoint params-only, builds the
+  store and answers JSONL requests.
+"""
+
+from .scorer import ScoreRequest, ScoreResponse, Scorer, exact_top_k
+from .service import ServeSession, build_run_components, load_run_manifest
+from .store import (
+    DomainTable,
+    RepresentationStore,
+    StaleRepresentationError,
+    StoreError,
+    component_digests,
+)
+
+__all__ = [
+    "DomainTable",
+    "RepresentationStore",
+    "StaleRepresentationError",
+    "StoreError",
+    "component_digests",
+    "ScoreRequest",
+    "ScoreResponse",
+    "Scorer",
+    "exact_top_k",
+    "ServeSession",
+    "build_run_components",
+    "load_run_manifest",
+]

@@ -1,0 +1,285 @@
+"""Micro-batched exact top-K scoring over a representation store.
+
+The :class:`Scorer` is the serving front end: it accepts
+:class:`ScoreRequest` batches, gathers user/item rows from its
+:class:`~repro.serve.store.RepresentationStore`, runs the model's
+prediction head over micro-batches of (user, item) row pairs and returns
+exact top-K slates.  Because the head invocation is the same one
+``model.score`` runs on its evaluation cache, store-backed scoring is
+bit-identical to full-model rescoring — the exactness canary gated in the
+``serving`` benchmark section.
+
+Two request paths:
+
+* **warm** users (at least one training interaction in the requested
+  domain) are scored from ``user_g4``, the complemented head input;
+* **cold-start** users are routed through the matching module: their row
+  comes from ``user_g3``, the inter/intra-matching output.  For edge-less
+  users the complementing stage is the identity (``user_g4 == user_g3``),
+  so the cold path is exact as well, and the response carries
+  ``cold_start=True`` so callers can audit the routing.
+
+Models without the ``encode_match_split`` capability (the non-graph
+baselines) are served through a delegation path: the scorer micro-batches
+their ``score(domain, users, items)`` evaluation interface instead, so one
+front end serves every model in the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.task import DOMAIN_KEYS
+from .store import RepresentationStore
+
+__all__ = ["ScoreRequest", "ScoreResponse", "Scorer", "exact_top_k"]
+
+
+def exact_top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` highest scores, exactly and deterministically.
+
+    Heap-free: one ``np.partition`` to find the k-th value, then a stable
+    descending sort of only the candidates at or above it.  Ties break
+    toward the lowest index — the same winner ``np.argmax`` picks — so
+    top-1 slates match greedy argmax policies bit-for-bit and the result
+    equals a stable full sort's first ``k`` entries.
+    """
+    scores = np.asarray(scores).reshape(-1)
+    n = scores.shape[0]
+    k = min(int(k), n)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    if k < n:
+        kth = np.partition(scores, n - k)[n - k]
+        pool = np.flatnonzero(scores >= kth)
+    else:
+        pool = np.arange(n)
+    order = pool[np.argsort(-scores[pool], kind="stable")]
+    return order[:k].astype(np.int64, copy=False)
+
+
+@dataclass
+class ScoreRequest:
+    """One top-K query: a user, a domain, and an optional candidate set."""
+
+    domain: str
+    user: int
+    k: int = 10
+    #: Item ids to rank; ``None`` ranks the domain's full catalogue.
+    candidates: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "ScoreRequest":
+        candidates = payload.get("candidates")
+        return cls(
+            domain=str(payload["domain"]),
+            user=int(payload["user"]),
+            k=int(payload.get("k", 10)),
+            candidates=(
+                np.asarray(candidates, dtype=np.int64)
+                if candidates is not None
+                else None
+            ),
+        )
+
+
+@dataclass
+class ScoreResponse:
+    """One answered query: the top-K slate plus serving provenance."""
+
+    domain: str
+    user: int
+    items: np.ndarray
+    scores: np.ndarray
+    cold_start: bool
+    generation: int
+    params_version: int
+
+    def to_json(self) -> Dict:
+        return {
+            "domain": self.domain,
+            "user": self.user,
+            "items": [int(item) for item in self.items],
+            "scores": [float(score) for score in self.scores],
+            "cold_start": self.cold_start,
+            "generation": self.generation,
+            "params_version": self.params_version,
+        }
+
+
+@dataclass
+class _DomainBatch:
+    """Flat (user-row, item) pair arrays for one domain's requests."""
+
+    positions: List[int] = field(default_factory=list)
+    lengths: List[int] = field(default_factory=list)
+    users: List[int] = field(default_factory=list)
+    candidates: List[np.ndarray] = field(default_factory=list)
+
+
+class Scorer:
+    """Batched top-K front end over a store (or a baseline's score method)."""
+
+    def __init__(
+        self,
+        model,
+        store: Optional[RepresentationStore] = None,
+        *,
+        micro_batch_size: int = 8192,
+    ) -> None:
+        capabilities = model.capabilities()
+        if capabilities.encode_match_split:
+            if store is None:
+                raise ValueError(
+                    f"{type(model).__name__} declares encode_match_split; "
+                    "build a RepresentationStore first (Scorer.from_model "
+                    "does both)"
+                )
+        else:
+            if store is not None:
+                raise ValueError(
+                    f"{type(model).__name__} has no encode/match split; it "
+                    "is served by micro-batched delegation, without a store"
+                )
+            # The delegation path scores through the model's evaluation
+            # interface; prepare it once (for NMCDR this would be the full
+            # forward the store replaces — baselines just switch to eval).
+            model.prepare_for_evaluation()
+        self.model = model
+        self.store = store
+        self.micro_batch_size = max(1, int(micro_batch_size))
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        task=None,
+        *,
+        params_version: int = 0,
+        max_staleness: int = 0,
+        micro_batch_size: int = 8192,
+    ) -> "Scorer":
+        """Build the store when the model supports one, then wrap it."""
+        store = None
+        if model.capabilities().encode_match_split:
+            if task is None:
+                raise ValueError("building a store requires the model's task")
+            store = RepresentationStore.build(
+                model,
+                task,
+                params_version=params_version,
+                max_staleness=max_staleness,
+            )
+        return cls(model, store, micro_batch_size=micro_batch_size)
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def _num_items(self, domain_key: str) -> int:
+        if self.store is not None:
+            return self.store.tables[domain_key].num_items
+        task = getattr(self.model, "task", None)
+        if task is None:
+            raise ValueError(
+                "full-catalogue requests need an item count; pass explicit "
+                "candidates for models without a task"
+            )
+        return int(task.domain(domain_key).num_items)
+
+    def score(self, request: ScoreRequest, *, current_version: Optional[int] = None) -> ScoreResponse:
+        return self.score_batch([request], current_version=current_version)[0]
+
+    def score_batch(
+        self,
+        requests: Sequence[ScoreRequest],
+        *,
+        current_version: Optional[int] = None,
+    ) -> List[ScoreResponse]:
+        """Answer a batch of requests, micro-batching the head per domain."""
+        if self.store is not None:
+            self.store.assert_fresh(current_version)
+
+        batches: Dict[str, _DomainBatch] = {}
+        for position, request in enumerate(requests):
+            if request.domain not in DOMAIN_KEYS:
+                raise KeyError(f"unknown domain {request.domain!r}")
+            candidates = (
+                np.arange(self._num_items(request.domain), dtype=np.int64)
+                if request.candidates is None
+                else np.asarray(request.candidates, dtype=np.int64)
+            )
+            batch = batches.setdefault(request.domain, _DomainBatch())
+            batch.positions.append(position)
+            batch.lengths.append(candidates.shape[0])
+            batch.users.append(int(request.user))
+            batch.candidates.append(candidates)
+
+        responses: List[Optional[ScoreResponse]] = [None] * len(requests)
+        for domain_key, batch in batches.items():
+            flat_scores = self._score_domain(domain_key, batch)
+            offsets = np.cumsum([0, *batch.lengths])
+            for slot, position in enumerate(batch.positions):
+                request = requests[position]
+                scores = flat_scores[offsets[slot]:offsets[slot + 1]]
+                top = exact_top_k(scores, request.k)
+                responses[position] = ScoreResponse(
+                    domain=domain_key,
+                    user=batch.users[slot],
+                    items=batch.candidates[slot][top],
+                    scores=scores[top],
+                    cold_start=self._is_cold(domain_key, batch.users[slot]),
+                    generation=self.store.generation if self.store else 0,
+                    params_version=(
+                        self.store.params_version if self.store else 0
+                    ),
+                )
+        return responses  # type: ignore[return-value]
+
+    def _is_cold(self, domain_key: str, user: int) -> bool:
+        if self.store is None:
+            return False
+        return not bool(self.store.tables[domain_key].warm[user])
+
+    def _score_domain(self, domain_key: str, batch: _DomainBatch) -> np.ndarray:
+        """Flat scores for every (user, candidate) pair of one domain."""
+        lengths = np.asarray(batch.lengths, dtype=np.int64)
+        flat_items = (
+            np.concatenate(batch.candidates)
+            if batch.candidates
+            else np.empty(0, dtype=np.int64)
+        )
+        total = int(flat_items.shape[0])
+        if total == 0:
+            return np.empty(0)
+
+        if self.store is not None:
+            table = self.store.tables[domain_key]
+            user_rows = np.stack(
+                [table.user_row(user) for user in batch.users], axis=0
+            )
+            flat_users = np.repeat(user_rows, lengths, axis=0)
+            item_rows = table.items[flat_items]
+            chunks = [
+                self.model.score_pairs(
+                    domain_key,
+                    flat_users[start:start + self.micro_batch_size],
+                    item_rows[start:start + self.micro_batch_size],
+                )
+                for start in range(0, total, self.micro_batch_size)
+            ]
+        else:
+            flat_user_ids = np.repeat(
+                np.asarray(batch.users, dtype=np.int64), lengths
+            )
+            chunks = [
+                self.model.score(
+                    domain_key,
+                    flat_user_ids[start:start + self.micro_batch_size],
+                    flat_items[start:start + self.micro_batch_size],
+                )
+                for start in range(0, total, self.micro_batch_size)
+            ]
+        return np.concatenate([np.asarray(chunk).reshape(-1) for chunk in chunks])

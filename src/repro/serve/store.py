@@ -1,0 +1,448 @@
+"""Persistent, versioned representation store for online serving.
+
+The store materialises the arrays a :class:`repro.core.RepresentationModel`
+needs at query time — per-user encoder outputs (``user_g1``), the matching
+module's output (``user_g3``, the cold-start serving path), the complemented
+head input (``user_g4``) and the item representations — as plain numpy
+tables, one :class:`DomainTable` per domain.  Scoring a request is then a
+row gather plus one prediction-head call (:meth:`score_pairs`), never a
+model forward.
+
+Versioning follows the exchange plane's generation-counted convention
+(:mod:`repro.core.exchange`): every refresh bumps ``generation``; the
+caller-supplied ``params_version`` (typically the optimiser ``step_count``)
+records which parameters the tables were computed from, and reads beyond
+``params_version + max_staleness`` raise :class:`StaleRepresentationError`
+instead of silently serving stale rows.
+
+Incremental refresh
+-------------------
+
+:func:`component_digests` partitions the model's parameters into the
+pipeline components that produce each table — per-domain encoder inputs
+(``encode_a``/``encode_b``: embeddings + graph encoder), the shared
+matching/complementing stack (``match``) and the per-domain prediction
+heads (``head_a``/``head_b``) — and hashes each group.  A refresh compares
+digests and recomputes only what changed:
+
+* head-only update → no forward at all (the head reads store rows at query
+  time, so the tables are still exact);
+* one domain's encoder changed → re-encode that domain only, splice the
+  other domain's stored ``user_g1``/``items`` back in, re-run matching;
+* matching changed → re-run matching over the stored encoder outputs.
+
+Exactness is automatic: a component is skipped only when its parameter
+bytes are identical, the encoder consumes no rng, and the matching stage's
+pool draws are replayed from the rng snapshot taken at build time — so an
+incremental refresh is bit-identical to a full rebuild from the same
+snapshot (gated in ``tests/test_serve.py``).
+
+rng policy: :meth:`RepresentationStore.build` *consumes* the model's live
+generators exactly like ``prepare_for_evaluation`` (so replacing an ad-hoc
+evaluation forward with a store build leaves downstream numerics
+unchanged) and snapshots their pre-forward states into the store meta;
+:meth:`RepresentationStore.refresh` restores that snapshot around its
+forward and puts the live states back afterwards, leaving any concurrent
+training stream unperturbed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.checkpoint import (
+    _json_default,
+    _payload_digest,
+    generator_state,
+    set_generator_state,
+)
+from ..core.nmcdr import DomainRepresentations
+from ..core.task import DOMAIN_KEYS
+from ..tensor import Tensor, no_grad
+from ..tensor import engine as tensor_engine
+from ..tensor.trace import model_rng_sources
+
+__all__ = [
+    "STORE_VERSION",
+    "DomainTable",
+    "RepresentationStore",
+    "StaleRepresentationError",
+    "StoreError",
+    "component_digests",
+]
+
+#: Schema version of the store archive; bumped on incompatible changes.
+STORE_VERSION = 1
+
+_STORE_FILENAME = "representations.npz"
+
+#: Table stages persisted per domain (plus the ``warm`` mask).
+_STAGES = ("user_g1", "user_g3", "user_g4", "items")
+
+#: Per-domain parameter members feeding stages 0/1 (the encoder outputs).
+_ENCODE_MEMBERS = frozenset({"user_embedding", "item_embedding", "encoder"})
+#: Per-domain members that only score store rows (no table depends on them).
+_HEAD_MEMBERS = frozenset({"prediction"})
+
+
+class StoreError(RuntimeError):
+    """A representation store could not be built, parsed or validated."""
+
+
+class StaleRepresentationError(StoreError):
+    """A read exceeded the store's configured staleness bound."""
+
+
+def _component_of(name: str) -> str:
+    """Map one parameter name to the store component it feeds.
+
+    Parameters outside the recognised per-domain layout fall into
+    ``match`` — the conservative bucket, whose change forces the matching
+    recursion (and therefore every user table) to be recomputed.
+    """
+    for key in DOMAIN_KEYS:
+        prefix = f"domain_{key}_params."
+        if name.startswith(prefix):
+            member = name[len(prefix):].split(".", 1)[0]
+            if member in _ENCODE_MEMBERS:
+                return f"encode_{key}"
+            if member in _HEAD_MEMBERS:
+                return f"head_{key}"
+            return "match"
+    return "match"
+
+
+def component_digests(model) -> Dict[str, str]:
+    """SHA-256 per store component over the component's parameter bytes."""
+    groups: Dict[str, Dict[str, np.ndarray]] = {}
+    for name, value in model.state_dict().items():
+        groups.setdefault(_component_of(name), {})[name] = value
+    return {
+        component: _payload_digest(arrays)
+        for component, arrays in sorted(groups.items())
+    }
+
+
+@dataclass
+class DomainTable:
+    """One domain's persisted representation arrays.
+
+    ``warm`` marks users with at least one training interaction in this
+    domain; users outside the mask are served from ``user_g3`` — the
+    matching-module output, which equals ``user_g4`` for edge-less users
+    (the complementing stage is the identity on degree-0 rows) and is the
+    paper's cross-domain answer for cold-start users.
+    """
+
+    user_g1: np.ndarray
+    user_g3: np.ndarray
+    user_g4: np.ndarray
+    items: np.ndarray
+    warm: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.user_g4.shape[0])
+
+    @property
+    def num_items(self) -> int:
+        return int(self.items.shape[0])
+
+    def user_row(self, user: int) -> np.ndarray:
+        """The serving row for one user: ``user_g4`` warm, ``user_g3`` cold."""
+        table = self.user_g4 if self.warm[user] else self.user_g3
+        return table[user]
+
+
+class RepresentationStore:
+    """Generation-counted per-domain representation tables; see module docs."""
+
+    def __init__(self, tables: Dict[str, DomainTable], meta: Dict) -> None:
+        self.tables = tables
+        self.meta = meta
+        #: Component/timing stats of the most recent :meth:`refresh`.
+        self.last_refresh: Optional[Dict] = None
+
+    # ------------------------------------------------------------------
+    # versioning
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return int(self.meta["generation"])
+
+    @property
+    def params_version(self) -> int:
+        return int(self.meta["params_version"])
+
+    @property
+    def max_staleness(self) -> int:
+        return int(self.meta["max_staleness"])
+
+    def assert_fresh(self, current_version: Optional[int]) -> None:
+        """Raise when the live parameter version outruns the staleness bound."""
+        if current_version is None:
+            return
+        lag = int(current_version) - self.params_version
+        if lag > self.max_staleness:
+            raise StaleRepresentationError(
+                f"store generation {self.generation} holds representations of "
+                f"parameter version {self.params_version}; the live version "
+                f"{int(current_version)} exceeds the staleness bound of "
+                f"{self.max_staleness} update(s) — refresh() before serving"
+            )
+
+    def domain(self, key: str, *, current_version: Optional[int] = None) -> DomainTable:
+        """The domain's table, staleness-checked against ``current_version``."""
+        self.assert_fresh(current_version)
+        try:
+            return self.tables[key]
+        except KeyError:
+            raise StoreError(f"store holds no domain {key!r}") from None
+
+    # ------------------------------------------------------------------
+    # build / refresh
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        model,
+        task,
+        *,
+        params_version: int = 0,
+        max_staleness: int = 0,
+        rng_states: Optional[Sequence[Dict]] = None,
+    ) -> "RepresentationStore":
+        """Materialise the tables with one full encode+match forward.
+
+        Consumes the model's live rng streams exactly like
+        ``prepare_for_evaluation`` and snapshots their pre-forward states
+        into the meta so refreshes (and rebuild comparisons, via
+        ``rng_states``) replay the same matching-pool draws.
+        """
+        if not model.capabilities().encode_match_split:
+            raise TypeError(
+                f"{type(model).__name__} does not declare the "
+                "encode_match_split capability; serve it through the "
+                "Scorer's model-delegation path instead"
+            )
+        sources = model_rng_sources(model)
+        if rng_states is not None:
+            if len(rng_states) != len(sources):
+                raise StoreError(
+                    f"rng_states carries {len(rng_states)} states but the "
+                    f"model exposes {len(sources)} rng sources"
+                )
+            for rng, state in zip(sources, rng_states):
+                set_generator_state(rng, state)
+        snapshot = [generator_state(rng) for rng in sources]
+
+        was_training = model.training
+        start = perf_counter()
+        model.eval()
+        try:
+            with no_grad():
+                reps = model.match_representations(model.encode_representations())
+        finally:
+            if was_training:
+                model.train()
+        build_seconds = perf_counter() - start
+
+        tables = {}
+        for key in DOMAIN_KEYS:
+            tables[key] = DomainTable(
+                **{
+                    stage: np.array(reps[key][stage].data, copy=True)
+                    for stage in _STAGES
+                },
+                warm=task.domain(key).train_graph.user_degrees() > 0,
+            )
+        meta = {
+            "format_version": STORE_VERSION,
+            "generation": 1,
+            "params_version": int(params_version),
+            "max_staleness": int(max_staleness),
+            "engine_dtype": tensor_engine.get_dtype().str,
+            "rng_sources": snapshot,
+            "component_digests": component_digests(model),
+            "build_seconds": build_seconds,
+        }
+        return cls(tables, meta)
+
+    def refresh(self, model, *, params_version: Optional[int] = None) -> Dict:
+        """Recompute exactly the tables whose parameters changed; see module docs.
+
+        Returns (and records in :attr:`last_refresh`) what was recomputed
+        and how long each stage took.  The model's live rng streams are
+        restored afterwards, so a refresh inside a training loop does not
+        perturb the training stream.
+        """
+        digests = component_digests(model)
+        previous = self.meta["component_digests"]
+        changed = sorted(
+            name
+            for name in set(digests) | set(previous)
+            if digests.get(name) != previous.get(name)
+        )
+        stale_encode = tuple(key for key in DOMAIN_KEYS if f"encode_{key}" in changed)
+        needs_match = bool(stale_encode) or "match" in changed
+
+        start = perf_counter()
+        encode_seconds = 0.0
+        match_seconds = 0.0
+        if needs_match:
+            sources = model_rng_sources(model)
+            saved = self.meta["rng_sources"]
+            if len(sources) != len(saved):
+                raise StoreError(
+                    f"store snapshot carries {len(saved)} rng states but the "
+                    f"model exposes {len(sources)} rng sources"
+                )
+            live_states = [generator_state(rng) for rng in sources]
+            for rng, state in zip(sources, saved):
+                set_generator_state(rng, state)
+            was_training = model.training
+            model.eval()
+            try:
+                with no_grad():
+                    encode_start = perf_counter()
+                    encoded = (
+                        model.encode_representations(keys=stale_encode)
+                        if stale_encode
+                        else {}
+                    )
+                    encode_seconds = perf_counter() - encode_start
+                    for key in DOMAIN_KEYS:
+                        if key not in encoded:
+                            # Splice the still-valid stored encoder outputs
+                            # back in; matching reads only user_g1 + items.
+                            table = self.tables[key]
+                            encoded[key] = DomainRepresentations(
+                                user_g1=Tensor(table.user_g1),
+                                items=Tensor(table.items),
+                            )
+                    match_start = perf_counter()
+                    reps = model.match_representations(encoded)
+                    match_seconds = perf_counter() - match_start
+            finally:
+                if was_training:
+                    model.train()
+                for rng, state in zip(sources, live_states):
+                    set_generator_state(rng, state)
+            for key in DOMAIN_KEYS:
+                table = self.tables[key]
+                if key in stale_encode:
+                    table.user_g1 = np.array(reps[key]["user_g1"].data, copy=True)
+                    table.items = np.array(reps[key]["items"].data, copy=True)
+                table.user_g3 = np.array(reps[key]["user_g3"].data, copy=True)
+                table.user_g4 = np.array(reps[key]["user_g4"].data, copy=True)
+
+        self.meta["component_digests"] = digests
+        self.meta["generation"] = self.generation + 1
+        if params_version is not None:
+            self.meta["params_version"] = int(params_version)
+        self.last_refresh = {
+            "changed": changed,
+            "recomputed_encode": list(stale_encode),
+            "recomputed_match": needs_match,
+            "seconds": perf_counter() - start,
+            "encode_seconds": encode_seconds,
+            "match_seconds": match_seconds,
+        }
+        return self.last_refresh
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _arrays(self) -> Dict[str, np.ndarray]:
+        arrays: Dict[str, np.ndarray] = {}
+        for key, table in self.tables.items():
+            for stage in _STAGES:
+                arrays[f"{key}::{stage}"] = getattr(table, stage)
+            arrays[f"{key}::warm"] = table.warm
+        return arrays
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Atomically persist the tables + meta as one ``.npz`` archive."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        arrays = self._arrays()
+        meta = dict(self.meta)
+        meta["digest"] = _payload_digest(arrays)
+        payload = dict(arrays)
+        payload["meta"] = np.frombuffer(
+            json.dumps(meta, default=_json_default).encode("utf-8"), dtype=np.uint8
+        )
+        final_path = directory / _STORE_FILENAME
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=final_path.name + ".tmp-", dir=str(directory)
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, final_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return final_path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RepresentationStore":
+        """Parse and integrity-check a persisted store archive."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / _STORE_FILENAME
+        if not path.exists():
+            raise StoreError(f"representation store not found: {path}")
+        try:
+            with np.load(path) as archive:
+                if "meta" not in archive.files:
+                    raise StoreError(
+                        f"{path} is not a representation store (no meta entry)"
+                    )
+                meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+                arrays = {
+                    name: archive[name] for name in archive.files if name != "meta"
+                }
+        except StoreError:
+            raise
+        except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError) as error:
+            raise StoreError(
+                f"representation store {path} is truncated or corrupted "
+                f"({error!r}); rebuild it from a checkpoint"
+            ) from error
+        version = meta.get("format_version")
+        if version != STORE_VERSION:
+            raise StoreError(
+                f"store {path} has format version {version!r}; this build "
+                f"reads version {STORE_VERSION} — rebuild from a checkpoint"
+            )
+        digest = meta.pop("digest", None)
+        if digest != _payload_digest(arrays):
+            raise StoreError(
+                f"store {path} failed integrity verification (payload digest "
+                "mismatch); rebuild it from a checkpoint"
+            )
+        tables: Dict[str, DomainTable] = {}
+        for key in DOMAIN_KEYS:
+            fields = {}
+            for stage in (*_STAGES, "warm"):
+                name = f"{key}::{stage}"
+                if name not in arrays:
+                    raise StoreError(f"store {path} is missing array {name!r}")
+                fields[stage] = arrays[name]
+            tables[key] = DomainTable(**fields)
+        return cls(tables, meta)

@@ -10,6 +10,8 @@ from repro.experiments.online_ab import (
     _PopularityPolicy,
     build_online_world,
 )
+from repro.nn import ModelCapabilities
+from repro.serve import Scorer
 
 
 @pytest.fixture(scope="module")
@@ -81,8 +83,32 @@ class TestPolicies:
 
     def test_model_policy_picks_highest_score(self):
         class FakeModel:
+            def capabilities(self):
+                return ModelCapabilities()  # no encode/match split: delegation path
+
+            def prepare_for_evaluation(self):
+                pass
+
             def score(self, domain_key, users, items):
                 return np.asarray(items, dtype=float)  # larger item id = higher score
 
-        policy = _ModelPolicy(FakeModel(), "a")
+        policy = _ModelPolicy(Scorer(FakeModel()), "a")
         assert policy.choose(user=3, slate=np.array([4, 9, 1])) == 9
+
+    def test_model_policy_breaks_ties_like_argmax(self):
+        """Duplicate slate items score equal; the first occurrence must win."""
+
+        class FakeModel:
+            def capabilities(self):
+                return ModelCapabilities()
+
+            def prepare_for_evaluation(self):
+                pass
+
+            def score(self, domain_key, users, items):
+                return np.where(np.asarray(items) == 7, 1.0, 0.0)
+
+        policy = _ModelPolicy(Scorer(FakeModel()), "a")
+        slate = np.array([2, 7, 5, 7])
+        scores = FakeModel().score("a", None, slate)
+        assert policy.choose(user=0, slate=slate) == int(slate[np.argmax(scores)])
