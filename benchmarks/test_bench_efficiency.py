@@ -1461,6 +1461,49 @@ def _run_serving():
         for stage in ("user_g1", "user_g3", "user_g4", "items")
     )
 
+    # ------------------------------------------------------------------
+    # resilience drill: load shedding, deadlines and the degradation
+    # ladder must answer *typed* (never hang, never raise through the
+    # loop), and pure rejection must stay cheap — the request path's
+    # overload behaviour is a serving metric like any other.
+    # ------------------------------------------------------------------
+    from repro.core import faults as fault_inject
+    from repro.serve import ServeHealth
+
+    health = ServeHealth()
+    typed_ok = True
+
+    shed_only = Scorer(model, store, queue_limit=0, health=health)
+    shed_batch = _random_requests(256)
+    start = time.perf_counter()
+    shed_responses = shed_only.score_batch(shed_batch, collect_errors=True)
+    shed_wall_s = time.perf_counter() - start
+    typed_ok &= all(
+        getattr(r, "error", None) == "overload" for r in shed_responses
+    )
+
+    expired = Scorer(model, store, default_deadline_ms=0.0, health=health)
+    typed_ok &= all(
+        getattr(r, "error", None) == "deadline_exceeded"
+        for r in expired.score_batch(_random_requests(8), collect_errors=True)
+    )
+
+    laddered = Scorer(model, store, hard_staleness=4, health=health)
+    saved_staleness = store.meta["max_staleness"]
+    store.meta["max_staleness"] = 2
+    rungs = []
+    try:
+        for lag in (1, 3, 9):  # stale / cold-path / past-the-ladder
+            fault_inject.configure(fault_inject.FaultSpec("store_stale", lag=lag))
+            outcome = laddered.score_batch(
+                [ScoreRequest("a", 0, k=5)], collect_errors=True
+            )[0]
+            rungs.append(getattr(outcome, "error", None) or outcome.degraded)
+    finally:
+        store.meta["max_staleness"] = saved_staleness
+        fault_inject.clear()
+    ladder_ok = rungs == ["stale", "cold_path", "unavailable"]
+
     import os
 
     return {
@@ -1481,6 +1524,11 @@ def _run_serving():
         "throughput_req_s": num_requests / batched_wall_s,
         "latency_p50_ms": float(np.percentile(latencies, 50) * 1e3),
         "latency_p95_ms": float(np.percentile(latencies, 95) * 1e3),
+        "resilience_typed_ok": bool(typed_ok),
+        "ladder_ok": bool(ladder_ok),
+        "ladder_rungs": rungs,
+        "shed_req_s": len(shed_batch) / shed_wall_s,
+        "resilience_counters": health.snapshot()["requests"],
     }
 
 
@@ -1512,6 +1560,9 @@ def test_bench_serving(benchmark):
         f"scoring: {record['throughput_req_s']:8.1f} req/s batched "
         f"(k={record['k']}, full catalogue), latency p50 "
         f"{record['latency_p50_ms']:.2f} ms / p95 {record['latency_p95_ms']:.2f} ms",
+        f"resilience: typed outcomes {record['resilience_typed_ok']}, ladder "
+        f"{'→'.join(record['ladder_rungs'])} ok={record['ladder_ok']}, "
+        f"load shedding {record['shed_req_s']:8.1f} rejections/s",
     ]
     write_report("efficiency_serving", "\n".join(lines))
     _update_bench_json(
@@ -1538,4 +1589,12 @@ def test_bench_serving(benchmark):
         "one-domain incremental refresh not cheaper than a full rebuild: "
         f"{record['incremental_refresh_s'] * 1e3:.1f} ms vs "
         f"{record['rebuild_s'] * 1e3:.1f} ms"
+    )
+    assert record["resilience_typed_ok"], (
+        "overload/deadline drill produced an untyped outcome "
+        f"(counters: {record['resilience_counters']})"
+    )
+    assert record["ladder_ok"], (
+        "degradation ladder walked the wrong rungs: "
+        f"{record['ladder_rungs']} (expected stale → cold_path → unavailable)"
     )

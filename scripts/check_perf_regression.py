@@ -523,6 +523,18 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                 f"serving: incremental refresh {refresh_s * 1e3:.1f}ms not "
                 f"below the paired full rebuild {rebuild_s * 1e3:.1f}ms"
             )
+        # Resilience canaries: every overload/deadline outcome in the bench
+        # drill must be a typed response, and the injected-staleness walk
+        # must descend the ladder rung by rung.
+        if not fresh_serving.get("resilience_typed_ok", True):
+            failures.append(
+                "serving: overload/deadline drill produced an untyped outcome"
+            )
+        if not fresh_serving.get("ladder_ok", True):
+            failures.append(
+                "serving: degradation ladder walked the wrong rungs "
+                f"({fresh_serving.get('ladder_rungs')})"
+            )
     if (
         base_serving
         and fresh_serving
@@ -555,6 +567,20 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> int:
                 failures.append(
                     f"serving: p95 request latency regressed {change * 100:+.1f}% "
                     f"({base_p95:.2f} -> {fresh_p95:.2f} ms)"
+                )
+        base_shed = base_serving.get("shed_req_s")
+        fresh_shed = fresh_serving.get("shed_req_s")
+        if base_shed and fresh_shed:
+            # Shedding must stay cheap: a rejection that costs as much as an
+            # answer defeats the point of admission control.
+            change = base_shed / fresh_shed - 1.0
+            rows.append(
+                ("serving shed s/rejection", 1.0 / base_shed, 1.0 / fresh_shed, change)
+            )
+            if change > threshold:
+                failures.append(
+                    f"serving: load-shedding throughput regressed {change * 100:+.1f}% "
+                    f"({base_shed:.0f} -> {fresh_shed:.0f} rejections/s)"
                 )
 
     print(f"perf gate (threshold: +{threshold * 100:.0f}% train s/batch)")

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""End-to-end hot-reload smoke for the serving tier (CI fast job).
+
+Drives the full validate-then-swap cycle through the public python API:
+
+1. train a tiny two-epoch run with per-epoch checkpointing,
+2. open a serve session pinned to the *first* checkpoint and answer a
+   request slate,
+3. let :class:`HotReloader` discover the second checkpoint, validate it
+   (digest, config fingerprint, canary slate) and swap it in,
+4. assert the swapped session's answers are bit-identical (float64) to a
+   cold session built directly from the second checkpoint, the serving
+   generation advanced by exactly one, and ``--verify``-style full-model
+   rescoring agrees with the hot answers.
+
+Exit code 0 on success, 1 with a diagnostic on any divergence.  The drill
+is fully deterministic (fixed seed, float64 scoring), so a failure here is
+a real reload bug, never flakiness.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_reload_smoke.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.core.checkpoint import list_checkpoints  # noqa: E402
+from repro.serve import HotReloader, ServeSession  # noqa: E402
+
+REQUESTS = [
+    {"domain": "a", "user": 0, "k": 5},
+    {"domain": "a", "user": 7, "k": 3},
+    {"domain": "b", "user": 2, "k": 5},
+    {"domain": "b", "user": 11, "k": 4},
+]
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def answers(session: ServeSession) -> list:
+    return [session.answer(dict(payload)) for payload in REQUESTS]
+
+
+def run(workdir: Path) -> None:
+    run_dir = workdir / "run"
+    rc = cli_main(
+        [
+            "train",
+            "--scenario", "cloth_sport",
+            "--scale", "0.3",
+            "--epochs", "2",
+            "--embedding-dim", "16",
+            "--negatives", "10",
+            "--seed", "0",
+            "--checkpoint-dir", str(run_dir),
+            "--checkpoint-every", "1",
+        ]
+    )
+    if rc != 0:
+        fail(f"training exited with code {rc}")
+    checkpoints = list_checkpoints(run_dir)
+    if len(checkpoints) != 2:
+        fail(f"expected 2 checkpoints, found {len(checkpoints)}")
+    first, second = checkpoints
+
+    hot = ServeSession.from_checkpoint_dir(run_dir, checkpoint=first, use_best=False)
+    old_generation = hot.scorer.store.generation
+    before = answers(hot)  # the pre-swap slate must come from checkpoint 1
+    print(f"serving checkpoint {first.name} at generation {old_generation}")
+
+    reloader = HotReloader(hot, use_best=False)
+    result = reloader.check()
+    if result is None or not result.swapped:
+        fail(f"reloader did not swap to {second.name}: {result!r}")
+    if result["generation"] != old_generation + 1:
+        fail(
+            f"generation advanced {old_generation} -> {result['generation']}, "
+            "expected exactly +1"
+        )
+    if hot.checkpoint_path != second:
+        fail(f"session still pinned to {hot.checkpoint_path}")
+    print(f"hot-swapped to {second.name} at generation {result['generation']}")
+
+    cold = ServeSession.from_checkpoint_dir(run_dir, checkpoint=second, use_best=False)
+    after = answers(hot)
+    for hot_response, cold_response in zip(after, answers(cold)):
+        if hot_response["items"] != cold_response["items"]:
+            fail(f"item slate diverged from cold rebuild: {hot_response}")
+        if hot_response["scores"] != cold_response["scores"]:
+            fail(f"scores diverged from cold rebuild (float64): {hot_response}")
+        if hot_response["params_version"] != cold_response["params_version"]:
+            fail(f"params_version diverged from cold rebuild: {hot_response}")
+    if after == before:
+        fail("answers unchanged across the swap — the new params never landed")
+
+    for payload, response in zip(REQUESTS, after):
+        if not hot.verify(dict(payload), response):
+            fail(f"full-model rescoring disagreed with the hot answer: {response}")
+
+    print("hot swap bit-identical to cold rebuild; verify agrees")
+    print(json.dumps(hot.health.snapshot()["reload"]))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for the trained run (default: a fresh temp dir)",
+    )
+    args = parser.parse_args()
+    if args.workdir:
+        workdir = Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        run(workdir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="serve-reload-smoke-") as tmp:
+            run(Path(tmp))
+    print("OK: serve hot-reload smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

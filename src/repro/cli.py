@@ -331,6 +331,55 @@ def build_parser() -> argparse.ArgumentParser:
             "on any divergence (the CI exactness smoke)"
         ),
     )
+    serve.add_argument(
+        "--watch",
+        action="store_true",
+        help=(
+            "poll the checkpoint directory between requests and hot-swap "
+            "newer checkpoints after validate-then-swap"
+        ),
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help=(
+            "default per-request deadline in milliseconds; expired requests "
+            "answer with a typed deadline_exceeded error"
+        ),
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help=(
+            "bounded admission queue size; requests beyond it are shed with "
+            "a typed overload error instead of queueing unboundedly"
+        ),
+    )
+    serve.add_argument(
+        "--hard-staleness",
+        type=int,
+        default=None,
+        help=(
+            "staleness lag (parameter updates) up to which requests are "
+            "served from the matching-module cold path; beyond it requests "
+            "answer with a typed unavailable error"
+        ),
+    )
+    serve.add_argument(
+        "--health",
+        action="store_true",
+        help="print the ServeHealth snapshot (JSON) to stderr at exit",
+    )
+    serve.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "fail the process on the first malformed line or request error "
+            "instead of answering with a typed error response"
+        ),
+    )
 
     return parser
 
@@ -612,7 +661,7 @@ def _command_serve(args: argparse.Namespace) -> str:
     """
     import sys
 
-    from .serve import ServeSession
+    from .serve import HotReloader, ServeSession
 
     session = ServeSession.from_checkpoint_dir(
         args.checkpoint_dir,
@@ -620,6 +669,14 @@ def _command_serve(args: argparse.Namespace) -> str:
         max_staleness=args.max_staleness,
         micro_batch_size=args.micro_batch_size,
         use_best=not args.final_params,
+        queue_limit=args.queue_limit,
+        default_deadline_ms=args.deadline_ms,
+        hard_staleness=args.hard_staleness,
+    )
+    reloader = (
+        HotReloader(session, use_best=not args.final_params)
+        if args.watch
+        else None
     )
     if args.store_dir is not None and session.scorer.store is not None:
         session.scorer.store.save(args.store_dir)
@@ -628,10 +685,16 @@ def _command_serve(args: argparse.Namespace) -> str:
     else:
         lines = sys.stdin
     for response_line in session.serve_lines(
-        lines, default_k=args.topk, verify=args.verify
+        lines,
+        default_k=args.topk,
+        verify=args.verify,
+        robust=not args.strict,
+        reloader=reloader,
     ):
         print(response_line, flush=True)
     print(session.summary(), file=sys.stderr)
+    if args.health:
+        print(json.dumps(session.health.snapshot()), file=sys.stderr)
     return ""
 
 

@@ -366,8 +366,9 @@ def load_checkpoint(
     digest = _payload_digest(arrays)
     if digest != meta.get("digest"):
         raise CheckpointError(
-            f"checkpoint {path} failed integrity verification (payload digest "
-            "mismatch); the file is corrupted"
+            f"checkpoint {path} failed integrity verification: payload "
+            f"digest {digest[:12]}… does not match recorded "
+            f"{str(meta.get('digest'))[:12]}…; the file is corrupted"
         )
 
     parameters = {

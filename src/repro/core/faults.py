@@ -34,6 +34,30 @@ Injection points
     the matching step's begin (fresh segments, bumped generations) as if the
     step's payload had overflowed — workers must re-attach mid-epoch and the
     training stream must stay bit-identical.
+``reload_corrupt``
+    The serve-tier hot reloader corrupts what it is about to trust: with
+    ``phase=file`` it flips bytes in the checkpoint archive before loading
+    (the digest check must reject it); with ``phase=table`` it perturbs
+    the freshly built *shadow* store tables (the canary slate must reject
+    it).  A phase-less spec fires at the first site reached (``file``).
+    Either way the serving generation must roll back untouched.
+``reload_crash``
+    A hard ``os._exit`` mid-reload: ``phase=publish`` dies inside
+    :meth:`RepresentationStore.save` between the shadow ``.npz`` write and
+    the atomic rename (the prior archive must stay loadable, generation
+    unbumped); ``phase=swap`` dies in the hot reloader after the shadow
+    store was built but before the swap (no persisted artifact may be
+    torn).
+``store_stale``
+    The scorer front end sees an artificial staleness lag of ``lag``
+    parameter updates, driving the serve degradation ladder (stale-flagged
+    answers, the matching-module cold path, the typed unavailable error)
+    without a live trainer.
+``scorer_slow``
+    The scorer sleeps ``delay`` seconds inside its micro-batch loop
+    (optionally only at micro-batch index ``step``) — the lever that makes
+    request deadlines observable and proves deadline enforcement never
+    hangs.
 
 Respawn semantics
 -----------------
@@ -51,6 +75,8 @@ retry budgets to exhaustion and test graceful degradation.
     REPRO_FAULTS="worker_exit:shard=1:step=2,worker_slow:delay=0.2"
     REPRO_FAULTS="worker_exit:shard=0:refire,parent_exit:epoch=2"
     REPRO_FAULTS="exchange_overflow:step=3"
+    REPRO_FAULTS="reload_corrupt:phase=file,scorer_slow:delay=0.2"
+    REPRO_FAULTS="store_stale:lag=7,reload_crash:phase=publish"
 """
 
 from __future__ import annotations
@@ -72,6 +98,10 @@ __all__ = [
     "checkpoint_should_crash",
     "checkpoint_should_corrupt",
     "parent_boundary",
+    "reload_should_corrupt",
+    "reload_crash_point",
+    "injected_staleness_lag",
+    "scorer_chunk",
 ]
 
 #: Exit code used by injected hard-crash faults, distinct from real failures.
@@ -86,6 +116,10 @@ _POINTS = _WORKER_POINTS + (
     "checkpoint_corrupt",
     "parent_exit",
     "exchange_overflow",
+    "reload_corrupt",
+    "reload_crash",
+    "store_stale",
+    "scorer_slow",
 )
 
 
@@ -104,8 +138,11 @@ class FaultSpec:
     phase: Optional[str] = None
     #: Restrict ``parent_exit`` to one epoch boundary.
     epoch: Optional[int] = None
-    #: Sleep length for ``worker_slow`` (and override for ``worker_hang``).
+    #: Sleep length for ``worker_slow``/``scorer_slow`` (and override for
+    #: ``worker_hang``).
     delay: float = 0.0
+    #: Injected staleness lag for ``store_stale`` (payload, not a filter).
+    lag: int = 0
     #: How many times this spec may fire in one process (per process copy —
     #: a forked worker starts from the parent's remaining budget).
     count: int = 1
@@ -122,6 +159,8 @@ class FaultSpec:
             raise ValueError("count must be >= 1")
         if self.delay < 0:
             raise ValueError("delay must be >= 0")
+        if self.lag < 0:
+            raise ValueError("lag must be >= 0")
 
 
 _specs: List[FaultSpec] = []
@@ -161,7 +200,7 @@ def parse_spec(text: str) -> FaultSpec:
     for part in parts[1:]:
         if "=" in part:
             key, value = part.split("=", 1)
-            if key in ("shard", "step", "epoch", "count"):
+            if key in ("shard", "step", "epoch", "count", "lag"):
                 kwargs[key] = int(value)
             elif key == "delay":
                 kwargs[key] = float(value)
@@ -262,3 +301,37 @@ def parent_boundary(epoch: Optional[int] = None, step: Optional[int] = None) -> 
     """Parent-side hook at epoch/step boundaries (after due checkpoints)."""
     if fire("parent_exit", epoch=epoch, step=step) is not None:
         os._exit(FAULT_EXIT_CODE)
+
+
+def reload_should_corrupt(phase: str) -> bool:
+    """Hot-reloader hook: corrupt the artifact handled at ``phase``.
+
+    ``phase="file"`` corrupts the checkpoint archive before loading;
+    ``phase="table"`` corrupts the freshly built shadow store tables.  A
+    phase-less spec fires at the first site reached (``file``).
+    """
+    return fire("reload_corrupt", phase=phase) is not None
+
+
+def reload_crash_point(phase: str) -> None:
+    """Hard-kill hook inside the reload/publish critical sections.
+
+    ``phase="publish"`` sits between the store's shadow ``.npz`` write and
+    its atomic rename; ``phase="swap"`` sits between the shadow store build
+    and the in-process swap.
+    """
+    if fire("reload_crash", phase=phase) is not None:
+        os._exit(FAULT_EXIT_CODE)
+
+
+def injected_staleness_lag() -> Optional[int]:
+    """Scorer-side hook: an artificial staleness lag, or ``None``."""
+    spec = fire("store_stale")
+    return spec.lag if spec is not None else None
+
+
+def scorer_chunk(chunk: int) -> None:
+    """Scorer-side hook at the top of every micro-batch (``step`` = index)."""
+    spec = fire("scorer_slow", step=chunk)
+    if spec is not None:
+        time.sleep(spec.delay)

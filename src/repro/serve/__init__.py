@@ -15,8 +15,24 @@ running a model forward per query:
 * :class:`ServeSession` — the ``repro serve`` entry point: rebuilds the
   model from a run manifest, loads a checkpoint params-only, builds the
   store and answers JSONL requests.
+
+Resilience (:mod:`repro.serve.health` / :mod:`repro.serve.reload`): the
+scorer front end carries a bounded admission queue, per-request deadlines
+and a staleness degradation ladder, every outcome counted on a shared
+:class:`ServeHealth`; :class:`HotReloader` promotes newer checkpoints
+validate-then-swap (digest, config fingerprint, canary slate) with
+counted rollback on any rejection.
 """
 
+from .health import (
+    DeadlineExceeded,
+    ErrorResponse,
+    ServeError,
+    ServeHealth,
+    ServeOverloadError,
+    ServeUnavailableError,
+)
+from .reload import CheckpointWatcher, HotReloader, ReloadResult
 from .scorer import ScoreRequest, ScoreResponse, Scorer, exact_top_k
 from .service import ServeSession, build_run_components, load_run_manifest
 from .store import (
@@ -40,4 +56,13 @@ __all__ = [
     "ServeSession",
     "build_run_components",
     "load_run_manifest",
+    "ServeError",
+    "ServeHealth",
+    "ServeOverloadError",
+    "ServeUnavailableError",
+    "DeadlineExceeded",
+    "ErrorResponse",
+    "CheckpointWatcher",
+    "HotReloader",
+    "ReloadResult",
 ]

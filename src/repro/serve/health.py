@@ -1,0 +1,208 @@
+"""Serve-path health accounting and the typed serving error hierarchy.
+
+The resilient request path never answers with unbounded latency or an
+untyped traceback: every outcome a request can have — answered fresh,
+answered degraded (stale store, matching-module cold path), shed at
+admission, expired past its deadline, or refused as unavailable — is a
+*typed* result, and every one of them is counted on a shared
+:class:`ServeHealth` object.  The same object counts the hot-reload
+lifecycle (attempts, swaps, rejected checkpoints with their rejection
+reason) so a ``repro serve --health`` probe, the profiler's ``serve``
+section and the fault-injection suite all read one coherent ledger.
+
+Error taxonomy
+--------------
+
+:class:`ServeError` is the base of every typed request failure; its
+``code`` attribute is the machine-readable token the JSONL loop emits:
+
+* :class:`ServeOverloadError` (``overload``) — the bounded admission queue
+  was full and the request was shed instead of queueing unboundedly;
+* :class:`DeadlineExceeded` (``deadline_exceeded``) — the request's
+  deadline expired before (or while) its candidates were scored; deadlines
+  are enforced cooperatively at micro-batch granularity, so a response is
+  never later than the deadline plus one micro-batch wall;
+* :class:`ServeUnavailableError` (``unavailable``) — the degradation
+  ladder ran out of rungs (the store lags beyond even the hard staleness
+  bound); the caller must refresh or reload before this user can be
+  served.
+
+:class:`~repro.serve.store.StaleRepresentationError` stays the store-level
+signal; the scorer's ladder converts it into a rung (serve flagged
+``degraded``) or, past the hard bound, a :class:`ServeUnavailableError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "DeadlineExceeded",
+    "ErrorResponse",
+    "ServeError",
+    "ServeHealth",
+    "ServeOverloadError",
+    "ServeUnavailableError",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of every typed request-path failure."""
+
+    code = "serve_error"
+
+
+class ServeOverloadError(ServeError):
+    """The bounded admission queue is full; the request was shed."""
+
+    code = "overload"
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before its slate was complete."""
+
+    code = "deadline_exceeded"
+
+
+class ServeUnavailableError(ServeError):
+    """No degradation rung can serve this request (store too stale)."""
+
+    code = "unavailable"
+
+
+@dataclass
+class ErrorResponse:
+    """One *failed* request, answered with a typed error instead of a slate.
+
+    Mirrors :class:`~repro.serve.scorer.ScoreResponse` shape-wise so the
+    JSONL loop can emit either; ``error`` carries the machine-readable code
+    (``overload`` / ``deadline_exceeded`` / ``unavailable`` / ``stale`` /
+    ``bad_request`` / ``malformed`` / ``internal``).
+    """
+
+    error: str
+    message: str
+    domain: Optional[str] = None
+    user: Optional[int] = None
+
+    def to_json(self) -> Dict:
+        payload: Dict = {"error": self.error, "message": self.message}
+        if self.domain is not None:
+            payload["domain"] = self.domain
+        if self.user is not None:
+            payload["user"] = int(self.user)
+        return payload
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, domain=None, user=None) -> "ErrorResponse":
+        code = getattr(exc, "code", None) or "internal"
+        return cls(error=code, message=str(exc), domain=domain, user=user)
+
+
+@dataclass
+class ServeHealth:
+    """Counters for every request outcome and reload event; see module docs.
+
+    One instance is shared by the :class:`~repro.serve.scorer.Scorer`, the
+    :class:`~repro.serve.reload.HotReloader` and the
+    :class:`~repro.serve.service.ServeSession` so the ``--health`` probe
+    reports the whole serving process, not one component.
+    """
+
+    # -- request path ---------------------------------------------------
+    requests_total: int = 0
+    responses_ok: int = 0
+    #: Degradation-ladder rung counts for *answered* requests.
+    served_fresh: int = 0
+    served_stale: int = 0
+    served_cold_path: int = 0
+    #: Cold-start users routed through the matching module (normal path).
+    cold_start_requests: int = 0
+    #: Typed failures.
+    shed: int = 0
+    deadline_exceeded: int = 0
+    unavailable: int = 0
+    request_errors: int = 0
+    #: Per-error-code breakdown of every typed failure emitted.
+    error_codes: Dict[str, int] = field(default_factory=dict)
+
+    # -- reload lifecycle ----------------------------------------------
+    reload_attempts: int = 0
+    reload_swapped: int = 0
+    reload_rejected: int = 0
+    #: Per-reason breakdown of rejected reloads (corrupt/config/canary/crash).
+    reload_rejected_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Serving generation after the most recent successful swap (0 = never).
+    last_swap_generation: int = 0
+
+    # ------------------------------------------------------------------
+    def count_response(self, rung: str, *, cold_start: bool = False) -> None:
+        """Record one answered request at the given ladder rung."""
+        self.requests_total += 1
+        self.responses_ok += 1
+        if rung == "fresh":
+            self.served_fresh += 1
+        elif rung == "stale":
+            self.served_stale += 1
+        elif rung == "cold_path":
+            self.served_cold_path += 1
+        else:  # pragma: no cover — programming error, not a serving state
+            raise ValueError(f"unknown degradation rung {rung!r}")
+        if cold_start:
+            self.cold_start_requests += 1
+
+    def count_error(self, code: str) -> None:
+        """Record one typed request failure by its error code."""
+        self.requests_total += 1
+        self.request_errors += 1
+        self.error_codes[code] = self.error_codes.get(code, 0) + 1
+        if code == "overload":
+            self.shed += 1
+        elif code == "deadline_exceeded":
+            self.deadline_exceeded += 1
+        elif code == "unavailable":
+            self.unavailable += 1
+
+    def count_reload(self, outcome: str, *, reason: Optional[str] = None,
+                     generation: Optional[int] = None) -> None:
+        """Record one reload attempt: ``swapped`` or ``rejected``."""
+        self.reload_attempts += 1
+        if outcome == "swapped":
+            self.reload_swapped += 1
+            if generation is not None:
+                self.last_swap_generation = int(generation)
+        elif outcome == "rejected":
+            self.reload_rejected += 1
+            key = reason or "unknown"
+            self.reload_rejected_reasons[key] = (
+                self.reload_rejected_reasons.get(key, 0) + 1
+            )
+        else:  # pragma: no cover — programming error, not a serving state
+            raise ValueError(f"unknown reload outcome {outcome!r}")
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """JSON-ready snapshot (the ``--health`` probe / profiler payload)."""
+        return {
+            "requests": {
+                "total": self.requests_total,
+                "ok": self.responses_ok,
+                "fresh": self.served_fresh,
+                "stale": self.served_stale,
+                "cold_path": self.served_cold_path,
+                "cold_start": self.cold_start_requests,
+                "errors": self.request_errors,
+                "shed": self.shed,
+                "deadline_exceeded": self.deadline_exceeded,
+                "unavailable": self.unavailable,
+                "error_codes": dict(self.error_codes),
+            },
+            "reload": {
+                "attempts": self.reload_attempts,
+                "swapped": self.reload_swapped,
+                "rejected": self.reload_rejected,
+                "rejected_reasons": dict(self.reload_rejected_reasons),
+                "last_swap_generation": self.last_swap_generation,
+            },
+        }

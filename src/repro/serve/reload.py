@@ -1,0 +1,369 @@
+"""Hot checkpoint reload with validate-then-swap for the serving tier.
+
+A long-lived serve process must pick up the trainer's newer checkpoints
+without restarting — the ROADMAP's streaming-refresh item — but it must
+*never* promote a checkpoint it has not proven servable: a truncated file,
+a flipped byte, a config drift or a store-build defect has to roll back to
+the generation already serving, loudly, with the request path untouched.
+
+The mechanism mirrors ``repro.core.checkpoint``'s atomic-write discipline,
+lifted to process state:
+
+1. **Watch** — :class:`CheckpointWatcher` polls the run directory for a
+   checkpoint newer than the one serving (cheap: one ``glob`` per poll).
+   The same :class:`HotReloader` can equally be driven by a trainer-side
+   checkpoint callback; the watcher is just the pull-mode driver.
+2. **Shadow build** — the candidate loads *params-only* into a shadow
+   model (built once from the session's run manifest and task; the serving
+   model is never touched), its rng streams restored from the checkpoint
+   meta, and a shadow :class:`~repro.serve.store.RepresentationStore` is
+   built exactly the way a cold ``ServeSession`` would.
+3. **Validate** — three gates, each with a counted rejection reason:
+   ``corrupt`` (the loader's payload-digest / truncation checks failed),
+   ``config`` (config fingerprint or engine dtype differs from the serving
+   checkpoint, or the rng stream layout changed), ``canary`` (a small
+   canary slate scored from the shadow store diverges — bit-for-bit, in
+   float64 — from full-model rescoring of the shadow model).
+4. **Swap** — a brand-new :class:`~repro.serve.scorer.Scorer` (same
+   queue/deadline/staleness configuration, same shared
+   :class:`~repro.serve.health.ServeHealth`) is published to the session
+   by a single reference assignment — atomic under the GIL, so a request
+   in flight sees either the old or the new scorer, never a mixture — and
+   the shadow store's generation is stamped ``serving generation + 1``.
+
+Any gate failure rolls back: the shadow objects are dropped, the serving
+scorer keeps answering at its old generation, and the failure is counted
+as ``reload_rejected`` with its reason on the shared health ledger.  The
+``reload_corrupt`` / ``reload_crash`` fault points inject byte flips and
+hard kills into steps 2–4; the fault suite drives them to prove the
+rollback and the no-torn-state guarantees.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..core import faults
+from ..core.checkpoint import (
+    CheckpointError,
+    generator_state,
+    latest_checkpoint,
+    load_checkpoint,
+    set_generator_state,
+)
+from ..core.task import DOMAIN_KEYS
+from ..tensor import engine as tensor_engine
+from ..tensor.trace import model_rng_sources
+from .health import ServeHealth
+from .scorer import Scorer, exact_top_k
+from .store import RepresentationStore
+
+__all__ = ["CheckpointWatcher", "HotReloader", "ReloadResult"]
+
+
+class ReloadResult(dict):
+    """One reload attempt's outcome: ``swapped`` or ``rejected`` (+reason)."""
+
+    @property
+    def swapped(self) -> bool:
+        return self.get("outcome") == "swapped"
+
+
+class CheckpointWatcher:
+    """Polls a checkpoint directory for a candidate newer than the serving one.
+
+    Tracks the last path it handed out, so a rejected (or already-swapped)
+    candidate is not re-offered every poll — a corrupt file on disk costs
+    one rejection, not a rejection per poll cycle.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        current: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.last_offered: Optional[Path] = Path(current) if current else None
+
+    def poll(self) -> Optional[Path]:
+        """The newest checkpoint, if it is one we have not offered yet."""
+        newest = latest_checkpoint(self.directory)
+        if newest is None or newest == self.last_offered:
+            return None
+        self.last_offered = newest
+        return newest
+
+
+class HotReloader:
+    """Validate-then-swap reload of a :class:`ServeSession`; see module docs."""
+
+    def __init__(
+        self,
+        session,
+        *,
+        directory: Optional[Union[str, Path]] = None,
+        use_best: bool = True,
+        canary_users: int = 4,
+        canary_k: int = 5,
+        health: Optional[ServeHealth] = None,
+    ) -> None:
+        self.session = session
+        self.use_best = use_best
+        self.canary_users = max(1, int(canary_users))
+        self.canary_k = max(1, int(canary_k))
+        self.health = health if health is not None else session.scorer.health
+        watch_dir = directory
+        if watch_dir is None:
+            watch_dir = getattr(session, "checkpoint_dir", None)
+        self.watcher = (
+            CheckpointWatcher(
+                watch_dir, current=getattr(session, "checkpoint_path", None)
+            )
+            if watch_dir is not None
+            else None
+        )
+        # Built lazily on the first reload and reused after: the manifest
+        # pins the architecture, so one shadow model serves every candidate.
+        self._shadow_model = None
+
+    # ------------------------------------------------------------------
+    # drivers
+    # ------------------------------------------------------------------
+    def check(self) -> Optional[ReloadResult]:
+        """Poll the watched directory; attempt a reload when a candidate shows."""
+        if self.watcher is None:
+            raise ValueError(
+                "this HotReloader has no watched directory; call "
+                "reload(path) directly or construct with directory="
+            )
+        candidate = self.watcher.poll()
+        if candidate is None:
+            return None
+        return self.reload(candidate)
+
+    # ------------------------------------------------------------------
+    # the validate-then-swap sequence
+    # ------------------------------------------------------------------
+    def reload(self, path: Union[str, Path]) -> ReloadResult:
+        """Attempt to promote ``path``; swap on success, roll back otherwise."""
+        path = Path(path)
+        session = self.session
+
+        if faults.reload_should_corrupt("file"):
+            _corrupt_file(path)
+
+        # Gate 1: the checkpoint parses and its payload digest verifies.
+        try:
+            loaded = load_checkpoint(path, params_only=True)
+        except CheckpointError as error:
+            return self._reject("corrupt", path, str(error))
+
+        # Gate 2: same config fingerprint, engine dtype and rng layout as
+        # the checkpoint already serving — a drifted trainer config means
+        # the manifest-built architecture may no longer match.
+        serving_meta = session.checkpoint_meta
+        live_dtype = tensor_engine.get_dtype().str
+        if loaded.meta["engine_dtype"] != live_dtype:
+            return self._reject(
+                "config",
+                path,
+                f"checkpoint {path} was written under engine dtype "
+                f"{loaded.meta['engine_dtype']} but the serving engine runs "
+                f"{live_dtype}",
+            )
+        if loaded.meta.get("config") != serving_meta.get("config"):
+            changed = sorted(
+                key
+                for key in set(loaded.meta.get("config", {}))
+                | set(serving_meta.get("config", {}))
+                if loaded.meta.get("config", {}).get(key)
+                != serving_meta.get("config", {}).get(key)
+            )
+            return self._reject(
+                "config",
+                path,
+                f"checkpoint {path} carries a different training config than "
+                f"the serving checkpoint (differing fields: {changed})",
+            )
+
+        # Shadow build: params into the shadow model, rng from the meta.
+        shadow = self._shadow()
+        parameters = (
+            loaded.best_state
+            if (self.use_best and loaded.best_state)
+            else loaded.parameters
+        )
+        try:
+            shadow.load_state_dict(parameters)
+        except Exception as error:
+            return self._reject(
+                "config",
+                path,
+                f"checkpoint {path} parameters do not fit the manifest-built "
+                f"architecture: {error}",
+            )
+        shadow.invalidate_cache()
+        sources = model_rng_sources(shadow)
+        saved_sources = loaded.meta["rng"]["model_sources"]
+        if len(sources) != len(saved_sources):
+            return self._reject(
+                "config",
+                path,
+                f"checkpoint {path} recorded {len(saved_sources)} model rng "
+                f"streams but the manifest-built model exposes {len(sources)}",
+            )
+        for rng, state in zip(sources, saved_sources):
+            set_generator_state(rng, state)
+
+        old_store = session.scorer.store
+        shadow_store = RepresentationStore.build(
+            shadow,
+            session.task,
+            params_version=int(loaded.meta["optimizer"]["step_count"]),
+            max_staleness=old_store.max_staleness if old_store else 0,
+        )
+        # The canary's full rescoring replays the store's rng snapshot; the
+        # post-build states are what a cold session would be left with, so
+        # they are restored afterwards — hot and cold sessions end in the
+        # same rng state (the bit-identity gate in the fault suite).
+        post_build = [generator_state(rng) for rng in sources]
+
+        if faults.reload_should_corrupt("table"):
+            _corrupt_tables(shadow_store)
+
+        # Gate 3: canary slate — store-backed answers must equal
+        # full-model rescoring bit for bit (float64).
+        try:
+            self._canary(shadow, shadow_store)
+        except _CanaryFailure as error:
+            for rng, state in zip(sources, post_build):
+                set_generator_state(rng, state)
+            return self._reject("canary", path, str(error))
+        shadow.invalidate_cache()
+        for rng, state in zip(sources, post_build):
+            set_generator_state(rng, state)
+
+        # Swap: generation continuity, then one atomic reference publish.
+        faults.reload_crash_point("swap")
+        old_scorer = session.scorer
+        old_model = session.model
+        if old_store is not None:
+            shadow_store.meta["generation"] = old_store.generation + 1
+        new_scorer = Scorer(
+            shadow,
+            shadow_store,
+            micro_batch_size=old_scorer.micro_batch_size,
+            queue_limit=old_scorer.queue_limit,
+            default_deadline_ms=old_scorer.default_deadline_ms,
+            hard_staleness=old_scorer.hard_staleness,
+            health=old_scorer.health,
+        )
+        session.publish(new_scorer, checkpoint_meta=loaded.meta, checkpoint_path=path)
+        # The displaced serving model becomes the next reload's shadow —
+        # the pair ping-pongs, so hot reloads never accumulate models.
+        self._shadow_model = old_model
+        generation = shadow_store.generation
+        self.health.count_reload("swapped", generation=generation)
+        return ReloadResult(
+            outcome="swapped",
+            path=str(path),
+            generation=generation,
+            params_version=shadow_store.params_version,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _reject(self, reason: str, path: Path, message: str) -> ReloadResult:
+        self.health.count_reload("rejected", reason=reason)
+        return ReloadResult(
+            outcome="rejected", reason=reason, path=str(path), message=message
+        )
+
+    def _shadow(self):
+        """The reusable shadow model (never the one serving requests)."""
+        if self._shadow_model is None or self._shadow_model is self.session.model:
+            from .service import build_run_components
+
+            self._shadow_model, _task, _settings = build_run_components(
+                self.session.run, task=self.session.task
+            )
+        return self._shadow_model
+
+    def _canary_users(self, warm: np.ndarray) -> List[int]:
+        """A deterministic handful of users: warm-first, then cold."""
+        warm_ids = np.flatnonzero(warm)
+        cold_ids = np.flatnonzero(~warm)
+        picked = list(warm_ids[: max(1, self.canary_users // 2)])
+        picked.extend(cold_ids[: self.canary_users - len(picked)])
+        if not picked:  # pragma: no cover — a domain with zero users
+            picked = [0]
+        return [int(user) for user in picked]
+
+    def _canary(self, shadow, shadow_store: RepresentationStore) -> None:
+        """Score a small slate both ways; raise on any bit divergence."""
+        scorer = Scorer(shadow, shadow_store)
+        # Full rescoring replays the store's pre-forward rng snapshot, the
+        # same reference path ``ServeSession.verify`` uses.
+        for rng, state in zip(
+            model_rng_sources(shadow), shadow_store.meta["rng_sources"]
+        ):
+            set_generator_state(rng, state)
+        shadow.prepare_for_evaluation()
+        for key in DOMAIN_KEYS:
+            table = shadow_store.tables[key]
+            candidates = np.arange(table.num_items, dtype=np.int64)
+            for user in self._canary_users(table.warm):
+                store_scores = shadow.score_pairs(
+                    key,
+                    np.repeat(
+                        table.user_row(user)[None, :], candidates.shape[0], axis=0
+                    ),
+                    table.items[candidates],
+                )
+                full_scores = shadow.score(
+                    key,
+                    np.full(candidates.shape[0], user, dtype=np.int64),
+                    candidates,
+                )
+                store_top = exact_top_k(store_scores, self.canary_k)
+                full_top = exact_top_k(full_scores, self.canary_k)
+                if not (
+                    np.array_equal(store_top, full_top)
+                    and np.array_equal(
+                        np.asarray(store_scores)[store_top],
+                        np.asarray(full_scores)[full_top],
+                    )
+                ):
+                    raise _CanaryFailure(
+                        f"canary slate diverged for domain {key!r} user {user} "
+                        "(store-backed scores != full rescoring); the shadow "
+                        "store is not servable"
+                    )
+
+
+class _CanaryFailure(RuntimeError):
+    """Internal: the canary gate found a store/model divergence."""
+
+
+def _corrupt_file(path: Path) -> None:
+    """Flip bytes mid-file (the ``reload_corrupt:phase=file`` injection)."""
+    try:
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.seek(max(size // 2, 0))
+            handle.write(b"\xde\xad\xbe\xef" * 8)
+    except OSError:  # pragma: no cover — racing file removal
+        pass
+
+
+def _corrupt_tables(store: RepresentationStore) -> None:
+    """Perturb the shadow tables (the ``reload_corrupt:phase=table`` injection)."""
+    for key in DOMAIN_KEYS:
+        table = store.tables[key]
+        table.user_g4 = table.user_g4 + 1.0
+        table.user_g3 = table.user_g3 + 1.0

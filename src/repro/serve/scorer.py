@@ -23,17 +23,57 @@ Models without the ``encode_match_split`` capability (the non-graph
 baselines) are served through a delegation path: the scorer micro-batches
 their ``score(domain, users, items)`` evaluation interface instead, so one
 front end serves every model in the registry.
+
+Request-path robustness
+-----------------------
+
+The front end is bounded in both queue depth and latency:
+
+* **Admission control** — ``queue_limit`` bounds how many requests one
+  batch may admit; the excess is *shed* with a typed
+  :class:`~repro.serve.health.ServeOverloadError` instead of queueing
+  unboundedly.
+* **Deadlines** — a request may carry ``deadline_ms`` (or inherit
+  ``default_deadline_ms``); enforcement is cooperative at micro-batch
+  granularity, so an expired request stops consuming the head after at
+  most one more micro-batch and answers with a typed
+  :class:`~repro.serve.health.DeadlineExceeded`.
+* **Degradation ladder** — store staleness no longer has only two states.
+  Per batch the scorer resolves a rung: ``fresh`` (store matches the live
+  parameter version), ``stale`` (lag within ``max_staleness`` — served,
+  flagged ``degraded="stale"``), ``cold_path`` (lag within
+  ``hard_staleness`` — every user served from the matching-module output
+  ``user_g3``, the conservative cross-domain row, flagged
+  ``degraded="cold_path"``) and finally a typed
+  :class:`~repro.serve.health.ServeUnavailableError`.  With no
+  ``hard_staleness`` configured the ladder stops at the store's own
+  :class:`~repro.serve.store.StaleRepresentationError`, the pre-existing
+  contract.
+
+Every rung and every typed failure is counted on the scorer's
+:class:`~repro.serve.health.ServeHealth`; the ``scorer_slow`` fault point
+(:func:`repro.core.faults.scorer_chunk`) injects latency into the
+micro-batch loop so the deadline machinery is testable end to end.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from time import monotonic
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..core import faults
 from ..core.task import DOMAIN_KEYS
-from .store import RepresentationStore
+from .health import (
+    DeadlineExceeded,
+    ErrorResponse,
+    ServeHealth,
+    ServeOverloadError,
+    ServeUnavailableError,
+)
+from .store import RepresentationStore, StaleRepresentationError, StoreError
 
 __all__ = ["ScoreRequest", "ScoreResponse", "Scorer", "exact_top_k"]
 
@@ -70,10 +110,14 @@ class ScoreRequest:
     k: int = 10
     #: Item ids to rank; ``None`` ranks the domain's full catalogue.
     candidates: Optional[np.ndarray] = None
+    #: Relative deadline in milliseconds from admission; ``None`` inherits
+    #: the scorer's ``default_deadline_ms`` (which may also be ``None``).
+    deadline_ms: Optional[float] = None
 
     @classmethod
     def from_json(cls, payload: Dict) -> "ScoreRequest":
         candidates = payload.get("candidates")
+        deadline = payload.get("deadline_ms")
         return cls(
             domain=str(payload["domain"]),
             user=int(payload["user"]),
@@ -83,6 +127,7 @@ class ScoreRequest:
                 if candidates is not None
                 else None
             ),
+            deadline_ms=float(deadline) if deadline is not None else None,
         )
 
 
@@ -97,6 +142,9 @@ class ScoreResponse:
     cold_start: bool
     generation: int
     params_version: int
+    #: ``None`` when served fresh; ``"stale"`` / ``"cold_path"`` when the
+    #: degradation ladder answered from a lagging store.
+    degraded: Optional[str] = None
 
     def to_json(self) -> Dict:
         return {
@@ -107,6 +155,7 @@ class ScoreResponse:
             "cold_start": self.cold_start,
             "generation": self.generation,
             "params_version": self.params_version,
+            "degraded": self.degraded,
         }
 
 
@@ -120,6 +169,10 @@ class _DomainBatch:
     candidates: List[np.ndarray] = field(default_factory=list)
 
 
+#: A batch entry: either a slate or a typed error for that request.
+Response = Union[ScoreResponse, ErrorResponse]
+
+
 class Scorer:
     """Batched top-K front end over a store (or a baseline's score method)."""
 
@@ -129,6 +182,10 @@ class Scorer:
         store: Optional[RepresentationStore] = None,
         *,
         micro_batch_size: int = 8192,
+        queue_limit: Optional[int] = None,
+        default_deadline_ms: Optional[float] = None,
+        hard_staleness: Optional[int] = None,
+        health: Optional[ServeHealth] = None,
     ) -> None:
         capabilities = model.capabilities()
         if capabilities.encode_match_split:
@@ -151,6 +208,14 @@ class Scorer:
         self.model = model
         self.store = store
         self.micro_batch_size = max(1, int(micro_batch_size))
+        self.queue_limit = int(queue_limit) if queue_limit is not None else None
+        self.default_deadline_ms = (
+            float(default_deadline_ms) if default_deadline_ms is not None else None
+        )
+        self.hard_staleness = (
+            int(hard_staleness) if hard_staleness is not None else None
+        )
+        self.health = health if health is not None else ServeHealth()
 
     @classmethod
     def from_model(
@@ -161,6 +226,10 @@ class Scorer:
         params_version: int = 0,
         max_staleness: int = 0,
         micro_batch_size: int = 8192,
+        queue_limit: Optional[int] = None,
+        default_deadline_ms: Optional[float] = None,
+        hard_staleness: Optional[int] = None,
+        health: Optional[ServeHealth] = None,
     ) -> "Scorer":
         """Build the store when the model supports one, then wrap it."""
         store = None
@@ -173,7 +242,15 @@ class Scorer:
                 params_version=params_version,
                 max_staleness=max_staleness,
             )
-        return cls(model, store, micro_batch_size=micro_batch_size)
+        return cls(
+            model,
+            store,
+            micro_batch_size=micro_batch_size,
+            queue_limit=queue_limit,
+            default_deadline_ms=default_deadline_ms,
+            hard_staleness=hard_staleness,
+            health=health,
+        )
 
     # ------------------------------------------------------------------
     # scoring
@@ -189,66 +266,257 @@ class Scorer:
             )
         return int(task.domain(domain_key).num_items)
 
-    def score(self, request: ScoreRequest, *, current_version: Optional[int] = None) -> ScoreResponse:
-        return self.score_batch([request], current_version=current_version)[0]
+    def _ladder_rung(self, current_version: Optional[int]) -> str:
+        """Resolve this batch's degradation rung, or raise past the ladder.
+
+        ``store_stale`` fault injection overrides the observed lag so the
+        whole ladder is drillable without a live trainer.
+        """
+        if self.store is None:
+            return "fresh"
+        injected = faults.injected_staleness_lag()
+        if injected is not None:
+            lag = int(injected)
+        elif current_version is None:
+            return "fresh"
+        else:
+            lag = int(current_version) - self.store.params_version
+        if lag <= 0:
+            return "fresh"
+        if lag <= self.store.max_staleness:
+            return "stale"
+        if self.hard_staleness is not None and lag <= self.hard_staleness:
+            return "cold_path"
+        if self.hard_staleness is None:
+            # Ladder not configured: keep the store-level contract (raise
+            # the moment the staleness bound is crossed).
+            raise StaleRepresentationError(
+                f"store generation {self.store.generation} holds "
+                f"representations of parameter version "
+                f"{self.store.params_version}; the live version lags "
+                f"{lag} update(s) beyond the staleness bound of "
+                f"{self.store.max_staleness} — refresh() before serving"
+            )
+        raise ServeUnavailableError(
+            f"store generation {self.store.generation} (parameter version "
+            f"{self.store.params_version}) lags {lag} update(s), beyond even "
+            f"the hard staleness bound of {self.hard_staleness}; refresh or "
+            "hot-reload before serving"
+        )
+
+    def score(
+        self, request: ScoreRequest, *, current_version: Optional[int] = None
+    ) -> ScoreResponse:
+        response = self.score_batch([request], current_version=current_version)[0]
+        # collect_errors=False (the default) raises instead of returning
+        # ErrorResponse entries, so this cast is safe.
+        return response  # type: ignore[return-value]
 
     def score_batch(
         self,
         requests: Sequence[ScoreRequest],
         *,
         current_version: Optional[int] = None,
-    ) -> List[ScoreResponse]:
-        """Answer a batch of requests, micro-batching the head per domain."""
-        if self.store is not None:
-            self.store.assert_fresh(current_version)
+        collect_errors: bool = False,
+    ) -> List[Response]:
+        """Answer a batch of requests, micro-batching the head per domain.
 
-        batches: Dict[str, _DomainBatch] = {}
-        for position, request in enumerate(requests):
-            if request.domain not in DOMAIN_KEYS:
-                raise KeyError(f"unknown domain {request.domain!r}")
-            candidates = (
-                np.arange(self._num_items(request.domain), dtype=np.int64)
-                if request.candidates is None
-                else np.asarray(request.candidates, dtype=np.int64)
+        ``collect_errors=True`` is the serving-loop mode: any per-request
+        failure (shed, deadline, staleness, bad domain) becomes a typed
+        :class:`ErrorResponse` at that request's position and the rest of
+        the batch is still answered.  The default raises on the first
+        failure — the pre-existing library contract.
+        """
+        admitted_at = monotonic()
+        responses: List[Optional[Response]] = [None] * len(requests)
+
+        def fail(position: int, error: Exception) -> None:
+            code = getattr(error, "code", None)
+            if code is None:
+                if isinstance(error, StaleRepresentationError):
+                    code = "stale"
+                elif isinstance(error, (KeyError, StoreError, ValueError)):
+                    code = "bad_request"
+                else:
+                    code = "internal"
+            self.health.count_error(code)
+            if not collect_errors:
+                raise error
+            request = requests[position]
+            responses[position] = ErrorResponse(
+                error=code,
+                message=str(error),
+                domain=request.domain,
+                user=request.user,
             )
-            batch = batches.setdefault(request.domain, _DomainBatch())
+
+        # -- degradation ladder (store-level, resolved once per batch) --
+        try:
+            rung = self._ladder_rung(current_version)
+        except (StaleRepresentationError, ServeUnavailableError) as error:
+            for position in range(len(requests)):
+                fail(position, error)
+            return responses  # type: ignore[return-value]
+
+        # -- admission control ------------------------------------------
+        admitted: List[int] = []
+        for position in range(len(requests)):
+            if self.queue_limit is not None and len(admitted) >= self.queue_limit:
+                fail(
+                    position,
+                    ServeOverloadError(
+                        f"admission queue full ({self.queue_limit} request(s) "
+                        "admitted); request shed — retry with a smaller batch "
+                        "or raise --queue-limit"
+                    ),
+                )
+            else:
+                admitted.append(position)
+
+        # -- deadline resolution ----------------------------------------
+        deadlines: Dict[int, float] = {}
+        for position in admitted:
+            relative = requests[position].deadline_ms
+            if relative is None:
+                relative = self.default_deadline_ms
+            if relative is not None:
+                deadlines[position] = admitted_at + float(relative) / 1e3
+
+        if deadlines:
+            self._score_each(requests, admitted, deadlines, rung, responses, fail)
+        else:
+            self._score_grouped(requests, admitted, rung, responses, fail)
+
+        for position in admitted:
+            response = responses[position]
+            if isinstance(response, ScoreResponse):
+                self.health.count_response(rung, cold_start=response.cold_start)
+        return responses  # type: ignore[return-value]
+
+    # -- grouped fast path (no deadlines): flatten per domain -----------
+    def _score_grouped(self, requests, admitted, rung, responses, fail) -> None:
+        batches: Dict[str, _DomainBatch] = {}
+        for position in admitted:
+            request = requests[position]
+            try:
+                batch = batches.setdefault(request.domain, _DomainBatch())
+                candidates = self._candidates(request)
+            except Exception as error:  # bad domain / missing item count
+                fail(position, error)
+                continue
             batch.positions.append(position)
             batch.lengths.append(candidates.shape[0])
             batch.users.append(int(request.user))
             batch.candidates.append(candidates)
 
-        responses: List[Optional[ScoreResponse]] = [None] * len(requests)
         for domain_key, batch in batches.items():
-            flat_scores = self._score_domain(domain_key, batch)
+            try:
+                flat_scores = self._flat_scores(
+                    domain_key,
+                    batch.users,
+                    batch.candidates,
+                    rung=rung,
+                    deadline=None,
+                )
+            except Exception as error:
+                for position in batch.positions:
+                    fail(position, error)
+                continue
             offsets = np.cumsum([0, *batch.lengths])
             for slot, position in enumerate(batch.positions):
                 request = requests[position]
                 scores = flat_scores[offsets[slot]:offsets[slot + 1]]
-                top = exact_top_k(scores, request.k)
-                responses[position] = ScoreResponse(
-                    domain=domain_key,
-                    user=batch.users[slot],
-                    items=batch.candidates[slot][top],
-                    scores=scores[top],
-                    cold_start=self._is_cold(domain_key, batch.users[slot]),
-                    generation=self.store.generation if self.store else 0,
-                    params_version=(
-                        self.store.params_version if self.store else 0
-                    ),
+                responses[position] = self._build_response(
+                    domain_key, batch.users[slot], batch.candidates[slot],
+                    scores, request.k, rung,
                 )
-        return responses  # type: ignore[return-value]
+
+    # -- per-request path (deadlines active) ----------------------------
+    def _score_each(self, requests, admitted, deadlines, rung, responses, fail) -> None:
+        for position in admitted:
+            request = requests[position]
+            deadline = deadlines.get(position)
+            try:
+                if deadline is not None and monotonic() > deadline:
+                    raise DeadlineExceeded(
+                        f"request (domain={request.domain!r}, user="
+                        f"{request.user}) expired before scoring started "
+                        f"(deadline {request.deadline_ms or self.default_deadline_ms} ms)"
+                    )
+                candidates = self._candidates(request)
+                scores = self._flat_scores(
+                    request.domain,
+                    [int(request.user)],
+                    [candidates],
+                    rung=rung,
+                    deadline=deadline,
+                )
+                responses[position] = self._build_response(
+                    request.domain, int(request.user), candidates,
+                    scores, request.k, rung,
+                )
+            except Exception as error:
+                fail(position, error)
+
+    # -- shared helpers -------------------------------------------------
+    def _candidates(self, request: ScoreRequest) -> np.ndarray:
+        if request.domain not in DOMAIN_KEYS:
+            raise KeyError(f"unknown domain {request.domain!r}")
+        if request.candidates is None:
+            return np.arange(self._num_items(request.domain), dtype=np.int64)
+        return np.asarray(request.candidates, dtype=np.int64)
+
+    def _build_response(
+        self, domain_key, user, candidates, scores, k, rung
+    ) -> ScoreResponse:
+        top = exact_top_k(scores, k)
+        return ScoreResponse(
+            domain=domain_key,
+            user=user,
+            items=candidates[top],
+            scores=scores[top],
+            cold_start=self._is_cold(domain_key, user),
+            generation=self.store.generation if self.store else 0,
+            params_version=(self.store.params_version if self.store else 0),
+            degraded=None if rung == "fresh" else rung,
+        )
 
     def _is_cold(self, domain_key: str, user: int) -> bool:
         if self.store is None:
             return False
         return not bool(self.store.tables[domain_key].warm[user])
 
-    def _score_domain(self, domain_key: str, batch: _DomainBatch) -> np.ndarray:
-        """Flat scores for every (user, candidate) pair of one domain."""
-        lengths = np.asarray(batch.lengths, dtype=np.int64)
+    def _user_row(self, table, user: int, rung: str) -> np.ndarray:
+        """The serving row under the batch's ladder rung.
+
+        On the ``cold_path`` rung every user is served from ``user_g3`` —
+        the matching-module output, the conservative cross-domain row — not
+        just the cold-start users.
+        """
+        if rung == "cold_path":
+            return table.user_g3[user]
+        return table.user_row(user)
+
+    def _flat_scores(
+        self,
+        domain_key: str,
+        users: Sequence[int],
+        candidate_sets: Sequence[np.ndarray],
+        *,
+        rung: str,
+        deadline: Optional[float],
+    ) -> np.ndarray:
+        """Flat scores for every (user, candidate) pair, micro-batched.
+
+        ``deadline`` (absolute ``monotonic()`` time) is checked before each
+        micro-batch; the chunking never changes the numbers (``score_pairs``
+        is elementwise per pair), so grouped and per-request paths agree
+        bit for bit.
+        """
+        lengths = np.asarray([c.shape[0] for c in candidate_sets], dtype=np.int64)
         flat_items = (
-            np.concatenate(batch.candidates)
-            if batch.candidates
+            np.concatenate(list(candidate_sets))
+            if candidate_sets
             else np.empty(0, dtype=np.int64)
         )
         total = int(flat_items.shape[0])
@@ -258,28 +526,30 @@ class Scorer:
         if self.store is not None:
             table = self.store.tables[domain_key]
             user_rows = np.stack(
-                [table.user_row(user) for user in batch.users], axis=0
+                [self._user_row(table, user, rung) for user in users], axis=0
             )
             flat_users = np.repeat(user_rows, lengths, axis=0)
             item_rows = table.items[flat_items]
-            chunks = [
-                self.model.score_pairs(
-                    domain_key,
-                    flat_users[start:start + self.micro_batch_size],
-                    item_rows[start:start + self.micro_batch_size],
-                )
-                for start in range(0, total, self.micro_batch_size)
-            ]
         else:
-            flat_user_ids = np.repeat(
-                np.asarray(batch.users, dtype=np.int64), lengths
-            )
-            chunks = [
-                self.model.score(
-                    domain_key,
-                    flat_user_ids[start:start + self.micro_batch_size],
-                    flat_items[start:start + self.micro_batch_size],
+            flat_user_ids = np.repeat(np.asarray(users, dtype=np.int64), lengths)
+
+        chunks = []
+        for index, start in enumerate(range(0, total, self.micro_batch_size)):
+            faults.scorer_chunk(index)
+            if deadline is not None and monotonic() > deadline:
+                raise DeadlineExceeded(
+                    f"request (domain={domain_key!r}, user={users[0]}) "
+                    f"expired after {index} of "
+                    f"{-(-total // self.micro_batch_size)} micro-batches"
                 )
-                for start in range(0, total, self.micro_batch_size)
-            ]
+            stop = start + self.micro_batch_size
+            if self.store is not None:
+                chunk = self.model.score_pairs(
+                    domain_key, flat_users[start:stop], item_rows[start:stop]
+                )
+            else:
+                chunk = self.model.score(
+                    domain_key, flat_user_ids[start:stop], flat_items[start:stop]
+                )
+            chunks.append(chunk)
         return np.concatenate([np.asarray(chunk).reshape(-1) for chunk in chunks])

@@ -59,6 +59,7 @@ from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
+from ..core import faults
 from ..core.checkpoint import (
     _json_default,
     _payload_digest,
@@ -390,6 +391,9 @@ class RepresentationStore:
                 np.savez(handle, **payload)
                 handle.flush()
                 os.fsync(handle.fileno())
+            # Injected hard kill between the shadow write and the atomic
+            # rename: any previously published archive must stay loadable.
+            faults.reload_crash_point("publish")
             os.replace(tmp_name, final_path)
         except BaseException:
             try:
@@ -431,10 +435,13 @@ class RepresentationStore:
                 f"reads version {STORE_VERSION} — rebuild from a checkpoint"
             )
         digest = meta.pop("digest", None)
-        if digest != _payload_digest(arrays):
+        actual = _payload_digest(arrays)
+        if digest != actual:
             raise StoreError(
-                f"store {path} failed integrity verification (payload digest "
-                "mismatch); rebuild it from a checkpoint"
+                f"store {path} (generation {meta.get('generation')!r}) failed "
+                f"integrity verification: payload digest {actual[:12]}… does "
+                f"not match recorded {str(digest)[:12]}…; rebuild it from a "
+                "checkpoint"
             )
         tables: Dict[str, DomainTable] = {}
         for key in DOMAIN_KEYS:

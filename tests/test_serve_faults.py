@@ -1,0 +1,381 @@
+"""Serve-path fault-injection drills (``pytest -m faults``).
+
+The serving counterpart of ``tests/test_faults.py``: every test arms
+``reload_corrupt`` / ``reload_crash`` / ``store_stale`` / ``scorer_slow``
+specs and proves the resilient-serving contracts of ``repro.serve``:
+
+* a corrupt checkpoint (flipped bytes on disk) or a corrupted shadow
+  store (canary divergence) is **rejected with rollback** — the old
+  generation keeps serving bit-identical answers, and the very next clean
+  reload swaps to answers bit-identical to a cold rebuild (float64);
+* a hard kill (``os._exit``) between the store's shadow write and its
+  atomic rename leaves the previously published ``.npz`` loadable at its
+  old generation — never a torn archive;
+* a hard kill after the shadow build but before the in-process swap
+  leaves every persisted artifact (checkpoints, store archive) intact;
+* under injected micro-batch latency every deadline-carrying request
+  answers with a slate or a typed ``deadline_exceeded`` within a bounded
+  wall — no hangs — and overload sheds typed, then recovers;
+* injected staleness lags drive the whole degradation ladder without a
+  live trainer.
+
+The injected-crash exit code (23) is asserted where subprocesses die, so
+a real failure can never masquerade as a successfully injected fault.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.core import faults
+from repro.core.checkpoint import list_checkpoints
+from repro.serve import (
+    HotReloader,
+    RepresentationStore,
+    ScoreRequest,
+    Scorer,
+    ServeHealth,
+    ServeSession,
+)
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    """No fault armed by one test may ever leak into the next."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    """A trained checkpoint directory with two checkpoints (epochs 1 and 2)."""
+    from repro.cli import main as cli_main
+
+    directory = tmp_path_factory.mktemp("serve-faults") / "run"
+    rc = cli_main(
+        [
+            "train",
+            "--scenario", "cloth_sport",
+            "--scale", "0.3",
+            "--epochs", "2",
+            "--embedding-dim", "16",
+            "--negatives", "10",
+            "--seed", "0",
+            "--checkpoint-dir", str(directory),
+            "--checkpoint-every", "1",
+        ]
+    )
+    assert rc == 0
+    assert len(list_checkpoints(directory)) == 2
+    return directory
+
+
+REQUESTS = [
+    {"domain": "a", "user": 0, "k": 5},
+    {"domain": "b", "user": 3, "k": 4},
+    {"domain": "a", "user": 2, "k": 3, "candidates": [9, 1, 9, 4]},
+]
+
+
+def first_checkpoint_session(run_dir):
+    first = list_checkpoints(run_dir)[0]
+    return ServeSession.from_checkpoint_dir(
+        run_dir, checkpoint=first, use_best=False
+    )
+
+
+def answers(session):
+    return [session.answer(dict(payload)) for payload in REQUESTS]
+
+
+def assert_matches_cold_rebuild(session, run_dir, checkpoint):
+    cold = ServeSession.from_checkpoint_dir(
+        run_dir, checkpoint=checkpoint, use_best=False
+    )
+    for hot_response, cold_response in zip(answers(session), answers(cold)):
+        assert hot_response["items"] == cold_response["items"]
+        assert hot_response["scores"] == cold_response["scores"]  # float64
+        assert hot_response["params_version"] == cold_response["params_version"]
+
+
+# ----------------------------------------------------------------------
+# reload under fire: corruption is rejected, rollback, then clean swap
+# ----------------------------------------------------------------------
+class TestReloadUnderFire:
+    def test_corrupt_file_rolls_back_then_clean_swap_is_bit_identical(
+        self, run_dir, tmp_path
+    ):
+        import shutil
+
+        session = first_checkpoint_session(run_dir)
+        before = answers(session)
+        old_generation = session.scorer.store.generation
+        reloader = HotReloader(session, use_best=False)
+
+        # the reloader corrupts its own candidate copy, not the run dir
+        second = list_checkpoints(run_dir)[1]
+        candidate = tmp_path / second.name
+        shutil.copy(second, candidate)
+
+        faults.load_env("reload_corrupt:phase=file")
+        result = reloader.reload(candidate)
+        assert not result.swapped and result["reason"] == "corrupt"
+        assert session.health.reload_rejected == 1
+        assert session.scorer.store.generation == old_generation
+        assert answers(session) == before  # rollback is bit-exact
+
+        # the fault's count budget is spent: the clean original swaps
+        result = reloader.reload(second)
+        assert result.swapped
+        assert result["generation"] == old_generation + 1
+        assert_matches_cold_rebuild(session, run_dir, second)
+
+    def test_corrupt_shadow_tables_fail_the_canary(self, run_dir):
+        session = first_checkpoint_session(run_dir)
+        before = answers(session)
+        reloader = HotReloader(session, use_best=False)
+        second = list_checkpoints(run_dir)[1]
+
+        faults.load_env("reload_corrupt:phase=table")
+        result = reloader.reload(second)
+        assert not result.swapped and result["reason"] == "canary"
+        assert session.health.reload_rejected_reasons == {"canary": 1}
+        assert answers(session) == before
+
+        result = reloader.reload(second)
+        assert result.swapped
+        assert_matches_cold_rebuild(session, run_dir, second)
+
+
+# ----------------------------------------------------------------------
+# hard kills never tear persisted state (REPRO_FAULTS env grammar)
+# ----------------------------------------------------------------------
+PUBLISH_CRASH_SCRIPT = textwrap.dedent(
+    """
+    from repro.core import faults
+    from repro.serve import ServeSession
+
+    session = ServeSession.from_checkpoint_dir({run_dir!r}, use_best=False)
+    store = session.scorer.store
+    store.save({store_dir!r})
+    print("FIRST-PUBLISH", store.generation, flush=True)
+    store.refresh(session.model, params_version=99)
+    # Armed between the publishes: this save dies between the shadow write
+    # and the atomic rename.
+    faults.load_env("reload_crash:phase=publish")
+    store.save({store_dir!r})
+    print("UNREACHABLE", flush=True)
+    """
+)
+
+SWAP_CRASH_SCRIPT = textwrap.dedent(
+    """
+    from repro.core.checkpoint import list_checkpoints
+    from repro.serve import HotReloader, ServeSession
+
+    first, second = list_checkpoints({run_dir!r})
+    session = ServeSession.from_checkpoint_dir(
+        {run_dir!r}, checkpoint=first, use_best=False
+    )
+    session.scorer.store.save({store_dir!r})
+    print("SERVING", session.scorer.store.generation, flush=True)
+    # REPRO_FAULTS=reload_crash:phase=swap kills the reload after the
+    # shadow store was built but before the in-process swap.
+    HotReloader(session, use_best=False).reload(second)
+    print("UNREACHABLE", flush=True)
+    """
+)
+
+
+def spawn(script, tmp_path, fault_spec=None):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(repo_root, "src"), env.get("PYTHONPATH", "")])
+    )
+    env.pop("REPRO_FAULTS", None)
+    if fault_spec is not None:
+        env["REPRO_FAULTS"] = fault_spec
+    return subprocess.run(
+        [sys.executable, "-u", "-c", script],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=str(tmp_path),
+        timeout=300,
+    )
+
+
+class TestHardKills:
+    def test_publish_crash_leaves_prior_archive_loadable(self, run_dir, tmp_path):
+        store_dir = tmp_path / "store"
+        result = spawn(
+            PUBLISH_CRASH_SCRIPT.format(
+                run_dir=str(run_dir), store_dir=str(store_dir)
+            ),
+            tmp_path,
+        )
+        assert result.returncode == faults.FAULT_EXIT_CODE, result.stderr
+        assert "FIRST-PUBLISH 1" in result.stdout
+        assert "UNREACHABLE" not in result.stdout
+        # the prior .npz is intact: loadable, generation unbumped
+        survivor = RepresentationStore.load(store_dir)
+        assert survivor.generation == 1
+        assert survivor.params_version != 99
+
+    def test_swap_crash_tears_no_persisted_artifact(self, run_dir, tmp_path):
+        from repro.core.checkpoint import load_checkpoint
+
+        store_dir = tmp_path / "store"
+        result = spawn(
+            SWAP_CRASH_SCRIPT.format(
+                run_dir=str(run_dir), store_dir=str(store_dir)
+            ),
+            tmp_path,
+            "reload_crash:phase=swap",
+        )
+        assert result.returncode == faults.FAULT_EXIT_CODE, result.stderr
+        assert "SERVING 1" in result.stdout
+        assert "UNREACHABLE" not in result.stdout
+        # every persisted artifact survived the mid-reload kill
+        assert RepresentationStore.load(store_dir).generation == 1
+        for checkpoint in list_checkpoints(run_dir):
+            load_checkpoint(checkpoint, params_only=True)
+        # ... and a fresh session stands up cleanly from the same run dir
+        session = ServeSession.from_checkpoint_dir(run_dir, use_best=False)
+        assert len(answers(session)) == len(REQUESTS)
+
+
+# ----------------------------------------------------------------------
+# deadlines + shedding under injected latency: typed, bounded, no hangs
+# ----------------------------------------------------------------------
+class TestSlowScorer:
+    def test_deadline_enforced_under_injected_latency(self, run_dir):
+        session = first_checkpoint_session(run_dir)
+        scorer = Scorer(
+            session.model,
+            session.scorer.store,
+            micro_batch_size=16,
+            default_deadline_ms=50.0,
+            health=ServeHealth(),
+        )
+        faults.configure(faults.parse_spec("scorer_slow:delay=0.1:count=100"))
+        start = time.monotonic()
+        response = scorer.score_batch(
+            [ScoreRequest("a", 0, k=5)], collect_errors=True
+        )[0]
+        wall = time.monotonic() - start
+        assert type(response).__name__ == "ErrorResponse"
+        assert response.error == "deadline_exceeded"
+        # bounded: the deadline plus at most one injected micro-batch wall
+        assert wall < 2.0
+        assert scorer.health.deadline_exceeded == 1
+
+    def test_generous_deadline_still_answers_exactly(self, run_dir):
+        session = first_checkpoint_session(run_dir)
+        store = session.scorer.store
+        reference = Scorer(session.model, store).score(ScoreRequest("a", 0, k=5))
+        faults.configure(faults.parse_spec("scorer_slow:delay=0.05:count=2"))
+        slow = Scorer(session.model, store, default_deadline_ms=60_000.0).score(
+            ScoreRequest("a", 0, k=5)
+        )
+        assert slow.items.tolist() == reference.items.tolist()
+        assert slow.scores.tolist() == reference.scores.tolist()
+
+    def test_every_request_typed_under_slow_plus_overload(self, run_dir):
+        """The acceptance drill: no hang, no unbounded queue, all typed."""
+        session = first_checkpoint_session(run_dir)
+        scorer = Scorer(
+            session.model,
+            session.scorer.store,
+            micro_batch_size=16,
+            queue_limit=2,
+            default_deadline_ms=50.0,
+            health=ServeHealth(),
+        )
+        faults.configure(faults.parse_spec("scorer_slow:delay=0.1:count=100"))
+        batch = [ScoreRequest("a", user, k=3) for user in range(6)]
+        start = time.monotonic()
+        responses = scorer.score_batch(batch, collect_errors=True)
+        wall = time.monotonic() - start
+        assert wall < 5.0  # cooperative deadlines bound the whole batch
+        assert len(responses) == len(batch)
+        codes = [getattr(r, "error", "ok") for r in responses]
+        # 2 admitted (answer or expire), 4 shed — every one typed
+        assert codes.count("overload") == 4
+        assert all(code in ("ok", "overload", "deadline_exceeded") for code in codes)
+        health = scorer.health.snapshot()["requests"]
+        assert health["total"] == 6
+        assert health["shed"] == 4
+
+    def test_recovery_after_the_fault_drains(self, run_dir):
+        session = first_checkpoint_session(run_dir)
+        scorer = Scorer(
+            session.model,
+            session.scorer.store,
+            micro_batch_size=16,
+            queue_limit=2,
+            default_deadline_ms=5_000.0,
+            health=ServeHealth(),
+        )
+        faults.configure(faults.parse_spec("scorer_slow:delay=0.1:count=1"))
+        first = scorer.score_batch([ScoreRequest("a", 0, k=3)], collect_errors=True)
+        follow = scorer.score_batch(
+            [ScoreRequest("a", 0, k=3), ScoreRequest("b", 1, k=3)],
+            collect_errors=True,
+        )
+        assert all(type(r).__name__ == "ScoreResponse" for r in first + follow)
+
+
+# ----------------------------------------------------------------------
+# injected staleness drives the whole ladder without a live trainer
+# ----------------------------------------------------------------------
+class TestInjectedStaleness:
+    @pytest.fixture()
+    def laddered(self, run_dir):
+        session = first_checkpoint_session(run_dir)
+        store = RepresentationStore.build(
+            session.model, session.task, params_version=0, max_staleness=2
+        )
+        return Scorer(session.model, store, hard_staleness=5, health=ServeHealth())
+
+    def test_lag_walks_every_rung(self, laddered):
+        faults.configure(faults.FaultSpec("store_stale", lag=2))
+        assert laddered.score(ScoreRequest("a", 0, k=2)).degraded == "stale"
+
+        faults.configure(faults.FaultSpec("store_stale", lag=4))
+        assert laddered.score(ScoreRequest("a", 0, k=2)).degraded == "cold_path"
+
+        faults.configure(faults.FaultSpec("store_stale", lag=9))
+        response = laddered.score_batch(
+            [ScoreRequest("a", 0, k=2)], collect_errors=True
+        )[0]
+        assert response.error == "unavailable"
+
+        # budget spent: the next read is fresh again
+        assert laddered.score(ScoreRequest("a", 0, k=2)).degraded is None
+        snapshot = laddered.health.snapshot()["requests"]
+        assert snapshot["stale"] == 1
+        assert snapshot["cold_path"] == 1
+        assert snapshot["unavailable"] == 1
+        assert snapshot["fresh"] == 1
+
+    def test_env_grammar_reaches_the_serve_loop(self, run_dir):
+        """`REPRO_FAULTS=store_stale:lag=…` flags responses end to end."""
+        faults.load_env("store_stale:lag=1:count=1")
+        session = ServeSession.from_checkpoint_dir(
+            run_dir, use_best=False, max_staleness=2
+        )
+        lines = [json.dumps({"domain": "a", "user": 0, "k": 2})]
+        response = json.loads(next(session.serve_lines(lines, robust=True)))
+        assert response["degraded"] == "stale"
+        assert session.health.served_stale == 1
